@@ -1,0 +1,173 @@
+(* The benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks, one per paper table/figure: each
+   [Test.make] runs the representative workload/configuration pair of
+   that table at a small scale, so regressions in any collector path show
+   up as a timing change for its table's test.
+
+   Part 2 — the actual reproduction: every table and figure regenerated
+   by the experiment harness (deterministic simulated-clock figures; see
+   EXPERIMENTS.md). *)
+
+open Bechamel
+open Toolkit
+
+module R = Gsc.Runtime
+
+let bench_scale (name : string) =
+  match name with
+  | "checksum" -> 2
+  | "color" -> 40
+  | "fft" -> 8
+  | "grobner" -> 1
+  | "knuth-bendix" -> 2
+  | "lexgen" -> 4
+  | "life" -> 10
+  | "nqueen" -> 7
+  | "peg" -> 800
+  | "pia" -> 1
+  | "simple" -> 4
+  | _ -> 1
+
+let small_nursery cfg = { cfg with Gsc.Config.nursery_bytes_max = 8 * 1024 }
+
+let run_workload name cfg_of =
+  let w = Workloads.Registry.find name in
+  fun () ->
+    let rt = R.create (cfg_of ()) in
+    Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+    w.Workloads.Spec.run rt ~scale:(bench_scale name)
+
+let budget = 2 * 1024 * 1024
+
+let table_tests =
+  [ (* Table 2: allocation characteristics — instrumented generational run *)
+    Test.make ~name:"table2.alloc_characteristics(life,gen)"
+      (Staged.stage
+         (run_workload "life" (fun () ->
+            small_nursery (Gsc.Config.generational ~budget_bytes:budget))));
+    (* Table 3: semispace collection *)
+    Test.make ~name:"table3.semispace(life)"
+      (Staged.stage
+         (run_workload "life" (fun () ->
+            Gsc.Config.semispace ~budget_bytes:budget)));
+    (* Table 4: generational collection *)
+    Test.make ~name:"table4.generational(life)"
+      (Staged.stage
+         (run_workload "life" (fun () ->
+            small_nursery (Gsc.Config.generational ~budget_bytes:budget))));
+    (* Table 5: stack markers on a deep-stack workload *)
+    Test.make ~name:"table5.no_markers(color)"
+      (Staged.stage
+         (run_workload "color" (fun () ->
+            small_nursery (Gsc.Config.generational ~budget_bytes:budget))));
+    Test.make ~name:"table5.markers(color)"
+      (Staged.stage
+         (run_workload "color" (fun () ->
+            small_nursery (Gsc.Config.with_markers ~budget_bytes:budget))));
+    (* Table 6: the full pretenuring pipeline (profile, derive, rerun) *)
+    Test.make ~name:"table6.pretenure(nqueen)"
+      (Staged.stage
+         (let w = Workloads.Registry.find "nqueen" in
+          fun () ->
+            let profiled =
+              R.create
+                (small_nursery
+                   { (Gsc.Config.generational ~budget_bytes:budget) with
+                     Gsc.Config.profiling = true })
+            in
+            let data =
+              Fun.protect ~finally:(fun () -> R.destroy profiled) @@ fun () ->
+              w.Workloads.Spec.run profiled ~scale:(bench_scale "nqueen");
+              Option.get (R.profile profiled)
+            in
+            let policy =
+              Gsc.Pretenure.of_profile data ~cutoff:0.8 ~min_objects:32
+                ~scan_elision:false
+            in
+            let rt =
+              R.create
+                (small_nursery
+                   (Gsc.Config.with_pretenuring ~budget_bytes:budget policy))
+            in
+            Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+            w.Workloads.Spec.run rt ~scale:(bench_scale "nqueen")));
+    (* Table 7: the technique spread on one workload *)
+    Test.make ~name:"table7.semi(nqueen)"
+      (Staged.stage
+         (run_workload "nqueen" (fun () ->
+            Gsc.Config.semispace ~budget_bytes:budget)));
+    Test.make ~name:"table7.markers(nqueen)"
+      (Staged.stage
+         (run_workload "nqueen" (fun () ->
+            small_nursery (Gsc.Config.with_markers ~budget_bytes:budget))));
+    (* Figure 2: the profiling instrumentation itself *)
+    Test.make ~name:"figure2.profiling(nqueen)"
+      (Staged.stage
+         (run_workload "nqueen" (fun () ->
+            small_nursery
+              { (Gsc.Config.generational ~budget_bytes:budget) with
+                Gsc.Config.profiling = true })));
+    (* Ablation: write-barrier kinds on the mutation-heavy workload *)
+    Test.make ~name:"ablation.barrier_ssb(peg)"
+      (Staged.stage
+         (run_workload "peg" (fun () ->
+            small_nursery (Gsc.Config.generational ~budget_bytes:budget))));
+    Test.make ~name:"ablation.barrier_remset(peg)"
+      (Staged.stage
+         (run_workload "peg" (fun () ->
+            small_nursery
+              { (Gsc.Config.generational ~budget_bytes:budget) with
+                Gsc.Config.barrier = Collectors.Generational.Barrier_remset })));
+    Test.make ~name:"ablation.barrier_cards(peg)"
+      (Staged.stage
+         (run_workload "peg" (fun () ->
+            small_nursery
+              { (Gsc.Config.generational ~budget_bytes:budget) with
+                Gsc.Config.barrier = Collectors.Generational.Barrier_cards })));
+    (* Section 7.2 extensions: aging nursery and scan elision *)
+    Test.make ~name:"ablation.aging_nursery(life)"
+      (Staged.stage
+         (run_workload "life" (fun () ->
+            small_nursery
+              { (Gsc.Config.generational ~budget_bytes:budget) with
+                Gsc.Config.tenure_threshold = 3 })))
+  ]
+
+let run_bechamel () =
+  let tests = Test.make_grouped ~name:"repro" table_tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  print_endline "Bechamel micro-benchmarks (one per table/figure):";
+  List.iter
+    (fun (name, o) ->
+      let est =
+        match Analyze.OLS.estimates o with
+        | Some (e :: _) -> Printf.sprintf "%12.0f ns/run" e
+        | Some [] | None -> "          (n/a)"
+      in
+      Printf.printf "  %-42s %s\n" name est)
+    rows;
+  print_newline ()
+
+let () =
+  let factor =
+    match Sys.getenv_opt "REPRO_FACTOR" with
+    | Some f -> float_of_string f
+    | None -> 1.0
+  in
+  run_bechamel ();
+  print_endline
+    "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";
+  print_newline ();
+  print_string (Harness.Suite.render_all ~factor)

@@ -1,0 +1,238 @@
+(* The `repro` command-line tool: regenerate any table or figure of the
+   paper, profile a workload, derive and save pretenuring policies, or
+   run a single workload under a chosen configuration. *)
+
+open Cmdliner
+
+let factor_arg =
+  let doc =
+    "Scale factor applied to every workload's default problem size."
+  in
+  Arg.(value & opt float 1.0 & info [ "factor"; "f" ] ~docv:"FACTOR" ~doc)
+
+let workload_arg =
+  let doc = "Workload name (see `repro list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-14s %s\n" w.Workloads.Spec.name
+          w.Workloads.Spec.description)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark workloads")
+    Term.(const run $ const ())
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let only =
+    let doc = "Render only this item (table1..table7, figure2, ablation)." in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
+  in
+  let run factor only =
+    match only with
+    | None -> print_string (Harness.Suite.render_all ~factor)
+    | Some id ->
+      (match Harness.Suite.render_one ~factor id with
+       | s -> print_string s
+       | exception Not_found ->
+         prerr_endline ("unknown item: " ^ id);
+         exit 1)
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Regenerate the paper's tables and figures (all by default)")
+    Term.(const run $ factor_arg $ only)
+
+(* --- figure2 --- *)
+
+let figure2_cmd =
+  let run factor = print_string (Harness.Figure2.render ~factor) in
+  Cmd.v
+    (Cmd.info "figure2"
+       ~doc:"Heap-profile reports for Knuth-Bendix and Nqueen (Figure 2)")
+    Term.(const run $ factor_arg)
+
+(* --- ablation --- *)
+
+let ablation_cmd =
+  let run factor = print_string (Harness.Ablation.render ~factor) in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Design-choice ablations (see DESIGN.md)")
+    Term.(const run $ factor_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let out =
+    let doc = "Write the raw profile to this file (for later pretenuring)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run factor name out =
+    match Workloads.Registry.find name with
+    | exception Not_found ->
+      prerr_endline ("unknown workload: " ^ name);
+      exit 1
+    | w ->
+      let sc = Harness.Runs.scale ~factor w in
+      let data = Harness.Runs.profile_of ~workload:w ~scale:sc in
+      print_string
+        (Heap_profile.Report.render ~title:name ~cutoff:Harness.Runs.cutoff
+           data);
+      (match out with
+       | None -> ()
+       | Some path ->
+         Heap_profile.Profile_data.save data ~path;
+         Printf.printf "profile written to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Heap-profile a workload and print the Figure 2 report")
+    Term.(const run $ factor_arg $ workload_arg $ out)
+
+(* --- check --- *)
+
+let check_cmd =
+  let run factor =
+    let out = Harness.Claims.render ~factor in
+    print_string out;
+    if not (Harness.Claims.all_pass ~factor) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify the paper's headline claims against fresh measurements \
+          (exit 1 on any failure)")
+    Term.(const run $ factor_arg)
+
+(* --- calibrate --- *)
+
+let calibrate_cmd =
+  let run factor =
+    Printf.printf "%-14s %12s %12s  (Min = 2 x max live; budgets are k*Min)\n"
+      "Workload" "Max live" "Min";
+    List.iter
+      (fun w ->
+        let sc = Harness.Runs.scale ~factor w in
+        let live = Harness.Calibrate.max_live_bytes ~workload:w ~scale:sc in
+        Printf.printf "%-14s %12s %12s\n" w.Workloads.Spec.name
+          (Support.Units.bytes live)
+          (Support.Units.bytes (Harness.Calibrate.min_bytes ~workload:w ~scale:sc)))
+      Workloads.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Measure Min (twice the maximum live data) for every workload")
+    Term.(const run $ factor_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let technique =
+    let techniques =
+      [ ("semi", Harness.Runs.Semi); ("gen", Harness.Runs.Gen);
+        ("markers", Harness.Runs.Markers);
+        ("pretenure", Harness.Runs.Pretenure);
+        ("pretenure-elide", Harness.Runs.Pretenure_elide) ]
+    in
+    let doc = "Collector technique: semi, gen, markers, pretenure, \
+               pretenure-elide." in
+    Arg.(value & opt (enum techniques) Harness.Runs.Gen
+         & info [ "technique"; "t" ] ~docv:"TECH" ~doc)
+  in
+  let k_arg =
+    let doc = "Memory multiple of the calibrated Min." in
+    Arg.(value & opt float 4.0 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let pretenure_from =
+    let doc =
+      "Derive the pretenuring policy from this saved profile (see `repro \
+       profile --out`) instead of profiling in-process."
+    in
+    Arg.(value & opt (some file) None
+         & info [ "pretenure-from" ] ~docv:"FILE" ~doc)
+  in
+  let verify =
+    let doc = "Walk and check the whole heap after every collection." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run factor name technique k pretenure_from verify =
+    match Workloads.Registry.find name with
+    | exception Not_found ->
+      prerr_endline ("unknown workload: " ^ name);
+      exit 1
+    | w ->
+      let sc = Harness.Runs.scale ~factor w in
+      let m =
+        match pretenure_from, verify with
+        | None, false -> Harness.Runs.measure ~workload:w ~scale:sc ~technique ~k
+        | _ ->
+          (* ad-hoc configuration: saved profile and/or verification *)
+          let budget = Harness.Calibrate.budget_for ~workload:w ~scale:sc ~k in
+          let base =
+            match technique, pretenure_from with
+            | _, Some path ->
+              let data = Heap_profile.Profile_data.load ~path in
+              let policy =
+                Gsc.Pretenure.of_profile data ~cutoff:Harness.Runs.cutoff
+                  ~min_objects:Harness.Runs.min_objects
+                  ~scan_elision:(technique = Harness.Runs.Pretenure_elide)
+              in
+              Gsc.Config.with_pretenuring ~budget_bytes:budget policy
+            | Harness.Runs.Semi, None -> Gsc.Config.semispace ~budget_bytes:budget
+            | Harness.Runs.Gen, None -> Gsc.Config.generational ~budget_bytes:budget
+            | (Harness.Runs.Markers | Harness.Runs.Profiled), None ->
+              Gsc.Config.with_markers ~budget_bytes:budget
+            | (Harness.Runs.Pretenure | Harness.Runs.Pretenure_elide), None ->
+              Gsc.Config.with_pretenuring ~budget_bytes:budget
+                (Harness.Runs.policy_of ~workload:w ~scale:sc
+                   ~scan_elision:(technique = Harness.Runs.Pretenure_elide))
+          in
+          let cfg =
+            Harness.Runs.with_nursery_cap
+              { base with Gsc.Config.verify_heap = verify }
+          in
+          Harness.Measure.run ~workload:w ~scale:sc ~cfg ~k
+      in
+      Printf.printf "%s under %s at k=%.1f (scale %d)\n" name
+        (Harness.Runs.technique_name technique)
+        k sc;
+      Printf.printf "  total   %.3fs (gc %.3fs = stack %.3fs + copy %.3fs)\n"
+        m.Harness.Measure.total_seconds m.Harness.Measure.gc_seconds
+        m.Harness.Measure.stack_seconds m.Harness.Measure.copy_seconds;
+      Printf.printf "  gcs     %d (%d minor, %d major)\n"
+        m.Harness.Measure.num_gcs m.Harness.Measure.minor_gcs
+        m.Harness.Measure.major_gcs;
+      Printf.printf "  alloc   %s   copied %s   pretenured %s\n"
+        (Support.Units.bytes m.Harness.Measure.bytes_allocated)
+        (Support.Units.bytes m.Harness.Measure.bytes_copied)
+        (Support.Units.bytes m.Harness.Measure.bytes_pretenured);
+      Printf.printf "  stack   depth avg %.1f / max %d; frames %d decoded, \
+                     %d reused; %d stubs\n"
+        m.Harness.Measure.avg_depth_at_gc m.Harness.Measure.max_depth_overall
+        m.Harness.Measure.frames_decoded m.Harness.Measure.frames_reused
+        m.Harness.Measure.stub_hits
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one configuration")
+    Term.(
+      const run $ factor_arg $ workload_arg $ technique $ k_arg
+      $ pretenure_from $ verify)
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:
+        "Reproduction of Cheng, Harper & Lee, \"Generational Stack \
+         Collection and Profile-Driven Pretenuring\" (PLDI 1998)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; tables_cmd; figure2_cmd; ablation_cmd; profile_cmd;
+            calibrate_cmd; check_cmd; run_cmd ]))

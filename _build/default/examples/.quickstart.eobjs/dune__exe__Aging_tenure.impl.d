@@ -1,0 +1,1 @@
+examples/aging_tenure.ml: Collectors Fun Gsc List Mem Printf Support Workloads

@@ -1,0 +1,1 @@
+examples/deep_stack.ml: Collectors Fun Gsc Harness Printf Rstack

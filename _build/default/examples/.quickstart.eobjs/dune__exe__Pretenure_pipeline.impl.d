@@ -1,0 +1,1 @@
+examples/pretenure_pipeline.ml: Collectors Fun Gsc Harness Heap_profile List Mem Option Printf String Support Workloads

@@ -1,0 +1,1 @@
+examples/pretenure_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Collectors Fun Gsc Mem Printf Rstack Support

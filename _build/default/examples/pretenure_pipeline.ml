@@ -1,0 +1,56 @@
+(* The full profile-driven pretenuring pipeline (Section 6 of the paper)
+   on the Nqueen workload:
+
+   1. a profiling run gathers per-site lifetimes,
+   2. the Figure 2 report is printed and the 80%-old sites are selected,
+   3. the production run pretenures those sites,
+   4. copied-bytes and GC time are compared against the baseline.
+
+   Run with:  dune exec examples/pretenure_pipeline.exe *)
+
+module R = Gsc.Runtime
+
+let budget = 512 * 1024
+let nursery = 8 * 1024
+let workload = Workloads.Registry.find "nqueen"
+let scale = 9
+
+let tune cfg = { cfg with Gsc.Config.nursery_bytes_max = nursery }
+
+let run cfg =
+  let rt = R.create cfg in
+  Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+  workload.Workloads.Spec.run rt ~scale;
+  (R.stats rt, R.profile rt)
+
+let () =
+  (* 1-2: profile *)
+  let profiled_cfg =
+    tune { (Gsc.Config.generational ~budget_bytes:budget) with
+           Gsc.Config.profiling = true }
+  in
+  let _, profile = run profiled_cfg in
+  let data = Option.get profile in
+  print_string (Heap_profile.Report.render ~title:"nqueen" ~cutoff:0.8 data);
+  (* 3: derive the policy *)
+  let policy =
+    Gsc.Pretenure.of_profile data ~cutoff:0.8 ~min_objects:32
+      ~scan_elision:false
+  in
+  Printf.printf "\npretenured sites: %s\n\n"
+    (String.concat ", "
+       (List.map string_of_int (Gsc.Pretenure.pretenured_sites policy)));
+  (* 4: compare *)
+  let report name cfg =
+    let stats, _ = run cfg in
+    let clock = Harness.Simclock.of_stats stats in
+    Printf.printf "%-22s copied %-8s pretenured %-8s gc %.4fs\n" name
+      (Support.Units.bytes (Collectors.Gc_stats.bytes_copied stats))
+      (Support.Units.bytes
+         (stats.Collectors.Gc_stats.words_pretenured
+          * Mem.Memory.bytes_per_word))
+      (Harness.Simclock.gc_seconds clock)
+  in
+  report "baseline (markers)" (tune (Gsc.Config.with_markers ~budget_bytes:budget));
+  report "with pretenuring"
+    (tune (Gsc.Config.with_pretenuring ~budget_bytes:budget policy))

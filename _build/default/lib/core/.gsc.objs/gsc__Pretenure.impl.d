@@ -1,0 +1,1 @@
+lib/core/pretenure.ml: Format Heap_profile Site_flow

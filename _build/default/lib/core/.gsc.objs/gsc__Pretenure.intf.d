@@ -1,0 +1,1 @@
+lib/core/pretenure.mli: Format Heap_profile

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Collectors Config Hashtbl Heap_profile List Mem Option Pretenure Printf Queue Rstack Support

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Collectors Config Heap_profile Mem Rstack

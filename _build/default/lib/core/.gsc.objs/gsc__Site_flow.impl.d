@@ -1,0 +1,1 @@
+lib/core/site_flow.ml: Int List Set

@@ -1,0 +1,1 @@
+lib/core/site_flow.mli: Set

@@ -1,0 +1,61 @@
+type collector_kind =
+  | Semispace
+  | Generational
+
+type exception_strategy =
+  | Eager_watermark
+  | Deferred_handler_walk
+
+type t = {
+  collector : collector_kind;
+  budget_bytes : int;
+  semispace_target_liveness : float;
+  semispace_initial_bytes : int;
+  nursery_bytes_max : int;
+  tenured_target_liveness : float;
+  los_threshold_words : int;
+  barrier : Collectors.Generational.barrier_kind;
+  tenure_threshold : int;
+  stack_markers : bool;
+  marker_spacing : int;
+  exception_strategy : exception_strategy;
+  profiling : bool;
+  pretenure : Pretenure.t;
+  global_slots : int;
+  verify_heap : bool;
+}
+
+let default ~budget_bytes =
+  { collector = Generational;
+    budget_bytes;
+    semispace_target_liveness = 0.10;
+    semispace_initial_bytes = budget_bytes / 4;
+    nursery_bytes_max = 512 * 1024;
+    tenured_target_liveness = 0.3;
+    los_threshold_words = 512;
+    barrier = Collectors.Generational.Barrier_ssb;
+    tenure_threshold = 1;
+    stack_markers = false;
+    marker_spacing = 25;
+    exception_strategy = Eager_watermark;
+    profiling = false;
+    pretenure = Pretenure.none;
+    global_slots = 64;
+    verify_heap = false }
+
+let semispace ~budget_bytes = { (default ~budget_bytes) with collector = Semispace }
+
+let generational ~budget_bytes = default ~budget_bytes
+
+let with_markers ~budget_bytes = { (default ~budget_bytes) with stack_markers = true }
+
+let with_pretenuring ~budget_bytes policy =
+  { (default ~budget_bytes) with stack_markers = true; pretenure = policy }
+
+let name t =
+  match t.collector with
+  | Semispace -> "semi"
+  | Generational ->
+    if not t.stack_markers then "gen"
+    else if Pretenure.is_empty t.pretenure then "gen+marker"
+    else "gen+marker+pretenure"

@@ -1,0 +1,65 @@
+(** Runtime configuration: which collector, how much memory, and which of
+    the paper's techniques are switched on.
+
+    The four configurations compared throughout the paper are:
+
+    - {!semispace}: semispace collection,
+    - {!generational}: generational collection,
+    - {!with_markers}: generational + generational stack collection,
+    - {!with_pretenuring}: generational + stack markers + pretenuring. *)
+
+type collector_kind =
+  | Semispace
+  | Generational
+
+(** How raised exceptions interact with the stack markers (Section 5
+    discusses both).  [Eager_watermark] updates the watermark M at every
+    raise; [Deferred_handler_walk] records unwinds and folds them into
+    the marker state at the next collection (the paper's alternative,
+    which moves the bookkeeping cost from the raise into the
+    collector). *)
+type exception_strategy =
+  | Eager_watermark
+  | Deferred_handler_walk
+
+type t = {
+  collector : collector_kind;
+  budget_bytes : int;  (** k * Min; the total memory grant *)
+  (* semispace parameters *)
+  semispace_target_liveness : float;  (** paper: 0.10 *)
+  semispace_initial_bytes : int;      (** starting soft limit *)
+  (* generational parameters *)
+  nursery_bytes_max : int;            (** paper: 512 KB *)
+  tenured_target_liveness : float;    (** paper: 0.3 *)
+  los_threshold_words : int;          (** arrays at least this big bypass
+                                          the nursery *)
+  barrier : Collectors.Generational.barrier_kind;
+  tenure_threshold : int;             (** 1 = immediate promotion (the
+                                          paper); >1 = aging nursery
+                                          (Section 7.2) *)
+  (* generational stack collection *)
+  stack_markers : bool;
+  marker_spacing : int;               (** paper: n = 25 *)
+  exception_strategy : exception_strategy;
+  (* profiling and pretenuring *)
+  profiling : bool;                   (** gather heap profiles (slow) *)
+  pretenure : Pretenure.t;
+  (* runtime *)
+  global_slots : int;                 (** size of the global root table *)
+  verify_heap : bool;                 (** walk and check the whole heap
+                                          after every collection (slow;
+                                          tests and debugging) *)
+}
+
+(** Baseline defaults matching Section 2.1 (markers off, no pretenuring,
+    no profiling). *)
+val default : budget_bytes:int -> t
+
+val semispace : budget_bytes:int -> t
+val generational : budget_bytes:int -> t
+val with_markers : budget_bytes:int -> t
+val with_pretenuring : budget_bytes:int -> Pretenure.t -> t
+
+(** [name t] is a short label for tables: ["semi"], ["gen"],
+    ["gen+marker"], ["gen+marker+pretenure"]. *)
+val name : t -> string

@@ -1,0 +1,46 @@
+module Int_set = Site_flow.Int_set
+
+type t = {
+  sites : Int_set.t;
+  no_scan : Int_set.t;
+}
+
+let none = { sites = Int_set.empty; no_scan = Int_set.empty }
+
+let of_sites ~sites ~no_scan =
+  let sites = Int_set.of_list sites in
+  let no_scan = Int_set.of_list no_scan in
+  if not (Int_set.subset no_scan sites) then
+    invalid_arg "Pretenure.of_sites: no_scan must be a subset of sites";
+  { sites; no_scan }
+
+let of_profile data ~cutoff ~min_objects ~scan_elision =
+  let sites =
+    Int_set.of_list
+      (Heap_profile.Profile_data.select_pretenure_sites data ~cutoff ~min_objects)
+  in
+  let no_scan =
+    if scan_elision then
+      Site_flow.scan_free
+        ~edges:data.Heap_profile.Profile_data.edges
+        ~pretenured:sites
+    else Int_set.empty
+  in
+  { sites; no_scan }
+
+let is_empty t = Int_set.is_empty t.sites
+let should_pretenure t ~site = Int_set.mem site t.sites
+let needs_scan t ~site = not (Int_set.mem site t.no_scan)
+let pretenured_sites t = Int_set.elements t.sites
+let no_scan_sites t = Int_set.elements t.no_scan
+
+let pp fmt t =
+  Format.fprintf fmt "pretenure{sites=%a; no_scan=%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    (Int_set.elements t.sites)
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    (Int_set.elements t.no_scan)

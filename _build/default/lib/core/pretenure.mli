@@ -1,0 +1,34 @@
+(** The pretenuring policy (Section 6).
+
+    A policy names the allocation sites whose objects go straight into
+    the tenured generation, and — with scan elision on — the subset whose
+    pretenured regions never need the young-pointer scan (Section 7.2). *)
+
+type t
+
+(** No site is pretenured. *)
+val none : t
+
+(** [of_sites ~sites ~no_scan] builds a policy directly (tests and
+    hand-written policies).  [no_scan] must be a subset of [sites].
+    @raise Invalid_argument otherwise. *)
+val of_sites : sites:int list -> no_scan:int list -> t
+
+(** [of_profile data ~cutoff ~min_objects ~scan_elision] derives a policy
+    from a heap profile: sites with old-fraction at least [cutoff] (paper:
+    0.8) and at least [min_objects] observed objects are pretenured; with
+    [scan_elision] the observed points-to edges additionally exempt
+    scan-free sites. *)
+val of_profile :
+  Heap_profile.Profile_data.t ->
+  cutoff:float ->
+  min_objects:int ->
+  scan_elision:bool ->
+  t
+
+val is_empty : t -> bool
+val should_pretenure : t -> site:int -> bool
+val needs_scan : t -> site:int -> bool
+val pretenured_sites : t -> int list
+val no_scan_sites : t -> int list
+val pp : Format.formatter -> t -> unit

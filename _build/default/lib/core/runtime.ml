@@ -1,0 +1,524 @@
+module Value = Mem.Value
+module Header = Mem.Header
+module Memory = Mem.Memory
+
+exception Sim_raise of int
+
+type handler_entry = {
+  h_depth : int;
+  h_id : int;
+}
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  table : Rstack.Trace_table.t;
+  stack : Rstack.Stack_.t;
+  regs : Rstack.Reg_file.t;
+  cache : Rstack.Scan_cache.t;
+  markers : Rstack.Markers.t;
+  globals : Value.t array;
+  exn_cell : Value.t array;
+  stats : Collectors.Gc_stats.t;
+  site_names : string Support.Vec.t;
+  profiler : Heap_profile.Profiler.t option;
+  handlers : handler_entry Support.Vec.t;
+  mutable next_handler_id : int;
+  mutable last_scan_serial : int;
+  mutable pending_unwind : int;  (* deferred strategy: min depth reached *)
+  mutable collector : Collectors.Collector.t option;
+}
+
+let config t = t.cfg
+let stats t = t.stats
+
+let collector t =
+  match t.collector with
+  | Some c -> c
+  | None -> assert false
+
+let birth_bytes t =
+  t.stats.Collectors.Gc_stats.words_allocated * Memory.bytes_per_word
+
+(* --- heap checking --- *)
+
+let check_heap t =
+  let visited : (Mem.Addr.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let push_value v =
+    match v with
+    | Value.Int _ -> ()
+    | Value.Ptr a ->
+      if not (Mem.Addr.is_null a) then
+        if not (Hashtbl.mem visited a) then begin
+          Hashtbl.replace visited a ();
+          Queue.add a queue
+        end
+  in
+  (* roots: trace-accurate stack scan against a scratch cache *)
+  let scratch = Rstack.Scan_cache.create () in
+  ignore
+    (Rstack.Scan.run ~stack:t.stack ~regs:t.regs ~cache:scratch ~valid_prefix:0
+       ~mode:Rstack.Scan.Full
+       ~visit:(fun root -> push_value (Rstack.Root.get root))
+      : Rstack.Scan.result);
+  Array.iter push_value t.globals;
+  push_value t.exn_cell.(0);
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let base = Queue.pop queue in
+    incr count;
+    if not (Memory.live_block t.mem base) then
+      failwith "check_heap: pointer into a freed block";
+    (match Header.forwarded t.mem base with
+     | Some _ -> failwith "check_heap: dangling forwarding pointer"
+     | None -> ());
+    let hdr = Header.read t.mem base in
+    for i = 0 to hdr.Header.len - 1 do
+      if Header.is_pointer_field hdr i then
+        push_value (Memory.get t.mem (Header.field_addr base i))
+    done
+  done;
+  !count
+
+(* --- hooks wired into the collector --- *)
+
+let scan_stack_hook t mode visit =
+  (* deferred exception strategy: fold unwinds recorded since the last
+     collection into the marker state now (the paper's alternative of
+     walking the handler chain at each collection) *)
+  if t.pending_unwind < max_int then begin
+    if t.cfg.Config.stack_markers then
+      Rstack.Markers.exception_unwound t.markers ~target_depth:t.pending_unwind;
+    t.pending_unwind <- max_int
+  end;
+  let valid =
+    if t.cfg.Config.stack_markers then
+      min
+        (Rstack.Markers.valid_prefix t.markers)
+        (min (Rstack.Scan_cache.length t.cache) (Rstack.Stack_.depth t.stack))
+    else 0
+  in
+  let res =
+    Rstack.Scan.run ~stack:t.stack ~regs:t.regs ~cache:t.cache
+      ~valid_prefix:valid ~mode ~visit
+  in
+  let fresh =
+    Rstack.Stack_.count_new_frames t.stack ~since_serial:t.last_scan_serial
+  in
+  t.last_scan_serial <- Rstack.Stack_.next_serial t.stack - 1;
+  t.stats.Collectors.Gc_stats.new_frames_sum <-
+    t.stats.Collectors.Gc_stats.new_frames_sum + fresh;
+  res
+
+let visit_globals_hook t visit =
+  Array.iteri (fun i _ -> visit (Rstack.Root.Global (t.globals, i))) t.globals;
+  visit (Rstack.Root.Global (t.exn_cell, 0))
+
+let after_collection_hook t ~full:_ =
+  if t.cfg.Config.verify_heap then ignore (check_heap t : int);
+  if t.cfg.Config.stack_markers then begin
+    let installed = Rstack.Markers.place t.markers t.stack in
+    t.stats.Collectors.Gc_stats.marker_stubs_installed <-
+      t.stats.Collectors.Gc_stats.marker_stubs_installed + installed
+  end
+
+let create cfg =
+  let mem = Memory.create () in
+  let table = Rstack.Trace_table.create () in
+  let stats = Collectors.Gc_stats.create () in
+  let t =
+    { cfg;
+      mem;
+      table;
+      stack = Rstack.Stack_.create table;
+      regs = Rstack.Reg_file.create ();
+      cache = Rstack.Scan_cache.create ();
+      markers = Rstack.Markers.create ~n:cfg.Config.marker_spacing;
+      globals = Array.make cfg.Config.global_slots Value.zero;
+      exn_cell = Array.make 1 Value.zero;
+      stats;
+      site_names = Support.Vec.create ();
+      profiler =
+        (if cfg.Config.profiling then
+           Some
+             (Heap_profile.Profiler.create
+                ~now_bytes:
+                  (fun () -> stats.Collectors.Gc_stats.words_allocated
+                             * Memory.bytes_per_word))
+         else None);
+      handlers = Support.Vec.create ();
+      next_handler_id = 0;
+      last_scan_serial = -1;
+      pending_unwind = max_int;
+      collector = None }
+  in
+  let hooks =
+    { Collectors.Hooks.scan_stack = scan_stack_hook t;
+      visit_globals = visit_globals_hook t;
+      after_collection = (fun ~full -> after_collection_hook t ~full);
+      object_hooks =
+        Option.map Heap_profile.Profiler.object_hooks t.profiler;
+      site_needs_scan =
+        (fun site -> Pretenure.needs_scan cfg.Config.pretenure ~site) }
+  in
+  let col =
+    match cfg.Config.collector with
+    | Config.Semispace ->
+      Collectors.Collector.Semispace
+        (Collectors.Semispace.create mem ~hooks ~stats
+           { Collectors.Semispace.target_liveness =
+               cfg.Config.semispace_target_liveness;
+             budget_bytes = cfg.Config.budget_bytes;
+             initial_bytes = cfg.Config.semispace_initial_bytes })
+    | Config.Generational ->
+      Collectors.Collector.Generational
+        (Collectors.Generational.create mem ~hooks ~stats
+           { Collectors.Generational.nursery_bytes_max =
+               cfg.Config.nursery_bytes_max;
+             tenured_target_liveness = cfg.Config.tenured_target_liveness;
+             budget_bytes = cfg.Config.budget_bytes;
+             los_threshold_words = cfg.Config.los_threshold_words;
+             barrier = cfg.Config.barrier;
+             tenure_threshold = cfg.Config.tenure_threshold })
+  in
+  t.collector <- Some col;
+  t
+
+let destroy t = Collectors.Collector.destroy (collector t)
+
+(* --- registration --- *)
+
+let register_frame_regs t ~name ~slots ~regs =
+  Rstack.Trace_table.register t.table { Rstack.Trace_table.name; slots; regs }
+
+let register_frame t ~name ~slots =
+  register_frame_regs t ~name ~slots ~regs:(Rstack.Trace_table.plain_regs ())
+
+let register_site t ~name =
+  Support.Vec.push t.site_names name;
+  Support.Vec.length t.site_names - 1
+
+let site_name t site =
+  if site < 0 || site >= Support.Vec.length t.site_names then
+    Printf.sprintf "site-%d" site
+  else Support.Vec.get t.site_names site
+
+let site_count t = Support.Vec.length t.site_names
+
+(* --- operands --- *)
+
+type src =
+  | Imm of int
+  | Nil
+  | Slot of int
+  | Reg of int
+  | Global of int
+
+type dst =
+  | To_slot of int
+  | To_reg of int
+  | To_global of int
+
+type field =
+  | P of src
+  | I of src
+
+let read t = function
+  | Imm n -> Value.Int n
+  | Nil -> Value.null
+  | Slot i -> Rstack.Frame.get (Rstack.Stack_.top t.stack) i
+  | Reg r -> Rstack.Reg_file.get t.regs r
+  | Global g -> t.globals.(g)
+
+let write t dst v =
+  match dst with
+  | To_slot i -> Rstack.Frame.set (Rstack.Stack_.top t.stack) i v
+  | To_reg r -> Rstack.Reg_file.set t.regs r v
+  | To_global g -> t.globals.(g) <- v
+
+(* --- frames --- *)
+
+let depth t = Rstack.Stack_.depth t.stack
+
+let pop_frame t frame =
+  let d = Rstack.Stack_.depth t.stack in
+  let popped = Rstack.Stack_.pop t.stack in
+  assert (popped == frame);
+  if t.cfg.Config.stack_markers then begin
+    if popped.Rstack.Frame.marked then
+      t.stats.Collectors.Gc_stats.marker_stub_hits <-
+        t.stats.Collectors.Gc_stats.marker_stub_hits + 1;
+    Rstack.Markers.frame_popped t.markers popped ~depth:d
+  end
+
+let mut_op t =
+  t.stats.Collectors.Gc_stats.mutator_ops <-
+    t.stats.Collectors.Gc_stats.mutator_ops + 1
+
+let call t ~key ~args f =
+  mut_op t;
+  let frame = Rstack.Stack_.push t.stack ~key in
+  List.iteri (fun i v -> Rstack.Frame.set frame i v) args;
+  match f () with
+  | v ->
+    pop_frame t frame;
+    v
+  | exception (Sim_raise _ as e) ->
+    (* the simulated unwind already removed this frame *)
+    raise e
+  | exception e ->
+    (* host-level exception (test assertion, bug): keep the simulated
+       stack consistent before propagating *)
+    if Rstack.Stack_.depth t.stack > 0 && Rstack.Stack_.top t.stack == frame
+    then pop_frame t frame;
+    raise e
+
+let get_slot t i = Rstack.Frame.get (Rstack.Stack_.top t.stack) i
+let set_slot t i v = Rstack.Frame.set (Rstack.Stack_.top t.stack) i v
+let get_reg t r = Rstack.Reg_file.get t.regs r
+let set_reg t r v = Rstack.Reg_file.set t.regs r v
+
+let get_global t g = t.globals.(g)
+let set_global t g v = t.globals.(g) <- v
+
+let int_of t src = Value.to_int (read t src)
+
+(* --- allocation --- *)
+
+let note_alloc t ~site ~words =
+  match t.profiler with
+  | None -> ()
+  | Some p -> Heap_profile.Profiler.note_alloc p ~site ~words
+
+let note_edge_value t ~from_site v =
+  match t.profiler with
+  | None -> ()
+  | Some p ->
+    if Value.is_ptr v then begin
+      let target = Value.to_addr v in
+      match Header.forwarded t.mem target with
+      | Some _ -> () (* cannot happen outside a collection *)
+      | None ->
+        let to_site = (Header.read t.mem target).Header.site in
+        Heap_profile.Profiler.note_edge p ~from_site ~to_site
+    end
+
+let alloc_object t hdr =
+  let birth = birth_bytes t in
+  let site = hdr.Header.site in
+  let col = collector t in
+  let base =
+    if Pretenure.should_pretenure t.cfg.Config.pretenure ~site then
+      Collectors.Collector.alloc_pretenured col hdr ~birth
+    else Collectors.Collector.alloc col hdr ~birth
+  in
+  note_alloc t ~site ~words:(Header.object_words hdr);
+  base
+
+let check_pointer_value v =
+  match v with
+  | Value.Ptr _ -> ()
+  | Value.Int _ -> invalid_arg "Runtime: integer written to a pointer field"
+
+let check_integer_value v =
+  match v with
+  | Value.Int _ -> ()
+  | Value.Ptr a when Mem.Addr.is_null a -> ()
+  | Value.Ptr _ -> invalid_arg "Runtime: pointer written to an integer field"
+
+let alloc_record t ~site ~dst fields =
+  let len = List.length fields in
+  let mask =
+    List.fold_left
+      (fun (i, m) f ->
+        match f with
+        | P _ -> (i + 1, m lor (1 lsl i))
+        | I _ -> (i + 1, m))
+      (0, 0) fields
+    |> snd
+  in
+  let hdr = { Header.kind = Header.Record { mask }; len; site } in
+  let base = alloc_object t hdr in
+  List.iteri
+    (fun i f ->
+      let v =
+        match f with
+        | P s ->
+          let v = read t s in
+          check_pointer_value v;
+          note_edge_value t ~from_site:site v;
+          v
+        | I s ->
+          let v = read t s in
+          check_integer_value v;
+          v
+      in
+      Memory.set t.mem (Header.field_addr base i) v)
+    fields;
+  write t dst (Value.Ptr base)
+
+let alloc_ptr_array t ~site ~dst ~len =
+  let hdr = { Header.kind = Header.Ptr_array; len; site } in
+  let base = alloc_object t hdr in
+  (* null pointers, not zero integers *)
+  Memory.fill t.mem ~dst:(Header.field_addr base 0) ~words:len Value.null;
+  write t dst (Value.Ptr base)
+
+let alloc_nonptr_array t ~site ~dst ~len =
+  let hdr = { Header.kind = Header.Nonptr_array; len; site } in
+  let base = alloc_object t hdr in
+  write t dst (Value.Ptr base)
+
+(* --- heap access --- *)
+
+let obj_base t src =
+  match read t src with
+  | Value.Ptr a when not (Mem.Addr.is_null a) -> a
+  | Value.Ptr _ -> invalid_arg "Runtime: null pointer dereference"
+  | Value.Int _ -> invalid_arg "Runtime: dereferencing an integer"
+
+let header_of t src = Header.read t.mem (obj_base t src)
+
+let check_index hdr idx =
+  if idx < 0 || idx >= hdr.Header.len then
+    invalid_arg "Runtime: field index out of bounds"
+
+let load_field t ~obj ~idx ~dst =
+  mut_op t;
+  let base = obj_base t obj in
+  let hdr = Header.read t.mem base in
+  check_index hdr idx;
+  write t dst (Memory.get t.mem (Header.field_addr base idx))
+
+let store_field t ~obj ~idx field =
+  mut_op t;
+  let base = obj_base t obj in
+  let hdr = Header.read t.mem base in
+  check_index hdr idx;
+  let loc = Header.field_addr base idx in
+  match field with
+  | P s ->
+    if not (Header.is_pointer_field hdr idx) then
+      invalid_arg "Runtime: pointer store into a non-pointer field";
+    let v = read t s in
+    check_pointer_value v;
+    Memory.set t.mem loc v;
+    Collectors.Collector.record_update (collector t) ~obj:base ~loc;
+    note_edge_value t ~from_site:hdr.Header.site v
+  | I s ->
+    if Header.is_pointer_field hdr idx then
+      invalid_arg "Runtime: integer store into a pointer field";
+    let v = read t s in
+    check_integer_value v;
+    Memory.set t.mem loc v
+
+let field_int t ~obj ~idx =
+  mut_op t;
+  let base = obj_base t obj in
+  let hdr = Header.read t.mem base in
+  check_index hdr idx;
+  Value.to_int (Memory.get t.mem (Header.field_addr base idx))
+
+let obj_length t ~obj = (header_of t obj).Header.len
+let obj_site t ~obj = (header_of t obj).Header.site
+
+let is_nil t src =
+  match read t src with
+  | Value.Ptr a -> Mem.Addr.is_null a
+  | Value.Int _ -> false
+
+let same_obj t a b =
+  match read t a, read t b with
+  | Value.Ptr x, Value.Ptr y -> Mem.Addr.equal x y
+  | Value.Int _, _ | _, Value.Int _ ->
+    invalid_arg "Runtime.same_obj: integer operand"
+
+(* --- exceptions --- *)
+
+let try_with t body ~handler =
+  let id = t.next_handler_id in
+  t.next_handler_id <- id + 1;
+  Support.Vec.push t.handlers
+    { h_depth = Rstack.Stack_.depth t.stack; h_id = id };
+  match body () with
+  | v ->
+    let entry = Support.Vec.pop t.handlers in
+    assert (entry.h_id = id);
+    v
+  | exception Sim_raise id' when id' = id -> handler ()
+  | exception e ->
+    (* remove our entry if the raise skipped it (host exception) *)
+    if
+      (not (Support.Vec.is_empty t.handlers))
+      && (Support.Vec.top t.handlers).h_id = id
+    then ignore (Support.Vec.pop t.handlers : handler_entry);
+    raise e
+
+let raise_exn t src =
+  let v = read t src in
+  t.exn_cell.(0) <- v;
+  if Support.Vec.is_empty t.handlers then
+    failwith "Runtime: unhandled simulated exception";
+  let entry = Support.Vec.pop t.handlers in
+  Rstack.Stack_.unwind_to t.stack ~depth:entry.h_depth;
+  t.stats.Collectors.Gc_stats.exception_unwinds <-
+    t.stats.Collectors.Gc_stats.exception_unwinds + 1;
+  (match t.cfg.Config.exception_strategy with
+   | Config.Eager_watermark ->
+     if t.cfg.Config.stack_markers then
+       Rstack.Markers.exception_unwound t.markers ~target_depth:entry.h_depth
+   | Config.Deferred_handler_walk ->
+     t.pending_unwind <- min t.pending_unwind entry.h_depth);
+  raise (Sim_raise entry.h_id)
+
+let exn_value t = t.exn_cell.(0)
+
+(* --- control and stats --- *)
+
+let collect_now t = Collectors.Collector.collect_now (collector t)
+
+let max_stack_depth t = Rstack.Stack_.max_depth t.stack
+
+let marker_stub_hits t = Rstack.Markers.stub_hits t.markers
+
+let observe_exit_deaths t =
+  match t.profiler with
+  | None -> ()
+  | Some p ->
+    let hooks = Heap_profile.Profiler.object_hooks p in
+    let visited : (Mem.Addr.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let queue = Queue.create () in
+    let push_value v =
+      match v with
+      | Value.Int _ -> ()
+      | Value.Ptr a ->
+        if (not (Mem.Addr.is_null a)) && not (Hashtbl.mem visited a) then begin
+          Hashtbl.replace visited a ();
+          Queue.add a queue
+        end
+    in
+    let scratch = Rstack.Scan_cache.create () in
+    ignore
+      (Rstack.Scan.run ~stack:t.stack ~regs:t.regs ~cache:scratch
+         ~valid_prefix:0 ~mode:Rstack.Scan.Full
+         ~visit:(fun root -> push_value (Rstack.Root.get root))
+        : Rstack.Scan.result);
+    Array.iter push_value t.globals;
+    push_value t.exn_cell.(0);
+    while not (Queue.is_empty queue) do
+      let base = Queue.pop queue in
+      let hdr = Header.read t.mem base in
+      hooks.Collectors.Hooks.on_die hdr ~birth:(Header.birth t.mem base)
+        ~words:(Header.object_words hdr);
+      for i = 0 to hdr.Header.len - 1 do
+        if Header.is_pointer_field hdr i then
+          push_value (Memory.get t.mem (Header.field_addr base i))
+      done
+    done
+
+let profile t =
+  Option.map
+    (fun p ->
+      Heap_profile.Profile_data.of_profiler p ~site_name:(site_name t))
+    t.profiler

@@ -1,0 +1,191 @@
+(** The runtime façade: the mutator's view of the TIL-style runtime
+    system.
+
+    A simulated program allocates heap objects, keeps every live value in
+    a *rooted location* (a stack slot, a register or a global), pushes and
+    pops activation records described by trace-table entries, and raises
+    simulated exceptions.  The garbage collector may run inside any
+    allocation, so the one discipline workloads must follow is:
+
+    {b a [Mem.Value.t] obtained from the runtime is only valid until the
+    next allocation} — read a value out of a rooted location and
+    immediately store it into another rooted location (or into a fresh
+    object).  The [src]/[dst] operand forms make the common cases safe by
+    re-reading locations after any collection the operation performs.
+
+    Frames, slots and the exception machinery mirror Section 2.3 of the
+    paper; stack markers and the scan cache implement Section 5;
+    pretenuring implements Section 6/7.2. *)
+
+type t
+
+val create : Config.t -> t
+
+(** Release all simulated memory. *)
+val destroy : t -> unit
+
+val config : t -> Config.t
+
+(** {1 Static registration}
+
+    Simulated functions register their frame layouts (trace-table
+    entries) and allocation sites once, before running. *)
+
+(** [register_frame t ~name ~slots] registers a trace-table entry with
+    all-non-pointer register info; [register_frame_regs] takes explicit
+    register traces. *)
+val register_frame :
+  t -> name:string -> slots:Rstack.Trace.slot_trace array -> int
+
+val register_frame_regs :
+  t ->
+  name:string ->
+  slots:Rstack.Trace.slot_trace array ->
+  regs:Rstack.Trace.reg_trace array ->
+  int
+
+(** [register_site t ~name] allocates a fresh allocation-site id. *)
+val register_site : t -> name:string -> int
+
+val site_name : t -> int -> string
+val site_count : t -> int
+
+(** {1 Operands} *)
+
+(** Where an operation reads a value from. *)
+type src =
+  | Imm of int        (** an immediate integer *)
+  | Nil               (** the null pointer *)
+  | Slot of int       (** slot of the current frame *)
+  | Reg of int        (** register *)
+  | Global of int     (** global table entry *)
+
+(** Where an operation writes its result. *)
+type dst =
+  | To_slot of int
+  | To_reg of int
+  | To_global of int
+
+(** A record/array field specification: [P] fields hold pointers (traced
+    by the collector), [I] fields hold raw integers. *)
+type field =
+  | P of src
+  | I of src
+
+val read : t -> src -> Mem.Value.t
+val write : t -> dst -> Mem.Value.t -> unit
+
+(** {1 Frames, registers, globals} *)
+
+(** [call t ~key ~args body] pushes a frame for trace-table entry [key],
+    stores [args] into slots [0..n-1], runs [body], pops the frame, and
+    returns [body]'s result.  [args] are read in the caller {e before}
+    the push; do not allocate between reading them and calling. *)
+val call : t -> key:int -> args:Mem.Value.t list -> (unit -> 'a) -> 'a
+
+val depth : t -> int
+val get_slot : t -> int -> Mem.Value.t
+val set_slot : t -> int -> Mem.Value.t -> unit
+val get_reg : t -> int -> Mem.Value.t
+val set_reg : t -> int -> Mem.Value.t -> unit
+val get_global : t -> int -> Mem.Value.t
+val set_global : t -> int -> Mem.Value.t -> unit
+
+(** [int_of t src] reads an operand that must be an integer. *)
+val int_of : t -> src -> int
+
+(** {1 Allocation}
+
+    All allocation operations write the new object's pointer to [dst]
+    after any collection they trigger, so the result is immediately
+    rooted.  Field sources are read after the potential collection. *)
+
+(** [alloc_record t ~site ~dst fields] allocates a record; the pointer
+    mask is derived from the [P]/[I] field specifications.  [P] fields
+    must evaluate to pointers or [Nil]; [I] fields to integers.
+    @raise Invalid_argument on a mismatch. *)
+val alloc_record : t -> site:int -> dst:dst -> field list -> unit
+
+(** [alloc_ptr_array t ~site ~dst ~len] allocates a pointer array,
+    initialised to null pointers. *)
+val alloc_ptr_array : t -> site:int -> dst:dst -> len:int -> unit
+
+(** [alloc_nonptr_array t ~site ~dst ~len] allocates a non-pointer array,
+    zero-initialised. *)
+val alloc_nonptr_array : t -> site:int -> dst:dst -> len:int -> unit
+
+(** {1 Heap access} *)
+
+(** [load_field t ~obj ~idx ~dst] reads field [idx] of the object that
+    [obj] points to. *)
+val load_field : t -> obj:src -> idx:int -> dst:dst -> unit
+
+(** [store_field t ~obj ~idx field] writes one field, through the write
+    barrier for pointer stores.  The field's pointerness must agree with
+    the object's header. @raise Invalid_argument otherwise. *)
+val store_field : t -> obj:src -> idx:int -> field -> unit
+
+(** [field_int t ~obj ~idx] reads an integer field directly. *)
+val field_int : t -> obj:src -> idx:int -> int
+
+(** [obj_length t ~obj] is the payload length of the referenced object. *)
+val obj_length : t -> obj:src -> int
+
+(** [obj_site t ~obj] is the allocation site recorded in the header. *)
+val obj_site : t -> obj:src -> int
+
+(** [is_nil t src] tests for the null pointer. *)
+val is_nil : t -> src -> bool
+
+(** [same_obj t a b] is physical equality of two pointer operands. *)
+val same_obj : t -> src -> src -> bool
+
+(** {1 Exceptions}
+
+    Simulated SML exceptions: [raise_exn] transfers control to the most
+    recently installed handler, unwinding the simulated stack without
+    running stack-marker stubs (the watermark [M] covers the collector's
+    reuse decision, Section 5). *)
+
+(** [try_with t body ~handler] installs a handler at the current depth.
+    The exception value reaches the handler through the dedicated
+    exception cell, which is a GC root. *)
+val try_with : t -> (unit -> 'a) -> handler:(unit -> 'a) -> 'a
+
+(** [raise_exn t src] raises with the given value; never returns.
+    @raise Failure if no handler is installed. *)
+val raise_exn : t -> src -> 'a
+
+(** Read the current exception value (inside a handler). *)
+val exn_value : t -> Mem.Value.t
+
+(** {1 Collector control and statistics} *)
+
+(** Force a full collection. *)
+val collect_now : t -> unit
+
+val stats : t -> Collectors.Gc_stats.t
+
+(** Maximum simulated stack depth reached so far. *)
+val max_stack_depth : t -> int
+
+(** Stub activations (mutator-side marker cost) so far. *)
+val marker_stub_hits : t -> int
+
+(** [observe_exit_deaths t] reports every object still live as dying now
+    (the paper's profiler observes deaths at program exit too, which is
+    where the large average ages of Figure 2's long-lived sites come
+    from).  Call once, after the workload finishes and before taking the
+    profile.  No-op without profiling. *)
+val observe_exit_deaths : t -> unit
+
+(** The heap profile gathered so far; [None] unless [profiling] is on. *)
+val profile : t -> Heap_profile.Profile_data.t option
+
+(** {1 Invariant checking}
+
+    [check_heap t] walks every root and object reachable from the roots
+    and verifies header sanity and that pointer fields reference live
+    blocks; used by the test-suite and property tests.  Returns the
+    number of live objects visited. *)
+val check_heap : t -> int

@@ -1,0 +1,12 @@
+module Int_set = Set.Make (Int)
+
+let scan_free ~edges ~pretenured =
+  let needs_scan =
+    List.fold_left
+      (fun acc (from_site, to_site) ->
+        if Int_set.mem from_site pretenured && not (Int_set.mem to_site pretenured)
+        then Int_set.add from_site acc
+        else acc)
+      Int_set.empty edges
+  in
+  Int_set.diff pretenured needs_scan

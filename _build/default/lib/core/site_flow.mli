@@ -1,0 +1,17 @@
+(** Site-level flow analysis for scan elision (Section 7.2).
+
+    Given the set [S] of pretenured sites and, for each site [s], the set
+    [P(s)] of sites whose objects can be stored into fields of [s]'s
+    objects, a pretenured site [s] with [P(s) ⊆ S] never needs the
+    pretenured-region scan: everything its objects can point at is itself
+    pretenured (or older), so no young-generation pointer can hide there.
+
+    The paper proposes computing [P(s)] by data-flow analysis in the
+    compiler; we substitute the points-to edges observed by a profiling
+    run, which supports the same decision (see DESIGN.md). *)
+
+module Int_set : Set.S with type elt = int
+
+(** [scan_free ~edges ~pretenured] returns the subset of [pretenured]
+    whose observed out-edges all land in [pretenured]. *)
+val scan_free : edges:(int * int) list -> pretenured:Int_set.t -> Int_set.t

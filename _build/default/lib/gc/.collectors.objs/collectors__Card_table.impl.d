@@ -1,0 +1,1 @@
+lib/gc/card_table.ml: Array Bytes

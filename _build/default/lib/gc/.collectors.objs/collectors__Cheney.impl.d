@@ -1,0 +1,1 @@
+lib/gc/cheney.ml: Hooks Los Mem Rstack Support

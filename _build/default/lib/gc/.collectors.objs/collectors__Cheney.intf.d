@@ -1,0 +1,1 @@
+lib/gc/cheney.mli: Hooks Los Mem Rstack

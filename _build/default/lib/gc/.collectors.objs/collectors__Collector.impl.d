@@ -1,0 +1,1 @@
+lib/gc/collector.ml: Gc_stats Generational Semispace

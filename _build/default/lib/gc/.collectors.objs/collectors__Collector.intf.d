@@ -1,0 +1,1 @@
+lib/gc/collector.mli: Gc_stats Generational Mem Semispace

@@ -1,0 +1,1 @@
+lib/gc/gc_stats.ml: Format Mem Rstack

@@ -1,0 +1,1 @@
+lib/gc/gc_stats.mli: Format Rstack

@@ -1,0 +1,1 @@
+lib/gc/generational.ml: Card_table Cheney Fun Gc_stats Hooks List Los Mem Remset Rstack Ssb Support Unix

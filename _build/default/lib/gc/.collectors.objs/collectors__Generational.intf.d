@@ -1,0 +1,1 @@
+lib/gc/generational.mli: Gc_stats Hooks Mem

@@ -1,0 +1,1 @@
+lib/gc/hooks.mli: Mem Rstack

@@ -1,0 +1,1 @@
+lib/gc/remset.ml: Hashtbl List Mem Support

@@ -1,0 +1,1 @@
+lib/gc/remset.mli: Mem

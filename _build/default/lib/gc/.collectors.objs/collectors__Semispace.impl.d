@@ -1,0 +1,1 @@
+lib/gc/semispace.ml: Cheney Gc_stats Hooks Mem Rstack Support Unix

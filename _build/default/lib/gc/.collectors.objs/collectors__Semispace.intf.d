@@ -1,0 +1,1 @@
+lib/gc/semispace.mli: Gc_stats Hooks Mem

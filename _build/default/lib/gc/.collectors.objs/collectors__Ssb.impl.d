@@ -1,0 +1,1 @@
+lib/gc/ssb.ml: List Mem Support

@@ -1,0 +1,1 @@
+lib/gc/ssb.mli: Mem

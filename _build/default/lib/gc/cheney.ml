@@ -1,0 +1,168 @@
+type aging = {
+  young_to : Mem.Space.t;
+  threshold : int;
+}
+
+type t = {
+  mem : Mem.Memory.t;
+  in_from : Mem.Addr.t -> bool;
+  to_space : Mem.Space.t;
+  aging : aging option;
+  remember : (loc:Mem.Addr.t -> owner:Mem.Addr.t option -> unit) option;
+  los : Los.t option;
+  trace_los : bool;
+  promoting : bool;
+  object_hooks : Hooks.object_hooks option;
+  mutable scan : Mem.Addr.t;        (* to-space scan pointer *)
+  mutable scan_young : Mem.Addr.t;  (* young to-space scan pointer *)
+  gray_large : Mem.Addr.t Support.Vec.t;
+  mutable copied : int;
+  mutable promoted : int;
+}
+
+let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
+    ~promoting ~object_hooks () =
+  { mem;
+    in_from;
+    to_space;
+    aging;
+    remember;
+    los;
+    trace_los;
+    promoting;
+    object_hooks;
+    scan = Mem.Space.frontier to_space;
+    scan_young =
+      (match aging with
+       | Some a -> Mem.Space.frontier a.young_to
+       | None -> Mem.Addr.null);
+    gray_large = Support.Vec.create ();
+    copied = 0;
+    promoted = 0 }
+
+let copy_object t a =
+  let words = Mem.Header.object_words_at t.mem a in
+  (* destination: under an aging nursery, survivors below the tenure
+     threshold are copied back young with their age bumped *)
+  let age = Mem.Header.age t.mem a in
+  let dest, promote =
+    match t.aging with
+    | Some { young_to; threshold } when age + 1 < threshold -> (young_to, false)
+    | Some _ | None -> (t.to_space, true)
+  in
+  let dst =
+    match Mem.Space.alloc dest words with
+    | Some dst -> dst
+    | None -> failwith "Cheney: to-space overflow (collector sizing bug)"
+  in
+  let hdr = Mem.Header.read t.mem a in
+  let first_copy = not (Mem.Header.survivor t.mem a) in
+  Mem.Memory.blit t.mem ~src:a ~dst ~words;
+  Mem.Header.set_survivor t.mem dst;
+  if not promote then
+    Mem.Header.set_age t.mem dst (min Mem.Header.max_age (age + 1));
+  (match t.object_hooks with
+   | None -> ()
+   | Some h ->
+     h.Hooks.on_copy hdr ~words;
+     if first_copy then h.Hooks.on_first_survival hdr ~words);
+  Mem.Header.set_forward t.mem a ~target:dst;
+  t.copied <- t.copied + words;
+  if promote then t.promoted <- t.promoted + words;
+  dst
+
+let evacuate t v =
+  match v with
+  | Mem.Value.Int _ -> v
+  | Mem.Value.Ptr a ->
+    if Mem.Addr.is_null a then v
+    else if t.in_from a then begin
+      match Mem.Header.forwarded t.mem a with
+      | Some target -> Mem.Value.Ptr target
+      | None -> Mem.Value.Ptr (copy_object t a)
+    end
+    else begin
+      (match t.los with
+       | Some los when t.trace_los && Los.contains los a ->
+         if Los.mark los a then Support.Vec.push t.gray_large a
+       | Some _ | None -> ());
+      v
+    end
+
+let visit_root t root =
+  let v = Rstack.Root.get root in
+  let v' = evacuate t v in
+  if not (Mem.Value.equal v v') then Rstack.Root.set root v'
+
+let visit_field t ~owner loc =
+  let v = Mem.Memory.get t.mem loc in
+  let v' = evacuate t v in
+  if not (Mem.Value.equal v v') then Mem.Memory.set t.mem loc v';
+  (* aging: a location outside the young to-space now pointing into it is
+     an old-to-young edge that must stay remembered *)
+  match t.remember, t.aging, v' with
+  | Some remember, Some a, Mem.Value.Ptr target
+    when (not (Mem.Addr.is_null target))
+         && Mem.Space.contains a.young_to target
+         && not (Mem.Space.contains a.young_to loc) ->
+    remember ~loc ~owner
+  | (Some _ | None), _, _ -> ()
+
+let visit_loc t loc = visit_field t ~owner:None loc
+
+let scan_object t base =
+  let hdr = Mem.Header.read t.mem base in
+  (match hdr.Mem.Header.kind with
+   | Mem.Header.Nonptr_array -> ()
+   | Mem.Header.Ptr_array ->
+     for i = 0 to hdr.Mem.Header.len - 1 do
+       visit_field t ~owner:(Some base) (Mem.Header.field_addr base i)
+     done
+   | Mem.Header.Record { mask } ->
+     for i = 0 to hdr.Mem.Header.len - 1 do
+       if mask land (1 lsl i) <> 0 then
+         visit_field t ~owner:(Some base) (Mem.Header.field_addr base i)
+     done);
+  Mem.Header.object_words hdr
+
+let visit_object_fields t base = ignore (scan_object t base : int)
+
+let drain t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* to-space scan pointer *)
+    while Mem.Addr.diff (Mem.Space.frontier t.to_space) t.scan > 0 do
+      progress := true;
+      let words = scan_object t t.scan in
+      t.scan <- Mem.Addr.add t.scan words
+    done;
+    (* young to-space scan pointer (aging nurseries) *)
+    (match t.aging with
+     | None -> ()
+     | Some a ->
+       while Mem.Addr.diff (Mem.Space.frontier a.young_to) t.scan_young > 0 do
+         progress := true;
+         let words = scan_object t t.scan_young in
+         t.scan_young <- Mem.Addr.add t.scan_young words
+       done);
+    (* queued large objects *)
+    while not (Support.Vec.is_empty t.gray_large) do
+      progress := true;
+      let base = Support.Vec.pop t.gray_large in
+      ignore (scan_object t base : int)
+    done
+  done
+
+let words_copied t = t.copied
+
+let words_promoted t = t.promoted
+
+let sweep_dead ~mem ~space ~on_die =
+  Mem.Space.iter_objects space mem (fun base ->
+    match Mem.Header.forwarded mem base with
+    | Some _ -> ()
+    | None ->
+      let hdr = Mem.Header.read mem base in
+      let birth = Mem.Header.birth mem base in
+      on_die hdr ~birth ~words:(Mem.Header.object_words hdr))

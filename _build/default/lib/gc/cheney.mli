@@ -1,0 +1,77 @@
+(** The copying engine (Cheney 1970), shared by the semispace collector,
+    nursery evacuation and tenured (major) collection.
+
+    The engine forwards pointers out of a *from* region into a to-space,
+    breadth-first via the classic scan-pointer walk.  Pointers that land in
+    the large-object space are marked and their fields queued for scanning
+    when [trace_los] is on (full collections); minor collections leave
+    large objects alone because every large-object → nursery pointer is
+    covered by the write barrier. *)
+
+type t
+
+(** Aging-nursery evacuation (Section 7.2's alternative tenuring policy):
+    survivors younger than [threshold] are copied into [young_to] with
+    their age counter incremented; the rest are promoted into the
+    engine's main to-space. *)
+type aging = {
+  young_to : Mem.Space.t;
+  threshold : int;
+}
+
+val create :
+  mem:Mem.Memory.t ->
+  in_from:(Mem.Addr.t -> bool) ->
+  to_space:Mem.Space.t ->
+  ?aging:aging ->
+  ?remember:(loc:Mem.Addr.t -> owner:Mem.Addr.t option -> unit) ->
+  los:Los.t option ->
+  trace_los:bool ->
+  promoting:bool ->
+  object_hooks:Hooks.object_hooks option ->
+  unit ->
+  t
+(** [remember] is called for every heap location (outside the young
+    to-space) whose updated value still points into the young to-space:
+    under an aging nursery those old-to-young edges must re-enter the
+    remembered set or the next minor collection would miss them.
+    [owner] is the base of the containing object when the engine knows
+    it (object scans), [None] for raw locations (store-buffer entries).
+    [promoting] tags the engine's copies into [to_space] as promotions
+    out of the nursery (statistics only). *)
+
+(** [evacuate t v] forwards one value: from-region pointers are copied (or
+    resolved through their forwarding pointer); large-object pointers are
+    marked/queued; anything else passes through.
+    @raise Failure on to-space overflow (a collector sizing bug). *)
+val evacuate : t -> Mem.Value.t -> Mem.Value.t
+
+(** [visit_root t root] rewrites a root location in place. *)
+val visit_root : t -> Rstack.Root.t -> unit
+
+(** [visit_loc t loc] rewrites one heap location in place. *)
+val visit_loc : t -> Mem.Addr.t -> unit
+
+(** [visit_object_fields t base] rewrites every pointer field of the
+    object at [base] in place (used for remembered-set objects and the
+    pretenured-region scan). *)
+val visit_object_fields : t -> Mem.Addr.t -> unit
+
+(** [drain t] runs the scan loop to a fixpoint (to-space objects and
+    queued large objects). *)
+val drain : t -> unit
+
+(** Words copied by this engine instance (both destinations). *)
+val words_copied : t -> int
+
+(** Words copied into the main to-space (promotions under aging). *)
+val words_promoted : t -> int
+
+(** [sweep_dead ~mem ~space ~on_die] walks a collected from-space and
+    reports every object that was not forwarded (used by profiling
+    runs to observe deaths). *)
+val sweep_dead :
+  mem:Mem.Memory.t ->
+  space:Mem.Space.t ->
+  on_die:(Mem.Header.t -> birth:int -> words:int -> unit) ->
+  unit

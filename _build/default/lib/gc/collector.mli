@@ -1,0 +1,30 @@
+(** Uniform interface over the two collectors, so the runtime façade and
+    the experiment harness can switch technique by configuration. *)
+
+type kind =
+  | Semispace_kind
+  | Generational_kind
+
+type t =
+  | Semispace of Semispace.t
+  | Generational of Generational.t
+
+val kind : t -> kind
+
+val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
+
+(** Pretenured allocation; falls back to a normal allocation under the
+    semispace collector (which has a single region anyway). *)
+val alloc_pretenured : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
+
+(** Write barrier; a no-op under the semispace collector (which has no
+    intergenerational invariant), except that the update is still counted
+    so Table 2's pointer-update column is collector-independent. *)
+val record_update : t -> obj:Mem.Addr.t -> loc:Mem.Addr.t -> unit
+
+(** Force a full collection. *)
+val collect_now : t -> unit
+
+val stats : t -> Gc_stats.t
+val live_words : t -> int
+val destroy : t -> unit

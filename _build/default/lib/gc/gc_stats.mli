@@ -1,0 +1,74 @@
+(** Collector statistics.
+
+    Two kinds of figures coexist:
+
+    - *wall-clock phase timers* ([stack_seconds], [copy_seconds]), the
+      analogue of the paper's GC / GC-stack / GC-copy columns;
+    - *work counters* (frames decoded, words copied, …), deterministic
+      across runs and machines, used by the test-suite and by the
+      shape-comparison in EXPERIMENTS.md.
+
+    All byte figures are [words * Mem.Memory.bytes_per_word]. *)
+
+type t = {
+  (* collections *)
+  mutable minor_gcs : int;
+  mutable major_gcs : int;
+  (* heap traffic, in words *)
+  mutable words_allocated : int;
+  mutable words_alloc_records : int;
+  mutable words_alloc_arrays : int;
+  mutable objects_allocated : int;
+  mutable words_copied : int;
+  mutable words_promoted : int;       (** subset of copied: nursery exits *)
+  mutable words_pretenured : int;     (** allocated straight into tenured *)
+  mutable words_region_scanned : int; (** pretenured-region scan work *)
+  mutable words_region_skipped : int; (** scan elision savings (Section 7.2) *)
+  mutable max_live_words : int;       (** high-water mark sampled at GCs *)
+  mutable live_words_after_gc : int;
+  (* mutator work (the runtime counts field accesses, calls and stores;
+     used by the harness's simulated clock) *)
+  mutable mutator_ops : int;
+  (* write barrier *)
+  mutable pointer_updates : int;
+  mutable barrier_entries_processed : int;
+  (* stack scanning *)
+  mutable frames_decoded : int;
+  mutable frames_reused : int;
+  mutable slots_decoded : int;
+  mutable roots_visited : int;
+  mutable depth_sum_at_gc : int;
+  mutable depth_max_at_gc : int;
+  mutable new_frames_sum : int;
+  mutable marker_stubs_installed : int;
+  mutable marker_stub_hits : int;   (** stub activations (mutator side) *)
+  mutable exception_unwinds : int;  (** simulated raises that unwound *)
+  (* phase timers, seconds *)
+  mutable stack_seconds : float;
+  mutable copy_seconds : float;
+  mutable barrier_seconds : float;    (** write-barrier drain *)
+  mutable profile_seconds : float;    (** death sweeps; profiling runs only *)
+}
+
+val create : unit -> t
+
+val gcs : t -> int
+
+(** Total GC time: stack + copy phases (profiling overhead excluded, as in
+    the paper where profiled runs are reported separately). *)
+val gc_seconds : t -> float
+
+val bytes_allocated : t -> int
+val bytes_copied : t -> int
+val max_live_bytes : t -> int
+
+(** Mean stack depth over collections. *)
+val avg_depth_at_gc : t -> float
+
+(** Mean count of frames new since the previous collection. *)
+val avg_new_frames : t -> float
+
+(** [add_scan t r] folds one {!Rstack.Scan.result} into the counters. *)
+val add_scan : t -> Rstack.Scan.result -> unit
+
+val pp : Format.formatter -> t -> unit

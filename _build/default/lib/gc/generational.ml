@@ -1,0 +1,431 @@
+type barrier_kind =
+  | Barrier_ssb
+  | Barrier_remset
+  | Barrier_cards
+
+type config = {
+  nursery_bytes_max : int;
+  tenured_target_liveness : float;
+  budget_bytes : int;
+  los_threshold_words : int;
+  barrier : barrier_kind;
+  tenure_threshold : int;
+}
+
+let default_config ~budget_bytes =
+  { nursery_bytes_max = 512 * 1024;
+    tenured_target_liveness = 0.3;
+    budget_bytes;
+    los_threshold_words = 512;
+    barrier = Barrier_ssb;
+    tenure_threshold = 1 }
+
+type barrier =
+  | B_ssb of Ssb.t
+  | B_remset of Remset.t
+  | B_cards of Card_table.t * Ssb.t
+      (* cards for the tenured space; the buffer catches large-object
+         locations, which the card table does not cover *)
+
+type t = {
+  mem : Mem.Memory.t;
+  hooks : Hooks.t;
+  cfg : config;
+  stats : Gc_stats.t;
+  mutable nursery : Mem.Space.t;
+  nursery_words : int;
+  mutable tenured : Mem.Space.t;
+  tenured_phys : int;         (* physical block size of the tenured area *)
+  tenured_cap : int;          (* hard budget share for tenured + large *)
+  mutable major_trigger : int; (* soft trigger from the liveness policy *)
+  los : Los.t;
+  barrier : barrier;
+  mutable cards_covered_to : Mem.Addr.t;
+      (* tenured prefix whose objects are in the card crossing map *)
+  mutable pretenure_from : Mem.Addr.t;
+      (* start of the tenured region allocated into directly since the
+         last collection; scanned for young pointers at the next one *)
+  mutable live : int;          (* live words after the last major *)
+  mutable in_gc : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create mem ~hooks ~stats cfg =
+  if cfg.budget_bytes <= 0 then invalid_arg "Generational.create: empty budget";
+  if cfg.tenure_threshold < 1 || cfg.tenure_threshold > Mem.Header.max_age then
+    invalid_arg "Generational.create: bad tenure threshold";
+  let wpb = Mem.Memory.bytes_per_word in
+  let budget_w = cfg.budget_bytes / wpb in
+  let nursery_words = max 64 (min (cfg.nursery_bytes_max / wpb) (budget_w / 4)) in
+  let tenured_cap = max 128 ((budget_w - nursery_words) / 2) in
+  let tenured_phys = tenured_cap + nursery_words + 64 in
+  let tenured = Mem.Space.create mem ~words:tenured_phys in
+  { mem;
+    hooks;
+    cfg;
+    stats;
+    nursery = Mem.Space.create mem ~words:nursery_words;
+    nursery_words;
+    tenured;
+    tenured_phys;
+    tenured_cap;
+    major_trigger = tenured_cap;
+    los = Los.create mem;
+    barrier =
+      (match cfg.barrier with
+       | Barrier_ssb -> B_ssb (Ssb.create ())
+       | Barrier_remset -> B_remset (Remset.create ())
+       | Barrier_cards ->
+         B_cards (Card_table.create ~space_words:tenured_phys, Ssb.create ()));
+    cards_covered_to = Mem.Space.base tenured;
+    pretenure_from = Mem.Space.frontier tenured;
+    live = 0;
+    in_gc = false }
+
+let in_nursery t a = Mem.Space.contains t.nursery a
+let in_tenured t a = Mem.Space.contains t.tenured a
+let nursery_bytes t = t.nursery_words * Mem.Memory.bytes_per_word
+let live_words t = t.live + Los.live_words t.los
+let stats t = t.stats
+
+let record_update t ~obj ~loc =
+  t.stats.Gc_stats.pointer_updates <- t.stats.Gc_stats.pointer_updates + 1;
+  match t.barrier with
+  | B_ssb ssb -> Ssb.record ssb loc
+  | B_remset rs -> Remset.record rs obj
+  | B_cards (cards, overflow) ->
+    if Mem.Space.contains t.tenured loc then
+      Card_table.record cards ~offset:(Mem.Addr.diff loc (Mem.Space.base t.tenured))
+    else Ssb.record overflow loc
+
+(* extend the card crossing map over tenured objects added since the last
+   collection (promotions and pretenured allocations) *)
+let cover_new_tenured t =
+  match t.barrier with
+  | B_ssb _ | B_remset _ -> ()
+  | B_cards (cards, _) ->
+    let base = Mem.Space.base t.tenured in
+    let frontier = Mem.Space.frontier t.tenured in
+    Card_table.cover cards (fun f ->
+      let rec walk a =
+        if Mem.Addr.diff frontier a > 0 then begin
+          let words = Mem.Header.object_words_at t.mem a in
+          f ~offset:(Mem.Addr.diff a base) ~words;
+          walk (Mem.Addr.add a words)
+        end
+      in
+      walk t.cards_covered_to);
+    t.cards_covered_to <- frontier
+
+(* scan one marked card: walk the objects overlapping it and visit the
+   pointer fields that lie inside the card window *)
+let scan_card t engine cards card =
+  let base = Mem.Space.base t.tenured in
+  let lo, hi = Card_table.card_range cards card in
+  if lo < hi then
+    match Card_table.crossing cards card with
+    | None -> ()
+    | Some start ->
+      let rec walk off =
+        if off < hi then begin
+          let a = Mem.Addr.add base off in
+          let hdr = Mem.Header.read t.mem a in
+          let words = Mem.Header.object_words hdr in
+          for i = 0 to hdr.Mem.Header.len - 1 do
+            let foff = off + Mem.Header.header_words + i in
+            if foff >= lo && foff < hi && Mem.Header.is_pointer_field hdr i
+            then Cheney.visit_loc engine (Mem.Header.field_addr a i)
+          done;
+          walk (off + words)
+        end
+      in
+      walk start
+
+(* Scan the pretenured region [pretenure_from, frontier_at_gc_start):
+   those objects were allocated directly into the tenured generation since
+   the last collection and may hold young pointers.  Objects whose site
+   the flow analysis cleared are skipped (Section 7.2). *)
+let scan_pretenured_region t engine ~until =
+  let rec walk a =
+    if Mem.Addr.diff until a > 0 then begin
+      let hdr = Mem.Header.read t.mem a in
+      let words = Mem.Header.object_words hdr in
+      if t.hooks.Hooks.site_needs_scan hdr.Mem.Header.site then begin
+        Cheney.visit_object_fields engine a;
+        t.stats.Gc_stats.words_region_scanned <-
+          t.stats.Gc_stats.words_region_scanned + words
+      end
+      else
+        t.stats.Gc_stats.words_region_skipped <-
+          t.stats.Gc_stats.words_region_skipped + words;
+      walk (Mem.Addr.add a words)
+    end
+  in
+  walk t.pretenure_from
+
+let drain_barrier t engine =
+  let processed = ref 0 in
+  (match t.barrier with
+   | B_ssb ssb ->
+     Ssb.drain ssb (fun loc ->
+       incr processed;
+       (* a mutated slot inside the nursery needs no action: live nursery
+          objects are traced wholesale *)
+       if not (in_nursery t loc) then Cheney.visit_loc engine loc)
+   | B_remset rs ->
+     Remset.drain rs (fun obj ->
+       incr processed;
+       if not (in_nursery t obj) then Cheney.visit_object_fields engine obj)
+   | B_cards (cards, overflow) ->
+     List.iter
+       (fun card ->
+         incr processed;
+         scan_card t engine cards card)
+       (Card_table.marked_cards cards);
+     Card_table.clear_marks cards;
+     Ssb.drain overflow (fun loc ->
+       incr processed;
+       if not (in_nursery t loc) then Cheney.visit_loc engine loc));
+  t.stats.Gc_stats.barrier_entries_processed <-
+    t.stats.Gc_stats.barrier_entries_processed + !processed
+
+let minor_collection t =
+  let t0 = now () in
+  let roots = Support.Vec.create () in
+  (* Skipping previously-scanned frames is sound only under immediate
+     promotion ("objects in the nursery are always promoted", Section 5):
+     with an aging nursery a cached frame may still reference a young
+     object that this collection moves, so cached frames are replayed
+     (decode reuse without the skip). *)
+  let mode =
+    if t.cfg.tenure_threshold = 1 then Rstack.Scan.Minor else Rstack.Scan.Full
+  in
+  let res = t.hooks.Hooks.scan_stack mode (Support.Vec.push roots) in
+  t.hooks.Hooks.visit_globals (Support.Vec.push roots);
+  Gc_stats.add_scan t.stats res;
+  let t1 = now () in
+  t.stats.Gc_stats.stack_seconds <- t.stats.Gc_stats.stack_seconds +. (t1 -. t0);
+  let tenured_frontier_at_start = Mem.Space.frontier t.tenured in
+  (* under an aging nursery, survivors below the threshold evacuate into
+     a fresh nursery semispace instead of being promoted *)
+  let aging =
+    if t.cfg.tenure_threshold > 1 then
+      Some
+        { Cheney.young_to = Mem.Space.create t.mem ~words:t.nursery_words;
+          threshold = t.cfg.tenure_threshold }
+    else None
+  in
+  (* old-to-young edges that survive the collection (aging only) must
+     re-enter the remembered set *)
+  let remember ~loc ~owner =
+    match t.barrier with
+    | B_ssb ssb -> Ssb.record ssb loc
+    | B_remset rs ->
+      (match owner with
+       | Some obj -> Remset.record rs obj
+       | None -> ())
+    | B_cards (cards, overflow) ->
+      if Mem.Space.contains t.tenured loc then
+        Card_table.record cards
+          ~offset:(Mem.Addr.diff loc (Mem.Space.base t.tenured))
+      else Ssb.record overflow loc
+  in
+  let engine =
+    Cheney.create ~mem:t.mem
+      ~in_from:(Mem.Space.contains t.nursery)
+      ~to_space:t.tenured ?aging ~remember ~los:(Some t.los) ~trace_los:false
+      ~promoting:true ~object_hooks:t.hooks.Hooks.object_hooks ()
+  in
+  let t_barrier0 = now () in
+  drain_barrier t engine;
+  scan_pretenured_region t engine ~until:tenured_frontier_at_start;
+  let t_barrier1 = now () in
+  t.stats.Gc_stats.barrier_seconds <-
+    t.stats.Gc_stats.barrier_seconds +. (t_barrier1 -. t_barrier0);
+  Support.Vec.iter (Cheney.visit_root engine) roots;
+  Cheney.drain engine;
+  let t2 = now () in
+  t.stats.Gc_stats.copy_seconds <-
+    t.stats.Gc_stats.copy_seconds +. (t2 -. t_barrier1);
+  (match t.hooks.Hooks.object_hooks with
+   | None -> ()
+   | Some h ->
+     Cheney.sweep_dead ~mem:t.mem ~space:t.nursery ~on_die:h.Hooks.on_die;
+     t.stats.Gc_stats.profile_seconds <-
+       t.stats.Gc_stats.profile_seconds +. (now () -. t2));
+  (match aging with
+   | None -> Mem.Space.reset t.nursery
+   | Some a ->
+     (* the fresh semispace with the young survivors becomes the nursery *)
+     Mem.Space.release t.nursery t.mem;
+     t.nursery <- a.Cheney.young_to);
+  let copied = Cheney.words_copied engine in
+  t.stats.Gc_stats.words_copied <- t.stats.Gc_stats.words_copied + copied;
+  t.stats.Gc_stats.words_promoted <-
+    t.stats.Gc_stats.words_promoted + Cheney.words_promoted engine;
+  t.stats.Gc_stats.minor_gcs <- t.stats.Gc_stats.minor_gcs + 1;
+  t.pretenure_from <- Mem.Space.frontier t.tenured;
+  cover_new_tenured t;
+  t.hooks.Hooks.after_collection ~full:false
+
+let major_collection t =
+  assert (Mem.Space.used_words t.nursery = 0);
+  let t0 = now () in
+  let roots = Support.Vec.create () in
+  let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
+  t.hooks.Hooks.visit_globals (Support.Vec.push roots);
+  Gc_stats.add_scan t.stats res;
+  let t1 = now () in
+  t.stats.Gc_stats.stack_seconds <- t.stats.Gc_stats.stack_seconds +. (t1 -. t0);
+  let to_space = Mem.Space.create t.mem ~words:t.tenured_phys in
+  let engine =
+    Cheney.create ~mem:t.mem
+      ~in_from:(Mem.Space.contains t.tenured)
+      ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
+      ~object_hooks:t.hooks.Hooks.object_hooks ()
+  in
+  Support.Vec.iter (Cheney.visit_root engine) roots;
+  Cheney.drain engine;
+  let on_die =
+    match t.hooks.Hooks.object_hooks with
+    | None -> fun _ ~birth:_ ~words:_ -> ()
+    | Some h -> h.Hooks.on_die
+  in
+  Los.sweep t.los ~on_die;
+  let t2 = now () in
+  t.stats.Gc_stats.copy_seconds <- t.stats.Gc_stats.copy_seconds +. (t2 -. t1);
+  (match t.hooks.Hooks.object_hooks with
+   | None -> ()
+   | Some h ->
+     Cheney.sweep_dead ~mem:t.mem ~space:t.tenured ~on_die:h.Hooks.on_die;
+     t.stats.Gc_stats.profile_seconds <-
+       t.stats.Gc_stats.profile_seconds +. (now () -. t2));
+  Mem.Space.release t.tenured t.mem;
+  t.tenured <- to_space;
+  t.pretenure_from <- Mem.Space.frontier to_space;
+  (match t.barrier with
+   | B_ssb _ | B_remset _ -> ()
+   | B_cards (cards, overflow) ->
+     (* the tenured space was rebuilt: restart the crossing map *)
+     Card_table.reset cards;
+     Ssb.clear overflow;
+     t.cards_covered_to <- Mem.Space.base to_space);
+  cover_new_tenured t;
+  let copied = Cheney.words_copied engine in
+  t.live <- copied;
+  t.stats.Gc_stats.words_copied <- t.stats.Gc_stats.words_copied + copied;
+  t.stats.Gc_stats.major_gcs <- t.stats.Gc_stats.major_gcs + 1;
+  let live_total = live_words t in
+  t.stats.Gc_stats.live_words_after_gc <- live_total;
+  t.stats.Gc_stats.max_live_words <-
+    max t.stats.Gc_stats.max_live_words live_total;
+  (* tenured resizing policy: trigger the next major when occupancy
+     exceeds live / target-liveness, clamped to the budget share *)
+  let target =
+    int_of_float (float_of_int live_total /. t.cfg.tenured_target_liveness)
+  in
+  t.major_trigger <- min t.tenured_cap (max (live_total + (live_total / 2) + 64) target);
+  t.hooks.Hooks.after_collection ~full:true
+
+let occupancy t = Mem.Space.used_words t.tenured + Los.live_words t.los
+
+let collect t ~major =
+  if t.in_gc then failwith "Generational: re-entrant collection";
+  t.in_gc <- true;
+  Fun.protect ~finally:(fun () -> t.in_gc <- false) (fun () ->
+    minor_collection t;
+    if major || occupancy t >= t.major_trigger then begin
+      (* under an aging nursery survivors may remain young; repeated
+         minors age them out so the major sees an empty nursery (bounded
+         by the maximum age) *)
+      let guard = ref 0 in
+      while
+        Mem.Space.used_words t.nursery > 0 && !guard <= Mem.Header.max_age
+      do
+        incr guard;
+        minor_collection t
+      done;
+      major_collection t
+    end)
+
+let minor t = collect t ~major:false
+let full t = collect t ~major:true
+
+let is_array hdr =
+  match hdr.Mem.Header.kind with
+  | Mem.Header.Ptr_array | Mem.Header.Nonptr_array -> true
+  | Mem.Header.Record _ -> false
+
+let bump_alloc t space hdr ~birth =
+  let words = Mem.Header.object_words hdr in
+  match Mem.Space.alloc space words with
+  | None -> None
+  | Some base ->
+    Mem.Header.write t.mem base hdr ~birth;
+    Mem.Memory.fill t.mem
+      ~dst:(Mem.Header.field_addr base 0)
+      ~words:hdr.Mem.Header.len Mem.Value.zero;
+    t.stats.Gc_stats.words_allocated <- t.stats.Gc_stats.words_allocated + words;
+    t.stats.Gc_stats.objects_allocated <- t.stats.Gc_stats.objects_allocated + 1;
+    (if is_array hdr then
+       t.stats.Gc_stats.words_alloc_arrays <-
+         t.stats.Gc_stats.words_alloc_arrays + words
+     else
+       t.stats.Gc_stats.words_alloc_records <-
+         t.stats.Gc_stats.words_alloc_records + words);
+    Some base
+
+let alloc t hdr ~birth =
+  let words = Mem.Header.object_words hdr in
+  if is_array hdr && words >= t.cfg.los_threshold_words then begin
+    (* large object: collect first if the old generation is at its
+       trigger, then place the object in the large-object space *)
+    if occupancy t + words >= t.major_trigger then collect t ~major:true;
+    if occupancy t + words > t.tenured_cap then
+      failwith "Generational: large object exceeds memory budget";
+    let base = Los.alloc t.los hdr ~birth in
+    t.stats.Gc_stats.words_allocated <- t.stats.Gc_stats.words_allocated + words;
+    t.stats.Gc_stats.objects_allocated <- t.stats.Gc_stats.objects_allocated + 1;
+    t.stats.Gc_stats.words_alloc_arrays <-
+      t.stats.Gc_stats.words_alloc_arrays + words;
+    base
+  end
+  else begin
+    if words > t.nursery_words then
+      failwith "Generational: object larger than the nursery";
+    match bump_alloc t t.nursery hdr ~birth with
+    | Some base -> base
+    | None ->
+      (* under an aging nursery, survivors occupy part of the fresh
+         semispace; repeated minors age them up to promotion, so at most
+         [tenure_threshold] collections free the space *)
+      let rec retry attempts =
+        collect t ~major:false;
+        match bump_alloc t t.nursery hdr ~birth with
+        | Some base -> base
+        | None ->
+          if attempts >= t.cfg.tenure_threshold then
+            failwith "Generational: nursery exhausted after collection"
+          else retry (attempts + 1)
+      in
+      retry 1
+  end
+
+let alloc_pretenured t hdr ~birth =
+  let words = Mem.Header.object_words hdr in
+  if occupancy t + words >= t.major_trigger then collect t ~major:true;
+  match bump_alloc t t.tenured hdr ~birth with
+  | Some base ->
+    t.stats.Gc_stats.words_pretenured <-
+      t.stats.Gc_stats.words_pretenured + words;
+    (* the object has already survived its "first collection" by fiat;
+       mark it so the profiler does not double-count a later copy *)
+    Mem.Header.set_survivor t.mem base;
+    base
+  | None -> failwith "Generational: tenured area exhausted (pretenuring)"
+
+let destroy t =
+  Mem.Space.release t.nursery t.mem;
+  Mem.Space.release t.tenured t.mem;
+  Los.destroy t.los

@@ -1,0 +1,76 @@
+(** The two-generation collector (Section 2.1) — baseline number two, and
+    the substrate for stack markers and pretenuring.
+
+    - The nursery is bump-allocated and never larger than the secondary
+      cache (512 KB); within the [k * Min] budget it takes at most a
+      quarter of the budget.
+    - Minor collections promote every live nursery object straight into
+      the tenured generation (immediate promotion).
+    - The tenured generation is collected by copying; its trigger follows
+      the preset target liveness ratio of 0.3, clamped to the budget.
+    - Large arrays bypass the nursery into a mark-sweep large-object
+      space, swept at major collections.
+    - Old-to-young pointers are tracked by a sequential store buffer, or
+      by the deduplicating remembered set (the card-marking stand-in).
+    - Pretenuring support: [alloc_pretenured] places an object directly
+      in the tenured generation; the freshly pretenured region is scanned
+      for young pointers at the next collection (Section 6), except for
+      objects whose site the flow analysis proved scan-free
+      (Section 7.2, [Hooks.site_needs_scan]). *)
+
+type barrier_kind =
+  | Barrier_ssb     (** sequential store buffer; duplicates recorded *)
+  | Barrier_remset  (** deduplicating object remembered set *)
+  | Barrier_cards   (** card marking over the tenured space with a
+                        crossing map (Sobalvarro 1988); large-object
+                        locations fall back to a store buffer *)
+
+type config = {
+  nursery_bytes_max : int;         (** 512 KB in the paper *)
+  tenured_target_liveness : float; (** 0.3 in the paper *)
+  budget_bytes : int;              (** k * Min *)
+  los_threshold_words : int;       (** arrays at least this big bypass
+                                       the nursery *)
+  barrier : barrier_kind;
+  tenure_threshold : int;
+      (** minor collections an object must survive before promotion.
+          1 (the paper's system) promotes immediately; higher values give
+          the aging-nursery policy of Section 7.2, under which
+          pretenuring is predicted to help even more. *)
+}
+
+val default_config : budget_bytes:int -> config
+
+type t
+
+val create : Mem.Memory.t -> hooks:Hooks.t -> stats:Gc_stats.t -> config -> t
+
+(** [alloc t hdr ~birth] allocates in the nursery (or the large-object
+    space for big arrays), collecting as needed.  Payload zeroed. *)
+val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
+
+(** [alloc_pretenured t hdr ~birth] allocates directly into the tenured
+    generation (profile-driven pretenuring). *)
+val alloc_pretenured : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
+
+(** [record_update t ~obj ~loc] is the write barrier: called on every
+    pointer store, where [loc] is the mutated slot and [obj] the object
+    containing it. *)
+val record_update : t -> obj:Mem.Addr.t -> loc:Mem.Addr.t -> unit
+
+(** Force a minor collection. *)
+val minor : t -> unit
+
+(** Force a minor followed by a major collection. *)
+val full : t -> unit
+
+val stats : t -> Gc_stats.t
+
+(** Live words after the last major collection, plus large-object words. *)
+val live_words : t -> int
+
+val in_nursery : t -> Mem.Addr.t -> bool
+val in_tenured : t -> Mem.Addr.t -> bool
+val nursery_bytes : t -> int
+
+val destroy : t -> unit

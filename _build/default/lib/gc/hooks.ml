@@ -1,0 +1,27 @@
+type object_hooks = {
+  on_first_survival : Mem.Header.t -> words:int -> unit;
+  on_copy : Mem.Header.t -> words:int -> unit;
+  on_die : Mem.Header.t -> birth:int -> words:int -> unit;
+}
+
+type t = {
+  scan_stack : Rstack.Scan.mode -> (Rstack.Root.t -> unit) -> Rstack.Scan.result;
+  visit_globals : (Rstack.Root.t -> unit) -> unit;
+  after_collection : full:bool -> unit;
+  object_hooks : object_hooks option;
+  site_needs_scan : int -> bool;
+}
+
+let nothing = {
+  scan_stack =
+    (fun _mode _visit ->
+      { Rstack.Scan.depth = 0;
+        frames_decoded = 0;
+        frames_reused = 0;
+        slots_decoded = 0;
+        roots_visited = 0 });
+  visit_globals = (fun _ -> ());
+  after_collection = (fun ~full:_ -> ());
+  object_hooks = None;
+  site_needs_scan = (fun _ -> true);
+}

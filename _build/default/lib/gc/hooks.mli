@@ -1,0 +1,36 @@
+(** Callbacks a collector needs from the runtime above it.
+
+    The collectors cannot depend on the runtime façade (the dependency
+    goes the other way), so root enumeration, marker placement and
+    profiling arrive as closures. *)
+
+(** Per-object lifecycle events, consumed by the heap profiler.  [None]
+    disables the (costly) death sweeps. *)
+type object_hooks = {
+  on_first_survival : Mem.Header.t -> words:int -> unit;
+      (** object copied for the first time (promotion / first semispace
+          evacuation) *)
+  on_copy : Mem.Header.t -> words:int -> unit;
+      (** every copy, first or not *)
+  on_die : Mem.Header.t -> birth:int -> words:int -> unit;
+      (** object found dead during a from-space or large-object sweep *)
+}
+
+type t = {
+  scan_stack : Rstack.Scan.mode -> (Rstack.Root.t -> unit) -> Rstack.Scan.result;
+      (** enumerate stack and register roots; honours the scan cache *)
+  visit_globals : (Rstack.Root.t -> unit) -> unit;
+      (** enumerate the runtime's global roots *)
+  after_collection : full:bool -> unit;
+      (** invoked once per collection after roots are final: the runtime
+          places stack markers and refreshes marker bookkeeping *)
+  object_hooks : object_hooks option;
+  site_needs_scan : int -> bool;
+      (** Section 7.2 scan elision: [false] means objects born at this
+          site can only point at pretenured/tenured data, so the
+          pretenured-region scan may skip them *)
+}
+
+(** Hooks that scan nothing and profile nothing (used by unit tests that
+    exercise collectors with global roots only). *)
+val nothing : t

@@ -1,0 +1,62 @@
+type entry = {
+  base : Mem.Addr.t;
+  words : int;
+  mutable marked : bool;
+}
+
+type t = {
+  mem : Mem.Memory.t;
+  objects : (int, entry) Hashtbl.t; (* block id -> entry *)
+  mutable live_words : int;
+}
+
+let create mem = { mem; objects = Hashtbl.create 64; live_words = 0 }
+
+let alloc t hdr ~birth =
+  let words = Mem.Header.object_words hdr in
+  let base = Mem.Memory.alloc_block t.mem ~words in
+  Mem.Header.write t.mem base hdr ~birth;
+  Hashtbl.replace t.objects (Mem.Addr.block base)
+    { base; words; marked = false };
+  t.live_words <- t.live_words + words;
+  base
+
+let contains t addr =
+  (not (Mem.Addr.is_null addr)) && Hashtbl.mem t.objects (Mem.Addr.block addr)
+
+let mark t addr =
+  match Hashtbl.find_opt t.objects (Mem.Addr.block addr) with
+  | None -> invalid_arg "Los.mark: not a large object"
+  | Some e ->
+    if e.marked then false
+    else begin
+      e.marked <- true;
+      true
+    end
+
+let sweep t ~on_die =
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun id e ->
+      if e.marked then e.marked <- false else dead := (id, e) :: !dead)
+    t.objects;
+  List.iter
+    (fun (id, e) ->
+      let hdr = Mem.Header.read t.mem e.base in
+      let birth = Mem.Header.birth t.mem e.base in
+      on_die hdr ~birth ~words:e.words;
+      Mem.Memory.free_block t.mem e.base;
+      Hashtbl.remove t.objects id;
+      t.live_words <- t.live_words - e.words)
+    !dead
+
+let live_words t = t.live_words
+
+let object_count t = Hashtbl.length t.objects
+
+let iter t f = Hashtbl.iter (fun _ e -> f e.base) t.objects
+
+let destroy t =
+  Hashtbl.iter (fun _ e -> Mem.Memory.free_block t.mem e.base) t.objects;
+  Hashtbl.reset t.objects;
+  t.live_words <- 0

@@ -1,0 +1,39 @@
+(** The large-object space.
+
+    Large arrays are not allocated in the nursery and promoted; they live
+    in a region managed by mark-sweep (Section 2.1).  Each large object
+    occupies its own memory block, so membership testing is a block-id
+    lookup and "freeing" really returns the block.  Marking happens while
+    the copying collector traces (a traced pointer that lands here marks
+    the object and queues it for field scanning); sweeping happens at full
+    collections. *)
+
+type t
+
+val create : Mem.Memory.t -> t
+
+(** [alloc t hdr ~birth] places a fresh large object, writing its header.
+    Payload is zeroed. *)
+val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
+
+val contains : t -> Mem.Addr.t -> bool
+
+(** [mark t addr] marks the object; returns [true] if it was not marked
+    before (i.e. the caller must scan its fields). *)
+val mark : t -> Mem.Addr.t -> bool
+
+(** [sweep t ~on_die] frees unmarked objects and clears surviving marks.
+    [on_die hdr ~birth ~words] fires for each corpse. *)
+val sweep : t -> on_die:(Mem.Header.t -> birth:int -> words:int -> unit) -> unit
+
+(** Words across live (currently allocated) large objects. *)
+val live_words : t -> int
+
+(** Number of live large objects. *)
+val object_count : t -> int
+
+(** [iter t f] visits each live object's base address. *)
+val iter : t -> (Mem.Addr.t -> unit) -> unit
+
+(** Release every block (end of a run). *)
+val destroy : t -> unit

@@ -1,0 +1,30 @@
+type t = {
+  seen : (Mem.Addr.t, unit) Hashtbl.t;
+  order : Mem.Addr.t Support.Vec.t;
+  mutable total : int;
+}
+
+let create () = { seen = Hashtbl.create 256; order = Support.Vec.create (); total = 0 }
+
+let record t obj =
+  t.total <- t.total + 1;
+  if not (Hashtbl.mem t.seen obj) then begin
+    Hashtbl.replace t.seen obj ();
+    Support.Vec.push t.order obj
+  end
+
+let length t = Support.Vec.length t.order
+
+let total_recorded t = t.total
+
+let drain t f =
+  (* snapshot-then-clear: [f] may re-record objects for the next
+     collection (aging nurseries) *)
+  let snapshot = Support.Vec.to_list t.order in
+  Support.Vec.clear t.order;
+  Hashtbl.reset t.seen;
+  List.iter f snapshot
+
+let clear t =
+  Support.Vec.clear t.order;
+  Hashtbl.reset t.seen

@@ -1,0 +1,132 @@
+type config = {
+  target_liveness : float;
+  budget_bytes : int;
+  initial_bytes : int;
+}
+
+let default_config ~budget_bytes =
+  { target_liveness = 0.10; budget_bytes; initial_bytes = budget_bytes / 4 }
+
+type t = {
+  mem : Mem.Memory.t;
+  hooks : Hooks.t;
+  cfg : config;
+  stats : Gc_stats.t;
+  semi_words : int;              (* physical size of one semispace *)
+  mutable space : Mem.Space.t;
+  mutable soft_limit : int;      (* collect when used exceeds this *)
+  mutable live : int;            (* words surviving the last collection *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let create mem ~hooks ~stats cfg =
+  if cfg.budget_bytes <= 0 then invalid_arg "Semispace.create: empty budget";
+  let semi_words = max 64 (cfg.budget_bytes / Mem.Memory.bytes_per_word / 2) in
+  let initial_words = cfg.initial_bytes / Mem.Memory.bytes_per_word in
+  let soft_limit = min semi_words (max 64 initial_words) in
+  { mem;
+    hooks;
+    cfg;
+    stats;
+    semi_words;
+    space = Mem.Space.create mem ~words:soft_limit;
+    soft_limit;
+    live = 0 }
+
+let live_words t = t.live
+
+let contains t a = Mem.Space.contains t.space a
+
+let resize t ~need =
+  (* S' = S * r'/r, i.e. a soft limit of live/r, clamped to the physical
+     semispace and kept comfortably above the live data and any pending
+     allocation *)
+  let target = float_of_int t.live /. t.cfg.target_liveness in
+  let floor_w = t.live + need + max (t.live / 4) 64 in
+  t.soft_limit <- min t.semi_words (max floor_w (int_of_float target));
+  if t.live + need > t.semi_words then
+    failwith "Semispace: live data exceeds memory budget"
+
+let collect_for t ~need =
+  let t0 = now () in
+  let roots = Support.Vec.create () in
+  let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
+  t.hooks.Hooks.visit_globals (Support.Vec.push roots);
+  Gc_stats.add_scan t.stats res;
+  let t1 = now () in
+  t.stats.Gc_stats.stack_seconds <- t.stats.Gc_stats.stack_seconds +. (t1 -. t0);
+  (* size the to-space to the current policy limit, not the whole budget
+     share: the physical grant tracks the live set, so huge budgets (the
+     calibration runs) do not allocate or zero hundreds of megabytes per
+     collection.  Growth decided by the resizing policy lands at the next
+     collection. *)
+  let to_words =
+    min t.semi_words
+      (max 64
+         (max
+            (Mem.Space.used_words t.space + need)
+            t.soft_limit))
+  in
+  let to_space = Mem.Space.create t.mem ~words:to_words in
+  let engine =
+    Cheney.create ~mem:t.mem
+      ~in_from:(Mem.Space.contains t.space)
+      ~to_space ~los:None ~trace_los:false ~promoting:false
+      ~object_hooks:t.hooks.Hooks.object_hooks ()
+  in
+  Support.Vec.iter (Cheney.visit_root engine) roots;
+  Cheney.drain engine;
+  let t2 = now () in
+  t.stats.Gc_stats.copy_seconds <- t.stats.Gc_stats.copy_seconds +. (t2 -. t1);
+  (match t.hooks.Hooks.object_hooks with
+   | None -> ()
+   | Some h ->
+     Cheney.sweep_dead ~mem:t.mem ~space:t.space ~on_die:h.Hooks.on_die;
+     t.stats.Gc_stats.profile_seconds <-
+       t.stats.Gc_stats.profile_seconds +. (now () -. t2));
+  Mem.Space.release t.space t.mem;
+  t.space <- to_space;
+  t.live <- Cheney.words_copied engine;
+  t.stats.Gc_stats.words_copied <- t.stats.Gc_stats.words_copied + t.live;
+  t.stats.Gc_stats.major_gcs <- t.stats.Gc_stats.major_gcs + 1;
+  t.stats.Gc_stats.live_words_after_gc <- t.live;
+  t.stats.Gc_stats.max_live_words <- max t.stats.Gc_stats.max_live_words t.live;
+  resize t ~need;
+  t.hooks.Hooks.after_collection ~full:true
+
+let collect t = collect_for t ~need:0
+
+let alloc t hdr ~birth =
+  let words = Mem.Header.object_words hdr in
+  if Mem.Space.used_words t.space + words > t.soft_limit then
+    collect_for t ~need:words;
+  let base =
+    match Mem.Space.alloc t.space words with
+    | Some a -> a
+    | None ->
+      (* the physical grant was too small for this object even though the
+         policy allows it: collect into a to-space sized to fit *)
+      collect_for t ~need:words;
+      (match Mem.Space.alloc t.space words with
+       | Some a -> a
+       | None -> failwith "Semispace: live data exceeds memory budget")
+  in
+  Mem.Header.write t.mem base hdr ~birth;
+  Mem.Memory.fill t.mem
+    ~dst:(Mem.Header.field_addr base 0)
+    ~words:hdr.Mem.Header.len Mem.Value.zero;
+  t.stats.Gc_stats.words_allocated <- t.stats.Gc_stats.words_allocated + words;
+  t.stats.Gc_stats.objects_allocated <- t.stats.Gc_stats.objects_allocated + 1;
+  (match hdr.Mem.Header.kind with
+   | Mem.Header.Ptr_array | Mem.Header.Nonptr_array ->
+     t.stats.Gc_stats.words_alloc_arrays <-
+       t.stats.Gc_stats.words_alloc_arrays + words
+   | Mem.Header.Record _ ->
+     t.stats.Gc_stats.words_alloc_records <-
+       t.stats.Gc_stats.words_alloc_records + words);
+  base
+
+let stats t = t.stats
+
+let destroy t = Mem.Space.release t.space t.mem

@@ -1,0 +1,39 @@
+(** The semispace collector (Fenichel & Yochelson 1969) with Cheney's
+    algorithm — baseline number one (Section 2.1).
+
+    Resizing follows the paper: with target liveness ratio [r] (0.10 in
+    the experiments) and observed post-collection liveness [r'], the heap
+    is logically resized by [r'/r] — implemented as a soft allocation
+    limit within a fixed physical semispace of half the [k * Min]
+    budget, so memory usage never exceeds the budget while collection
+    frequency follows the resizing policy. *)
+
+type config = {
+  target_liveness : float;  (** the paper's r; 0.10 in all experiments *)
+  budget_bytes : int;       (** k * Min; both semispaces together *)
+  initial_bytes : int;      (** starting soft limit *)
+}
+
+val default_config : budget_bytes:int -> config
+
+type t
+
+val create : Mem.Memory.t -> hooks:Hooks.t -> stats:Gc_stats.t -> config -> t
+
+(** [alloc t hdr ~birth] allocates one object, collecting first if the
+    soft limit would be exceeded.  Payload slots are zeroed.
+    @raise Failure when live data cannot fit in the budget. *)
+val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
+
+(** Force a collection now. *)
+val collect : t -> unit
+
+val stats : t -> Gc_stats.t
+val live_words : t -> int
+
+(** [contains t a] tells whether [a] is a live to-space address (for
+    debugging assertions in tests). *)
+val contains : t -> Mem.Addr.t -> bool
+
+(** Release all memory held by the collector. *)
+val destroy : t -> unit

@@ -1,0 +1,24 @@
+type t = {
+  entries : Mem.Addr.t Support.Vec.t;
+  mutable total : int;
+}
+
+let create () = { entries = Support.Vec.create (); total = 0 }
+
+let record t loc =
+  Support.Vec.push t.entries loc;
+  t.total <- t.total + 1
+
+let length t = Support.Vec.length t.entries
+
+let total_recorded t = t.total
+
+let drain t f =
+  (* the callback may record new entries (the collector re-remembers
+     surviving old-to-young edges under aging nurseries): snapshot and
+     clear first so those records survive for the next collection *)
+  let snapshot = Support.Vec.to_list t.entries in
+  Support.Vec.clear t.entries;
+  List.iter f snapshot
+
+let clear t = Support.Vec.clear t.entries

@@ -1,0 +1,27 @@
+(** The sequential store buffer (Appel 1989): the simple write barrier of
+    Section 2.1.
+
+    Every pointer update appends the mutated heap location — including
+    duplicates, which is exactly the weakness the paper observes on Peg
+    ("the simple sequential store list records a mutated site repeatedly,
+    causing a great overhead in root processing"). *)
+
+type t
+
+val create : unit -> t
+
+(** [record t loc] logs a mutated location. *)
+val record : t -> Mem.Addr.t -> unit
+
+(** Entries currently buffered (duplicates included). *)
+val length : t -> int
+
+(** Total entries ever recorded. *)
+val total_recorded : t -> int
+
+(** [drain t f] applies [f] to every buffered location and empties the
+    buffer first, so locations recorded by [f] itself (re-remembered
+    edges) stay buffered for the next collection. *)
+val drain : t -> (Mem.Addr.t -> unit) -> unit
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Calibrate Collectors Gsc List Measure Printf Runs String Support Workloads

@@ -1,0 +1,1 @@
+lib/harness/calibrate.ml: Collectors Fun Gsc Hashtbl Workloads

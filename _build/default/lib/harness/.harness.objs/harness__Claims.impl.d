@@ -1,0 +1,1 @@
+lib/harness/claims.ml: Buffer Calibrate Collectors Gsc Heap_profile List Measure Printf Runs String Support Table6 Workloads

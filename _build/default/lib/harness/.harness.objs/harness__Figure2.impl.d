@@ -1,0 +1,1 @@
+lib/harness/figure2.ml: Heap_profile Runs Workloads

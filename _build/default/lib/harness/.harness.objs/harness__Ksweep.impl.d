@@ -1,0 +1,1 @@
+lib/harness/ksweep.ml: List Measure Printf Runs Support Workloads

@@ -1,0 +1,1 @@
+lib/harness/ksweep.mli: Measure Runs Workloads

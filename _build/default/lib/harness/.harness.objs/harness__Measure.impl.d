@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Collectors Fun Gsc Heap_profile Mem Simclock Unix Workloads

@@ -1,0 +1,1 @@
+lib/harness/runs.ml: Calibrate Gsc Hashtbl Measure Workloads

@@ -1,0 +1,1 @@
+lib/harness/runs.mli: Gsc Heap_profile Measure Workloads

@@ -1,0 +1,1 @@
+lib/harness/suite.ml: Ablation Figure2 List String Table1 Table2 Table3 Table4 Table5 Table6 Table7

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Calibrate List Measure Printf Runs Support Workloads

@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Ksweep Runs Workloads

@@ -1,0 +1,1 @@
+lib/harness/table4.ml: Ksweep Measure Printf Runs Workloads

@@ -1,0 +1,1 @@
+lib/harness/table7.ml: Buffer Gsc List Measure Printf Runs String Workloads

@@ -1,0 +1,26 @@
+(** Ablations for the design choices DESIGN.md calls out:
+
+    - Section 7.2 scan elision on Nqueen (the paper reports a further
+      ~80% GC-time drop from removing pretenured-region scans),
+    - stack-marker spacing n (the paper fixes n = 25),
+    - pretenuring old-fraction cutoff (the paper argues 80% is not
+      sensitive),
+    - sequential store buffer vs the deduplicating remembered set on Peg
+      (the paper suggests card marking would cure Peg's barrier cost),
+    - eager watermark vs the paper's alternative of walking the handler
+      chain at collection time, on the exception-heavy Color,
+    - the semispace resizing target r (the paper fixes r = 0.10;
+      "generation resizing policies" heads its future-work list),
+    - tenure threshold: Section 7.2 predicts that under aging-nursery
+      policies ("objects that are tenured are copied several times
+      before being promoted") pretenuring yields an even greater
+      benefit; the sweep measures that benefit at thresholds 1-3. *)
+
+val scan_elision : factor:float -> string
+val marker_spacing : factor:float -> string
+val pretenure_cutoff : factor:float -> string
+val barrier_kind : factor:float -> string
+val exception_strategy : factor:float -> string
+val tenure_threshold : factor:float -> string
+val semispace_liveness : factor:float -> string
+val render : factor:float -> string

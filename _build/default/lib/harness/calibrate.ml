@@ -1,0 +1,34 @@
+let cache : (string * int, int) Hashtbl.t = Hashtbl.create 16
+
+let calibration_budget = 512 * 1024 * 1024
+
+let max_live_bytes ~workload ~scale =
+  let key = (workload.Workloads.Spec.name, scale) in
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+    let cfg =
+      { (Gsc.Config.semispace ~budget_bytes:calibration_budget) with
+        (* track the live set closely: start with a small soft limit and
+           collect whenever the heap grows a third beyond the last live
+           size, so the high-water mark is sampled densely *)
+        Gsc.Config.semispace_target_liveness = 0.75;
+        semispace_initial_bytes = 32 * 1024 }
+    in
+    let rt = Gsc.Runtime.create cfg in
+    let live =
+      Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
+      workload.Workloads.Spec.run rt ~scale;
+      (* one final collection so data live at the end is counted *)
+      Gsc.Runtime.collect_now rt;
+      Collectors.Gc_stats.max_live_bytes (Gsc.Runtime.stats rt)
+    in
+    let live = max live 1024 in
+    Hashtbl.replace cache key live;
+    live
+
+let min_bytes ~workload ~scale = 2 * max_live_bytes ~workload ~scale
+
+let budget_for ~workload ~scale ~k =
+  let b = int_of_float (k *. float_of_int (min_bytes ~workload ~scale)) in
+  max b (16 * 1024)

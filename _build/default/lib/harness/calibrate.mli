@@ -1,0 +1,17 @@
+(** Measure Min — the minimal memory a copying collector needs — per
+    workload: twice the maximum live data observed during execution
+    (Section 3).  The calibration run uses a semispace collector whose
+    soft limit tracks the live set closely, so collections are frequent
+    and the high-water mark is sampled densely.  Results are memoised per
+    (workload, scale). *)
+
+(** [max_live_bytes ~workload ~scale] runs (or reuses) the calibration. *)
+val max_live_bytes : workload:Workloads.Spec.t -> scale:int -> int
+
+(** [min_bytes ~workload ~scale] is [2 * max_live_bytes], the paper's
+    Min. *)
+val min_bytes : workload:Workloads.Spec.t -> scale:int -> int
+
+(** [budget_for ~workload ~scale ~k] is [k * Min], rounded and floored so
+    that tiny workloads still get a workable heap. *)
+val budget_for : workload:Workloads.Spec.t -> scale:int -> k:float -> int

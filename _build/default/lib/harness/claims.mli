@@ -1,0 +1,21 @@
+(** The paper's headline claims as executable checks (`repro check`).
+
+    Each claim re-measures what it needs (through the memoised runner)
+    and reports PASS/FAIL with the numbers behind the verdict.  This is
+    the machine-checkable core of EXPERIMENTS.md. *)
+
+type result = {
+  claim : string;
+  passed : bool;
+  detail : string;
+}
+
+(** [run ~factor] evaluates every claim. *)
+val run : factor:float -> result list
+
+(** [render ~factor] formats the results, one line per claim, with a
+    final summary. *)
+val render : factor:float -> string
+
+(** [all_pass ~factor] is true when every claim holds. *)
+val all_pass : factor:float -> bool

@@ -1,0 +1,12 @@
+let render_for ~factor name =
+  let w = Workloads.Registry.find name in
+  let sc = Runs.scale ~factor w in
+  let data = Runs.profile_of ~workload:w ~scale:sc in
+  Heap_profile.Report.render ~title:w.Workloads.Spec.name ~cutoff:Runs.cutoff
+    data
+
+let render ~factor =
+  "Figure 2: heap profiles\n\n"
+  ^ render_for ~factor "knuth-bendix"
+  ^ "\n"
+  ^ render_for ~factor "nqueen"

@@ -1,0 +1,8 @@
+(** Figure 2: heap-profile reports for Knuth-Bendix and Nqueen, in the
+    paper's layout, with the 80% old-fraction cutoff summary. *)
+
+val render : factor:float -> string
+
+(** [render_for ~factor name] renders the profile report for any single
+    workload. *)
+val render_for : factor:float -> string -> string

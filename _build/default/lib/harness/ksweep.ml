@@ -1,0 +1,77 @@
+let ks = [ 1.5; 2.0; 4.0 ]
+
+let k_label k = Printf.sprintf "k=%.1f" k
+
+let render ~title ~workloads ~factor ~technique ?extra () =
+  let measures w =
+    let sc = Runs.scale ~factor w in
+    List.map (fun k -> Runs.measure ~workload:w ~scale:sc ~technique ~k) ks
+  in
+  let all = List.map (fun w -> (w, measures w)) workloads in
+  (* time table *)
+  let time_grid =
+    Support.Textgrid.create
+      ~columns:
+        (Support.Textgrid.Left
+         :: List.concat_map (fun _ -> [ Support.Textgrid.Right ]) ks
+        @ List.concat_map (fun _ -> [ Support.Textgrid.Right ]) ks
+        @ List.concat_map (fun _ -> [ Support.Textgrid.Right ]) ks)
+  in
+  let headers =
+    "Program"
+    :: (List.map (fun k -> "Tot " ^ k_label k) ks
+        @ List.map (fun k -> "GC " ^ k_label k) ks
+        @ List.map (fun k -> "Cli " ^ k_label k) ks)
+  in
+  Support.Textgrid.add_row time_grid headers;
+  Support.Textgrid.add_rule time_grid;
+  List.iter
+    (fun ((w : Workloads.Spec.t), ms) ->
+      Support.Textgrid.add_row time_grid
+        (w.Workloads.Spec.name
+         :: (List.map (fun m -> Support.Units.seconds m.Measure.total_seconds) ms
+             @ List.map (fun m -> Support.Units.seconds m.Measure.gc_seconds) ms
+             @ List.map
+                 (fun m -> Support.Units.seconds m.Measure.client_seconds)
+                 ms)))
+    all;
+  (* space table *)
+  let extra_cols =
+    match extra with
+    | None -> []
+    | Some _ -> [ Support.Textgrid.Right ]
+  in
+  let space_grid =
+    Support.Textgrid.create
+      ~columns:
+        (Support.Textgrid.Left
+         :: List.concat_map (fun _ -> [ Support.Textgrid.Right ]) ks
+        @ List.concat_map (fun _ -> [ Support.Textgrid.Right ]) ks
+        @ extra_cols)
+  in
+  let extra_header =
+    match extra with
+    | None -> []
+    | Some (label, _) -> [ label ]
+  in
+  Support.Textgrid.add_row space_grid
+    ("Program"
+     :: (List.map (fun k -> "GCs " ^ k_label k) ks
+         @ List.map (fun k -> "Copied " ^ k_label k) ks
+         @ extra_header));
+  Support.Textgrid.add_rule space_grid;
+  List.iter
+    (fun ((w : Workloads.Spec.t), ms) ->
+      let extra_cell =
+        match extra with
+        | None -> []
+        | Some (_, f) -> [ f (List.nth ms (List.length ms - 1)) ]
+      in
+      Support.Textgrid.add_row space_grid
+        (w.Workloads.Spec.name
+         :: (List.map (fun m -> string_of_int m.Measure.num_gcs) ms
+             @ List.map (fun m -> string_of_int m.Measure.bytes_copied) ms
+             @ extra_cell)))
+    all;
+  title ^ "\n" ^ Support.Textgrid.render time_grid ^ "\n"
+  ^ Support.Textgrid.render space_grid

@@ -1,0 +1,18 @@
+(** Shared rendering for the k-sweep tables (Tables 3, 4 and 6): time
+    figures (Total / GC / Client per k) followed by space figures
+    (collections and bytes copied per k). *)
+
+val ks : float list
+(** The paper's memory multiples: 1.5, 2.0, 4.0. *)
+
+(** [render ~title ~workloads ~factor ~technique ~extra] renders both
+    sub-tables.  [extra] optionally appends one more column to the space
+    table (label, value-of-measurement at k = 4). *)
+val render :
+  title:string ->
+  workloads:Workloads.Spec.t list ->
+  factor:float ->
+  technique:Runs.technique ->
+  ?extra:string * (Measure.t -> string) ->
+  unit ->
+  string

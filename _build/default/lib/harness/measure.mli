@@ -1,0 +1,58 @@
+(** Run one workload under one configuration and collect every figure the
+    paper's tables report. *)
+
+type t = {
+  workload : string;
+  config_name : string;
+  k : float;                  (** memory multiple of Min; 0 if not set *)
+  budget_bytes : int;
+  (* simulated times (seconds, deterministic — see {!Simclock}) *)
+  total_seconds : float;
+  gc_seconds : float;
+  client_seconds : float;
+  stack_seconds : float;
+  copy_seconds : float;       (** includes barrier and region-scan work *)
+  (* host wall-clock, for reference only *)
+  wall_seconds : float;
+  wall_gc_seconds : float;
+  (* collections *)
+  num_gcs : int;
+  minor_gcs : int;
+  major_gcs : int;
+  (* space *)
+  bytes_allocated : int;
+  bytes_alloc_records : int;
+  bytes_alloc_arrays : int;
+  bytes_copied : int;
+  bytes_pretenured : int;
+  max_live_bytes : int;
+  (* stack *)
+  avg_depth_at_gc : float;
+  max_depth_at_gc : int;
+  max_depth_overall : int;
+  avg_new_frames : float;
+  frames_decoded : int;
+  frames_reused : int;
+  stub_hits : int;
+  exception_unwinds : int;
+  (* barrier *)
+  pointer_updates : int;
+  barrier_entries_processed : int;
+  (* pretenured-region scanning *)
+  bytes_region_scanned : int;
+  bytes_region_skipped : int;
+  (* profile, when the configuration gathers one *)
+  profile : Heap_profile.Profile_data.t option;
+}
+
+(** [run ~workload ~scale ~cfg ~k] creates a fresh runtime, executes the
+    workload (its internal verification runs too), and snapshots the
+    statistics.  The runtime is destroyed before returning. *)
+val run :
+  workload:Workloads.Spec.t -> scale:int -> cfg:Gsc.Config.t -> k:float -> t
+
+(** [gc_share m] is GC time / total time. *)
+val gc_share : t -> float
+
+(** [stack_share m] is stack-scan time / GC time. *)
+val stack_share : t -> float

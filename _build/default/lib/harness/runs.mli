@@ -1,0 +1,53 @@
+(** Memoised measurement runner shared by all tables.
+
+    The same (workload, technique, k) measurement feeds several tables;
+    this module runs each combination once per process and caches the
+    result, including the heap profile and the pretenuring policy derived
+    from it. *)
+
+(** The four techniques of the paper, plus the profiling run that feeds
+    pretenuring. *)
+type technique =
+  | Semi
+  | Gen
+  | Markers
+  | Pretenure        (** markers + profile-driven pretenuring *)
+  | Pretenure_elide  (** + Section 7.2 scan elision *)
+  | Profiled         (** generational, gathering the heap profile *)
+
+val technique_name : technique -> string
+
+(** [scale ~factor w] is the workload's default scale times [factor],
+    at least 1. *)
+val scale : factor:float -> Workloads.Spec.t -> int
+
+(** [measure ~workload ~scale ~technique ~k] runs (or reuses) one
+    measurement.  [k] multiplies the calibrated Min. *)
+val measure :
+  workload:Workloads.Spec.t -> scale:int -> technique:technique -> k:float ->
+  Measure.t
+
+(** [profile_of ~workload ~scale] is the heap profile from the
+    [Profiled] run at k = 4. *)
+val profile_of :
+  workload:Workloads.Spec.t -> scale:int -> Heap_profile.Profile_data.t
+
+(** [policy_of ~workload ~scale ~scan_elision] derives the pretenuring
+    policy (cutoff 0.8, minimum 32 objects per site, as discussed in
+    Section 6). *)
+val policy_of :
+  workload:Workloads.Spec.t -> scale:int -> scan_elision:bool ->
+  Gsc.Pretenure.t
+
+(** [with_nursery_cap cfg] applies the experiments' scaled-down nursery
+    cap (see DESIGN.md §7); ad-hoc configurations measured next to
+    {!measure} results must apply it too. *)
+val with_nursery_cap : Gsc.Config.t -> Gsc.Config.t
+
+(** Default pretenuring parameters. *)
+val cutoff : float
+
+val min_objects : int
+
+(** Forget every cached measurement (tests use this). *)
+val reset : unit -> unit

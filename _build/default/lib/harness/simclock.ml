@@ -1,0 +1,48 @@
+type t = {
+  client_seconds : float;
+  stack_seconds : float;
+  copy_seconds : float;
+}
+
+(* microseconds *)
+let cost_alloc_word = 0.08
+let cost_mut_op = 0.04
+let cost_update = 0.05
+let cost_pretenure_word = 0.01
+let cost_stub_hit = 0.5
+let cost_copy_word = 0.1
+let cost_frame_decode = 0.5
+let cost_slot_decode = 0.05
+let cost_frame_reuse = 0.02
+let cost_barrier_entry = 0.15
+let cost_region_word = 0.03
+let cost_gc_call = 5.0
+
+let us n cost = float_of_int n *. cost *. 1e-6
+
+let of_stats (s : Collectors.Gc_stats.t) =
+  let gcs = Collectors.Gc_stats.gcs s in
+  let client_seconds =
+    us s.Collectors.Gc_stats.words_allocated cost_alloc_word
+    +. us s.Collectors.Gc_stats.mutator_ops cost_mut_op
+    +. us s.Collectors.Gc_stats.pointer_updates cost_update
+    +. us s.Collectors.Gc_stats.words_pretenured cost_pretenure_word
+    +. us s.Collectors.Gc_stats.marker_stub_hits cost_stub_hit
+  in
+  let stack_seconds =
+    us s.Collectors.Gc_stats.frames_decoded cost_frame_decode
+    +. us s.Collectors.Gc_stats.slots_decoded cost_slot_decode
+    +. us s.Collectors.Gc_stats.frames_reused cost_frame_reuse
+    +. us s.Collectors.Gc_stats.marker_stubs_installed cost_frame_reuse
+    +. (0.2 *. us gcs cost_gc_call)
+  in
+  let copy_seconds =
+    us s.Collectors.Gc_stats.words_copied cost_copy_word
+    +. us s.Collectors.Gc_stats.barrier_entries_processed cost_barrier_entry
+    +. us s.Collectors.Gc_stats.words_region_scanned cost_region_word
+    +. (0.8 *. us gcs cost_gc_call)
+  in
+  { client_seconds; stack_seconds; copy_seconds }
+
+let gc_seconds t = t.stack_seconds +. t.copy_seconds
+let total_seconds t = t.client_seconds +. gc_seconds t

@@ -1,0 +1,55 @@
+(** The simulated clock.
+
+    Wall-clock time inside the simulator cannot reproduce the paper's
+    GC-to-mutator ratios: a simulated mutator operation costs three
+    orders of magnitude more host time than the machine operation it
+    stands for, while the collector's work (decoding trace entries,
+    copying words) is roughly host-speed.  All reported "times" are
+    therefore derived from the deterministic work counters with fixed
+    per-operation costs, loosely calibrated to the paper's 1998 Alpha
+    (~10 ns per mutator step).  This keeps every table reproducible
+    bit-for-bit and preserves exactly the quantities the paper studies:
+    who wins, by what factor, and where the cost sits (stack scan vs
+    copy vs barrier).  EXPERIMENTS.md states this substitution up front.
+
+    Cost constants (microseconds):
+    - [cost_alloc_word]: allocation, per word (bump + initialise).
+    - [cost_mut_op]: one mutator operation (call, load, store).
+    - [cost_update]: extra mutator cost of a barriered pointer store.
+    - [cost_pretenure_word]: extra per-word cost of the longer
+      pretenured-allocation sequence (Section 6).
+    - [cost_stub_hit]: a stack-marker stub activation (Section 5).
+    - [cost_copy_word]: copying one word, including its later to-space
+      scan.
+    - [cost_frame_decode] / [cost_slot_decode]: decoding one frame / one
+      slot trace during a stack scan.
+    - [cost_frame_reuse]: replaying one cached frame.
+    - [cost_barrier_entry]: processing one store-buffer entry.
+    - [cost_region_word]: scanning one pretenured-region word.
+    - [cost_gc_call]: fixed per-collection overhead (the paper observes
+      it dominating Checksum's tiny collections); charged 20% to the
+      stack phase and 80% to the copy phase. *)
+
+type t = {
+  client_seconds : float;
+  stack_seconds : float;
+  copy_seconds : float;    (** includes barrier and region-scan work *)
+}
+
+val cost_alloc_word : float
+val cost_mut_op : float
+val cost_update : float
+val cost_pretenure_word : float
+val cost_stub_hit : float
+val cost_copy_word : float
+val cost_frame_decode : float
+val cost_slot_decode : float
+val cost_frame_reuse : float
+val cost_barrier_entry : float
+val cost_region_word : float
+val cost_gc_call : float
+
+val of_stats : Collectors.Gc_stats.t -> t
+
+val gc_seconds : t -> float
+val total_seconds : t -> float

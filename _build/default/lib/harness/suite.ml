@@ -1,0 +1,43 @@
+type item = {
+  id : string;
+  title : string;
+  render : factor:float -> string;
+}
+
+let items =
+  [ { id = "table1";
+      title = "Benchmark programs";
+      render = (fun ~factor:_ -> Table1.render ()) };
+    { id = "table2";
+      title = "Allocation characteristics";
+      render = (fun ~factor -> Table2.render ~factor) };
+    { id = "table3";
+      title = "Semispace collector";
+      render = (fun ~factor -> Table3.render ~factor) };
+    { id = "table4";
+      title = "Generational collector";
+      render = (fun ~factor -> Table4.render ~factor) };
+    { id = "table5";
+      title = "Stack markers breakdown";
+      render = (fun ~factor -> Table5.render ~factor) };
+    { id = "table6";
+      title = "Pretenuring";
+      render = (fun ~factor -> Table6.render ~factor) };
+    { id = "table7";
+      title = "Relative GC time";
+      render = (fun ~factor -> Table7.render ~factor) };
+    { id = "figure2";
+      title = "Heap profiles";
+      render = (fun ~factor -> Figure2.render ~factor) };
+    { id = "ablation";
+      title = "Ablations";
+      render = (fun ~factor -> Ablation.render ~factor) } ]
+
+let render_all ~factor =
+  String.concat "\n\n"
+    (List.map (fun item -> item.render ~factor) items)
+
+let render_one ~factor id =
+  match List.find_opt (fun item -> item.id = id) items with
+  | Some item -> item.render ~factor
+  | None -> raise Not_found

@@ -1,0 +1,16 @@
+(** The whole reproduction: every table and figure in order. *)
+
+type item = {
+  id : string;       (** e.g. "table5" *)
+  title : string;
+  render : factor:float -> string;
+}
+
+val items : item list
+
+(** [render_all ~factor] runs everything and concatenates the output. *)
+val render_all : factor:float -> string
+
+(** [render_one ~factor id] runs a single item.
+    @raise Not_found on an unknown id. *)
+val render_one : factor:float -> string -> string

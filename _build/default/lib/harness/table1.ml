@@ -1,0 +1,16 @@
+let render () =
+  let grid =
+    Support.Textgrid.create
+      ~columns:[ Support.Textgrid.Left; Right; Left ]
+  in
+  Support.Textgrid.add_row grid [ "Program"; "lines"; "Description" ];
+  Support.Textgrid.add_rule grid;
+  List.iter
+    (fun w ->
+      Support.Textgrid.add_row grid
+        [ w.Workloads.Spec.name;
+          string_of_int w.Workloads.Spec.paper_lines;
+          w.Workloads.Spec.description ])
+    Workloads.Registry.all;
+  "Table 1: Benchmark programs (lines = size of the paper's original)\n"
+  ^ Support.Textgrid.render grid

@@ -1,0 +1,3 @@
+(** Table 1: the benchmark programs. *)
+
+val render : unit -> string

@@ -1,0 +1,29 @@
+let render ~factor =
+  let grid =
+    Support.Textgrid.create
+      ~columns:
+        [ Support.Textgrid.Left; Right; Right; Right; Right; Right; Right;
+          Right ]
+  in
+  Support.Textgrid.add_row grid
+    [ "Program"; "Total Alloc"; "Max Live"; "Records"; "Arrays";
+      "Max(Avg) Frames"; "New Frames"; "Pointer Updates" ];
+  Support.Textgrid.add_rule grid;
+  List.iter
+    (fun w ->
+      let sc = Runs.scale ~factor w in
+      let m = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Gen ~k:4.0 in
+      let max_live = Calibrate.max_live_bytes ~workload:w ~scale:sc in
+      Support.Textgrid.add_row grid
+        [ w.Workloads.Spec.name;
+          Support.Units.bytes m.Measure.bytes_allocated;
+          Support.Units.bytes max_live;
+          Support.Units.bytes m.Measure.bytes_alloc_records;
+          Support.Units.bytes m.Measure.bytes_alloc_arrays;
+          Printf.sprintf "%d(%.1f)" m.Measure.max_depth_overall
+            m.Measure.avg_depth_at_gc;
+          Printf.sprintf "%.1f" m.Measure.avg_new_frames;
+          string_of_int m.Measure.pointer_updates ])
+    Workloads.Registry.all;
+  "Table 2: Allocation characteristics of benchmarks (generational, k=4)\n"
+  ^ Support.Textgrid.render grid

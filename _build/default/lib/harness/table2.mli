@@ -1,0 +1,6 @@
+(** Table 2: allocation characteristics of the benchmarks — total
+    allocation, maximum live data, record vs array allocation, stack
+    depths seen by the collector, new frames per collection and pointer
+    updates.  Measured under the generational collector at k = 4. *)
+
+val render : factor:float -> string

@@ -1,0 +1,4 @@
+let render ~factor =
+  Ksweep.render
+    ~title:"Table 3: Time and space usage for semispace collector"
+    ~workloads:Workloads.Registry.all ~factor ~technique:Runs.Semi ()

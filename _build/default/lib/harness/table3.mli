@@ -1,0 +1,4 @@
+(** Table 3: time and space usage for the semispace collector at
+    k = 1.5, 2 and 4. *)
+
+val render : factor:float -> string

@@ -1,0 +1,8 @@
+let render ~factor =
+  Ksweep.render
+    ~title:"Table 4: Time and space usage for generational collector"
+    ~workloads:Workloads.Registry.all ~factor ~technique:Runs.Gen
+    ~extra:
+      ( "Avg Depth",
+        fun m -> Printf.sprintf "%.1f" m.Measure.avg_depth_at_gc )
+    ()

@@ -1,0 +1,4 @@
+(** Table 4: time and space usage for the generational collector at
+    k = 1.5, 2 and 4, with the average frame depth column. *)
+
+val render : factor:float -> string

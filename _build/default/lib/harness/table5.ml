@@ -1,0 +1,39 @@
+let render ~factor =
+  let grid =
+    Support.Textgrid.create
+      ~columns:
+        [ Support.Textgrid.Left; Right; Right; Right; Right; Right; Right;
+          Right; Right; Right ]
+  in
+  Support.Textgrid.add_row grid
+    [ "Program"; "GC"; "stack"; "copy"; "stack%"; "GC'"; "stack'"; "copy'";
+      "stack%'"; "GC% decreased" ];
+  Support.Textgrid.add_rule grid;
+  List.iter
+    (fun w ->
+      let sc = Runs.scale ~factor w in
+      let base = Runs.measure ~workload:w ~scale:sc ~technique:Runs.Gen ~k:4.0 in
+      let mark =
+        Runs.measure ~workload:w ~scale:sc ~technique:Runs.Markers ~k:4.0
+      in
+      let dec =
+        if base.Measure.gc_seconds = 0. then 0.
+        else
+          (base.Measure.gc_seconds -. mark.Measure.gc_seconds)
+          /. base.Measure.gc_seconds
+      in
+      Support.Textgrid.add_row grid
+        [ w.Workloads.Spec.name;
+          Support.Units.seconds base.Measure.gc_seconds;
+          Support.Units.seconds base.Measure.stack_seconds;
+          Support.Units.seconds base.Measure.copy_seconds;
+          Support.Units.percent (Measure.stack_share base);
+          Support.Units.seconds mark.Measure.gc_seconds;
+          Support.Units.seconds mark.Measure.stack_seconds;
+          Support.Units.seconds mark.Measure.copy_seconds;
+          Support.Units.percent (Measure.stack_share mark);
+          Support.Units.percent dec ])
+    Workloads.Registry.all;
+  "Table 5: Breakdown of GC cost at k=4, generational collection without \
+   (left) and with (right, primed) stack markers\n"
+  ^ Support.Textgrid.render grid

@@ -1,0 +1,5 @@
+(** Table 5: breakdown of GC cost at k = 4 under generational collection
+    without and with stack markers — GC time, stack-scan time, copy time,
+    the stack share, and the relative decrease in GC time. *)
+
+val render : factor:float -> string

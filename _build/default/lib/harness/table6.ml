@@ -1,0 +1,45 @@
+let target_names = [ "knuth-bendix"; "lexgen"; "nqueen"; "simple" ]
+
+let targets () = List.map Workloads.Registry.find target_names
+
+let render ~factor =
+  let sweep =
+    Ksweep.render
+      ~title:
+        "Table 6: Time and space usage for generational collector with \
+         pretenuring (stack markers on)"
+      ~workloads:(targets ()) ~factor ~technique:Runs.Pretenure ()
+  in
+  (* decrease columns, evaluated at k = 4 against markers-only *)
+  let grid =
+    Support.Textgrid.create
+      ~columns:[ Support.Textgrid.Left; Right; Right; Right; Right ]
+  in
+  Support.Textgrid.add_row grid
+    [ "Program"; "GC dec"; "Client dec"; "Total dec"; "Copied dec" ];
+  Support.Textgrid.add_rule grid;
+  List.iter
+    (fun w ->
+      let sc = Runs.scale ~factor w in
+      let base =
+        Runs.measure ~workload:w ~scale:sc ~technique:Runs.Markers ~k:4.0
+      in
+      let pre =
+        Runs.measure ~workload:w ~scale:sc ~technique:Runs.Pretenure ~k:4.0
+      in
+      let dec a b = if a = 0. then 0. else (a -. b) /. a in
+      Support.Textgrid.add_row grid
+        [ w.Workloads.Spec.name;
+          Support.Units.percent
+            (dec base.Measure.gc_seconds pre.Measure.gc_seconds);
+          Support.Units.percent
+            (dec base.Measure.client_seconds pre.Measure.client_seconds);
+          Support.Units.percent
+            (dec base.Measure.total_seconds pre.Measure.total_seconds);
+          Support.Units.percent
+            (dec
+               (float_of_int base.Measure.bytes_copied)
+               (float_of_int pre.Measure.bytes_copied)) ])
+    (targets ());
+  sweep ^ "\nRelative decreases at k=4 (vs generational + stack markers):\n"
+  ^ Support.Textgrid.render grid

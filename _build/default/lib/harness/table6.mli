@@ -1,0 +1,8 @@
+(** Table 6: time and space usage for the generational collector with
+    stack markers and profile-driven pretenuring, for the four workloads
+    the profiles single out (Knuth-Bendix, Lexgen, Nqueen, Simple), plus
+    the relative decreases against the markers-only configuration. *)
+
+val target_names : string list
+
+val render : factor:float -> string

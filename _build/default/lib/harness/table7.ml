@@ -1,0 +1,44 @@
+let bar width frac =
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'
+
+let techniques =
+  [ Runs.Semi; Runs.Gen; Runs.Markers; Runs.Pretenure ]
+
+let render ~factor =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Table 7: Relative GC time at k=4.0 (normalised to semispace = 1.00)\n";
+  List.iter
+    (fun w ->
+      let sc = Runs.scale ~factor w in
+      let baseline =
+        (Runs.measure ~workload:w ~scale:sc ~technique:Runs.Semi ~k:4.0)
+          .Measure.gc_seconds
+      in
+      Buffer.add_string buf (Printf.sprintf "%-14s\n" w.Workloads.Spec.name);
+      List.iter
+        (fun technique ->
+          (* pretenuring only applies where the profile selects sites *)
+          let applicable =
+            match technique with
+            | Runs.Pretenure | Runs.Pretenure_elide ->
+              not
+                (Gsc.Pretenure.is_empty
+                   (Runs.policy_of ~workload:w ~scale:sc ~scan_elision:false))
+            | Runs.Semi | Runs.Gen | Runs.Markers | Runs.Profiled -> true
+          in
+          if applicable then begin
+            let m = Runs.measure ~workload:w ~scale:sc ~technique ~k:4.0 in
+            let rel =
+              if baseline = 0. then 0. else m.Measure.gc_seconds /. baseline
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  %-22s %5.2f %s\n"
+                 (Runs.technique_name technique)
+                 rel
+                 (bar 40 (min rel 1.5 /. 1.5)))
+          end)
+        techniques)
+    Workloads.Registry.all;
+  Buffer.contents buf

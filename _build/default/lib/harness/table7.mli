@@ -1,0 +1,5 @@
+(** Table 7: relative GC time at k = 4 — the paper's bar chart comparing
+    the four techniques, normalised to the semispace collector, rendered
+    as ASCII bars. *)
+
+val render : factor:float -> string

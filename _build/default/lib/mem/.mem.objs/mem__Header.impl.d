@@ -1,0 +1,1 @@
+lib/mem/header.ml: Addr Format Memory Printf Value

@@ -1,0 +1,1 @@
+lib/mem/header.mli: Addr Format Memory

@@ -1,0 +1,1 @@
+lib/mem/space.ml: Addr Header Memory

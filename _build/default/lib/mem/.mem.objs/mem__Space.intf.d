@@ -1,0 +1,1 @@
+lib/mem/space.mli: Addr Memory

@@ -1,0 +1,1 @@
+lib/mem/value.ml: Addr Format

@@ -1,0 +1,1 @@
+lib/mem/value.mli: Addr Format

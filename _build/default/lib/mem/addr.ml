@@ -1,0 +1,36 @@
+type t = int
+
+let offset_bits = 30
+let offset_mask = (1 lsl offset_bits) - 1
+
+let null = -1
+
+let is_null a = a = null
+
+let make ~block ~offset =
+  if block < 0 then invalid_arg "Addr.make: negative block";
+  if offset < 0 || offset > offset_mask then invalid_arg "Addr.make: bad offset";
+  (block lsl offset_bits) lor offset
+
+let block a = a lsr offset_bits
+let offset a = a land offset_mask
+
+let add a n =
+  let off = offset a + n in
+  if off < 0 || off > offset_mask then invalid_arg "Addr.add: offset out of range";
+  ((a lsr offset_bits) lsl offset_bits) lor off
+
+let diff a b =
+  if block a <> block b then invalid_arg "Addr.diff: different blocks";
+  offset a - offset b
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Int.compare a b
+let encode_raw (a : t) = a
+let decode_raw (a : int) : t = a
+let hash (a : t) = Hashtbl.hash a
+
+let to_string a =
+  if is_null a then "<null>" else Printf.sprintf "%d:%d" (block a) (offset a)
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

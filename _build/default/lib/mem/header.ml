@@ -1,0 +1,112 @@
+type kind =
+  | Record of { mask : int }
+  | Ptr_array
+  | Nonptr_array
+
+type t = {
+  kind : kind;
+  len : int;
+  site : int;
+}
+
+let header_words = 3
+let max_record_fields = 40
+let max_site = (1 lsl 20) - 1
+
+(* word 0 encoding: [len lsl 6 | age lsl 3 | survivor lsl 2 | tag] with
+   tag 0 = record, 1 = ptr array, 2 = nonptr array, 3 = forwarded; age is
+   the 3-bit minor-collection survival counter used by aging nurseries.
+   word 1 encoding (non-forwarded): [mask lsl 20 | site]. *)
+
+let tag_record = 0
+let tag_ptr_array = 1
+let tag_nonptr_array = 2
+let tag_forwarded = 3
+
+let object_words h = header_words + h.len
+let payload_words h = h.len
+
+let is_pointer_field h i =
+  if i < 0 || i >= h.len then invalid_arg "Header.is_pointer_field";
+  match h.kind with
+  | Record { mask } -> mask land (1 lsl i) <> 0
+  | Ptr_array -> true
+  | Nonptr_array -> false
+
+let validate h =
+  if h.len < 0 then invalid_arg "Header: negative length";
+  if h.site < 0 || h.site > max_site then invalid_arg "Header: site out of range";
+  match h.kind with
+  | Record { mask } ->
+    if h.len > max_record_fields then invalid_arg "Header: record too large";
+    if mask lsr h.len <> 0 then invalid_arg "Header: mask wider than record"
+  | Ptr_array | Nonptr_array -> ()
+
+let write mem base h ~birth =
+  validate h;
+  let tag, extra =
+    match h.kind with
+    | Record { mask } -> tag_record, mask
+    | Ptr_array -> tag_ptr_array, 0
+    | Nonptr_array -> tag_nonptr_array, 0
+  in
+  Memory.set mem base (Value.Int ((h.len lsl 6) lor tag));
+  Memory.set mem (Addr.add base 1) (Value.Int ((extra lsl 20) lor h.site));
+  Memory.set mem (Addr.add base 2) (Value.Int birth)
+
+let word0 mem base = Value.to_int (Memory.get mem base)
+
+let read mem base =
+  let w0 = word0 mem base in
+  let tag = w0 land 3 and len = w0 lsr 6 in
+  if tag = tag_forwarded then invalid_arg "Header.read: forwarded object";
+  let w1 = Value.to_int (Memory.get mem (Addr.add base 1)) in
+  let site = w1 land max_site in
+  if tag = tag_record then { kind = Record { mask = w1 lsr 20 }; len; site }
+  else if tag = tag_ptr_array then { kind = Ptr_array; len; site }
+  else { kind = Nonptr_array; len; site }
+
+let birth mem base =
+  let w0 = word0 mem base in
+  if w0 land 3 = tag_forwarded then invalid_arg "Header.birth: forwarded object";
+  Value.to_int (Memory.get mem (Addr.add base 2))
+
+let forwarded mem base =
+  let w0 = word0 mem base in
+  if w0 land 3 = tag_forwarded then
+    Some (Value.to_addr (Memory.get mem (Addr.add base 1)))
+  else None
+
+let set_forward mem base ~target =
+  (* keep the original length in word 0 so from-space sweeps can still walk
+     over forwarded objects *)
+  let w0 = word0 mem base in
+  Memory.set mem base (Value.Int ((w0 land lnot 3) lor tag_forwarded));
+  Memory.set mem (Addr.add base 1) (Value.Ptr target)
+
+let field_addr base i = Addr.add base (header_words + i)
+
+let object_words_at mem base = header_words + (word0 mem base lsr 6)
+
+let max_age = 7
+
+let age mem base = (word0 mem base lsr 3) land 7
+
+let set_age mem base n =
+  if n < 0 || n > max_age then invalid_arg "Header.set_age";
+  let w0 = word0 mem base in
+  Memory.set mem base (Value.Int ((w0 land lnot (7 lsl 3)) lor (n lsl 3)))
+
+let survivor mem base = word0 mem base land 4 <> 0
+
+let set_survivor mem base =
+  Memory.set mem base (Value.Int (word0 mem base lor 4))
+
+let pp fmt h =
+  let kind_s =
+    match h.kind with
+    | Record { mask } -> Printf.sprintf "record(mask=%#x)" mask
+    | Ptr_array -> "ptr_array"
+    | Nonptr_array -> "nonptr_array"
+  in
+  Format.fprintf fmt "{%s len=%d site=%d}" kind_s h.len h.site

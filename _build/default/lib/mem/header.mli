@@ -1,0 +1,89 @@
+(** Object headers.
+
+    TIL represents heap objects as records (with a compile-time pointer
+    mask), pointer arrays and non-pointer arrays; the profiling build also
+    prepends an allocation-site identifier to every object (Section 6 of
+    the paper).  We fold both into a fixed three-word header:
+
+    - word 0: kind and payload length (or the forwarding tag),
+    - word 1: allocation-site id and, for records, the pointer mask
+      (or the forwarding target),
+    - word 2: birth clock — the value of the allocation byte counter when
+      the object was created; the profiler uses it to compute ages.
+
+    Records carry at most {!max_record_fields} fields so that the mask
+    fits in one word next to the site id. *)
+
+type kind =
+  | Record of { mask : int }  (** bit [i] set iff field [i] is a pointer *)
+  | Ptr_array                 (** every element is a pointer *)
+  | Nonptr_array              (** no element is a pointer *)
+
+type t = {
+  kind : kind;
+  len : int;   (** number of payload fields / elements *)
+  site : int;  (** allocation-site identifier *)
+}
+
+(** Words of header preceding the payload (always 3). *)
+val header_words : int
+
+val max_record_fields : int
+val max_site : int
+
+(** Total footprint of an object with this header, in words. *)
+val object_words : t -> int
+
+(** [payload_words h] is [h.len]. *)
+val payload_words : t -> int
+
+(** [is_pointer_field h i] tells whether payload slot [i] must be traced.
+    @raise Invalid_argument if [i] is outside the payload. *)
+val is_pointer_field : t -> int -> bool
+
+(** [write mem base h ~birth] stores the header at [base]. *)
+val write : Memory.t -> Addr.t -> t -> birth:int -> unit
+
+(** [read mem base] decodes a header.
+    @raise Invalid_argument if [base] holds a forwarding pointer. *)
+val read : Memory.t -> Addr.t -> t
+
+(** [birth mem base] reads the birth clock of a (non-forwarded) object. *)
+val birth : Memory.t -> Addr.t -> int
+
+(** The survivor bit records that the object has already been copied once
+    (promoted out of the nursery, or evacuated by a semispace collection);
+    the profiler uses it to count first survivals exactly once. *)
+val survivor : Memory.t -> Addr.t -> bool
+
+val set_survivor : Memory.t -> Addr.t -> unit
+
+(** The age counter: how many minor collections the object has survived
+    while staying in the nursery (aging-nursery tenuring policies;
+    Section 7.2 of the paper: "Counter bits within each object record
+    the number of minor collections the object has survived").  Capped
+    at {!max_age}. *)
+val max_age : int
+
+val age : Memory.t -> Addr.t -> int
+
+val set_age : Memory.t -> Addr.t -> int -> unit
+
+(** [forwarded mem base] is the forwarding target installed by a copying
+    collection, if any. *)
+val forwarded : Memory.t -> Addr.t -> Addr.t option
+
+(** [set_forward mem base ~target] overwrites the header with a forwarding
+    pointer to [target]. *)
+val set_forward : Memory.t -> Addr.t -> target:Addr.t -> unit
+
+(** [field_addr base i] is the address of payload slot [i] of the object at
+    [base]. *)
+val field_addr : Addr.t -> int -> Addr.t
+
+(** [object_words_at mem base] is the total footprint of the object at
+    [base], valid even when the object has been forwarded (from-space
+    sweeps need to step over corpses). *)
+val object_words_at : Memory.t -> Addr.t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  base : Addr.t;
+  words : int;
+  mutable next : Addr.t;
+}
+
+let create mem ~words =
+  if words <= 0 then invalid_arg "Space.create";
+  let base = Memory.alloc_block mem ~words in
+  { base; words; next = base }
+
+let base t = t.base
+let frontier t = t.next
+let size_words t = t.words
+let used_words t = Addr.diff t.next t.base
+let free_words t = t.words - used_words t
+
+let alloc t words =
+  if words < 0 then invalid_arg "Space.alloc";
+  if free_words t < words then None
+  else begin
+    let a = t.next in
+    t.next <- Addr.add t.next words;
+    Some a
+  end
+
+let contains t addr =
+  (not (Addr.is_null addr)) && Addr.block addr = Addr.block t.base
+
+let reset t = t.next <- t.base
+
+let release t mem = Memory.free_block mem t.base
+
+let iter_objects t mem f =
+  let rec walk a =
+    if Addr.diff a t.base < used_words t then begin
+      let words = Header.object_words_at mem a in
+      f a;
+      walk (Addr.add a words)
+    end
+  in
+  walk t.base

@@ -1,0 +1,40 @@
+(** A contiguous bump-allocated region backed by one memory block.
+
+    Semispaces, the nursery, the tenured area and Cheney to-spaces are all
+    [Space.t] values.  Allocation is a pointer bump; [contains] is a block
+    identity check, which is how the collectors classify pointers by
+    generation in O(1). *)
+
+type t
+
+(** [create mem ~words] reserves a fresh block of [words] words. *)
+val create : Memory.t -> words:int -> t
+
+(** [base t] is the address of the first word. *)
+val base : t -> Addr.t
+
+(** [frontier t] is the address of the next free word. *)
+val frontier : t -> Addr.t
+
+val size_words : t -> int
+val used_words : t -> int
+val free_words : t -> int
+
+(** [alloc t words] bumps the frontier, returning the base of the grant, or
+    [None] when the space is full. *)
+val alloc : t -> int -> Addr.t option
+
+(** [contains t addr] tells whether [addr] lies in this space's block. *)
+val contains : t -> Addr.t -> bool
+
+(** [reset t] empties the space (frontier back to base). *)
+val reset : t -> unit
+
+(** [release t mem] frees the backing block; the space must not be used
+    afterwards. *)
+val release : t -> Memory.t -> unit
+
+(** [iter_objects t mem f] walks the allocated objects laid out
+    back-to-back from [base] to [frontier], calling [f base_addr] on each
+    (including forwarded corpses). *)
+val iter_objects : t -> Memory.t -> (Addr.t -> unit) -> unit

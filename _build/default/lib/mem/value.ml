@@ -1,0 +1,36 @@
+type t =
+  | Int of int
+  | Ptr of Addr.t
+
+let null = Ptr Addr.null
+let zero = Int 0
+
+let is_ptr = function
+  | Ptr a -> not (Addr.is_null a)
+  | Int _ -> false
+
+let to_addr = function
+  | Ptr a when not (Addr.is_null a) -> a
+  | Ptr _ -> invalid_arg "Value.to_addr: null pointer"
+  | Int _ -> invalid_arg "Value.to_addr: integer"
+
+let to_int = function
+  | Int n -> n
+  | Ptr _ -> invalid_arg "Value.to_int: pointer"
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Ptr x, Ptr y -> Addr.equal x y
+  | Int _, Ptr _ | Ptr _, Int _ -> false
+
+let pp fmt = function
+  | Int n -> Format.fprintf fmt "i%d" n
+  | Ptr a -> Format.fprintf fmt "p%a" Addr.pp a
+
+let encode = function
+  | Int n -> (n lsl 1) lor 1
+  | Ptr a -> Addr.encode_raw a lsl 1
+
+let decode w =
+  if w land 1 = 1 then Int (w asr 1) else Ptr (Addr.decode_raw (w asr 1))

@@ -1,0 +1,38 @@
+(** Simulated machine words.
+
+    TIL is nearly tag-free: an integer is a raw word and a pointer is a raw
+    word; only the trace tables and object headers tell them apart.  The
+    simulation keeps the distinction in the value representation so that
+    collector invariants (e.g. "this root really is a pointer") can be
+    checked at every step, which a raw-word runtime cannot do. *)
+
+type t =
+  | Int of int          (** an unboxed integer (or raw non-pointer bits) *)
+  | Ptr of Addr.t       (** a pointer to a simulated heap object *)
+
+(** The null pointer, [Ptr Addr.null]. *)
+val null : t
+
+(** [zero] is [Int 0], the default content of fresh memory. *)
+val zero : t
+
+val is_ptr : t -> bool
+
+(** [to_addr v] extracts a (non-null) address.
+    @raise Invalid_argument if [v] is an [Int] or the null pointer. *)
+val to_addr : t -> Addr.t
+
+(** [to_int v] extracts an integer. @raise Invalid_argument on pointers. *)
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Packed single-int encoding, used by {!Memory} so that simulated heap
+    cells are unboxed host ints: integers carry a low tag bit of 1,
+    pointers of 0 (pointer payloads, including the null address -1, fit in
+    the remaining 62 bits). *)
+
+val encode : t -> int
+val decode : int -> t
+

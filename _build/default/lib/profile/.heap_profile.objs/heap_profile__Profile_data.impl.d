@@ -1,0 +1,1 @@
+lib/profile/profile_data.ml: Buffer Fun List Printf Profiler Site_stats String Support

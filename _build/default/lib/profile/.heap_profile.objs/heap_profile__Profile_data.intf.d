@@ -1,0 +1,1 @@
+lib/profile/profile_data.mli: Profiler

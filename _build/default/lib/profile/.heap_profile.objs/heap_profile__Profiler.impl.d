@@ -1,0 +1,1 @@
+lib/profile/profiler.ml: Collectors Hashtbl Int List Mem Site_stats

@@ -1,0 +1,1 @@
+lib/profile/profiler.mli: Collectors Site_stats

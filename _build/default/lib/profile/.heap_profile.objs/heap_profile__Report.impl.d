@@ -1,0 +1,1 @@
+lib/profile/report.ml: Buffer List Printf Profile_data Support

@@ -1,0 +1,1 @@
+lib/profile/report.mli: Profile_data

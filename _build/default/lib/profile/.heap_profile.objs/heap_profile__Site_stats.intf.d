@@ -1,0 +1,1 @@
+lib/profile/site_stats.mli:

@@ -1,0 +1,63 @@
+type t = {
+  now_bytes : unit -> int;
+  table : (int, Site_stats.t) Hashtbl.t;
+  edge_set : (int * int, unit) Hashtbl.t;
+  mutable total_alloc : int;
+  mutable total_copied : int;
+}
+
+let create ~now_bytes =
+  { now_bytes;
+    table = Hashtbl.create 256;
+    edge_set = Hashtbl.create 256;
+    total_alloc = 0;
+    total_copied = 0 }
+
+let site_stats t ~site =
+  match Hashtbl.find_opt t.table site with
+  | Some s -> s
+  | None ->
+    let s = Site_stats.create ~site in
+    Hashtbl.replace t.table site s;
+    s
+
+let note_alloc t ~site ~words =
+  let bytes = words * Mem.Memory.bytes_per_word in
+  let s = site_stats t ~site in
+  s.Site_stats.alloc_bytes <- s.Site_stats.alloc_bytes + bytes;
+  s.Site_stats.alloc_count <- s.Site_stats.alloc_count + 1;
+  t.total_alloc <- t.total_alloc + bytes
+
+let note_edge t ~from_site ~to_site =
+  let key = (from_site, to_site) in
+  if not (Hashtbl.mem t.edge_set key) then Hashtbl.replace t.edge_set key ()
+
+let object_hooks t =
+  let bytes_of words = words * Mem.Memory.bytes_per_word in
+  { Collectors.Hooks.on_first_survival =
+      (fun hdr ~words ->
+        let s = site_stats t ~site:hdr.Mem.Header.site in
+        s.Site_stats.survived_count <- s.Site_stats.survived_count + 1;
+        s.Site_stats.survived_bytes <- s.Site_stats.survived_bytes + bytes_of words);
+    on_copy =
+      (fun hdr ~words ->
+        let s = site_stats t ~site:hdr.Mem.Header.site in
+        s.Site_stats.copied_bytes <- s.Site_stats.copied_bytes + bytes_of words;
+        t.total_copied <- t.total_copied + bytes_of words);
+    on_die =
+      (fun hdr ~birth ~words:_ ->
+        let s = site_stats t ~site:hdr.Mem.Header.site in
+        let age_kb = float_of_int (t.now_bytes () - birth) /. 1024. in
+        s.Site_stats.death_count <- s.Site_stats.death_count + 1;
+        s.Site_stats.death_age_sum_kb <- s.Site_stats.death_age_sum_kb +. age_kb) }
+
+let sites t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.table []
+  |> List.sort (fun a b -> Int.compare a.Site_stats.site b.Site_stats.site)
+
+let edges t =
+  Hashtbl.fold (fun e () acc -> e :: acc) t.edge_set []
+  |> List.sort compare
+
+let total_alloc_bytes t = t.total_alloc
+let total_copied_bytes t = t.total_copied

@@ -1,0 +1,41 @@
+(** The heap profiler (Section 6).
+
+    The runtime plugs [object_hooks] into the collector and calls
+    [note_alloc] / [note_edge] at allocation and pointer-store time.  The
+    collector then reports first survivals, copies and deaths; the
+    profiler attributes each to the object's allocation site.
+
+    [note_edge] builds the site points-to graph (which sites' objects
+    hold pointers to which sites' objects).  The paper obtains this from
+    a data-flow analysis (Section 7.2); we substitute the observed
+    points-to relation of a profiling run, which supports the same
+    scan-elision decision. *)
+
+type t
+
+(** [create ~now_bytes] makes a profiler whose ages are measured against
+    the allocation clock [now_bytes] (total bytes allocated so far). *)
+val create : now_bytes:(unit -> int) -> t
+
+(** [note_alloc t ~site ~words] records an allocation. *)
+val note_alloc : t -> site:int -> words:int -> unit
+
+(** [note_edge t ~from_site ~to_site] records that an object born at
+    [from_site] held a pointer to an object born at [to_site]. *)
+val note_edge : t -> from_site:int -> to_site:int -> unit
+
+(** Collector callbacks; install into {!Collectors.Hooks.t}. *)
+val object_hooks : t -> Collectors.Hooks.object_hooks
+
+(** [site_stats t ~site] is the accumulator for [site] (created on
+    demand). *)
+val site_stats : t -> site:int -> Site_stats.t
+
+(** All sites with any recorded activity, ascending by site id. *)
+val sites : t -> Site_stats.t list
+
+(** The observed points-to edges, deduplicated. *)
+val edges : t -> (int * int) list
+
+val total_alloc_bytes : t -> int
+val total_copied_bytes : t -> int

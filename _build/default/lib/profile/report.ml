@@ -1,0 +1,79 @@
+let pct x = Printf.sprintf "%.2f%%" (100. *. x)
+
+let render ~title ~cutoff (data : Profile_data.t) =
+  let total_alloc = float_of_int data.Profile_data.total_alloc_bytes in
+  let total_copied = float_of_int data.Profile_data.total_copied_bytes in
+  let alloc_share (s : Profile_data.site) =
+    Support.Units.ratio (float_of_int s.Profile_data.alloc_bytes) total_alloc
+  in
+  let copied_share (s : Profile_data.site) =
+    Support.Units.ratio (float_of_int s.Profile_data.copied_bytes) total_copied
+  in
+  let visible s = alloc_share s > 0.01 || copied_share s > 0.01 in
+  let shown = List.filter visible data.Profile_data.sites in
+  (* dying sites first (by allocation share, descending), then the
+     long-lived sites, as in Figure 2 *)
+  let dying, old =
+    List.partition (fun s -> s.Profile_data.old_fraction < cutoff) shown
+  in
+  let dying =
+    List.sort (fun a b -> compare (alloc_share b) (alloc_share a)) dying
+  in
+  let grid =
+    Support.Textgrid.create
+      ~columns:
+        [ Support.Textgrid.Left; Right; Right; Right; Right; Right; Right;
+          Right; Right; Left ]
+  in
+  Support.Textgrid.add_row grid
+    [ "site"; "alloc %"; "alloc size"; "alloc count"; "% old"; "avg age";
+      "copied size"; "copied %"; "copied/alloc"; "" ];
+  Support.Textgrid.add_rule grid;
+  let add_site (s : Profile_data.site) =
+    let targeted = s.Profile_data.old_fraction >= cutoff in
+    Support.Textgrid.add_row grid
+      [ Printf.sprintf "%d (%s)" s.Profile_data.site s.Profile_data.name;
+        pct (alloc_share s);
+        string_of_int s.Profile_data.alloc_bytes;
+        string_of_int s.Profile_data.alloc_count;
+        Printf.sprintf "%.2f" (100. *. s.Profile_data.old_fraction);
+        Printf.sprintf "%.1f" s.Profile_data.avg_age_kb;
+        string_of_int s.Profile_data.copied_bytes;
+        pct (copied_share s);
+        Printf.sprintf "%.2f"
+          (Support.Units.ratio
+             (float_of_int s.Profile_data.copied_bytes)
+             (float_of_int s.Profile_data.alloc_bytes));
+        (if targeted then "<--" else "") ]
+  in
+  List.iter add_site dying;
+  List.iter add_site old;
+  let targeted_sites =
+    List.filter_map
+      (fun (s : Profile_data.site) ->
+        if s.Profile_data.old_fraction >= cutoff then Some s.Profile_data.site
+        else None)
+      data.Profile_data.sites
+  in
+  let copied_cover, alloc_cover =
+    Profile_data.targeted_shares data ~sites:targeted_sites
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "=========================== %s ===========================\n"
+       title);
+  Buffer.add_string buf (Support.Textgrid.render grid);
+  Buffer.add_string buf
+    "------------------ heap profile end : short ------------------\n";
+  Buffer.add_string buf "Showing only entries with alloc % > 1.00\n";
+  Buffer.add_string buf "                      or with copy  % > 1.00\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%d of %d entries displayed.\n" (List.length shown)
+       (List.length data.Profile_data.sites));
+  Buffer.add_string buf
+    (Printf.sprintf "Using a (%% old) cutoff of %.0f%%,\n" (100. *. cutoff));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "targeted sites comprise %s copied and %s allocated.\n"
+       (pct copied_cover) (pct alloc_cover));
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** The heap-profile report, in the layout of the paper's Figure 2.
+
+    Sites contributing at least 1% of allocated or of copied bytes are
+    shown; sites at or above the old-fraction cutoff are flagged with
+    ["<--"], and the summary lines report how much of the copied and
+    allocated volume the targeted sites cover. *)
+
+(** [render ~title ~cutoff data] produces the full report text.
+    [cutoff] is the old-fraction threshold (the paper uses 0.8). *)
+val render : title:string -> cutoff:float -> Profile_data.t -> string

@@ -1,0 +1,31 @@
+type t = {
+  site : int;
+  mutable alloc_bytes : int;
+  mutable alloc_count : int;
+  mutable survived_count : int;
+  mutable survived_bytes : int;
+  mutable copied_bytes : int;
+  mutable death_count : int;
+  mutable death_age_sum_kb : float;
+}
+
+let create ~site =
+  { site;
+    alloc_bytes = 0;
+    alloc_count = 0;
+    survived_count = 0;
+    survived_bytes = 0;
+    copied_bytes = 0;
+    death_count = 0;
+    death_age_sum_kb = 0. }
+
+let old_fraction t =
+  if t.alloc_count = 0 then 0.
+  else float_of_int t.survived_count /. float_of_int t.alloc_count
+
+let avg_age_kb t =
+  if t.death_count = 0 then 0. else t.death_age_sum_kb /. float_of_int t.death_count
+
+let copied_over_alloc t =
+  if t.alloc_bytes = 0 then 0.
+  else float_of_int t.copied_bytes /. float_of_int t.alloc_bytes

@@ -1,0 +1,31 @@
+(** Per-allocation-site accumulators (Section 6).
+
+    For every site the profiler tracks what Figure 2 reports: bytes and
+    objects allocated, objects surviving the first collection after their
+    creation ("% old"), bytes copied over all collections, and the average
+    age at death.  Ages are measured on the allocation clock — bytes
+    allocated between birth and death — and reported in kilobytes,
+    matching the paper's use of allocation volume as logical time. *)
+
+type t = {
+  site : int;
+  mutable alloc_bytes : int;
+  mutable alloc_count : int;
+  mutable survived_count : int;  (** objects that survived their first GC *)
+  mutable survived_bytes : int;
+  mutable copied_bytes : int;    (** every copy of every object, summed *)
+  mutable death_count : int;
+  mutable death_age_sum_kb : float;
+}
+
+val create : site:int -> t
+
+(** Fraction of allocated objects that survived their first collection,
+    in [0, 1]. *)
+val old_fraction : t -> float
+
+(** Mean age at death in KB of allocation, over observed deaths. *)
+val avg_age_kb : t -> float
+
+(** [copied_over_alloc t] is copied bytes / allocated bytes. *)
+val copied_over_alloc : t -> float

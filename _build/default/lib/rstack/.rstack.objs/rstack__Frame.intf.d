@@ -1,0 +1,1 @@
+lib/rstack/frame.mli: Mem

@@ -1,0 +1,1 @@
+lib/rstack/markers.ml: Frame Stack_ Support

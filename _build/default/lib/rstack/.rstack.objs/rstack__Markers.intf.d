@@ -1,0 +1,1 @@
+lib/rstack/markers.mli: Frame Stack_

@@ -1,0 +1,1 @@
+lib/rstack/reg_file.ml: Array Mem Trace

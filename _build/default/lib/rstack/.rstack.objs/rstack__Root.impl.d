@@ -1,0 +1,1 @@
+lib/rstack/root.ml: Array Format Frame Mem Reg_file

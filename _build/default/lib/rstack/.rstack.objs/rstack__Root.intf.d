@@ -1,0 +1,1 @@
+lib/rstack/root.mli: Format Frame Mem Reg_file

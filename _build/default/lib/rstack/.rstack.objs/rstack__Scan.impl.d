@@ -1,0 +1,1 @@
+lib/rstack/scan.ml: Array Frame List Mem Reg_file Root Scan_cache Stack_ Trace Trace_table

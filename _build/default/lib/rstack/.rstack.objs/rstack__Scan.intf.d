@@ -1,0 +1,1 @@
+lib/rstack/scan.mli: Reg_file Root Scan_cache Stack_

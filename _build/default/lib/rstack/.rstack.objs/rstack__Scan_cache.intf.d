@@ -1,0 +1,1 @@
+lib/rstack/scan_cache.mli:

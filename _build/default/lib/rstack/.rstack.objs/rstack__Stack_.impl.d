@@ -1,0 +1,1 @@
+lib/rstack/stack_.ml: Array Frame Mem Support Trace Trace_table

@@ -1,0 +1,1 @@
+lib/rstack/stack_.mli: Frame Trace_table

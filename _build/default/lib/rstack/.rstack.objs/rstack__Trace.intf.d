@@ -1,0 +1,1 @@
+lib/rstack/trace.mli: Format

@@ -1,0 +1,1 @@
+lib/rstack/trace_table.ml: Array Format Support Trace

@@ -1,0 +1,1 @@
+lib/rstack/trace_table.mli: Format Trace

@@ -1,0 +1,19 @@
+type t = {
+  key : int;
+  slots : Mem.Value.t array;
+  serial : int;
+  mutable marked : bool;
+}
+
+let create ~key ~size ~serial =
+  { key; slots = Array.make size Mem.Value.zero; serial; marked = false }
+
+let get t i =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Frame.get";
+  t.slots.(i)
+
+let set t i v =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Frame.set";
+  t.slots.(i) <- v
+
+let size t = Array.length t.slots

@@ -1,0 +1,16 @@
+type t = { regs : Mem.Value.t array }
+
+let create () = { regs = Array.make Trace.num_registers Mem.Value.zero }
+
+let check r =
+  if r < 0 || r >= Trace.num_registers then invalid_arg "Reg_file: bad register"
+
+let get t r =
+  check r;
+  t.regs.(r)
+
+let set t r v =
+  check r;
+  t.regs.(r) <- v
+
+let clear t = Array.fill t.regs 0 Trace.num_registers Mem.Value.zero

@@ -1,0 +1,20 @@
+type t =
+  | Frame_slot of Frame.t * int
+  | Register of Reg_file.t * int
+  | Global of Mem.Value.t array * int
+
+let get = function
+  | Frame_slot (f, i) -> Frame.get f i
+  | Register (rf, r) -> Reg_file.get rf r
+  | Global (cells, i) -> cells.(i)
+
+let set root v =
+  match root with
+  | Frame_slot (f, i) -> Frame.set f i v
+  | Register (rf, r) -> Reg_file.set rf r v
+  | Global (cells, i) -> cells.(i) <- v
+
+let pp fmt = function
+  | Frame_slot (f, i) -> Format.fprintf fmt "slot[serial=%d,%d]" f.Frame.serial i
+  | Register (_, r) -> Format.fprintf fmt "reg[%d]" r
+  | Global (_, i) -> Format.fprintf fmt "global[%d]" i

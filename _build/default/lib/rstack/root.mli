@@ -1,0 +1,15 @@
+(** Root locations.
+
+    A root is a *location* holding a pointer, not the pointer itself: a
+    copying collector must be able to update the location after moving the
+    referent.  Roots live in stack slots, registers, or the runtime's
+    global table. *)
+
+type t =
+  | Frame_slot of Frame.t * int
+  | Register of Reg_file.t * int
+  | Global of Mem.Value.t array * int
+
+val get : t -> Mem.Value.t
+val set : t -> Mem.Value.t -> unit
+val pp : Format.formatter -> t -> unit

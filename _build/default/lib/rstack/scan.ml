@@ -1,0 +1,99 @@
+type mode =
+  | Minor
+  | Full
+
+type result = {
+  depth : int;
+  frames_decoded : int;
+  frames_reused : int;
+  slots_decoded : int;
+  roots_visited : int;
+}
+
+let type_code_of regs frame = function
+  | Trace.Type_in_slot i -> Mem.Value.to_int (Frame.get frame i)
+  | Trace.Type_in_reg r -> Mem.Value.to_int (Reg_file.get regs r)
+
+(* Decode one frame given the caller-side register status; returns the
+   root slot indexes.  [status] is updated in place to the status after
+   this frame. *)
+let decode table regs frame (status : bool array) =
+  let entry = Trace_table.lookup table frame.Frame.key in
+  let roots = ref [] in
+  let add i = roots := i :: !roots in
+  Array.iteri
+    (fun i trace ->
+      match trace with
+      | Trace.Ptr -> add i
+      | Trace.Non_ptr -> ()
+      | Trace.Callee_save r -> if status.(r) then add i
+      | Trace.Compute src ->
+        let code = type_code_of regs frame src in
+        if code = Trace.type_code_boxed then add i
+        else if code <> Trace.type_code_word then
+          invalid_arg "Scan: bad runtime type code")
+    entry.Trace_table.slots;
+  for r = 0 to Trace.num_registers - 1 do
+    status.(r) <-
+      (match entry.Trace_table.regs.(r) with
+       | Trace.Reg_ptr -> true
+       | Trace.Reg_non_ptr -> false
+       | Trace.Reg_callee_save -> status.(r))
+  done;
+  let slots_seen = Array.length entry.Trace_table.slots in
+  Array.of_list (List.rev !roots), slots_seen
+
+let run ~stack ~regs ~cache ~valid_prefix ~mode ~visit =
+  let depth = Stack_.depth stack in
+  if valid_prefix < 0 then invalid_arg "Scan.run: negative prefix";
+  if valid_prefix > depth || valid_prefix > Scan_cache.length cache then
+    invalid_arg "Scan.run: valid prefix exceeds stack or cache";
+  let table = Stack_.table stack in
+  let frames_decoded = ref 0 in
+  let frames_reused = ref 0 in
+  let slots_decoded = ref 0 in
+  let roots_visited = ref 0 in
+  let emit root =
+    incr roots_visited;
+    visit root
+  in
+  (* resume pass two at the prefix boundary *)
+  let status = Array.make Trace.num_registers false in
+  if valid_prefix > 0 then begin
+    let boundary = Scan_cache.get cache (valid_prefix - 1) in
+    Array.blit boundary.Scan_cache.reg_status_after 0 status 0 Trace.num_registers
+  end;
+  (* cached prefix *)
+  for i = 0 to valid_prefix - 1 do
+    let frame = Stack_.frame_at stack i in
+    let entry = Scan_cache.get cache i in
+    if entry.Scan_cache.serial <> frame.Frame.serial then
+      invalid_arg "Scan.run: cache serial mismatch (marker invariant broken)";
+    incr frames_reused;
+    match mode with
+    | Minor -> ()
+    | Full ->
+      Array.iter (fun s -> emit (Root.Frame_slot (frame, s))) entry.Scan_cache.root_slots
+  done;
+  (* fresh frames *)
+  for i = valid_prefix to depth - 1 do
+    let frame = Stack_.frame_at stack i in
+    let root_slots, slots_seen = decode table regs frame status in
+    incr frames_decoded;
+    slots_decoded := !slots_decoded + slots_seen;
+    Array.iter (fun s -> emit (Root.Frame_slot (frame, s))) root_slots;
+    Scan_cache.record cache i
+      { Scan_cache.serial = frame.Frame.serial;
+        root_slots;
+        reg_status_after = Array.copy status }
+  done;
+  Scan_cache.truncate cache depth;
+  (* live registers at the collection point *)
+  for r = 0 to Trace.num_registers - 1 do
+    if status.(r) then emit (Root.Register (regs, r))
+  done;
+  { depth;
+    frames_decoded = !frames_decoded;
+    frames_reused = !frames_reused;
+    slots_decoded = !slots_decoded;
+    roots_visited = !roots_visited }

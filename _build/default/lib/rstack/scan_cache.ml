@@ -1,0 +1,23 @@
+type entry = {
+  serial : int;
+  root_slots : int array;
+  reg_status_after : bool array;
+}
+
+type t = { entries : entry Support.Vec.t }
+
+let create () = { entries = Support.Vec.create () }
+
+let length t = Support.Vec.length t.entries
+
+let get t i = Support.Vec.get t.entries i
+
+let record t i entry =
+  let len = length t in
+  if i < len then Support.Vec.set t.entries i entry
+  else if i = len then Support.Vec.push t.entries entry
+  else invalid_arg "Scan_cache.record: sparse write"
+
+let truncate t n = Support.Vec.truncate t.entries n
+
+let clear t = Support.Vec.clear t.entries

@@ -1,0 +1,34 @@
+(** Cached per-frame scan results.
+
+    Decoding a frame is the expensive part of root processing: walking its
+    trace-table entry, resolving callee-save chains and computing dynamic
+    pointerness.  The cache stores, for every frame depth scanned last
+    time, the decoded root slot indexes and the register pointer-status
+    vector *after* that frame, so a later scan can resume pass two from an
+    arbitrary prefix boundary. *)
+
+type entry = {
+  serial : int;                (** birth stamp of the cached frame *)
+  root_slots : int array;      (** slot indexes that are pointer roots *)
+  reg_status_after : bool array;
+    (** register pointer status after this frame; length
+        {!Trace.num_registers} *)
+}
+
+type t
+
+val create : unit -> t
+val length : t -> int
+
+(** [get t i] returns the cached entry for frame index [i].
+    @raise Invalid_argument when out of range. *)
+val get : t -> int -> entry
+
+(** [record t i entry] stores [entry] at index [i]; [i] must be at most
+    [length t] (the cache grows densely). *)
+val record : t -> int -> entry -> unit
+
+(** [truncate t n] forgets entries at indexes [>= n]. *)
+val truncate : t -> int -> unit
+
+val clear : t -> unit

@@ -1,0 +1,34 @@
+type compute_src =
+  | Type_in_slot of int
+  | Type_in_reg of int
+
+let type_code_word = 0
+let type_code_boxed = 1
+
+type slot_trace =
+  | Ptr
+  | Non_ptr
+  | Callee_save of int
+  | Compute of compute_src
+
+type reg_trace =
+  | Reg_ptr
+  | Reg_non_ptr
+  | Reg_callee_save
+
+let num_registers = 32
+
+let pp_compute_src fmt = function
+  | Type_in_slot i -> Format.fprintf fmt "STACK %d" i
+  | Type_in_reg r -> Format.fprintf fmt "REG %d" r
+
+let pp_slot_trace fmt = function
+  | Ptr -> Format.pp_print_string fmt "POINTER"
+  | Non_ptr -> Format.pp_print_string fmt "NON-POINTER"
+  | Callee_save r -> Format.fprintf fmt "CALLEE $%d" r
+  | Compute src -> Format.fprintf fmt "COMPUTE: %a" pp_compute_src src
+
+let pp_reg_trace fmt = function
+  | Reg_ptr -> Format.pp_print_string fmt "ptr"
+  | Reg_non_ptr -> Format.pp_print_string fmt "non-ptr"
+  | Reg_callee_save -> Format.pp_print_string fmt "callee-save"

@@ -1,0 +1,42 @@
+(** Trace descriptors (Section 2.3 of the paper).
+
+    A trace-table entry describes, for every stack slot and every register
+    at a given return point, how the collector must treat the value:
+
+    - [Ptr]: statically known pointer; always a root.
+    - [Non_ptr]: statically known non-pointer; never a root.
+    - [Callee_save r]: the slot holds the caller's value of register [r]
+      (spilled by the callee); whether it is a root depends on the
+      caller's status for [r], which is why the stack scan is two-pass.
+    - [Compute src]: polymorphic value whose pointerness the compiler could
+      not determine statically; the collector reads a runtime type from
+      [src] and decides dynamically. *)
+
+(** Where the runtime type of a [Compute] slot lives. *)
+type compute_src =
+  | Type_in_slot of int  (** type code stored in slot [i] of this frame *)
+  | Type_in_reg of int   (** type code stored in register [r] *)
+
+(** Runtime type codes stored at a [compute_src] location (the real TIL
+    stores a pointer to a type-representation record; a two-valued code
+    carries the same decision). *)
+val type_code_word : int   (* 0: unboxed word, not a root *)
+val type_code_boxed : int  (* 1: boxed value, trace it *)
+
+type slot_trace =
+  | Ptr
+  | Non_ptr
+  | Callee_save of int
+  | Compute of compute_src
+
+type reg_trace =
+  | Reg_ptr         (** register holds a pointer at this return point *)
+  | Reg_non_ptr     (** register holds a non-pointer *)
+  | Reg_callee_save (** register preserved across this call; status
+                        inherited from the caller *)
+
+(** Number of simulated general-purpose registers (the Alpha has 32). *)
+val num_registers : int
+
+val pp_slot_trace : Format.formatter -> slot_trace -> unit
+val pp_reg_trace : Format.formatter -> reg_trace -> unit

@@ -1,0 +1,47 @@
+type entry = {
+  name : string;
+  slots : Trace.slot_trace array;
+  regs : Trace.reg_trace array;
+}
+
+type t = { entries : entry Support.Vec.t }
+
+let create () = { entries = Support.Vec.create () }
+
+let validate entry =
+  if Array.length entry.regs <> Trace.num_registers then
+    invalid_arg "Trace_table.register: register descriptor has wrong arity";
+  let nslots = Array.length entry.slots in
+  let check_slot i = if i < 0 || i >= nslots then
+    invalid_arg "Trace_table.register: slot index out of frame" in
+  let check_reg r = if r < 0 || r >= Trace.num_registers then
+    invalid_arg "Trace_table.register: register index out of range" in
+  let check = function
+    | Trace.Ptr | Trace.Non_ptr -> ()
+    | Trace.Callee_save r -> check_reg r
+    | Trace.Compute (Trace.Type_in_slot i) -> check_slot i
+    | Trace.Compute (Trace.Type_in_reg r) -> check_reg r
+  in
+  Array.iter check entry.slots
+
+let register t entry =
+  validate entry;
+  Support.Vec.push t.entries entry;
+  Support.Vec.length t.entries - 1
+
+let lookup t key =
+  if key < 0 || key >= Support.Vec.length t.entries then
+    invalid_arg "Trace_table.lookup: unknown key";
+  Support.Vec.get t.entries key
+
+let frame_size t key = Array.length (lookup t key).slots
+
+let size t = Support.Vec.length t.entries
+
+let plain_regs () = Array.make Trace.num_registers Trace.Reg_non_ptr
+
+let pp_entry ~key fmt entry =
+  Format.fprintf fmt "Key=%#x (%s)@\n" key entry.name;
+  Format.fprintf fmt "Frame Size = %d@\n" (Array.length entry.slots);
+  Array.iter (fun s -> Format.fprintf fmt "%a@\n" Trace.pp_slot_trace s) entry.slots;
+  Format.fprintf fmt "Trace Info on Registers@\n"

@@ -1,0 +1,1 @@
+lib/support/textgrid.ml: Array Buffer List String Vec

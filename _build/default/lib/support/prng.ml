@@ -1,0 +1,28 @@
+(* Splitmix64, truncated to OCaml's 63-bit native ints.  The constants are
+   the reference ones from Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators" (OOPSLA 2014). *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  bits t mod bound
+
+let float t = float_of_int (bits t) /. 4611686018427387904.0 (* 2^62 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let split t = { state = next_int64 t }

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator.
+
+    Workloads must be reproducible across runs and machines, so they never
+    touch [Random]; they draw from a splitmix64 stream seeded explicitly.
+    The stream is stable: the same seed always yields the same sequence. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] draws a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bits t] draws 62 uniform pseudo-random bits (a non-negative int). *)
+val bits : t -> int
+
+(** [float t] draws a uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] draws a uniform boolean. *)
+val bool : t -> bool
+
+(** [split t] derives an independent stream; the parent advances once. *)
+val split : t -> t

@@ -1,0 +1,60 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  columns : align array;
+  rows : row Vec.t;
+}
+
+let create ~columns = { columns = Array.of_list columns; rows = Vec.create () }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.columns then
+    invalid_arg "Textgrid.add_row: arity mismatch";
+  Vec.push t.rows (Cells cells)
+
+let add_rule t = Vec.push t.rows Rule
+
+let render t =
+  let ncols = Array.length t.columns in
+  let widths = Array.make ncols 0 in
+  Vec.iter
+    (function
+      | Rule -> ()
+      | Cells cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    t.rows;
+  let buf = Buffer.create 1024 in
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    match t.columns.(i) with
+    | Left -> c ^ String.make n ' '
+    | Right -> String.make n ' ' ^ c
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  Vec.iter
+    (function
+      | Rule ->
+        Buffer.add_string buf (String.make (max total_width 1) '-');
+        Buffer.add_char buf '\n'
+      | Cells cells ->
+        let line = String.concat "  " (List.mapi pad cells) in
+        (* trim trailing padding so rendered output has no dangling blanks *)
+        let line =
+          let n = ref (String.length line) in
+          while !n > 0 && line.[!n - 1] = ' ' do decr n done;
+          String.sub line 0 !n
+        in
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let render_rows ~columns rows =
+  let t = create ~columns in
+  List.iter (add_row t) rows;
+  render t

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the harness and profiler reports.
+
+    A grid is a list of rows; each row is a list of cells.  Columns are
+    padded to the widest cell.  The first row may be marked as a header, in
+    which case a rule is drawn under it. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~columns] makes an empty grid with the given column
+    alignments. *)
+val create : columns:align list -> t
+
+(** [add_row t cells] appends a row.
+    @raise Invalid_argument if the arity differs from [columns]. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal rule spanning all columns. *)
+val add_rule : t -> unit
+
+(** [render t] lays the grid out with two spaces between columns. *)
+val render : t -> string
+
+(** [render_rows ~columns rows] is a one-shot convenience wrapper. *)
+val render_rows : columns:align list -> string list list -> string

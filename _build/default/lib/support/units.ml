@@ -1,0 +1,14 @@
+let bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.0fKB" (f /. 1024.)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%.1fMB" (f /. (1024. *. 1024.))
+  else Printf.sprintf "%.2fGB" (f /. (1024. *. 1024. *. 1024.))
+
+let seconds s = Printf.sprintf "%.2f" s
+
+let percent x = Printf.sprintf "%.2f%%" (100. *. x)
+
+let int_plain n = string_of_int n
+
+let ratio a b = if b = 0. then 0. else a /. b

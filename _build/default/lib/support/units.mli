@@ -1,0 +1,20 @@
+(** Formatting helpers for byte counts, times and percentages, used by the
+    harness tables and the profiler reports. *)
+
+(** [bytes n] renders [n] bytes with a binary-unit suffix, e.g. ["16KB"],
+    ["3.4MB"], matching the style of the paper's tables. *)
+val bytes : int -> string
+
+(** [seconds s] renders a duration with two decimal places, e.g. ["8.07"]. *)
+val seconds : float -> string
+
+(** [percent x] renders a ratio [x] in [0,1] as a percentage with two
+    decimals, e.g. ["76.09%"]. *)
+val percent : float -> string
+
+(** [int_thousands n] renders an integer without separators (the paper uses
+    plain digit runs in its tables). *)
+val int_plain : int -> string
+
+(** [ratio a b] is [a /. b] guarding against a zero denominator. *)
+val ratio : float -> float -> float

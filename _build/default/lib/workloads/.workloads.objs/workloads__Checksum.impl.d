@@ -1,0 +1,1 @@
+lib/workloads/checksum.ml: Array Dsl Gsc Mem Printf Spec Support

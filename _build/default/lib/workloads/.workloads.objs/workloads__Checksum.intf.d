@@ -1,0 +1,1 @@
+lib/workloads/checksum.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/color.ml: Dsl Gsc Mem Printf Spec

@@ -1,0 +1,1 @@
+lib/workloads/color.mli: Spec

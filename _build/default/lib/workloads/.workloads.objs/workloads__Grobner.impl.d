@@ -1,0 +1,1 @@
+lib/workloads/grobner.ml: Buffer Dsl Gsc List Mem Printf Spec Support

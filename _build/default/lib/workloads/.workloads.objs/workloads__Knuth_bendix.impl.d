@@ -1,0 +1,1 @@
+lib/workloads/knuth_bendix.ml: Dsl Gsc List Mem Printf Spec Support

@@ -1,0 +1,1 @@
+lib/workloads/knuth_bendix.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/lexgen.ml: Dsl Gsc Hashtbl Int List Mem Printf Set Spec Support

@@ -1,0 +1,1 @@
+lib/workloads/lexgen.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/life.ml: Dsl Gsc List Mem Printf Set Spec

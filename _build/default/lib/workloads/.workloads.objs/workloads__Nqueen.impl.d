@@ -1,0 +1,1 @@
+lib/workloads/nqueen.ml: Array Dsl Gsc Mem Printf Spec

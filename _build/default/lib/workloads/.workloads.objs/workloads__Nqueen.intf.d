@@ -1,0 +1,1 @@
+lib/workloads/nqueen.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/peg.ml: Array Dsl Gsc List Printf Spec

@@ -1,0 +1,1 @@
+lib/workloads/peg.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/pia.ml: Dsl Gsc Printf Spec

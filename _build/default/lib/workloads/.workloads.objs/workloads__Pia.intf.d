@@ -1,0 +1,1 @@
+lib/workloads/pia.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Checksum Color Fft Grobner Knuth_bendix Lexgen Life List Nqueen Peg Pia Simple Spec

@@ -1,0 +1,1 @@
+lib/workloads/simple.ml: Array Dsl Gsc Printf Spec

@@ -1,0 +1,1 @@
+lib/workloads/simple.mli: Spec

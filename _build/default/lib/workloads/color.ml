@@ -1,0 +1,74 @@
+(* Color (Table 1): brute-force graph colouring.  We colour a long path
+   graph with three colours by depth-first search: one stack frame per
+   vertex, so the simulated stack reaches [scale] frames and stays deep
+   while solutions are enumerated by toggling the deepest vertices — the
+   paper's prototypical deep-stack benchmark (482 frames, 74% GC-time
+   reduction from stack markers).
+
+   Enumeration stops after [cap] complete colourings via a simulated
+   exception, which also exercises the marker watermark on a deep
+   unwind. *)
+
+module R = Gsc.Runtime
+
+let cap_for scale = scale * 40
+
+let run rt ~scale =
+  let n = scale in
+  if n < 2 then invalid_arg "color: scale must be at least 2";
+  let cap = cap_for scale in
+  let s_assign = R.register_site rt ~name:"color.assign" in
+  let s_domain = R.register_site rt ~name:"color.domain" in
+  (* main: 0 = counter box, 1 = scratch *)
+  let k_main = R.register_frame rt ~name:"color.main" ~slots:(Dsl.slots "pp") in
+  (* vertex: 0 = assignment list (arg), 1 = counter box (arg),
+     2 = domain list, 3 = extended assignment *)
+  let k_vertex =
+    R.register_frame rt ~name:"color.vertex" ~slots:(Dsl.slots "pppp")
+  in
+  let rec colour v assign_val counter_val =
+    R.call rt ~key:k_vertex ~args:[ assign_val; counter_val ] (fun () ->
+      if v = n then begin
+        (* complete colouring: bump the counter; escape at the cap *)
+        let c = R.field_int rt ~obj:(R.Slot 1) ~idx:0 in
+        R.store_field rt ~obj:(R.Slot 1) ~idx:0 (R.I (R.Imm (c + 1)));
+        if c + 1 >= cap then R.raise_exn rt (R.Imm (c + 1))
+      end
+      else begin
+        let prev =
+          if R.is_nil rt (R.Slot 0) then -1 else Dsl.list_head_int rt ~list:0
+        in
+        (* materialise the candidate domain as a short-lived list *)
+        R.set_slot rt 2 Mem.Value.null;
+        for c = 2 downto 0 do
+          if c <> prev then Dsl.cons_int rt ~site:s_domain ~list:2 c
+        done;
+        while not (R.is_nil rt (R.Slot 2)) do
+          let c = Dsl.list_head_int rt ~list:2 in
+          R.alloc_record rt ~site:s_assign ~dst:(R.To_slot 3)
+            [ R.I (R.Imm c); R.P (R.Slot 0) ];
+          colour (v + 1) (R.get_slot rt 3) (R.get_slot rt 1);
+          Dsl.list_advance rt ~list:2
+        done
+      end)
+  in
+  R.call rt ~key:k_main ~args:[] (fun () ->
+    R.alloc_record rt ~site:s_assign ~dst:(R.To_slot 0) [ R.I (R.Imm 0) ];
+    let found =
+      R.try_with rt
+        (fun () ->
+          colour 0 Mem.Value.null (R.get_slot rt 0);
+          R.field_int rt ~obj:(R.Slot 0) ~idx:0)
+        ~handler:(fun () -> Mem.Value.to_int (R.exn_value rt))
+    in
+    (* a path of n >= 2 vertices has 3 * 2^(n-1) proper 3-colourings,
+       far above the cap for every scale used *)
+    if found <> cap then
+      failwith (Printf.sprintf "color: found %d colourings, want %d" found cap))
+
+let workload =
+  { Spec.name = "color";
+    description = "Brute-force graph colouring (3-colouring a long path)";
+    paper_lines = 110;
+    default_scale = 400;
+    run }

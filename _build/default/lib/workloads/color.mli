@@ -1,0 +1,6 @@
+(** The color benchmark (paper Table 1), re-implemented as a real
+    computation against the simulated runtime; the run self-verifies
+    against a native mirror.  See the implementation header for the
+    memory-shape notes. *)
+
+val workload : Spec.t

@@ -1,0 +1,398 @@
+(* Knuth-Bendix (Table 1): completion, here for string rewriting over a
+   four-letter alphabet with the shortlex order.  Equations are
+   normalized against the rule set, oriented into rules, and critical
+   pairs (overlaps and containments) are queued — no interreduction, an
+   equation budget bounds the run, and critical pairs longer than
+   [max_word_len] are discarded (same-length rules otherwise make pair
+   lengths add without bound); all three pragmatics are noted in
+   DESIGN.md.
+
+   The memory shape matches the paper's: the rule database grows
+   monotonically (rules and their words are long-lived, Figure 2 shows
+   their sites at 99%+ old), rewriting scratch dies at once, and —
+   crucially — every rewrite attempt recurses through the rule list with
+   one simulated frame per rule, so the stack deepens with the database
+   (the paper reports a 4234-frame peak and 76% of GC time spent
+   scanning it).
+
+   A native mirror runs the identical algorithm in the identical order;
+   rule-set size and checksum must match exactly. *)
+
+module R = Gsc.Runtime
+
+let alphabet = 4
+
+let word_hash w = List.fold_left (fun a s -> ((a * 5) + s + 1) land 0x3FFFFFFF) 0 w
+
+let max_word_len = 12
+
+(* shortlex: longer is greater; same length falls back to lex *)
+let rec lex_gt a b =
+  match a, b with
+  | [], _ | _, [] -> false
+  | x :: a', y :: b' -> x > y || (x = y && lex_gt a' b')
+
+let shortlex_gt a b =
+  let la = List.length a and lb = List.length b in
+  la > lb || (la = lb && lex_gt a b)
+
+(* After each rule installation the workload normalizes a batch of probe
+   words against the database.  Completion implementations spend most of
+   their time rewriting; the probes reproduce that cost profile.  The
+   probe phase runs below a non-tail recursive walk over the whole rule
+   list (the SML original's non-tail list traversals), so a stack one
+   frame per database entry stays live across many collections — exactly
+   the persistent deep stack of the paper's Table 2 (1336-frame average,
+   116.9 new frames per collection). *)
+let probes_per_rule = 2
+let probe_word_len = 8
+
+let relations ~count =
+  let prng = Support.Prng.create ~seed:0x6B2 in
+  let word () =
+    let len = 2 + Support.Prng.int prng 4 in
+    List.init len (fun _ -> Support.Prng.int prng alphabet)
+  in
+  List.init count (fun _ -> (word (), word ()))
+
+(* --- the algorithm, natively (the mirror) --- *)
+
+module Native = struct
+  let rec match_prefix word lhs =
+    match lhs, word with
+    | [], rest -> Some rest
+    | _, [] -> None
+    | l :: lhs', w :: word' -> if l = w then match_prefix word' lhs' else None
+
+  let rec try_rules_at word rules =
+    match rules with
+    | [] -> None
+    | (lhs, rhs) :: rest ->
+      (match match_prefix word lhs with
+       | Some remainder -> Some (rhs @ remainder)
+       | None -> try_rules_at word rest)
+
+  let rec rewrite word rules =
+    match word with
+    | [] -> None
+    | w :: tail ->
+      (match try_rules_at word rules with
+       | Some w' -> Some w'
+       | None ->
+         (match rewrite tail rules with
+          | Some t' -> Some (w :: t')
+          | None -> None))
+
+  let rec normalize word rules =
+    match rewrite word rules with
+    | Some w' -> normalize w' rules
+    | None -> word
+
+  let rec take k l = if k = 0 then [] else
+    match l with [] -> [] | x :: r -> x :: take (k - 1) r
+
+  let rec drop k l = if k = 0 then l else
+    match l with [] -> [] | _ :: r -> drop (k - 1) r
+
+  (* critical pairs of (l1 -> r1) with (l2 -> r2), in generation order *)
+  let critical_pairs (l1, r1) (l2, r2) =
+    let n1 = List.length l1 and n2 = List.length l2 in
+    let acc = ref [] in
+    (* overlaps: a suffix of l1 equals a prefix of l2 *)
+    for k = 1 to min n1 n2 do
+      if drop (n1 - k) l1 = take k l2 then
+        acc := (r1 @ drop k l2, take (n1 - k) l1 @ r2) :: !acc
+    done;
+    (* containment: l2 occurs strictly inside l1 *)
+    if n2 < n1 then
+      for i = 0 to n1 - n2 do
+        if take n2 (drop i l1) = l2 then
+          acc := (r1, take i l1 @ r2 @ drop (i + n2) l1) :: !acc
+      done;
+    List.filter
+      (fun (u, v) ->
+        List.length u <= max_word_len && List.length v <= max_word_len)
+      (List.rev !acc)
+
+  let complete ~relations ~max_eqs =
+    let rules = ref [] in        (* newest first *)
+    let queue = ref relations in (* LIFO *)
+    let processed = ref 0 in
+    while !queue <> [] && !processed < max_eqs do
+      match !queue with
+      | [] -> ()
+      | (u, v) :: rest ->
+        queue := rest;
+        incr processed;
+        let nu = normalize u !rules in
+        let nv = normalize v !rules in
+        if nu <> nv then begin
+          let l, r = if shortlex_gt nu nv then (nu, nv) else (nv, nu) in
+          let rule = (l, r) in
+          (* overlaps with every existing rule (newest first), both
+             orders, then the self-overlap *)
+          let eqs =
+            List.concat_map
+              (fun old -> critical_pairs rule old @ critical_pairs old rule)
+              !rules
+            @ critical_pairs rule rule
+          in
+          queue := eqs @ !queue;
+          rules := rule :: !rules
+        end
+    done;
+    !rules
+
+  let checksum rules =
+    List.fold_left
+      (fun acc (l, r) ->
+        (acc + (word_hash l * 31) + word_hash r) land 0x3FFFFFFF)
+      (List.length rules * 13) rules
+end
+
+(* --- simulated version --- *)
+
+let run rt ~scale =
+  let max_eqs = 40 * scale in
+  let input = relations ~count:scale in
+  let native_rules = Native.complete ~relations:input ~max_eqs in
+  let expected_count = List.length native_rules in
+  let expected_sum = Native.checksum native_rules in
+  let s_scratch = R.register_site rt ~name:"kb.scratch_sym" in
+  let s_try = R.register_site rt ~name:"kb.try_box" in
+  let s_eq = R.register_site rt ~name:"kb.equation" in
+  let s_eq_word = R.register_site rt ~name:"kb.eq_word" in
+  let s_rule = R.register_site rt ~name:"kb.rule" in
+  let s_rule_sym = R.register_site rt ~name:"kb.rule_sym" in
+  let s_rule_cons = R.register_site rt ~name:"kb.rule_cons" in
+  (* globals: 0 = equation queue, 1 = rules list *)
+  let g_queue = 0 and g_rules = 1 in
+  let k_main = R.register_frame rt ~name:"kb.main" ~slots:(Dsl.slots "pppppp") in
+  let k_match = R.register_frame rt ~name:"kb.match_prefix" ~slots:(Dsl.slots "pppp") in
+  let k_tryrules = R.register_frame rt ~name:"kb.try_rules" ~slots:(Dsl.slots "pppppp") in
+  let k_rewrite = R.register_frame rt ~name:"kb.rewrite" ~slots:(Dsl.slots "ppppp") in
+  let k_append = R.register_frame rt ~name:"kb.append" ~slots:(Dsl.slots "pppp") in
+  let k_word = R.register_frame rt ~name:"kb.word_util" ~slots:(Dsl.slots "pppp") in
+  let k_step = R.register_frame rt ~name:"kb.complete_step" ~slots:(Dsl.slots "pppppp") in
+  let head l = R.field_int rt ~obj:l ~idx:0 in
+  (* build a simulated word from a native one, in the given site *)
+  let of_native ~site w =
+    R.call rt ~key:k_word ~args:[] (fun () ->
+      R.set_slot rt 0 Mem.Value.null;
+      List.iter
+        (fun s ->
+          R.alloc_record rt ~site ~dst:(R.To_slot 0)
+            [ R.I (R.Imm s); R.P (R.Slot 0) ])
+        (List.rev w);
+      R.get_slot rt 0)
+  in
+  (* read a simulated word back to a native list (verification only) *)
+  let to_native w_val =
+    R.call rt ~key:k_word ~args:[ w_val ] (fun () ->
+      let acc = ref [] in
+      while not (R.is_nil rt (R.Slot 0)) do
+        acc := head (R.Slot 0) :: !acc;
+        Dsl.list_advance rt ~list:0
+      done;
+      List.rev !acc)
+  in
+  (* append two words into scratch cells *)
+  let rec append a_val b_val =
+    R.call rt ~key:k_append ~args:[ a_val; b_val ] (fun () ->
+      if R.is_nil rt (R.Slot 0) then R.get_slot rt 1
+      else begin
+        let h = head (R.Slot 0) in
+        R.load_field rt ~obj:(R.Slot 0) ~idx:1 ~dst:(R.To_slot 2);
+        R.set_slot rt 2 (append (R.get_slot rt 2) (R.get_slot rt 1));
+        R.alloc_record rt ~site:s_scratch ~dst:(R.To_slot 3)
+          [ R.I (R.Imm h); R.P (R.Slot 2) ];
+        R.get_slot rt 3
+      end)
+  in
+  (* match_prefix: does lhs prefix word?  Returns the remainder. *)
+  let rec match_prefix word_val lhs_val =
+    R.call rt ~key:k_match ~args:[ word_val; lhs_val ] (fun () ->
+      if R.is_nil rt (R.Slot 1) then Some (R.get_slot rt 0)
+      else if R.is_nil rt (R.Slot 0) then None
+      else if head (R.Slot 0) <> head (R.Slot 1) then None
+      else begin
+        R.load_field rt ~obj:(R.Slot 0) ~idx:1 ~dst:(R.To_slot 2);
+        R.load_field rt ~obj:(R.Slot 1) ~idx:1 ~dst:(R.To_slot 3);
+        match_prefix (R.get_slot rt 2) (R.get_slot rt 3)
+      end)
+  in
+  (* first rule (in database order) rewriting at the head position;
+     one simulated frame per database entry — the deep-stack driver *)
+  let rec try_rules_at word_val rules_val =
+    R.call rt ~key:k_tryrules ~args:[ word_val; rules_val ] (fun () ->
+      if R.is_nil rt (R.Slot 1) then None
+      else begin
+        (* a short-lived box per attempted rule (the comparison closure);
+           this is where the benchmark's allocation happens while the
+           stack is deepest.  It is dead on arrival: unroot it at once so
+           the collector never copies it. *)
+        R.alloc_record rt ~site:s_try ~dst:(R.To_slot 4) [ R.I (R.Imm 0) ];
+        R.set_slot rt 4 Mem.Value.null;
+        R.load_field rt ~obj:(R.Slot 1) ~idx:0 ~dst:(R.To_slot 2);
+        R.load_field rt ~obj:(R.Slot 2) ~idx:0 ~dst:(R.To_slot 3);
+        (* slot 3 = lhs *)
+        match match_prefix (R.get_slot rt 0) (R.get_slot rt 3) with
+        | Some remainder ->
+          R.set_slot rt 4 remainder;
+          R.load_field rt ~obj:(R.Slot 2) ~idx:1 ~dst:(R.To_slot 5);
+          Some (append (R.get_slot rt 5) (R.get_slot rt 4))
+        | None ->
+          R.load_field rt ~obj:(R.Slot 1) ~idx:1 ~dst:(R.To_slot 5);
+          try_rules_at (R.get_slot rt 0) (R.get_slot rt 5)
+      end)
+  in
+  let rec rewrite word_val rules_val =
+    R.call rt ~key:k_rewrite ~args:[ word_val; rules_val ] (fun () ->
+      if R.is_nil rt (R.Slot 0) then None
+      else
+        match try_rules_at (R.get_slot rt 0) (R.get_slot rt 1) with
+        | Some w' -> Some w'
+        | None -> begin
+            let h = head (R.Slot 0) in
+            R.load_field rt ~obj:(R.Slot 0) ~idx:1 ~dst:(R.To_slot 2);
+            match rewrite (R.get_slot rt 2) (R.get_slot rt 1) with
+            | None -> None
+            | Some t' ->
+              R.set_slot rt 3 t';
+              R.alloc_record rt ~site:s_scratch ~dst:(R.To_slot 4)
+                [ R.I (R.Imm h); R.P (R.Slot 3) ];
+              Some (R.get_slot rt 4)
+          end)
+  in
+  let normalize word_val =
+    R.call rt ~key:k_word ~args:[ word_val ] (fun () ->
+      let continue_ = ref true in
+      while !continue_ do
+        match rewrite (R.get_slot rt 0) (R.get_global rt g_rules) with
+        | Some w' -> R.set_slot rt 0 w'
+        | None -> continue_ := false
+      done;
+      R.get_slot rt 0)
+  in
+  R.call rt ~key:k_main ~args:[] (fun () ->
+    R.set_global rt g_queue Mem.Value.null;
+    R.set_global rt g_rules Mem.Value.null;
+    (* push an equation (u in slot a, v in slot b of main) onto the queue *)
+    let push_eq_from_slots a b =
+      assert (a <> 5 && b <> 5);
+      R.set_slot rt 5 (R.get_global rt g_queue);
+      R.alloc_record rt ~site:s_eq ~dst:(R.To_slot 5)
+        [ R.P (R.Slot a); R.P (R.Slot b); R.P (R.Slot 5) ];
+      R.set_global rt g_queue (R.get_slot rt 5)
+    in
+    (* seed the queue: LIFO, so push in reverse to process in order *)
+    List.iter
+      (fun (u, v) ->
+        R.set_slot rt 0 (of_native ~site:s_eq_word u);
+        R.set_slot rt 1 (of_native ~site:s_eq_word v);
+        push_eq_from_slots 0 1)
+      (List.rev input);
+    let processed = ref 0 in
+    let rule_count = ref 0 in
+    (* Each equation is processed one stack level deeper than the last,
+       without a tail call, so the chain of activation records persists
+       until the completion finishes — the paper's Knuth-Bendix stack
+       shape (deep, rarely unwound, few new frames per collection). *)
+    let rec complete_rec () =
+      if (not (R.is_nil rt (R.Global g_queue))) && !processed < max_eqs then
+        ignore (1 + R.call rt ~key:k_step ~args:[] process_one : int)
+    and process_one () =
+      incr processed;
+      (* pop: u -> slot 0, v -> slot 1 *)
+      R.load_field rt ~obj:(R.Global g_queue) ~idx:0 ~dst:(R.To_slot 0);
+      R.load_field rt ~obj:(R.Global g_queue) ~idx:1 ~dst:(R.To_slot 1);
+      R.load_field rt ~obj:(R.Global g_queue) ~idx:2 ~dst:(R.To_slot 2);
+      R.set_global rt g_queue (R.get_slot rt 2);
+      R.set_slot rt 0 (normalize (R.get_slot rt 0));
+      R.set_slot rt 1 (normalize (R.get_slot rt 1));
+      let nu = to_native (R.get_slot rt 0) in
+      let nv = to_native (R.get_slot rt 1) in
+      if nu <> nv then begin
+        let l, r = if shortlex_gt nu nv then (nu, nv) else (nv, nu) in
+        (* the new rule's words are copied into long-lived cells *)
+        R.set_slot rt 0 (of_native ~site:s_rule_sym l);
+        R.set_slot rt 1 (of_native ~site:s_rule_sym r);
+        R.alloc_record rt ~site:s_rule ~dst:(R.To_slot 2)
+          [ R.P (R.Slot 0); R.P (R.Slot 1) ];
+        (* critical pairs against the database (native word math over
+           the native copies, simulated allocation for the equations) *)
+        let eqs = ref [] in
+        R.set_slot rt 3 (R.get_global rt g_rules);
+        while not (R.is_nil rt (R.Slot 3)) do
+          R.load_field rt ~obj:(R.Slot 3) ~idx:0 ~dst:(R.To_slot 4);
+          R.load_field rt ~obj:(R.Slot 4) ~idx:0 ~dst:(R.To_slot 5);
+          let old_l = to_native (R.get_slot rt 5) in
+          R.load_field rt ~obj:(R.Slot 4) ~idx:1 ~dst:(R.To_slot 5);
+          let old_r = to_native (R.get_slot rt 5) in
+          eqs :=
+            !eqs
+            @ Native.critical_pairs (l, r) (old_l, old_r)
+            @ Native.critical_pairs (old_l, old_r) (l, r);
+          Dsl.list_advance rt ~list:3
+        done;
+        let eqs = !eqs @ Native.critical_pairs (l, r) (l, r) in
+        (* LIFO push in reverse so that the queue head order matches the
+           mirror's [eqs @ queue] *)
+        List.iter
+          (fun (u, v) ->
+            R.set_slot rt 3 (of_native ~site:s_eq_word u);
+            R.set_slot rt 4 (of_native ~site:s_eq_word v);
+            push_eq_from_slots 3 4)
+          (List.rev eqs);
+        (* install the rule *)
+        R.set_slot rt 3 (R.get_global rt g_rules);
+        R.alloc_record rt ~site:s_rule_cons ~dst:(R.To_slot 3)
+          [ R.P (R.Slot 2); R.P (R.Slot 3) ];
+        R.set_global rt g_rules (R.get_slot rt 3);
+        incr rule_count;
+        (* rewriting probes: the completion's dominant cost *)
+        let prng = Support.Prng.create ~seed:(0x9B0 + !rule_count) in
+        for _ = 1 to probes_per_rule do
+          let w =
+            List.init probe_word_len (fun _ -> Support.Prng.int prng alphabet)
+          in
+          R.set_slot rt 0 (of_native ~site:s_scratch w);
+          R.set_slot rt 0 (normalize (R.get_slot rt 0))
+        done
+      end;
+      (* recurse for the remaining equations; this frame stays live
+         underneath all of them (non-tail) *)
+      complete_rec ();
+      0
+    in
+    complete_rec ();
+    (* verify against the mirror *)
+    if !rule_count <> expected_count then
+      failwith
+        (Printf.sprintf "kb: %d rules, want %d" !rule_count expected_count);
+    let sum = ref (!rule_count * 13) in
+    let sums = ref [] in
+    R.set_slot rt 3 (R.get_global rt g_rules);
+    while not (R.is_nil rt (R.Slot 3)) do
+      R.load_field rt ~obj:(R.Slot 3) ~idx:0 ~dst:(R.To_slot 4);
+      R.load_field rt ~obj:(R.Slot 4) ~idx:0 ~dst:(R.To_slot 5);
+      let l = to_native (R.get_slot rt 5) in
+      R.load_field rt ~obj:(R.Slot 4) ~idx:1 ~dst:(R.To_slot 5);
+      let r = to_native (R.get_slot rt 5) in
+      sums := ((word_hash l * 31) + word_hash r) :: !sums;
+      Dsl.list_advance rt ~list:3
+    done;
+    (* the mirror folds newest-first over its rules list; our sims list
+       is also newest-first, but we collected into [sums] reversed *)
+    List.iter (fun s -> sum := (!sum + s) land 0x3FFFFFFF) (List.rev !sums);
+    if !sum <> expected_sum then
+      failwith (Printf.sprintf "kb: checksum %d, want %d" !sum expected_sum))
+
+let workload =
+  { Spec.name = "knuth-bendix";
+    description =
+      "Knuth-Bendix completion for string rewriting (shortlex order, \
+       critical pairs, no interreduction; equation budget bounded)";
+    paper_lines = 618;
+    default_scale = 10;
+    run }

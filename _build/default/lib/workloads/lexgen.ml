@@ -1,0 +1,432 @@
+(* Lexgen (Table 1): a lexical-analyzer generator.  Token regexes are
+   compiled to a Thompson NFA built in the simulated heap, then subset
+   construction produces the DFA: states are sorted NFA-id lists, the
+   state table is a growing association list, and successors are explored
+   by depth-first recursion — so the simulated stack deepens with the
+   number of DFA states, and the DFA table itself is the long-lived data
+   (the paper's Lexgen holds ~3.5 MB live with a 1802-frame stack peak).
+
+   Verification is order-independent: the mirror computes the canonical
+   DFA with ordinary OCaml sets and both sides compare state counts and
+   set-hash checksums. *)
+
+module R = Gsc.Runtime
+
+let nsyms = 8
+
+type regex =
+  | Chr of int
+  | Seq of regex * regex
+  | Alt of regex * regex
+  | Star of regex
+
+let keyword syms =
+  match syms with
+  | [] -> invalid_arg "lexgen: empty keyword"
+  | s :: rest -> List.fold_left (fun acc c -> Seq (acc, Chr c)) (Chr s) rest
+
+let tokens ~count =
+  let prng = Support.Prng.create ~seed:0x1E4 in
+  let kw () =
+    let len = 3 + Support.Prng.int prng 4 in
+    keyword (List.init len (fun _ -> Support.Prng.int prng 6))
+  in
+  let ident = Seq (Chr 6, Star (Alt (Chr 6, Chr 7))) in
+  let number = Seq (Chr 7, Star (Chr 7)) in
+  let rec alts n acc = if n = 0 then acc else alts (n - 1) (Alt (acc, kw ())) in
+  alts count (Alt (ident, number))
+
+(* count Thompson states so the simulated state array can be sized *)
+let rec count_states = function
+  | Chr _ -> 2
+  | Seq (a, b) -> count_states a + count_states b
+  | Alt (a, b) -> count_states a + count_states b + 2
+  | Star a -> count_states a + 2
+
+(* --- native mirror (canonical subset construction) --- *)
+
+module Native = struct
+  type nfa = {
+    mutable next_id : int;
+    mutable trans : (int * int * int) list;  (* (src, sym, dst) *)
+    mutable eps : (int * int) list;          (* (src, dst) *)
+  }
+
+  let fresh n =
+    let id = n.next_id in
+    n.next_id <- id + 1;
+    id
+
+  (* identical state-numbering order to the simulated construction *)
+  let rec thompson n = function
+    | Chr c ->
+      let s = fresh n and e = fresh n in
+      n.trans <- (s, c, e) :: n.trans;
+      (s, e)
+    | Seq (a, b) ->
+      let sa, ea = thompson n a in
+      let sb, eb = thompson n b in
+      n.eps <- (ea, sb) :: n.eps;
+      (sa, eb)
+    | Alt (a, b) ->
+      let s = fresh n in
+      let sa, ea = thompson n a in
+      let sb, eb = thompson n b in
+      let e = fresh n in
+      n.eps <- (s, sa) :: (s, sb) :: (ea, e) :: (eb, e) :: n.eps;
+      (s, e)
+    | Star a ->
+      let s = fresh n in
+      let sa, ea = thompson n a in
+      let e = fresh n in
+      n.eps <- (s, sa) :: (s, e) :: (ea, sa) :: (ea, e) :: n.eps;
+      (s, e)
+
+  module Iset = Set.Make (Int)
+
+  let closure n set =
+    let rec go frontier acc =
+      if Iset.is_empty frontier then acc
+      else begin
+        let nxt =
+          List.fold_left
+            (fun a (src, dst) ->
+              if Iset.mem src frontier && not (Iset.mem dst acc) then
+                Iset.add dst a
+              else a)
+            Iset.empty n.eps
+        in
+        go nxt (Iset.union acc nxt)
+      end
+    in
+    go set set
+
+  let move n set sym =
+    List.fold_left
+      (fun a (src, c, dst) ->
+        if c = sym && Iset.mem src set then Iset.add dst a else a)
+      Iset.empty n.trans
+
+  let hash_set s = Iset.fold (fun id a -> ((a * 131) + id + 1) land 0x3FFFFFFF) s 0
+
+  let dfa regex =
+    let n = { next_id = 0; trans = []; eps = [] } in
+    let start, _final = thompson n regex in
+    let initial = closure n (Iset.singleton start) in
+    let table = Hashtbl.create 64 in
+    Hashtbl.replace table initial ();
+    let state_sum = ref (hash_set initial) in
+    let trans_sum = ref 0 in
+    let rec explore set =
+      for sym = 0 to nsyms - 1 do
+        let dst = closure n (move n set sym) in
+        if not (Iset.is_empty dst) then begin
+          trans_sum :=
+            (!trans_sum + hash_set set + ((sym + 1) * hash_set dst))
+            land 0x3FFFFFFF;
+          if not (Hashtbl.mem table dst) then begin
+            Hashtbl.replace table dst ();
+            state_sum := (!state_sum + hash_set dst) land 0x3FFFFFFF;
+            explore dst
+          end
+        end
+      done
+    in
+    explore initial;
+    (Hashtbl.length table, !state_sum, !trans_sum)
+end
+
+(* --- simulated version --- *)
+
+let run rt ~scale =
+  let regex = tokens ~count:scale in
+  let nstates = count_states regex in
+  let expected_states, expected_ssum, expected_tsum = Native.dfa regex in
+  let s_state = R.register_site rt ~name:"lex.nfa_state" in
+  let s_trans = R.register_site rt ~name:"lex.nfa_trans" in
+  let s_eps = R.register_site rt ~name:"lex.nfa_eps" in
+  let s_set = R.register_site rt ~name:"lex.dfa_set" in
+  let s_entry = R.register_site rt ~name:"lex.dfa_entry" in
+  let s_scratch = R.register_site rt ~name:"lex.scratch" in
+  (* main: 0 = state array, 1 = dfa table, 2..7 = temporaries *)
+  let k_main = R.register_frame rt ~name:"lex.main" ~slots:(Dsl.slots "pppppppp") in
+  (* set ops: 0 = list arg, 1 = cursor / result, 2 = scratch *)
+  let k_insert = R.register_frame rt ~name:"lex.insert" ~slots:(Dsl.slots "ppp") in
+  let k_closure = R.register_frame rt ~name:"lex.closure" ~slots:(Dsl.slots "pppppp") in
+  let k_move = R.register_frame rt ~name:"lex.move" ~slots:(Dsl.slots "pppppp") in
+  let k_explore = R.register_frame rt ~name:"lex.process" ~slots:(Dsl.slots "pppppppp") in
+  (* NFA state record: [I id; P trans; P eps] where
+     trans cell = [I sym; I dst; P next], eps cell = [I dst; P next] *)
+  let next_id = ref 0 in
+  let fresh_state () =
+    (* allocate the state record and file it in the state array (slot 0
+       of the main frame — build runs directly under main) *)
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let state_slot_in_main = 0 in
+  R.call rt ~key:k_main ~args:[] (fun () ->
+    R.alloc_ptr_array rt ~site:s_state ~dst:(R.To_slot state_slot_in_main)
+      ~len:nstates;
+    let g_states = 1 in
+    R.set_global rt g_states (R.get_slot rt state_slot_in_main);
+    let make_state () =
+      let id = fresh_state () in
+      R.alloc_record rt ~site:s_state ~dst:(R.To_slot 2)
+        [ R.I (R.Imm id); R.P R.Nil; R.P R.Nil ];
+      R.store_field rt ~obj:(R.Slot state_slot_in_main) ~idx:id
+        (R.P (R.Slot 2));
+      id
+    in
+    let add_trans src sym dst =
+      R.load_field rt ~obj:(R.Slot state_slot_in_main) ~idx:src
+        ~dst:(R.To_slot 2);
+      R.load_field rt ~obj:(R.Slot 2) ~idx:1 ~dst:(R.To_slot 3);
+      R.alloc_record rt ~site:s_trans ~dst:(R.To_slot 3)
+        [ R.I (R.Imm sym); R.I (R.Imm dst); R.P (R.Slot 3) ];
+      (* reload the state record: the allocation may have moved it *)
+      R.load_field rt ~obj:(R.Slot state_slot_in_main) ~idx:src
+        ~dst:(R.To_slot 2);
+      R.store_field rt ~obj:(R.Slot 2) ~idx:1 (R.P (R.Slot 3))
+    in
+    let add_eps src dst =
+      R.load_field rt ~obj:(R.Slot state_slot_in_main) ~idx:src
+        ~dst:(R.To_slot 2);
+      R.load_field rt ~obj:(R.Slot 2) ~idx:2 ~dst:(R.To_slot 3);
+      R.alloc_record rt ~site:s_eps ~dst:(R.To_slot 3)
+        [ R.I (R.Imm dst); R.P (R.Slot 3) ];
+      R.load_field rt ~obj:(R.Slot state_slot_in_main) ~idx:src
+        ~dst:(R.To_slot 2);
+      R.store_field rt ~obj:(R.Slot 2) ~idx:2 (R.P (R.Slot 3))
+    in
+    (* Thompson construction, same numbering as the mirror *)
+    let rec thompson = function
+      | Chr c ->
+        let s = make_state () and e = make_state () in
+        add_trans s c e;
+        (s, e)
+      | Seq (a, b) ->
+        let sa, ea = thompson a in
+        let sb, eb = thompson b in
+        add_eps ea sb;
+        (sa, eb)
+      | Alt (a, b) ->
+        let s = make_state () in
+        let sa, ea = thompson a in
+        let sb, eb = thompson b in
+        let e = make_state () in
+        add_eps s sa;
+        add_eps s sb;
+        add_eps ea e;
+        add_eps eb e;
+        (s, e)
+      | Star a ->
+        let s = make_state () in
+        let sa, ea = thompson a in
+        let e = make_state () in
+        add_eps s sa;
+        add_eps s e;
+        add_eps ea sa;
+        add_eps ea e;
+        (s, e)
+    in
+    let start, _final = thompson regex in
+    (* sorted-insert an id into the set list in slot 0 of a fresh frame;
+       returns the new list (no-op if present) *)
+    let rec insert_sorted set_val id =
+      R.call rt ~key:k_insert ~args:[ set_val ] (fun () ->
+        if R.is_nil rt (R.Slot 0) then begin
+          R.alloc_record rt ~site:s_set ~dst:(R.To_slot 1)
+            [ R.I (R.Imm id); R.P R.Nil ];
+          R.get_slot rt 1
+        end
+        else begin
+          let h = Dsl.list_head_int rt ~list:0 in
+          if h = id then R.get_slot rt 0
+          else if h > id then begin
+            R.alloc_record rt ~site:s_set ~dst:(R.To_slot 1)
+              [ R.I (R.Imm id); R.P (R.Slot 0) ];
+            R.get_slot rt 1
+          end
+          else begin
+            R.load_field rt ~obj:(R.Slot 0) ~idx:1 ~dst:(R.To_slot 1);
+            R.set_slot rt 1 (insert_sorted (R.get_slot rt 1) id);
+            R.alloc_record rt ~site:s_set ~dst:(R.To_slot 2)
+              [ R.I (R.Imm h); R.P (R.Slot 1) ];
+            R.get_slot rt 2
+          end
+        end)
+    in
+    (* epsilon closure of the set in [set_val]; needs the state array *)
+    let closure set_val =
+      R.call rt ~key:k_closure ~args:[ set_val; R.get_global rt 1 ] (fun () ->
+        (* slot 0 = acc set, slot 1 = states, slot 2 = frontier stack,
+           slot 3 = cursor, slot 4 = state rec, slot 5 = eps cursor *)
+        R.set_slot rt 2 (R.get_slot rt 0);
+        (* frontier: reuse the set list itself as the initial worklist *)
+        while not (R.is_nil rt (R.Slot 2)) do
+          let id = Dsl.list_head_int rt ~list:2 in
+          Dsl.list_advance rt ~list:2;
+          R.load_field rt ~obj:(R.Slot 1) ~idx:id ~dst:(R.To_slot 4);
+          R.load_field rt ~obj:(R.Slot 4) ~idx:2 ~dst:(R.To_slot 5);
+          while not (R.is_nil rt (R.Slot 5)) do
+            let dst = R.field_int rt ~obj:(R.Slot 5) ~idx:0 in
+            (* member test against the accumulated set *)
+            let present = ref false in
+            R.set_slot rt 3 (R.get_slot rt 0);
+            while (not !present) && not (R.is_nil rt (R.Slot 3)) do
+              if Dsl.list_head_int rt ~list:3 = dst then present := true
+              else Dsl.list_advance rt ~list:3
+            done;
+            if not !present then begin
+              R.set_slot rt 0 (insert_sorted (R.get_slot rt 0) dst);
+              (* push onto the frontier *)
+              R.alloc_record rt ~site:s_scratch ~dst:(R.To_slot 2)
+                [ R.I (R.Imm dst); R.P (R.Slot 2) ]
+            end;
+            R.load_field rt ~obj:(R.Slot 5) ~idx:1 ~dst:(R.To_slot 5)
+          done
+        done;
+        R.get_slot rt 0)
+    in
+    let move set_val sym =
+      R.call rt ~key:k_move ~args:[ set_val; R.get_global rt 1 ] (fun () ->
+        (* slot 0 = input set cursor, 1 = states, 2 = result,
+           3 = state rec, 4 = trans cursor *)
+        R.set_slot rt 2 Mem.Value.null;
+        while not (R.is_nil rt (R.Slot 0)) do
+          let id = Dsl.list_head_int rt ~list:0 in
+          R.load_field rt ~obj:(R.Slot 1) ~idx:id ~dst:(R.To_slot 3);
+          R.load_field rt ~obj:(R.Slot 3) ~idx:1 ~dst:(R.To_slot 4);
+          while not (R.is_nil rt (R.Slot 4)) do
+            let s = R.field_int rt ~obj:(R.Slot 4) ~idx:0 in
+            let d = R.field_int rt ~obj:(R.Slot 4) ~idx:1 in
+            if s = sym then R.set_slot rt 2 (insert_sorted (R.get_slot rt 2) d);
+            R.load_field rt ~obj:(R.Slot 4) ~idx:2 ~dst:(R.To_slot 4)
+          done;
+          Dsl.list_advance rt ~list:0
+        done;
+        R.get_slot rt 2)
+    in
+    (* set equality, no allocation; clobbers slots 6 and 7 *)
+    let sets_equal a_src b_src =
+      R.set_slot rt 6 (R.read rt a_src);
+      R.set_slot rt 7 (R.read rt b_src);
+      let eq = ref true in
+      let continue_ = ref true in
+      while !continue_ do
+        match R.is_nil rt (R.Slot 6), R.is_nil rt (R.Slot 7) with
+        | true, true -> continue_ := false
+        | true, false | false, true ->
+          eq := false;
+          continue_ := false
+        | false, false ->
+          if Dsl.list_head_int rt ~list:6 <> Dsl.list_head_int rt ~list:7 then begin
+            eq := false;
+            continue_ := false
+          end
+          else begin
+            Dsl.list_advance rt ~list:6;
+            Dsl.list_advance rt ~list:7
+          end
+      done;
+      !eq
+    in
+    (* clobbers slot 7 *)
+    let hash_set set_src =
+      let h = ref 0 in
+      R.set_slot rt 7 (R.read rt set_src);
+      while not (R.is_nil rt (R.Slot 7)) do
+        h := ((!h * 131) + Dsl.list_head_int rt ~list:7 + 1) land 0x3FFFFFFF;
+        Dsl.list_advance rt ~list:7
+      done;
+      !h
+    in
+    (* DFA table in main slot 1: entries [P set; P next] *)
+    let state_count = ref 0 in
+    let state_sum = ref 0 in
+    let trans_sum = ref 0 in
+    (* keep the DFA table in a global so every frame can reach it *)
+    let g_table = 0 in
+    R.set_global rt g_table Mem.Value.null;
+    (* clobbers slots 4..7 *)
+    let table_mem set_slot =
+      let found = ref false in
+      R.set_slot rt 4 (R.get_global rt g_table);
+      while (not !found) && not (R.is_nil rt (R.Slot 4)) do
+        R.load_field rt ~obj:(R.Slot 4) ~idx:0 ~dst:(R.To_slot 5);
+        if sets_equal (R.Slot 5) (R.Slot set_slot) then found := true
+        else Dsl.list_advance rt ~list:4
+      done;
+      !found
+    in
+    (* clobbers slots 4 and 7 *)
+    let table_add set_slot =
+      R.set_slot rt 4 (R.get_global rt g_table);
+      R.alloc_record rt ~site:s_entry ~dst:(R.To_slot 4)
+        [ R.P (R.Slot set_slot); R.P (R.Slot 4) ];
+      R.set_global rt g_table (R.get_slot rt 4);
+      incr state_count;
+      state_sum := (!state_sum + hash_set (R.Slot set_slot)) land 0x3FFFFFFF
+    in
+    (* Worklist processing by non-tail recursion: each pending DFA state
+       is expanded one stack level deeper than the last and the whole
+       chain of activation records persists until the construction is
+       done — the SML lexgen's non-tail traversals give it the deepest
+       average stack of the paper's benchmarks after Knuth-Bendix. *)
+    let rec process pending_val =
+      R.call rt ~key:k_explore ~args:[ pending_val ] (fun () ->
+        (* slot 0 = pending worklist (cons cells of sets), slot 1 = the
+           set being expanded, slot 2 = successor; 4..7 scratch *)
+        if R.is_nil rt (R.Slot 0) then 0
+        else begin
+          R.load_field rt ~obj:(R.Slot 0) ~idx:0 ~dst:(R.To_slot 1);
+          R.load_field rt ~obj:(R.Slot 0) ~idx:1 ~dst:(R.To_slot 0);
+          for sym = 0 to nsyms - 1 do
+            let m = move (R.get_slot rt 1) sym in
+            R.set_slot rt 2 m;
+            if not (R.is_nil rt (R.Slot 2)) then begin
+              R.set_slot rt 2 (closure (R.get_slot rt 2));
+              trans_sum :=
+                (!trans_sum + hash_set (R.Slot 1)
+                 + ((sym + 1) * hash_set (R.Slot 2)))
+                land 0x3FFFFFFF;
+              if not (table_mem 2) then begin
+                table_add 2;
+                (* push the new state onto the worklist *)
+                R.alloc_record rt ~site:s_scratch ~dst:(R.To_slot 0)
+                  [ R.P (R.Slot 2); R.P (R.Slot 0) ]
+              end
+            end
+          done;
+          (* non-tail: this frame stays live under the rest of the work *)
+          1 + process (R.get_slot rt 0)
+        end)
+    in
+    (* initial state *)
+    R.set_slot rt 3 (insert_sorted Mem.Value.null start);
+    R.set_slot rt 3 (closure (R.get_slot rt 3));
+    table_add 3;
+    R.set_slot rt 2 (R.get_slot rt 3);
+    R.alloc_record rt ~site:s_scratch ~dst:(R.To_slot 3)
+      [ R.P (R.Slot 2); R.P R.Nil ];
+    ignore (process (R.get_slot rt 3) : int);
+    if
+      !state_count <> expected_states
+      || !state_sum <> expected_ssum
+      || !trans_sum <> expected_tsum
+    then
+      failwith
+        (Printf.sprintf "lexgen: dfa (%d, %d, %d), want (%d, %d, %d)"
+           !state_count !state_sum !trans_sum expected_states expected_ssum
+           expected_tsum))
+
+let workload =
+  { Spec.name = "lexgen";
+    description =
+      "A lexical-analyzer generator: Thompson NFA construction and \
+       subset-construction DFA over an 8-symbol alphabet";
+    paper_lines = 1123;
+    default_scale = 70;
+    run }

@@ -1,0 +1,124 @@
+(* Life (Table 1): Conway's game of Life implemented with lists, after
+   Reade.  A generation is a list of live-cell coordinates; each step
+   builds candidate lists and a fresh generation list, so almost every
+   allocation dies within a step — the paper's shallow-stack, high-churn,
+   tiny-live-set benchmark.
+
+   Coordinates are packed as (x + 512) * 2048 + (y + 512). *)
+
+module R = Gsc.Runtime
+
+let pack x y = ((x + 512) * 2048) + (y + 512)
+let unpack c = ((c / 2048) - 512, (c mod 2048) - 512)
+
+let neighbours (x, y) =
+  [ (x - 1, y - 1); (x - 1, y); (x - 1, y + 1);
+    (x, y - 1); (x, y + 1);
+    (x + 1, y - 1); (x + 1, y); (x + 1, y + 1) ]
+
+(* native mirror used to compute the expected population *)
+let native_step cells =
+  let module S = Set.Make (struct
+    type t = int * int
+    let compare = compare
+  end) in
+  let live = S.of_list cells in
+  let candidates =
+    S.fold (fun c acc -> List.fold_left (fun a n -> S.add n a) (S.add c acc) (neighbours c))
+      live S.empty
+  in
+  S.fold
+    (fun c acc ->
+      let n = List.length (List.filter (fun p -> S.mem p live) (neighbours c)) in
+      if n = 3 || (n = 2 && S.mem c live) then c :: acc else acc)
+    candidates []
+
+let initial_cells =
+  (* a glider, a blinker and a block, far apart *)
+  [ (0, 0); (1, 1); (1, 2); (0, 2); (-1, 2);           (* glider *)
+    (40, 40); (40, 41); (40, 42);                       (* blinker *)
+    (-40, -40); (-40, -39); (-39, -40); (-39, -39) ]    (* block *)
+
+let expected_population ~gens =
+  let rec go cells n = if n = 0 then cells else go (native_step cells) (n - 1) in
+  List.length (go initial_cells gens)
+
+let run rt ~scale =
+  let s_cell = R.register_site rt ~name:"life.cell" in
+  let s_cand = R.register_site rt ~name:"life.cand" in
+  (* main: 0 = generation list, 1 = scratch *)
+  let k_main = R.register_frame rt ~name:"life.main" ~slots:(Dsl.slots "pp") in
+  (* step: 0 = gen(arg), 1 = candidates, 2 = next gen, 3/4 = cursors *)
+  let k_step = R.register_frame rt ~name:"life.step" ~slots:(Dsl.slots "ppppp") in
+  (* mem: 0 = list(arg), 1 = cursor *)
+  let k_mem = R.register_frame rt ~name:"life.mem" ~slots:(Dsl.slots "pp") in
+  (* count: 0 = live list (arg), 1 = cursor *)
+  let k_count = R.register_frame rt ~name:"life.count" ~slots:(Dsl.slots "pp") in
+  let member ~list_val v =
+    R.call rt ~key:k_mem ~args:[ list_val ] (fun () ->
+      R.set_slot rt 1 (R.get_slot rt 0);
+      let found = ref false in
+      while (not !found) && not (R.is_nil rt (R.Slot 1)) do
+        if Dsl.list_head_int rt ~list:1 = v then found := true
+        else Dsl.list_advance rt ~list:1
+      done;
+      !found)
+  in
+  let live_neighbours ~live_val c =
+    R.call rt ~key:k_count ~args:[ live_val ] (fun () ->
+      let x, y = unpack c in
+      List.fold_left
+        (fun acc (nx, ny) ->
+          if member ~list_val:(R.get_slot rt 0) (pack nx ny) then acc + 1
+          else acc)
+        0 (neighbours (x, y)))
+  in
+  let step gen_val =
+    R.call rt ~key:k_step ~args:[ gen_val ] (fun () ->
+      (* candidates: all live cells plus their neighbours, deduplicated *)
+      R.set_slot rt 1 Mem.Value.null;
+      R.set_slot rt 3 (R.get_slot rt 0);
+      while not (R.is_nil rt (R.Slot 3)) do
+        let c = Dsl.list_head_int rt ~list:3 in
+        let x, y = unpack c in
+        let consider v =
+          if not (member ~list_val:(R.get_slot rt 1) v) then
+            Dsl.cons_int rt ~site:s_cand ~list:1 v
+        in
+        consider c;
+        List.iter (fun (nx, ny) -> consider (pack nx ny)) (neighbours (x, y));
+        Dsl.list_advance rt ~list:3
+      done;
+      (* apply the rules *)
+      R.set_slot rt 2 Mem.Value.null;
+      R.set_slot rt 4 (R.get_slot rt 1);
+      while not (R.is_nil rt (R.Slot 4)) do
+        let c = Dsl.list_head_int rt ~list:4 in
+        let n = live_neighbours ~live_val:(R.get_slot rt 0) c in
+        let alive = member ~list_val:(R.get_slot rt 0) c in
+        if n = 3 || (n = 2 && alive) then
+          Dsl.cons_int rt ~site:s_cell ~list:2 c;
+        Dsl.list_advance rt ~list:4
+      done;
+      R.get_slot rt 2)
+  in
+  R.call rt ~key:k_main ~args:[] (fun () ->
+    R.set_slot rt 0 Mem.Value.null;
+    List.iter
+      (fun (x, y) -> Dsl.cons_int rt ~site:s_cell ~list:0 (pack x y))
+      initial_cells;
+    for _ = 1 to scale do
+      let next = step (R.get_slot rt 0) in
+      R.set_slot rt 0 next
+    done;
+    let pop = Dsl.list_length rt ~list:0 ~cursor:1 in
+    let want = expected_population ~gens:scale in
+    if pop <> want then
+      failwith (Printf.sprintf "life: population %d, want %d" pop want))
+
+let workload =
+  { Spec.name = "life";
+    description = "The game of Life implemented using lists (Reade 1989)";
+    paper_lines = 146;
+    default_scale = 60;
+    run }

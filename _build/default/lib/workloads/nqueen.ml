@@ -1,0 +1,101 @@
+(* Nqueen (Table 1): the N-queens problem.  Partial placements are
+   persistent cons lists that mostly die on backtracking, while complete
+   solutions are copied into an accumulating solution set — the handful
+   of allocation sites behind the solution set are the paper's textbook
+   pretenuring targets (old% = 99.88 in Figure 2).
+
+   The safety check recurses down the placement list without a tail call,
+   giving the paper's ~2n stack depth. *)
+
+module R = Gsc.Runtime
+
+let expected_solutions = [| 1; 1; 0; 0; 2; 10; 4; 40; 92; 352; 724 |]
+(* indexed by n, for n <= 10 *)
+
+let run rt ~scale =
+  let n = scale in
+  if n < 1 || n > 10 then invalid_arg "nqueen: scale must be in 1..10";
+  let s_pos = R.register_site rt ~name:"nq.pos" in          (* dies young *)
+  let s_try = R.register_site rt ~name:"nq.try_box" in      (* dies young *)
+  let s_sol_cell = R.register_site rt ~name:"nq.sol_cell" in (* long-lived *)
+  let s_sol_list = R.register_site rt ~name:"nq.sol_list" in (* long-lived *)
+  (* main: 0 = solutions list, 1 = scratch *)
+  let k_main = R.register_frame rt ~name:"nq.main" ~slots:(Dsl.slots "pp") in
+  (* place: 0 = placed list (arg), 1 = solutions (arg), 2 = candidate box,
+     3 = extended list *)
+  let k_place = R.register_frame rt ~name:"nq.place" ~slots:(Dsl.slots "pppp") in
+  (* safe: 0 = placed list (arg), 1 = cursor *)
+  let k_safe = R.register_frame rt ~name:"nq.safe" ~slots:(Dsl.slots "pp") in
+  (* copy: 0 = placed (arg), 1 = solutions (arg), 2 = copy being built *)
+  let k_copy = R.register_frame rt ~name:"nq.copy" ~slots:(Dsl.slots "ppp") in
+  (* Is placing a queen in column [col] at row [row] safe, given the list
+     of already-placed columns (most recent row first)?  Recursive and
+     non-tail, like the SML original. *)
+  let rec safe_from placed_val col dist =
+    R.call rt ~key:k_safe ~args:[ placed_val ] (fun () ->
+      if R.is_nil rt (R.Slot 0) then true
+      else begin
+        let c = Dsl.list_head_int rt ~list:0 in
+        if c = col || c = col + dist || c = col - dist then false
+        else begin
+          R.load_field rt ~obj:(R.Slot 0) ~idx:1 ~dst:(R.To_slot 1);
+          let tail = R.get_slot rt 1 in
+          (* non-tail: the && forces work after the recursive call *)
+          let deeper = safe_from tail col (dist + 1) in
+          deeper && c <> col
+        end
+      end)
+  in
+  (* copy a complete placement into long-lived solution cells and cons it
+     onto the solution list; returns the new solutions list *)
+  let record_solution placed_val sols_val =
+    R.call rt ~key:k_copy ~args:[ placed_val; sols_val ] (fun () ->
+      R.set_slot rt 2 Mem.Value.null;
+      while not (R.is_nil rt (R.Slot 0)) do
+        let c = Dsl.list_head_int rt ~list:0 in
+        Dsl.cons_int rt ~site:s_sol_cell ~list:2 c;
+        Dsl.list_advance rt ~list:0
+      done;
+      R.alloc_record rt ~site:s_sol_list ~dst:(R.To_slot 1)
+        [ R.P (R.Slot 2); R.P (R.Slot 1) ];
+      R.get_slot rt 1)
+  in
+  let rec place row placed_val sols_val =
+    R.call rt ~key:k_place ~args:[ placed_val; sols_val ] (fun () ->
+      if row = n then begin
+        let sols = record_solution (R.get_slot rt 0) (R.get_slot rt 1) in
+        R.set_slot rt 1 sols;
+        R.get_slot rt 1
+      end
+      else begin
+        for col = 0 to n - 1 do
+          (* a short-lived box per attempt: the paper's nqueens allocates
+             heavily per candidate; dead on arrival, so unrooted at once *)
+          R.alloc_record rt ~site:s_try ~dst:(R.To_slot 2)
+            [ R.I (R.Imm col); R.I (R.Imm row) ];
+          R.set_slot rt 2 Mem.Value.null;
+          if safe_from (R.get_slot rt 0) col 1 then begin
+            R.alloc_record rt ~site:s_pos ~dst:(R.To_slot 3)
+              [ R.I (R.Imm col); R.P (R.Slot 0) ];
+            let sols = place (row + 1) (R.get_slot rt 3) (R.get_slot rt 1) in
+            R.set_slot rt 1 sols
+          end
+        done;
+        R.get_slot rt 1
+      end)
+  in
+  R.call rt ~key:k_main ~args:[] (fun () ->
+    R.set_slot rt 0 Mem.Value.null;
+    let sols = place 0 Mem.Value.null (R.get_slot rt 0) in
+    R.set_slot rt 0 sols;
+    let count = Dsl.list_length rt ~list:0 ~cursor:1 in
+    let want = expected_solutions.(n) in
+    if count <> want then
+      failwith (Printf.sprintf "nqueen: %d solutions, want %d" count want))
+
+let workload =
+  { Spec.name = "nqueen";
+    description = "The N-queens problem for n = 10";
+    paper_lines = 73;
+    default_scale = 10;
+    run }

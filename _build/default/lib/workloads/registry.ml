@@ -1,0 +1,19 @@
+let all =
+  [ Checksum.workload;
+    Color.workload;
+    Fft.workload;
+    Grobner.workload;
+    Knuth_bendix.workload;
+    Lexgen.workload;
+    Life.workload;
+    Nqueen.workload;
+    Peg.workload;
+    Pia.workload;
+    Simple.workload ]
+
+let find name =
+  match List.find_opt (fun w -> w.Spec.name = name) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names = List.map (fun w -> w.Spec.name) all

@@ -1,0 +1,10 @@
+(** All eleven paper benchmarks (Table 1). *)
+
+(** In the paper's usual listing order. *)
+val all : Spec.t list
+
+(** [find name] looks a workload up by name.
+    @raise Not_found on an unknown name. *)
+val find : string -> Spec.t
+
+val names : string list

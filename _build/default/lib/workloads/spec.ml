@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  description : string;
+  paper_lines : int;
+  default_scale : int;
+  run : Gsc.Runtime.t -> scale:int -> unit;
+}
+
+let run_default t rt = t.run rt ~scale:t.default_scale

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Array Collectors Hashtbl List Mem QCheck QCheck_alcotest Rstack Support

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Collectors Gsc Harness List String Workloads

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Collectors Filename Fun Gsc Heap_profile List Option String Sys Workloads

@@ -1,0 +1,1 @@
+test/test_rstack.ml: Alcotest Array List Mem QCheck QCheck_alcotest Rstack

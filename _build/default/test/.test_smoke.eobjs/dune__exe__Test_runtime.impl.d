@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Collectors Fun Gsc List Mem Printf QCheck QCheck_alcotest Rstack String Workloads

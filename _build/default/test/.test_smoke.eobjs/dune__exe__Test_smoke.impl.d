@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Collectors Fun Gsc Mem Rstack

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Collectors Fun Gsc List Printf Workloads

@@ -1,0 +1,237 @@
+(* Unit and property tests for the memory substrate: addresses, value
+   encoding, headers, blocks and spaces. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Addr --- *)
+
+let addr_pack_unpack () =
+  let a = Mem.Addr.make ~block:7 ~offset:123 in
+  check_int "block" 7 (Mem.Addr.block a);
+  check_int "offset" 123 (Mem.Addr.offset a);
+  let b = Mem.Addr.add a 10 in
+  check_int "add offset" 133 (Mem.Addr.offset b);
+  check_int "add block" 7 (Mem.Addr.block b);
+  check_int "diff" 10 (Mem.Addr.diff b a)
+
+let addr_null () =
+  check_bool "null is null" true (Mem.Addr.is_null Mem.Addr.null);
+  check_bool "normal not null" false
+    (Mem.Addr.is_null (Mem.Addr.make ~block:0 ~offset:0))
+
+let addr_invalid () =
+  Alcotest.check_raises "negative block" (Invalid_argument "Addr.make: negative block")
+    (fun () -> ignore (Mem.Addr.make ~block:(-1) ~offset:0));
+  Alcotest.check_raises "cross-block diff"
+    (Invalid_argument "Addr.diff: different blocks") (fun () ->
+      ignore
+        (Mem.Addr.diff
+           (Mem.Addr.make ~block:0 ~offset:0)
+           (Mem.Addr.make ~block:1 ~offset:0)))
+
+(* --- Value encoding --- *)
+
+let value_roundtrip_prop =
+  QCheck.Test.make ~name:"value encode/decode roundtrip" ~count:500
+    QCheck.(
+      oneof
+        [ map (fun n -> Mem.Value.Int n) (int_range (-1000000000) 1000000000);
+          map
+            (fun (b, o) -> Mem.Value.Ptr (Mem.Addr.make ~block:b ~offset:o))
+            (pair (int_range 0 1000) (int_range 0 100000)) ])
+    (fun v -> Mem.Value.equal v (Mem.Value.decode (Mem.Value.encode v)))
+
+let value_null_roundtrip () =
+  check_bool "null roundtrip" true
+    (Mem.Value.equal Mem.Value.null
+       (Mem.Value.decode (Mem.Value.encode Mem.Value.null)))
+
+(* --- Memory --- *)
+
+let memory_basic () =
+  let mem = Mem.Memory.create () in
+  let a = Mem.Memory.alloc_block mem ~words:16 in
+  check_int "fresh block zeroed" 0
+    (Mem.Value.to_int (Mem.Memory.get mem a));
+  Mem.Memory.set mem (Mem.Addr.add a 3) (Mem.Value.Int 99);
+  check_int "set/get" 99 (Mem.Value.to_int (Mem.Memory.get mem (Mem.Addr.add a 3)));
+  check_int "allocated words" 16 (Mem.Memory.allocated_words mem);
+  Mem.Memory.free_block mem a;
+  check_int "freed words" 0 (Mem.Memory.allocated_words mem);
+  check_bool "dead block" false (Mem.Memory.live_block mem a)
+
+let memory_freed_access () =
+  let mem = Mem.Memory.create () in
+  let a = Mem.Memory.alloc_block mem ~words:4 in
+  Mem.Memory.free_block mem a;
+  match Mem.Memory.get mem a with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let memory_block_reuse () =
+  let mem = Mem.Memory.create () in
+  let a = Mem.Memory.alloc_block mem ~words:8 in
+  let id_a = Mem.Addr.block a in
+  Mem.Memory.free_block mem a;
+  let b = Mem.Memory.alloc_block mem ~words:4 in
+  check_int "block id reused" id_a (Mem.Addr.block b);
+  check_bool "reused block live" true (Mem.Memory.live_block mem b);
+  (* reused blocks are re-zeroed *)
+  check_int "reused zeroed" 0 (Mem.Value.to_int (Mem.Memory.get mem b))
+
+let memory_blit () =
+  let mem = Mem.Memory.create () in
+  let a = Mem.Memory.alloc_block mem ~words:8 in
+  let b = Mem.Memory.alloc_block mem ~words:8 in
+  for i = 0 to 7 do
+    Mem.Memory.set mem (Mem.Addr.add a i) (Mem.Value.Int (i * i))
+  done;
+  Mem.Memory.blit mem ~src:a ~dst:b ~words:8;
+  check_int "blit copied" 49 (Mem.Value.to_int (Mem.Memory.get mem (Mem.Addr.add b 7)))
+
+(* --- Header --- *)
+
+let mem_with_block words =
+  let mem = Mem.Memory.create () in
+  (mem, Mem.Memory.alloc_block mem ~words)
+
+let header_roundtrip () =
+  let mem, a = mem_with_block 64 in
+  let hdr = { Mem.Header.kind = Mem.Header.Record { mask = 0b101 }; len = 3; site = 42 } in
+  Mem.Header.write mem a hdr ~birth:1234;
+  let hdr' = Mem.Header.read mem a in
+  check_bool "kind+mask" true (hdr' = hdr);
+  check_int "birth" 1234 (Mem.Header.birth mem a);
+  check_bool "ptr field 0" true (Mem.Header.is_pointer_field hdr' 0);
+  check_bool "nonptr field 1" false (Mem.Header.is_pointer_field hdr' 1);
+  check_bool "ptr field 2" true (Mem.Header.is_pointer_field hdr' 2)
+
+let header_arrays () =
+  let mem, a = mem_with_block 64 in
+  Mem.Header.write mem a
+    { Mem.Header.kind = Mem.Header.Ptr_array; len = 10; site = 7 } ~birth:0;
+  let hdr = Mem.Header.read mem a in
+  check_bool "ptr array traces all" true (Mem.Header.is_pointer_field hdr 9);
+  check_int "object words" 13 (Mem.Header.object_words hdr);
+  Mem.Header.write mem a
+    { Mem.Header.kind = Mem.Header.Nonptr_array; len = 5; site = 8 } ~birth:0;
+  let hdr = Mem.Header.read mem a in
+  check_bool "nonptr array traces none" false (Mem.Header.is_pointer_field hdr 0)
+
+let header_forwarding () =
+  let mem, a = mem_with_block 64 in
+  let target = Mem.Addr.add a 32 in
+  Mem.Header.write mem a
+    { Mem.Header.kind = Mem.Header.Record { mask = 1 }; len = 2; site = 3 }
+    ~birth:0;
+  check_bool "not forwarded" true (Mem.Header.forwarded mem a = None);
+  let before = Mem.Header.object_words_at mem a in
+  Mem.Header.set_forward mem a ~target;
+  check_bool "forwarded" true (Mem.Header.forwarded mem a = Some target);
+  check_int "size preserved for sweeps" before (Mem.Header.object_words_at mem a);
+  Alcotest.check_raises "read forwarded"
+    (Invalid_argument "Header.read: forwarded object") (fun () ->
+      ignore (Mem.Header.read mem a))
+
+let header_survivor_bit () =
+  let mem, a = mem_with_block 64 in
+  Mem.Header.write mem a
+    { Mem.Header.kind = Mem.Header.Record { mask = 0 }; len = 1; site = 0 }
+    ~birth:5;
+  check_bool "fresh object not survivor" false (Mem.Header.survivor mem a);
+  Mem.Header.set_survivor mem a;
+  check_bool "survivor set" true (Mem.Header.survivor mem a);
+  (* the bit must not disturb the rest of the header *)
+  let hdr = Mem.Header.read mem a in
+  check_int "len intact" 1 hdr.Mem.Header.len;
+  check_int "site intact" 0 hdr.Mem.Header.site;
+  check_int "birth intact" 5 (Mem.Header.birth mem a)
+
+let header_validation () =
+  let mem, a = mem_with_block 64 in
+  Alcotest.check_raises "mask wider than record"
+    (Invalid_argument "Header: mask wider than record") (fun () ->
+      Mem.Header.write mem a
+        { Mem.Header.kind = Mem.Header.Record { mask = 0b111 }; len = 2; site = 0 }
+        ~birth:0)
+
+let header_prop =
+  QCheck.Test.make ~name:"header roundtrip (random)" ~count:300
+    QCheck.(
+      triple (int_range 0 Mem.Header.max_record_fields) (int_range 0 100000)
+        (int_range 0 10))
+    (fun (len, site, kind_sel) ->
+      let mem, a = mem_with_block 64 in
+      let kind =
+        if kind_sel < 4 then
+          Mem.Header.Record { mask = (1 lsl len) - 1 }
+        else if kind_sel < 7 then Mem.Header.Ptr_array
+        else Mem.Header.Nonptr_array
+      in
+      let hdr = { Mem.Header.kind; len; site } in
+      Mem.Header.write mem a hdr ~birth:len;
+      Mem.Header.read mem a = hdr
+      && Mem.Header.birth mem a = len
+      && Mem.Header.object_words_at mem a = Mem.Header.object_words hdr)
+
+(* --- Space --- *)
+
+let space_bump () =
+  let mem = Mem.Memory.create () in
+  let sp = Mem.Space.create mem ~words:32 in
+  check_int "fresh used" 0 (Mem.Space.used_words sp);
+  (match Mem.Space.alloc sp 10 with
+   | Some a -> check_bool "contains grant" true (Mem.Space.contains sp a)
+   | None -> Alcotest.fail "alloc failed");
+  check_int "used" 10 (Mem.Space.used_words sp);
+  check_int "free" 22 (Mem.Space.free_words sp);
+  (match Mem.Space.alloc sp 23 with
+   | Some _ -> Alcotest.fail "overcommit"
+   | None -> ());
+  Mem.Space.reset sp;
+  check_int "reset" 0 (Mem.Space.used_words sp)
+
+let space_iter_objects () =
+  let mem = Mem.Memory.create () in
+  let sp = Mem.Space.create mem ~words:64 in
+  let alloc_obj len =
+    match Mem.Space.alloc sp (Mem.Header.header_words + len) with
+    | Some a ->
+      Mem.Header.write mem a
+        { Mem.Header.kind = Mem.Header.Nonptr_array; len; site = 0 } ~birth:0;
+      a
+    | None -> Alcotest.fail "space full"
+  in
+  let a1 = alloc_obj 2 and a2 = alloc_obj 5 and a3 = alloc_obj 0 in
+  let seen = ref [] in
+  Mem.Space.iter_objects sp mem (fun a -> seen := a :: !seen);
+  Alcotest.(check (list string))
+    "walk order"
+    (List.map Mem.Addr.to_string [ a1; a2; a3 ])
+    (List.rev_map Mem.Addr.to_string !seen)
+
+let () =
+  Alcotest.run "mem"
+    [ ( "addr",
+        [ Alcotest.test_case "pack/unpack" `Quick addr_pack_unpack;
+          Alcotest.test_case "null" `Quick addr_null;
+          Alcotest.test_case "invalid" `Quick addr_invalid ] );
+      ( "value",
+        [ QCheck_alcotest.to_alcotest value_roundtrip_prop;
+          Alcotest.test_case "null roundtrip" `Quick value_null_roundtrip ] );
+      ( "memory",
+        [ Alcotest.test_case "basic" `Quick memory_basic;
+          Alcotest.test_case "freed access" `Quick memory_freed_access;
+          Alcotest.test_case "block reuse" `Quick memory_block_reuse;
+          Alcotest.test_case "blit" `Quick memory_blit ] );
+      ( "header",
+        [ Alcotest.test_case "roundtrip" `Quick header_roundtrip;
+          Alcotest.test_case "arrays" `Quick header_arrays;
+          Alcotest.test_case "forwarding" `Quick header_forwarding;
+          Alcotest.test_case "survivor bit" `Quick header_survivor_bit;
+          Alcotest.test_case "validation" `Quick header_validation;
+          QCheck_alcotest.to_alcotest header_prop ] );
+      ( "space",
+        [ Alcotest.test_case "bump" `Quick space_bump;
+          Alcotest.test_case "iter objects" `Quick space_iter_objects ] ) ]

@@ -1,0 +1,96 @@
+(* Every workload self-verifies its computed answer against a native
+   mirror, so "run to completion without raising" is a real correctness
+   check.  Each workload runs under all four paper configurations at a
+   reduced scale; a final pass checks the simulated heap. *)
+
+module R = Gsc.Runtime
+
+let small_scale (w : Workloads.Spec.t) =
+  match w.Workloads.Spec.name with
+  | "checksum" -> 3
+  | "color" -> 60
+  | "fft" -> 8
+  | "grobner" -> 2
+  | "knuth-bendix" -> 4
+  | "lexgen" -> 6
+  | "life" -> 16
+  | "nqueen" -> 7
+  | "peg" -> 1200
+  | "pia" -> 2
+  | "simple" -> 6
+  | _ -> 1
+
+(* a calibration-sized budget: generous, so every workload fits *)
+let budget = 8 * 1024 * 1024
+
+let configs =
+  [ ("semi", Gsc.Config.semispace ~budget_bytes:budget);
+    ("gen", Gsc.Config.generational ~budget_bytes:budget);
+    ("gen+markers", Gsc.Config.with_markers ~budget_bytes:budget);
+    ( "gen+profiled",
+      { (Gsc.Config.with_markers ~budget_bytes:budget) with
+        Gsc.Config.profiling = true } ) ]
+
+let run_one (w : Workloads.Spec.t) (cfg_name, cfg) () =
+  let rt = R.create cfg in
+  Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+  w.Workloads.Spec.run rt ~scale:(small_scale w);
+  ignore (R.check_heap rt : int);
+  let stats = R.stats rt in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s: allocated something" w.Workloads.Spec.name cfg_name)
+    true
+    (stats.Collectors.Gc_stats.words_allocated > 0)
+
+let suite_for w =
+  ( w.Workloads.Spec.name,
+    List.map
+      (fun (cfg_name, cfg) ->
+        Alcotest.test_case cfg_name `Quick (run_one w (cfg_name, cfg)))
+      configs )
+
+let tight_budget_case () =
+  (* workloads must also survive a small k * Min-style budget; use life,
+     whose live set is tiny *)
+  let cfg = Gsc.Config.generational ~budget_bytes:(64 * 1024) in
+  let rt = R.create cfg in
+  Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+  (Workloads.Registry.find "life").Workloads.Spec.run rt ~scale:40;
+  let stats = R.stats rt in
+  Alcotest.(check bool) "many gcs under a tight budget" true
+    (Collectors.Gc_stats.gcs stats > 5)
+
+let determinism_case () =
+  (* the same workload under the same configuration must produce
+     bit-identical collector statistics — the property the simulated
+     clock rests on *)
+  let w = Workloads.Registry.find "grobner" in
+  let run () =
+    let rt = R.create (Gsc.Config.generational ~budget_bytes:(512 * 1024)) in
+    Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+    w.Workloads.Spec.run rt ~scale:3;
+    let s = R.stats rt in
+    ( s.Collectors.Gc_stats.words_allocated,
+      s.Collectors.Gc_stats.words_copied,
+      Collectors.Gc_stats.gcs s,
+      s.Collectors.Gc_stats.frames_decoded )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical statistics" true (a = b)
+
+let nqueen_all_sizes () =
+  (* the solution counts for n = 5..9 (n = 10 runs in the main suite) *)
+  List.iter
+    (fun n ->
+      let rt = R.create (Gsc.Config.generational ~budget_bytes:(2 * 1024 * 1024)) in
+      Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+      (Workloads.Registry.find "nqueen").Workloads.Spec.run rt ~scale:n)
+    [ 5; 6; 7; 8; 9 ]
+
+let () =
+  Alcotest.run "workloads"
+    (List.map suite_for Workloads.Registry.all
+     @ [ ("budget", [ Alcotest.test_case "tight" `Quick tight_budget_case ]);
+         ( "meta",
+           [ Alcotest.test_case "determinism" `Quick determinism_case;
+             Alcotest.test_case "nqueen sizes" `Quick nqueen_all_sizes ] ) ])
