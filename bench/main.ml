@@ -5,9 +5,20 @@
    that table at a small scale, so regressions in any collector path show
    up as a timing change for its table's test.
 
+   Part 1b — the [gc_hotpath] group: paired safe/raw micro-benchmarks
+   that isolate the collector hot loops (field loads/stores, header
+   decoding, end-to-end minor collections) so the raw-word fast paths
+   have a measured before/after.  Every run also emits a machine-readable
+   [BENCH_gc.json] (name -> ns/run) next to the text report, giving
+   future PRs a perf trajectory.
+
    Part 2 — the actual reproduction: every table and figure regenerated
    by the experiment harness (deterministic simulated-clock figures; see
-   EXPERIMENTS.md). *)
+   EXPERIMENTS.md).
+
+   [--smoke] (used by the `bench-smoke` dune alias wired into `dune
+   runtest`) runs only the hotpath group with a tiny quota, writes
+   BENCH_gc.json, and re-parses it as a format check. *)
 
 open Bechamel
 open Toolkit
@@ -134,40 +145,345 @@ let table_tests =
                 Gsc.Config.tenure_threshold = 3 })))
   ]
 
-let run_bechamel () =
-  let tests = Test.make_grouped ~name:"repro" table_tests in
+(* --- gc_hotpath: the loops the paper's argument lives in --- *)
+
+module H = Mem.Header
+module V = Mem.Value
+
+let hot_words = 256
+
+(* one block of [hot_words] integer cells *)
+let hot_block () =
+  let mem = Mem.Memory.create () in
+  let base = Mem.Memory.alloc_block mem ~words:hot_words in
+  for i = 0 to hot_words - 1 do
+    Mem.Memory.set mem (Mem.Addr.add base i) (V.Int i)
+  done;
+  (mem, base)
+
+(* a space packed with small records, for header-decode walks *)
+let hot_objects () =
+  let mem = Mem.Memory.create () in
+  let space = Mem.Space.create mem ~words:1024 in
+  let n = ref 0 in
+  let rec fill () =
+    match Mem.Space.alloc space (H.header_words + 2) with
+    | Some a ->
+      H.write mem a { H.kind = H.Record { mask = 0b01 }; len = 2; site = !n }
+        ~birth:0;
+      incr n;
+      fill ()
+    | None -> ()
+  in
+  fill ();
+  (mem, space)
+
+let field_read_safe =
+  let mem, base = hot_block () in
+  fun () ->
+    let s = ref 0 in
+    for i = 0 to hot_words - 1 do
+      match Mem.Memory.get mem (Mem.Addr.add base i) with
+      | V.Int n -> s := !s + n
+      | V.Ptr _ -> ()
+    done;
+    Sys.opaque_identity !s
+
+let field_read_raw =
+  let mem, base = hot_block () in
+  fun () ->
+    let cells = Mem.Memory.cells mem base in
+    let s = ref 0 in
+    for i = 0 to hot_words - 1 do
+      let w = cells.(i) in
+      if V.encoded_is_int w then s := !s + V.encoded_to_int w
+    done;
+    Sys.opaque_identity !s
+
+let field_write_safe =
+  let mem, base = hot_block () in
+  fun () ->
+    for i = 0 to hot_words - 1 do
+      Mem.Memory.set mem (Mem.Addr.add base i) (V.Int i)
+    done;
+    Sys.opaque_identity base
+
+let field_write_raw =
+  let mem, base = hot_block () in
+  fun () ->
+    let cells = Mem.Memory.cells mem base in
+    for i = 0 to hot_words - 1 do
+      cells.(i) <- V.encode_int i
+    done;
+    Sys.opaque_identity base
+
+let header_decode_safe =
+  let mem, space = hot_objects () in
+  fun () ->
+    let s = ref 0 in
+    Mem.Space.iter_objects space mem (fun a ->
+      let hdr = H.read mem a in
+      s := !s + H.object_words hdr + hdr.H.site);
+    Sys.opaque_identity !s
+
+let header_decode_raw =
+  let mem, space = hot_objects () in
+  fun () ->
+    let base = Mem.Space.base space in
+    let cells = Mem.Memory.cells mem base in
+    let limit = Mem.Addr.offset base + Mem.Space.used_words space in
+    let s = ref 0 in
+    let off = ref (Mem.Addr.offset base) in
+    while !off < limit do
+      let words = H.object_words_c cells ~off:!off in
+      s := !s + words + H.site_c cells ~off:!off;
+      off := !off + words
+    done;
+    Sys.opaque_identity !s
+
+(* end-to-end: the same allocation/mutation loop driven through the two
+   engine implementations *)
+let minor_gc_run raw () =
+  Collectors.Cheney.use_raw := raw;
+  Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
+  @@ fun () ->
+  let globals = Array.make 1 V.zero in
+  let mem = Mem.Memory.create () in
+  let stats = Collectors.Gc_stats.create () in
+  let hooks =
+    { Collectors.Hooks.nothing with
+      Collectors.Hooks.visit_globals =
+        (fun visit ->
+          Array.iteri
+            (fun i _ -> visit (Rstack.Root.Global (globals, i)))
+            globals) }
+  in
+  let g =
+    Collectors.Generational.create mem ~hooks ~stats
+      { (Collectors.Generational.default_config ~budget_bytes:(256 * 1024)) with
+        Collectors.Generational.nursery_bytes_max = 8 * 1024 }
+  in
+  Fun.protect ~finally:(fun () -> Collectors.Generational.destroy g)
+  @@ fun () ->
+  for i = 1 to 2000 do
+    let a =
+      Collectors.Generational.alloc g
+        { H.kind = H.Record { mask = 0b10 }; len = 2; site = 0 }
+        ~birth:i
+    in
+    Mem.Memory.set mem (H.field_addr a 0) (V.Int i);
+    Mem.Memory.set mem (H.field_addr a 1) globals.(0);
+    if i mod 10 = 0 then globals.(0) <- V.Ptr a
+  done;
+  Sys.opaque_identity stats.Collectors.Gc_stats.minor_gcs
+
+let hotpath_tests =
+  [ Test.make ~name:"hotpath.field_read.safe" (Staged.stage field_read_safe);
+    Test.make ~name:"hotpath.field_read.raw" (Staged.stage field_read_raw);
+    Test.make ~name:"hotpath.field_write.safe" (Staged.stage field_write_safe);
+    Test.make ~name:"hotpath.field_write.raw" (Staged.stage field_write_raw);
+    Test.make ~name:"hotpath.header_decode.safe"
+      (Staged.stage header_decode_safe);
+    Test.make ~name:"hotpath.header_decode.raw" (Staged.stage header_decode_raw);
+    Test.make ~name:"hotpath.minor_gc.safe" (Staged.stage (minor_gc_run false));
+    Test.make ~name:"hotpath.minor_gc.raw" (Staged.stage (minor_gc_run true))
+  ]
+
+(* --- Bechamel driver --- *)
+
+let run_group ~group_name ~quota ~limit tests =
+  let tests = Test.make_grouped ~name:group_name tests in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None
-      ~stabilize:false ()
+    Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None ~stabilize:false
+      ()
   in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  print_endline "Bechamel micro-benchmarks (one per table/figure):";
-  List.iter
-    (fun (name, o) ->
-      let est =
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
         match Analyze.OLS.estimates o with
-        | Some (e :: _) -> Printf.sprintf "%12.0f ns/run" e
-        | Some [] | None -> "          (n/a)"
-      in
-      Printf.printf "  %-42s %s\n" name est)
+        | Some (e :: _) when Float.is_finite e -> (name, e) :: acc
+        | Some _ | None -> acc)
+      results []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let print_rows header rows =
+  print_endline header;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-44s %12.0f ns/run\n" name ns)
     rows;
   print_newline ()
 
-let () =
-  let factor =
-    match Sys.getenv_opt "REPRO_FACTOR" with
-    | Some f -> float_of_string f
-    | None -> 1.0
+(* --- BENCH_gc.json: the machine-readable perf trajectory --- *)
+
+let json_path () =
+  match Sys.getenv_opt "BENCH_GC_JSON" with
+  | Some p -> p
+  | None -> "BENCH_gc.json"
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc "{\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.2f%s\n" name ns
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "}\n"
+
+(* A minimal parser for exactly the shape we emit (a flat object of
+   numbers): enough to validate the trajectory file without a JSON
+   dependency. *)
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = failwith (Printf.sprintf "BENCH_gc.json:%d: %s" !pos msg) in
+  let skip_ws () =
+    while
+      !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
   in
-  run_bechamel ();
-  print_endline
-    "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";
-  print_newline ();
-  print_string (Harness.Suite.render_all ~factor)
+  let expect c =
+    skip_ws ();
+    if !pos >= len || s.[!pos] <> c then fail (Printf.sprintf "expected %c" c);
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        if !pos + 1 >= len then fail "bad escape";
+        Buffer.add_char b s.[!pos + 1];
+        pos := !pos + 2;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < len
+      && (match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  expect '{';
+  skip_ws ();
+  let entries = ref [] in
+  if !pos < len && s.[!pos] = '}' then incr pos
+  else begin
+    let rec members () =
+      let k = parse_string () in
+      expect ':';
+      let v = parse_number () in
+      entries := (k, v) :: !entries;
+      skip_ws ();
+      if !pos < len && s.[!pos] = ',' then begin
+        incr pos;
+        skip_ws ();
+        members ()
+      end
+      else expect '}'
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  List.rev !entries
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* safe/raw pairs and their speedups, from whatever rows were measured *)
+let hotpath_ratios rows =
+  List.filter_map
+    (fun (name, safe_ns) ->
+      match Filename.check_suffix name ".safe" with
+      | false -> None
+      | true ->
+        let stem = Filename.chop_suffix name ".safe" in
+        (match List.assoc_opt (stem ^ ".raw") rows with
+         | Some raw_ns when raw_ns > 0. -> Some (stem, safe_ns /. raw_ns)
+         | Some _ | None -> None))
+    rows
+
+let emit_json rows =
+  let path = json_path () in
+  write_json path rows;
+  (* validate what we wrote: the trajectory file must always parse *)
+  let parsed = parse_json (read_file path) in
+  if List.length parsed <> List.length rows then
+    failwith "BENCH_gc.json: reparse lost entries";
+  List.iter
+    (fun (_, v) ->
+      if not (Float.is_finite v) || v < 0. then
+        failwith "BENCH_gc.json: non-finite entry")
+    parsed;
+  Printf.printf "BENCH_gc.json: %d entries written to %s\n" (List.length parsed)
+    path;
+  List.iter
+    (fun (stem, ratio) ->
+      Printf.printf "  %-44s safe/raw = %.2fx\n" stem ratio)
+    (hotpath_ratios rows);
+  print_newline ()
+
+let () =
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  if smoke then begin
+    (* tiny quota: a format/plumbing check, not a measurement *)
+    let rows =
+      run_group ~group_name:"gc_hotpath" ~quota:0.02 ~limit:20 hotpath_tests
+    in
+    if rows = [] then failwith "bench-smoke: no benchmark estimates";
+    emit_json rows;
+    print_endline "bench-smoke: OK"
+  end
+  else begin
+    let factor =
+      match Sys.getenv_opt "REPRO_FACTOR" with
+      | Some f -> float_of_string f
+      | None -> 1.0
+    in
+    let table_rows =
+      run_group ~group_name:"repro" ~quota:0.5 ~limit:50 table_tests
+    in
+    print_rows "Bechamel micro-benchmarks (one per table/figure):" table_rows;
+    let hot_rows =
+      run_group ~group_name:"gc_hotpath" ~quota:0.5 ~limit:50 hotpath_tests
+    in
+    print_rows "GC hot-path micro-benchmarks (safe vs raw):" hot_rows;
+    emit_json (table_rows @ hot_rows);
+    print_endline
+      "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";
+    print_newline ();
+    print_string (Harness.Suite.render_all ~factor)
+  end

@@ -46,6 +46,15 @@ let marked_cards t =
   done;
   !acc
 
+let iter_marked t f =
+  (* snapshot the mark bytes so cards marked by [f] itself (re-remembered
+     edges) are not processed this round — same semantics as iterating a
+     [marked_cards] list built up front, without the list *)
+  let snapshot = Bytes.copy t.marks in
+  for c = 0 to t.ncards - 1 do
+    if Bytes.unsafe_get snapshot c = '\001' then f c
+  done
+
 let card_range t c =
   if c < 0 || c >= t.ncards then invalid_arg "Card_table.card_range";
   (c * card_words, min ((c + 1) * card_words) t.covered_words)

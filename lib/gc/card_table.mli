@@ -33,6 +33,11 @@ val cover : t -> ((offset:int -> words:int -> unit) -> unit) -> unit
 (** [marked_cards t] returns the indexes of marked cards, ascending. *)
 val marked_cards : t -> int list
 
+(** [iter_marked t f] applies [f] to each marked card, ascending,
+    without building a list; marks set by [f] itself are not visited
+    (the mark bytes are snapshotted first). *)
+val iter_marked : t -> (int -> unit) -> unit
+
 (** [card_range t card] is the [(first_word, last_word_exclusive)] window
     of the card, clipped to the covered prefix of the space. *)
 val card_range : t -> int -> int * int

@@ -1,3 +1,16 @@
+(* Two implementations of every inner loop live here.
+
+   The *safe* path goes through [Memory.get]/[set] and [Header.read]:
+   every field touched re-resolves its block and boxes a [Value.t].  It
+   is the executable specification.
+
+   The *raw* path (default, [use_raw]) resolves each object's block once
+   into a cell-array handle ([Memory.cells]) and moves encoded words
+   ([Value.encode]d ints) with no allocation.  [test_gc.ml] pins the two
+   paths to identical [Gc_stats] counters and heap contents. *)
+
+let use_raw = ref true
+
 type aging = {
   young_to : Mem.Space.t;
   threshold : int;
@@ -7,7 +20,9 @@ type t = {
   mem : Mem.Memory.t;
   in_from : Mem.Addr.t -> bool;
   to_space : Mem.Space.t;
+  to_cells : int array;             (* block handle of [to_space] *)
   aging : aging option;
+  young_cells : int array;          (* block handle of [aging.young_to] *)
   remember : (loc:Mem.Addr.t -> owner:Mem.Addr.t option -> unit) option;
   los : Los.t option;
   trace_los : bool;
@@ -25,7 +40,12 @@ let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
   { mem;
     in_from;
     to_space;
+    to_cells = Mem.Memory.cells mem (Mem.Space.base to_space);
     aging;
+    young_cells =
+      (match aging with
+       | Some a -> Mem.Memory.cells mem (Mem.Space.base a.young_to)
+       | None -> [||]);
     remember;
     los;
     trace_los;
@@ -40,10 +60,119 @@ let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
     copied = 0;
     promoted = 0 }
 
-let copy_object t a =
-  let words = Mem.Header.object_words_at t.mem a in
+(* --- raw path --- *)
+
+(* [src]/[soff] locate the object being copied in its already-resolved
+   block *)
+let copy_object_raw t src soff =
+  let words = Mem.Header.object_words_c src ~off:soff in
   (* destination: under an aging nursery, survivors below the tenure
      threshold are copied back young with their age bumped *)
+  let age = Mem.Header.age_c src ~off:soff in
+  let dest, dcells, promote =
+    match t.aging with
+    | Some { young_to; threshold } when age + 1 < threshold ->
+      (young_to, t.young_cells, false)
+    | Some _ | None -> (t.to_space, t.to_cells, true)
+  in
+  let dst =
+    match Mem.Space.alloc dest words with
+    | Some dst -> dst
+    | None -> failwith "Cheney: to-space overflow (collector sizing bug)"
+  in
+  let doff = Mem.Addr.offset dst in
+  (match t.object_hooks with
+   | None -> ()
+   | Some h ->
+     let hdr = Mem.Header.read_c src ~off:soff in
+     h.Hooks.on_copy hdr ~words;
+     if not (Mem.Header.survivor_c src ~off:soff) then
+       h.Hooks.on_first_survival hdr ~words);
+  Array.blit src soff dcells doff words;
+  Mem.Header.set_survivor_c dcells ~off:doff;
+  if not promote then
+    Mem.Header.set_age_c dcells ~off:doff (min Mem.Header.max_age (age + 1));
+  Mem.Header.set_forward_c src ~off:soff ~target:dst;
+  t.copied <- t.copied + words;
+  if promote then t.promoted <- t.promoted + words;
+  dst
+
+(* forward one encoded word; returns the (possibly rewritten) word *)
+let evacuate_raw t w =
+  if Mem.Value.encoded_is_int w || w = Mem.Value.encoded_null then w
+  else begin
+    let a = Mem.Value.encoded_to_addr w in
+    if t.in_from a then begin
+      let src = Mem.Memory.cells t.mem a in
+      let soff = Mem.Addr.offset a in
+      if Mem.Header.is_forwarded_c src ~off:soff then
+        Mem.Value.encode_addr (Mem.Header.forward_target_c src ~off:soff)
+      else Mem.Value.encode_addr (copy_object_raw t src soff)
+    end
+    else begin
+      (match t.los with
+       | Some los when t.trace_los && Los.contains los a ->
+         if Los.mark los a then Support.Vec.push t.gray_large a
+       | Some _ | None -> ());
+      w
+    end
+  end
+
+(* aging: a location outside the young to-space now pointing into it is
+   an old-to-young edge that must stay remembered.  Only reached when
+   both [remember] and [aging] are set. *)
+let remember_check t ~loc ~owner w' =
+  match t.remember, t.aging with
+  | Some remember, Some a
+    when Mem.Value.encoded_is_ptr w'
+         && Mem.Space.contains a.young_to (Mem.Value.encoded_to_addr w')
+         && not (Mem.Space.contains a.young_to loc) ->
+    remember ~loc ~owner
+  | (Some _ | None), _ -> ()
+
+let scan_object_raw t base =
+  let cells = Mem.Memory.cells t.mem base in
+  let off = Mem.Addr.offset base in
+  let tag = Mem.Header.tag_c cells ~off in
+  let len = Mem.Header.len_c cells ~off in
+  (if tag <> Mem.Header.tag_nonptr_array then begin
+     let aging_edges = t.remember <> None && t.aging <> None in
+     let visit i =
+       let foff = off + Mem.Header.header_words + i in
+       let w = cells.(foff) in
+       let w' = evacuate_raw t w in
+       if w' <> w then cells.(foff) <- w';
+       if aging_edges then
+         remember_check t
+           ~loc:(Mem.Addr.unsafe_add base (Mem.Header.header_words + i))
+           ~owner:(Some base) w'
+     in
+     if tag = Mem.Header.tag_ptr_array then
+       for i = 0 to len - 1 do
+         visit i
+       done
+     else begin
+       let mask = Mem.Header.mask_c cells ~off in
+       for i = 0 to len - 1 do
+         if mask land (1 lsl i) <> 0 then visit i
+       done
+     end
+   end);
+  Mem.Header.header_words + len
+
+let visit_loc_raw t loc =
+  let cells = Mem.Memory.cells t.mem loc in
+  let off = Mem.Addr.offset loc in
+  let w = cells.(off) in
+  let w' = evacuate_raw t w in
+  if w' <> w then cells.(off) <- w';
+  if t.remember <> None && t.aging <> None then
+    remember_check t ~loc ~owner:None w'
+
+(* --- safe (reference) path --- *)
+
+let copy_object_safe t a =
+  let words = Mem.Header.object_words_at t.mem a in
   let age = Mem.Header.age t.mem a in
   let dest, promote =
     match t.aging with
@@ -71,7 +200,7 @@ let copy_object t a =
   if promote then t.promoted <- t.promoted + words;
   dst
 
-let evacuate t v =
+let evacuate_safe t v =
   match v with
   | Mem.Value.Int _ -> v
   | Mem.Value.Ptr a ->
@@ -79,7 +208,7 @@ let evacuate t v =
     else if t.in_from a then begin
       match Mem.Header.forwarded t.mem a with
       | Some target -> Mem.Value.Ptr target
-      | None -> Mem.Value.Ptr (copy_object t a)
+      | None -> Mem.Value.Ptr (copy_object_safe t a)
     end
     else begin
       (match t.los with
@@ -89,17 +218,10 @@ let evacuate t v =
       v
     end
 
-let visit_root t root =
-  let v = Rstack.Root.get root in
-  let v' = evacuate t v in
-  if not (Mem.Value.equal v v') then Rstack.Root.set root v'
-
-let visit_field t ~owner loc =
+let visit_field_safe t ~owner loc =
   let v = Mem.Memory.get t.mem loc in
-  let v' = evacuate t v in
+  let v' = evacuate_safe t v in
   if not (Mem.Value.equal v v') then Mem.Memory.set t.mem loc v';
-  (* aging: a location outside the young to-space now pointing into it is
-     an old-to-young edge that must stay remembered *)
   match t.remember, t.aging, v' with
   | Some remember, Some a, Mem.Value.Ptr target
     when (not (Mem.Addr.is_null target))
@@ -108,22 +230,45 @@ let visit_field t ~owner loc =
     remember ~loc ~owner
   | (Some _ | None), _, _ -> ()
 
-let visit_loc t loc = visit_field t ~owner:None loc
-
-let scan_object t base =
+let scan_object_safe t base =
   let hdr = Mem.Header.read t.mem base in
   (match hdr.Mem.Header.kind with
    | Mem.Header.Nonptr_array -> ()
    | Mem.Header.Ptr_array ->
      for i = 0 to hdr.Mem.Header.len - 1 do
-       visit_field t ~owner:(Some base) (Mem.Header.field_addr base i)
+       visit_field_safe t ~owner:(Some base) (Mem.Header.field_addr base i)
      done
    | Mem.Header.Record { mask } ->
      for i = 0 to hdr.Mem.Header.len - 1 do
        if mask land (1 lsl i) <> 0 then
-         visit_field t ~owner:(Some base) (Mem.Header.field_addr base i)
+         visit_field_safe t ~owner:(Some base) (Mem.Header.field_addr base i)
      done);
   Mem.Header.object_words hdr
+
+(* --- dispatching entry points --- *)
+
+let evacuate t v =
+  if not !use_raw then evacuate_safe t v
+  else
+    match v with
+    | Mem.Value.Int _ -> v
+    | Mem.Value.Ptr a ->
+      if Mem.Addr.is_null a then v
+      else begin
+        let w' = evacuate_raw t (Mem.Value.encode v) in
+        Mem.Value.Ptr (Mem.Value.encoded_to_addr w')
+      end
+
+let visit_root t root =
+  let v = Rstack.Root.get root in
+  let v' = evacuate t v in
+  if not (Mem.Value.equal v v') then Rstack.Root.set root v'
+
+let visit_loc t loc =
+  if !use_raw then visit_loc_raw t loc else visit_field_safe t ~owner:None loc
+
+let scan_object t base =
+  if !use_raw then scan_object_raw t base else scan_object_safe t base
 
 let visit_object_fields t base = ignore (scan_object t base : int)
 
@@ -135,7 +280,7 @@ let drain t =
     while Mem.Addr.diff (Mem.Space.frontier t.to_space) t.scan > 0 do
       progress := true;
       let words = scan_object t t.scan in
-      t.scan <- Mem.Addr.add t.scan words
+      t.scan <- Mem.Addr.unsafe_add t.scan words
     done;
     (* young to-space scan pointer (aging nurseries) *)
     (match t.aging with
@@ -144,7 +289,7 @@ let drain t =
        while Mem.Addr.diff (Mem.Space.frontier a.young_to) t.scan_young > 0 do
          progress := true;
          let words = scan_object t t.scan_young in
-         t.scan_young <- Mem.Addr.add t.scan_young words
+         t.scan_young <- Mem.Addr.unsafe_add t.scan_young words
        done);
     (* queued large objects *)
     while not (Support.Vec.is_empty t.gray_large) do
@@ -159,10 +304,21 @@ let words_copied t = t.copied
 let words_promoted t = t.promoted
 
 let sweep_dead ~mem ~space ~on_die =
-  Mem.Space.iter_objects space mem (fun base ->
-    match Mem.Header.forwarded mem base with
-    | Some _ -> ()
-    | None ->
-      let hdr = Mem.Header.read mem base in
-      let birth = Mem.Header.birth mem base in
-      on_die hdr ~birth ~words:(Mem.Header.object_words hdr))
+  (* one block handle for the whole walk; identical observable behaviour
+     on both paths, so no safe variant is kept *)
+  let base = Mem.Space.base space in
+  let cells = Mem.Memory.cells mem base in
+  let base_off = Mem.Addr.offset base in
+  let limit = base_off + Mem.Space.used_words space in
+  let rec walk off =
+    if off < limit then begin
+      let words = Mem.Header.object_words_c cells ~off in
+      if not (Mem.Header.is_forwarded_c cells ~off) then begin
+        let hdr = Mem.Header.read_c cells ~off in
+        let birth = Mem.Header.birth_c cells ~off in
+        on_die hdr ~birth ~words
+      end;
+      walk (off + words)
+    end
+  in
+  walk base_off

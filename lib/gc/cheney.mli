@@ -10,6 +10,15 @@
 
 type t
 
+(** When true (the default), the engine's inner loops run on the raw
+    memory API: one block-handle resolution per object, encoded words,
+    no per-field [Value.t] boxing.  When false, every loop goes through
+    the safe [Memory.get]/[set] reference implementation.  The two paths
+    are observably identical (values, hook calls, statistics); the flag
+    exists for the equivalence tests and the [gc_hotpath] benchmarks.
+    Not meant to be flipped during a collection. *)
+val use_raw : bool ref
+
 (** Aging-nursery evacuation (Section 7.2's alternative tenuring policy):
     survivors younger than [threshold] are copied into [young_to] with
     their age counter incremented; the rest are promoted into the

@@ -106,20 +106,23 @@ let cover_new_tenured t =
   | B_ssb _ | B_remset _ -> ()
   | B_cards (cards, _) ->
     let base = Mem.Space.base t.tenured in
-    let frontier = Mem.Space.frontier t.tenured in
+    let cells = Mem.Memory.cells t.mem base in
+    let base_off = Mem.Addr.offset base in
+    let limit = Mem.Addr.diff (Mem.Space.frontier t.tenured) base in
     Card_table.cover cards (fun f ->
-      let rec walk a =
-        if Mem.Addr.diff frontier a > 0 then begin
-          let words = Mem.Header.object_words_at t.mem a in
-          f ~offset:(Mem.Addr.diff a base) ~words;
-          walk (Mem.Addr.add a words)
+      let rec walk offset =
+        if offset < limit then begin
+          let words = Mem.Header.object_words_c cells ~off:(base_off + offset) in
+          f ~offset ~words;
+          walk (offset + words)
         end
       in
-      walk t.cards_covered_to);
-    t.cards_covered_to <- frontier
+      walk (Mem.Addr.diff t.cards_covered_to base));
+    t.cards_covered_to <- Mem.Space.frontier t.tenured
 
 (* scan one marked card: walk the objects overlapping it and visit the
-   pointer fields that lie inside the card window *)
+   pointer fields that lie inside the card window.  The tenured block is
+   resolved once; headers decode straight from the cell array. *)
 let scan_card t engine cards card =
   let base = Mem.Space.base t.tenured in
   let lo, hi = Card_table.card_range cards card in
@@ -127,17 +130,29 @@ let scan_card t engine cards card =
     match Card_table.crossing cards card with
     | None -> ()
     | Some start ->
+      let cells = Mem.Memory.cells t.mem base in
+      let base_off = Mem.Addr.offset base in
       let rec walk off =
         if off < hi then begin
-          let a = Mem.Addr.add base off in
-          let hdr = Mem.Header.read t.mem a in
-          let words = Mem.Header.object_words hdr in
-          for i = 0 to hdr.Mem.Header.len - 1 do
-            let foff = off + Mem.Header.header_words + i in
-            if foff >= lo && foff < hi && Mem.Header.is_pointer_field hdr i
-            then Cheney.visit_loc engine (Mem.Header.field_addr a i)
-          done;
-          walk (off + words)
+          let aoff = base_off + off in
+          let tag = Mem.Header.tag_c cells ~off:aoff in
+          let len = Mem.Header.len_c cells ~off:aoff in
+          let visit_window is_ptr_field =
+            (* clip the field loop to the card window *)
+            let i_lo = max 0 (lo - (off + Mem.Header.header_words)) in
+            let i_hi = min (len - 1) (hi - 1 - (off + Mem.Header.header_words)) in
+            for i = i_lo to i_hi do
+              if is_ptr_field i then
+                Cheney.visit_loc engine
+                  (Mem.Addr.unsafe_add base (off + Mem.Header.header_words + i))
+            done
+          in
+          if tag = Mem.Header.tag_ptr_array then visit_window (fun _ -> true)
+          else if tag = Mem.Header.tag_record then begin
+            let mask = Mem.Header.mask_c cells ~off:aoff in
+            visit_window (fun i -> mask land (1 lsl i) <> 0)
+          end;
+          walk (off + Mem.Header.header_words + len)
         end
       in
       walk start
@@ -147,11 +162,13 @@ let scan_card t engine cards card =
    the last collection and may hold young pointers.  Objects whose site
    the flow analysis cleared are skipped (Section 7.2). *)
 let scan_pretenured_region t engine ~until =
+  let cells = Mem.Memory.cells t.mem (Mem.Space.base t.tenured) in
+  let limit = Mem.Addr.offset until in
   let rec walk a =
-    if Mem.Addr.diff until a > 0 then begin
-      let hdr = Mem.Header.read t.mem a in
-      let words = Mem.Header.object_words hdr in
-      if t.hooks.Hooks.site_needs_scan hdr.Mem.Header.site then begin
+    let off = Mem.Addr.offset a in
+    if off < limit then begin
+      let words = Mem.Header.object_words_c cells ~off in
+      if t.hooks.Hooks.site_needs_scan (Mem.Header.site_c cells ~off) then begin
         Cheney.visit_object_fields engine a;
         t.stats.Gc_stats.words_region_scanned <-
           t.stats.Gc_stats.words_region_scanned + words
@@ -159,7 +176,7 @@ let scan_pretenured_region t engine ~until =
       else
         t.stats.Gc_stats.words_region_skipped <-
           t.stats.Gc_stats.words_region_skipped + words;
-      walk (Mem.Addr.add a words)
+      walk (Mem.Addr.unsafe_add a words)
     end
   in
   walk t.pretenure_from
@@ -178,11 +195,9 @@ let drain_barrier t engine =
        incr processed;
        if not (in_nursery t obj) then Cheney.visit_object_fields engine obj)
    | B_cards (cards, overflow) ->
-     List.iter
-       (fun card ->
-         incr processed;
-         scan_card t engine cards card)
-       (Card_table.marked_cards cards);
+     Card_table.iter_marked cards (fun card ->
+       incr processed;
+       scan_card t engine cards card);
      Card_table.clear_marks cards;
      Ssb.drain overflow (fun loc ->
        incr processed;

@@ -1,10 +1,15 @@
 type t = {
   seen : (Mem.Addr.t, unit) Hashtbl.t;
-  order : Mem.Addr.t Support.Vec.t;
+  mutable order : Mem.Addr.t Support.Vec.t;
+  mutable draining : Mem.Addr.t Support.Vec.t; (* spare buffer for drains *)
   mutable total : int;
 }
 
-let create () = { seen = Hashtbl.create 256; order = Support.Vec.create (); total = 0 }
+let create () =
+  { seen = Hashtbl.create 256;
+    order = Support.Vec.create ();
+    draining = Support.Vec.create ();
+    total = 0 }
 
 let record t obj =
   t.total <- t.total + 1;
@@ -18,12 +23,15 @@ let length t = Support.Vec.length t.order
 let total_recorded t = t.total
 
 let drain t f =
-  (* snapshot-then-clear: [f] may re-record objects for the next
-     collection (aging nurseries) *)
-  let snapshot = Support.Vec.to_list t.order in
-  Support.Vec.clear t.order;
+  (* swap-then-iterate: [f] may re-record objects for the next
+     collection (aging nurseries), so the set is emptied before any
+     callback runs; the spare buffer makes the drain allocation-free *)
+  let snapshot = t.order in
+  t.order <- t.draining;
+  t.draining <- snapshot;
   Hashtbl.reset t.seen;
-  List.iter f snapshot
+  Support.Vec.iter f snapshot;
+  Support.Vec.clear snapshot
 
 let clear t =
   Support.Vec.clear t.order;

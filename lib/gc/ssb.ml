@@ -1,9 +1,13 @@
 type t = {
-  entries : Mem.Addr.t Support.Vec.t;
+  mutable entries : Mem.Addr.t Support.Vec.t;
+  mutable draining : Mem.Addr.t Support.Vec.t; (* spare buffer for drains *)
   mutable total : int;
 }
 
-let create () = { entries = Support.Vec.create (); total = 0 }
+let create () =
+  { entries = Support.Vec.create ();
+    draining = Support.Vec.create ();
+    total = 0 }
 
 let record t loc =
   Support.Vec.push t.entries loc;
@@ -15,10 +19,14 @@ let total_recorded t = t.total
 
 let drain t f =
   (* the callback may record new entries (the collector re-remembers
-     surviving old-to-young edges under aging nurseries): snapshot and
-     clear first so those records survive for the next collection *)
-  let snapshot = Support.Vec.to_list t.entries in
-  Support.Vec.clear t.entries;
-  List.iter f snapshot
+     surviving old-to-young edges under aging nurseries): swap in the
+     spare buffer first so those records survive for the next
+     collection.  The swap replaces the old list snapshot — a drain is
+     allocation-free once both buffers have grown. *)
+  let snapshot = t.entries in
+  t.entries <- t.draining;
+  t.draining <- snapshot;
+  Support.Vec.iter f snapshot;
+  Support.Vec.clear snapshot
 
 let clear t = Support.Vec.clear t.entries

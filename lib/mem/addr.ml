@@ -18,7 +18,9 @@ let offset a = a land offset_mask
 let add a n =
   let off = offset a + n in
   if off < 0 || off > offset_mask then invalid_arg "Addr.add: offset out of range";
-  ((a lsr offset_bits) lsl offset_bits) lor off
+  (a land lnot offset_mask) lor off
+
+let unsafe_add a n = a + n
 
 let diff a b =
   if block a <> block b then invalid_arg "Addr.diff: different blocks";

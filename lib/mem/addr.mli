@@ -27,6 +27,13 @@ val offset : t -> int
     negative.  @raise Invalid_argument if the result offset is negative. *)
 val add : t -> int -> t
 
+(** [unsafe_add a n] is [add a n] without the range check: because the
+    offset occupies the low bits, stepping within a block is a plain
+    integer add.  Only for scan cursors that are known to stay inside the
+    block (object walks bounded by a space frontier); stepping past the
+    offset field silently corrupts the block id. *)
+val unsafe_add : t -> int -> t
+
 (** [diff a b] is the word distance [a - b].
     @raise Invalid_argument if [a] and [b] are in different blocks. *)
 val diff : t -> t -> int

@@ -102,6 +102,53 @@ let survivor mem base = word0 mem base land 4 <> 0
 let set_survivor mem base =
   Memory.set mem base (Value.Int (word0 mem base lor 4))
 
+(* --- cell-array accessors ---
+
+   The same decoding as above, but against an already-resolved block
+   handle ({!Memory.cells}): no per-access block lookup, no [Value.t]
+   boxing.  Header words are stored as encoded integers, so the stored
+   word is [(w lsl 1) lor 1]; [asr 1] recovers it. *)
+
+let word0_c cells ~off = cells.(off) asr 1
+
+let tag_c cells ~off = word0_c cells ~off land 3
+let len_c cells ~off = word0_c cells ~off lsr 6
+let object_words_c cells ~off = header_words + len_c cells ~off
+let mask_c cells ~off = (cells.(off + 1) asr 1) lsr 20
+let site_c cells ~off = (cells.(off + 1) asr 1) land max_site
+let birth_c cells ~off = cells.(off + 2) asr 1
+
+let is_forwarded_c cells ~off = tag_c cells ~off = tag_forwarded
+
+(* the forward word holds [Value.Ptr target], i.e. the raw address
+   shifted left once *)
+let forward_target_c cells ~off = Addr.decode_raw (cells.(off + 1) asr 1)
+
+let set_forward_c cells ~off ~target =
+  let w0 = word0_c cells ~off in
+  cells.(off) <- (((w0 land lnot 3) lor tag_forwarded) lsl 1) lor 1;
+  cells.(off + 1) <- Addr.encode_raw target lsl 1
+
+let age_c cells ~off = (word0_c cells ~off lsr 3) land 7
+
+let set_age_c cells ~off n =
+  let w0 = word0_c cells ~off in
+  cells.(off) <- (((w0 land lnot (7 lsl 3)) lor (n lsl 3)) lsl 1) lor 1
+
+let survivor_c cells ~off = word0_c cells ~off land 4 <> 0
+
+let set_survivor_c cells ~off = cells.(off) <- cells.(off) lor (4 lsl 1)
+
+let read_c cells ~off =
+  let w0 = word0_c cells ~off in
+  let tag = w0 land 3 and len = w0 lsr 6 in
+  if tag = tag_forwarded then invalid_arg "Header.read_c: forwarded object";
+  let w1 = cells.(off + 1) asr 1 in
+  let site = w1 land max_site in
+  if tag = tag_record then { kind = Record { mask = w1 lsr 20 }; len; site }
+  else if tag = tag_ptr_array then { kind = Ptr_array; len; site }
+  else { kind = Nonptr_array; len; site }
+
 let pp fmt h =
   let kind_s =
     match h.kind with

@@ -87,3 +87,50 @@ val field_addr : Addr.t -> int -> Addr.t
 val object_words_at : Memory.t -> Addr.t -> int
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Cell-array accessors}
+
+    The collector hot loops resolve an object's block once
+    ({!Memory.cells}) and then decode header words straight from the
+    cell array; [off] is the object base's {!Addr.offset}.  Each
+    function mirrors its safe counterpart above; none allocates except
+    {!read_c} (which builds the [t] record for profiling hooks). *)
+
+(** Header word-0 tags, exposed so scans can branch on [tag_c] without
+    building a [kind]. *)
+val tag_record : int
+
+val tag_ptr_array : int
+val tag_nonptr_array : int
+val tag_forwarded : int
+
+val tag_c : int array -> off:int -> int
+val len_c : int array -> off:int -> int
+
+(** [object_words_c] is valid on forwarded objects too (word 0 keeps the
+    length), like {!object_words_at}. *)
+val object_words_c : int array -> off:int -> int
+
+(** [mask_c]/[site_c]/[birth_c] are meaningful only on non-forwarded
+    objects ([mask_c] additionally only on records). *)
+val mask_c : int array -> off:int -> int
+
+val site_c : int array -> off:int -> int
+val birth_c : int array -> off:int -> int
+val is_forwarded_c : int array -> off:int -> bool
+
+(** [forward_target_c] is meaningful only when [is_forwarded_c]. *)
+val forward_target_c : int array -> off:int -> Addr.t
+
+val set_forward_c : int array -> off:int -> target:Addr.t -> unit
+val age_c : int array -> off:int -> int
+
+(** [set_age_c] does not range-check; callers clamp to {!max_age}. *)
+val set_age_c : int array -> off:int -> int -> unit
+
+val survivor_c : int array -> off:int -> bool
+val set_survivor_c : int array -> off:int -> unit
+
+(** [read_c cells ~off] decodes a full header record.
+    @raise Invalid_argument if the object is forwarded. *)
+val read_c : int array -> off:int -> t

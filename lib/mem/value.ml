@@ -34,3 +34,22 @@ let encode = function
 
 let decode w =
   if w land 1 = 1 then Int (w asr 1) else Ptr (Addr.decode_raw (w asr 1))
+
+(* Raw-word views of the packed encoding, for the collector fast paths:
+   each predicate/projection is a couple of integer ops with no
+   allocation. *)
+
+let encoded_zero = encode zero
+let encoded_null = encode null
+
+let encoded_is_int w = w land 1 = 1
+
+let encoded_is_ptr w = w land 1 = 0 && w <> encoded_null
+
+let encoded_to_int w = w asr 1
+
+let encoded_to_addr w = Addr.decode_raw (w asr 1)
+
+let encode_int n = (n lsl 1) lor 1
+
+let encode_addr a = Addr.encode_raw a lsl 1

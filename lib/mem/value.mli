@@ -36,3 +36,34 @@ val pp : Format.formatter -> t -> unit
 val encode : t -> int
 val decode : int -> t
 
+(** {2 Raw-word views}
+
+    The collector hot loops (see [DESIGN.md], "Hot-path architecture")
+    operate on encoded words directly so that no [t] is allocated per
+    field touched.  Every function below is equivalent to [encode]/
+    [decode] composed with the corresponding safe operation. *)
+
+(** [encode zero]: the content of fresh memory. *)
+val encoded_zero : int
+
+(** [encode null]. *)
+val encoded_null : int
+
+(** [encoded_is_int w] iff [decode w] is an [Int _]. *)
+val encoded_is_int : int -> bool
+
+(** [encoded_is_ptr w] iff [decode w] is a non-null pointer (mirrors
+    {!is_ptr}, not the constructor test). *)
+val encoded_is_ptr : int -> bool
+
+(** [encoded_to_int w] is the integer payload; meaningful only when
+    [encoded_is_int w].  No check is performed. *)
+val encoded_to_int : int -> int
+
+(** [encoded_to_addr w] is the address payload; meaningful only when
+    [encoded_is_ptr w].  No check is performed. *)
+val encoded_to_addr : int -> Addr.t
+
+val encode_int : int -> int
+val encode_addr : Addr.t -> int
+

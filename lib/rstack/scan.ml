@@ -14,22 +14,40 @@ let type_code_of regs frame = function
   | Trace.Type_in_slot i -> Mem.Value.to_int (Frame.get frame i)
   | Trace.Type_in_reg r -> Mem.Value.to_int (Reg_file.get regs r)
 
-(* Decode one frame given the caller-side register status; returns the
-   root slot indexes.  [status] is updated in place to the status after
-   this frame. *)
-let decode table regs frame (status : bool array) =
+(* A reusable buffer of root slot indexes: frame decoding is a GC hot
+   loop (the paper's "root processing can be 95% of GC cost"), so the
+   per-frame cons-list + [Array.of_list] is replaced by one scratch
+   buffer per scan, copied out only into cache entries. *)
+type scratch = {
+  mutable buf : int array;
+  mutable n : int;
+}
+
+let scratch_add s i =
+  if s.n = Array.length s.buf then begin
+    let bigger = Array.make (2 * Array.length s.buf) 0 in
+    Array.blit s.buf 0 bigger 0 s.n;
+    s.buf <- bigger
+  end;
+  s.buf.(s.n) <- i;
+  s.n <- s.n + 1
+
+(* Decode one frame given the caller-side register status; fills
+   [scratch] with the root slot indexes (in slot order) and returns the
+   number of slot traces examined.  [status] is updated in place to the
+   status after this frame. *)
+let decode table regs frame (status : bool array) scratch =
   let entry = Trace_table.lookup table frame.Frame.key in
-  let roots = ref [] in
-  let add i = roots := i :: !roots in
+  scratch.n <- 0;
   Array.iteri
     (fun i trace ->
       match trace with
-      | Trace.Ptr -> add i
+      | Trace.Ptr -> scratch_add scratch i
       | Trace.Non_ptr -> ()
-      | Trace.Callee_save r -> if status.(r) then add i
+      | Trace.Callee_save r -> if status.(r) then scratch_add scratch i
       | Trace.Compute src ->
         let code = type_code_of regs frame src in
-        if code = Trace.type_code_boxed then add i
+        if code = Trace.type_code_boxed then scratch_add scratch i
         else if code <> Trace.type_code_word then
           invalid_arg "Scan: bad runtime type code")
     entry.Trace_table.slots;
@@ -40,8 +58,7 @@ let decode table regs frame (status : bool array) =
        | Trace.Reg_non_ptr -> false
        | Trace.Reg_callee_save -> status.(r))
   done;
-  let slots_seen = Array.length entry.Trace_table.slots in
-  Array.of_list (List.rev !roots), slots_seen
+  Array.length entry.Trace_table.slots
 
 let run ~stack ~regs ~cache ~valid_prefix ~mode ~visit =
   let depth = Stack_.depth stack in
@@ -76,15 +93,18 @@ let run ~stack ~regs ~cache ~valid_prefix ~mode ~visit =
       Array.iter (fun s -> emit (Root.Frame_slot (frame, s))) entry.Scan_cache.root_slots
   done;
   (* fresh frames *)
+  let scratch = { buf = Array.make 16 0; n = 0 } in
   for i = valid_prefix to depth - 1 do
     let frame = Stack_.frame_at stack i in
-    let root_slots, slots_seen = decode table regs frame status in
+    let slots_seen = decode table regs frame status scratch in
     incr frames_decoded;
     slots_decoded := !slots_decoded + slots_seen;
-    Array.iter (fun s -> emit (Root.Frame_slot (frame, s))) root_slots;
+    for k = 0 to scratch.n - 1 do
+      emit (Root.Frame_slot (frame, scratch.buf.(k)))
+    done;
     Scan_cache.record cache i
       { Scan_cache.serial = frame.Frame.serial;
-        root_slots;
+        root_slots = Array.sub scratch.buf 0 scratch.n;
         reg_status_after = Array.copy status }
   done;
   Scan_cache.truncate cache depth;

@@ -427,6 +427,125 @@ let pretenured_to_los_edge () =
   Collectors.Generational.full g;
   check_int "everything swept" 0 (Collectors.Generational.live_words g)
 
+(* --- safe vs raw collector paths --- *)
+
+(* Every deterministic counter of Gc_stats (timers excluded): the raw
+   fast paths must produce the exact same work profile as the safe
+   reference implementation. *)
+let counters (s : Collectors.Gc_stats.t) =
+  [ "minor_gcs", s.Collectors.Gc_stats.minor_gcs;
+    "major_gcs", s.Collectors.Gc_stats.major_gcs;
+    "words_allocated", s.Collectors.Gc_stats.words_allocated;
+    "words_alloc_records", s.Collectors.Gc_stats.words_alloc_records;
+    "words_alloc_arrays", s.Collectors.Gc_stats.words_alloc_arrays;
+    "objects_allocated", s.Collectors.Gc_stats.objects_allocated;
+    "words_copied", s.Collectors.Gc_stats.words_copied;
+    "words_promoted", s.Collectors.Gc_stats.words_promoted;
+    "words_pretenured", s.Collectors.Gc_stats.words_pretenured;
+    "words_region_scanned", s.Collectors.Gc_stats.words_region_scanned;
+    "words_region_skipped", s.Collectors.Gc_stats.words_region_skipped;
+    "max_live_words", s.Collectors.Gc_stats.max_live_words;
+    "live_words_after_gc", s.Collectors.Gc_stats.live_words_after_gc;
+    "pointer_updates", s.Collectors.Gc_stats.pointer_updates;
+    "barrier_entries_processed",
+    s.Collectors.Gc_stats.barrier_entries_processed;
+    "roots_visited", s.Collectors.Gc_stats.roots_visited ]
+
+(* A mutation-heavy generational workload: a persistent list, barriered
+   old->young stores, pretenured allocations holding young pointers, and
+   an occasional large object.  Returns the stats counters plus a
+   fingerprint of the surviving heap. *)
+let run_gen_workload ~raw ~barrier ~threshold =
+  Collectors.Cheney.use_raw := raw;
+  Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
+  @@ fun () ->
+  let globals = Array.make 4 V.zero in
+  let mem, g, stats = gen ~barrier ~threshold globals in
+  let prng = Support.Prng.create ~seed:7 in
+  for i = 1 to 2500 do
+    let keep = Support.Prng.int prng 10 = 0 in
+    let a = Collectors.Generational.alloc g (record_hdr ~mask:2 2) ~birth:i in
+    Mem.Memory.set mem (H.field_addr a 0) (V.Int i);
+    Mem.Memory.set mem (H.field_addr a 1) globals.(0);
+    if keep then globals.(0) <- V.Ptr a;
+    (* barriered old->young store into a pretenured holder *)
+    (if i mod 7 = 3 then
+       match globals.(2) with
+       | V.Ptr holder when Collectors.Generational.in_tenured g holder ->
+         let loc = H.field_addr holder 0 in
+         Mem.Memory.set mem loc (V.Ptr a);
+         Collectors.Generational.record_update g ~obj:holder ~loc
+       | V.Ptr _ | V.Int _ -> ());
+    if i mod 97 = 0 then begin
+      let p =
+        Collectors.Generational.alloc_pretenured g (record_hdr ~mask:1 1)
+          ~birth:i
+      in
+      Mem.Memory.set mem (H.field_addr p 0) globals.(0);
+      Collectors.Generational.record_update g ~obj:p ~loc:(H.field_addr p 0);
+      globals.(2) <- V.Ptr p
+    end;
+    if i mod 501 = 0 then
+      globals.(3) <-
+        V.Ptr
+          (Collectors.Generational.alloc g
+             { H.kind = H.Ptr_array; len = 600; site = 4 }
+             ~birth:i)
+  done;
+  Collectors.Generational.full g;
+  let rec fingerprint v acc =
+    match v with
+    | V.Ptr a when not (Mem.Addr.is_null a) ->
+      fingerprint
+        (Mem.Memory.get mem (H.field_addr a 1))
+        (V.to_int (Mem.Memory.get mem (H.field_addr a 0)) :: acc)
+    | V.Ptr _ | V.Int _ -> acc
+  in
+  (counters stats, fingerprint globals.(0) [])
+
+let safe_raw_identical_stats () =
+  List.iter
+    (fun (name, barrier, threshold) ->
+      let stats_safe, heap_safe =
+        run_gen_workload ~raw:false ~barrier ~threshold
+      in
+      let stats_raw, heap_raw =
+        run_gen_workload ~raw:true ~barrier ~threshold
+      in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": identical Gc_stats counters")
+        stats_safe stats_raw;
+      Alcotest.(check (list int))
+        (name ^ ": identical surviving heap")
+        heap_safe heap_raw)
+    [ ("ssb", Collectors.Generational.Barrier_ssb, 1);
+      ("remset", Collectors.Generational.Barrier_remset, 1);
+      ("cards", Collectors.Generational.Barrier_cards, 1);
+      ("ssb+aging", Collectors.Generational.Barrier_ssb, 3);
+      ("remset+aging", Collectors.Generational.Barrier_remset, 3);
+      ("cards+aging", Collectors.Generational.Barrier_cards, 3) ]
+
+let safe_raw_identical_semispace () =
+  let run raw =
+    Collectors.Cheney.use_raw := raw;
+    Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
+    @@ fun () ->
+    let globals = Array.make 2 V.zero in
+    let mem, s = semi ~budget:(64 * 1024) globals in
+    for i = 1 to 800 do
+      let a = Collectors.Semispace.alloc s (record_hdr ~mask:2 2) ~birth:i in
+      Mem.Memory.set mem (H.field_addr a 0) (V.Int i);
+      Mem.Memory.set mem (H.field_addr a 1) globals.(0);
+      if i mod 5 = 0 then globals.(0) <- V.Ptr a
+    done;
+    Collectors.Semispace.collect s;
+    (counters (Collectors.Semispace.stats s), Collectors.Semispace.live_words s)
+  in
+  let cs, ls = run false in
+  let cr, lr = run true in
+  Alcotest.(check (list (pair string int))) "identical counters" cs cr;
+  check_int "identical live words" ls lr
+
 (* property: random object graphs survive a semispace collection intact *)
 let graph_roundtrip_prop =
   QCheck.Test.make ~name:"semispace preserves random graphs" ~count:60
@@ -507,4 +626,9 @@ let () =
           Alcotest.test_case "card barrier" `Quick card_barrier_keeps_edge;
           Alcotest.test_case "aging nursery" `Quick aging_nursery_delays_promotion;
           Alcotest.test_case "aging copies more" `Quick
-            aging_copies_more_than_immediate ] ) ]
+            aging_copies_more_than_immediate ] );
+      ( "safe-vs-raw",
+        [ Alcotest.test_case "identical stats (generational)" `Quick
+            safe_raw_identical_stats;
+          Alcotest.test_case "identical stats (semispace)" `Quick
+            safe_raw_identical_semispace ] ) ]

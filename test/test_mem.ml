@@ -20,6 +20,22 @@ let addr_null () =
   check_bool "normal not null" false
     (Mem.Addr.is_null (Mem.Addr.make ~block:0 ~offset:0))
 
+let addr_add_high_block () =
+  (* [add] must keep the block bits intact (it reuses the already-masked
+     bits rather than re-shifting); [unsafe_add] must agree on every
+     in-range step *)
+  let a = Mem.Addr.make ~block:123456 ~offset:789 in
+  let b = Mem.Addr.add a 10 in
+  check_int "block kept" 123456 (Mem.Addr.block b);
+  check_int "offset" 799 (Mem.Addr.offset b);
+  List.iter
+    (fun n ->
+      check_bool
+        (Printf.sprintf "unsafe_add agrees at %d" n)
+        true
+        (Mem.Addr.equal (Mem.Addr.add a n) (Mem.Addr.unsafe_add a n)))
+    [ 0; 1; 10; 1000; -1; -789 ]
+
 let addr_invalid () =
   Alcotest.check_raises "negative block" (Invalid_argument "Addr.make: negative block")
     (fun () -> ignore (Mem.Addr.make ~block:(-1) ~offset:0));
@@ -89,6 +105,88 @@ let memory_blit () =
   done;
   Mem.Memory.blit mem ~src:a ~dst:b ~words:8;
   check_int "blit copied" 49 (Mem.Value.to_int (Mem.Memory.get mem (Mem.Addr.add b 7)))
+
+(* --- Raw API vs safe API --- *)
+
+let memory_cells_handle () =
+  let mem = Mem.Memory.create () in
+  let a = Mem.Memory.alloc_block mem ~words:8 in
+  Mem.Memory.set mem (Mem.Addr.add a 3) (Mem.Value.Int 12);
+  let cells = Mem.Memory.cells mem a in
+  check_int "handle sees safe write" (Mem.Value.encode (Mem.Value.Int 12)) cells.(3);
+  cells.(4) <- Mem.Value.encode (Mem.Value.Int 7);
+  check_int "safe read sees handle write" 7
+    (Mem.Value.to_int (Mem.Memory.get mem (Mem.Addr.add a 4)));
+  check_bool "one handle per block" true
+    (Mem.Memory.cells mem (Mem.Addr.add a 5) == cells);
+  check_int "get_raw is the encoded cell" cells.(3)
+    (Mem.Memory.get_raw mem (Mem.Addr.add a 3));
+  Mem.Memory.free_block mem a;
+  (match Mem.Memory.cells mem a with
+   | _ -> Alcotest.fail "expected Invalid_argument on freed block"
+   | exception Invalid_argument _ -> ())
+
+(* drive one memory through the safe API and a twin through the raw API
+   with the same randomized operations; the heaps must stay identical
+   under both read APIs *)
+let raw_safe_agreement_prop =
+  QCheck.Test.make ~name:"raw API agrees with safe get/set/blit" ~count:200
+    QCheck.(pair (int_range 2 64) (int_range 0 1000000))
+    (fun (words, seed) ->
+      let prng = Support.Prng.create ~seed in
+      let mem_s = Mem.Memory.create () in
+      let mem_r = Mem.Memory.create () in
+      let mk m = (Mem.Memory.alloc_block m ~words, Mem.Memory.alloc_block m ~words) in
+      let a_s, b_s = mk mem_s in
+      let a_r, b_r = mk mem_r in
+      let rand_value () =
+        match Support.Prng.int prng 4 with
+        | 0 -> Mem.Value.null
+        | 1 | 2 -> Mem.Value.Int (Support.Prng.int prng 1000000 - 500000)
+        | _ ->
+          Mem.Value.Ptr
+            (Mem.Addr.make
+               ~block:(Support.Prng.int prng 100)
+               ~offset:(Support.Prng.int prng 10000))
+      in
+      for _ = 1 to 40 do
+        match Support.Prng.int prng 3 with
+        | 0 ->
+          (* store: safe set vs raw set of the encoded word *)
+          let off = Support.Prng.int prng words in
+          let v = rand_value () in
+          Mem.Memory.set mem_s (Mem.Addr.add a_s off) v;
+          Mem.Memory.set_raw mem_r (Mem.Addr.add a_r off) (Mem.Value.encode v)
+        | 1 ->
+          let off = Support.Prng.int prng words in
+          let v = rand_value () in
+          Mem.Memory.set mem_s (Mem.Addr.add b_s off) v;
+          (Mem.Memory.cells mem_r b_r).(off) <- Mem.Value.encode v
+        | _ ->
+          (* blit a -> b: safe blit vs Array.blit on the block handles *)
+          let len = 1 + Support.Prng.int prng (words - 1) in
+          let soff = Support.Prng.int prng (words - len + 1) in
+          let doff = Support.Prng.int prng (words - len + 1) in
+          Mem.Memory.blit mem_s
+            ~src:(Mem.Addr.add a_s soff)
+            ~dst:(Mem.Addr.add b_s doff)
+            ~words:len;
+          Array.blit
+            (Mem.Memory.cells mem_r a_r) soff
+            (Mem.Memory.cells mem_r b_r) doff len
+      done;
+      let agree base_s base_r =
+        let ok = ref true in
+        for off = 0 to words - 1 do
+          let s = Mem.Memory.get mem_s (Mem.Addr.add base_s off) in
+          let r = Mem.Memory.get_raw mem_r (Mem.Addr.add base_r off) in
+          ok := !ok
+                && Mem.Value.equal s (Mem.Value.decode r)
+                && Mem.Memory.get_raw mem_s (Mem.Addr.add base_s off) = r
+        done;
+        !ok
+      in
+      agree a_s a_r && agree b_s b_r)
 
 (* --- Header --- *)
 
@@ -175,6 +273,44 @@ let header_prop =
       && Mem.Header.birth mem a = len
       && Mem.Header.object_words_at mem a = Mem.Header.object_words hdr)
 
+let header_cells_prop =
+  QCheck.Test.make ~name:"header cell accessors agree with safe reads"
+    ~count:300
+    QCheck.(
+      triple (int_range 0 Mem.Header.max_record_fields) (int_range 0 100000)
+        (int_range 0 10))
+    (fun (len, site, kind_sel) ->
+      let mem, a = mem_with_block 64 in
+      let kind =
+        if kind_sel < 4 then Mem.Header.Record { mask = (1 lsl len) - 1 }
+        else if kind_sel < 7 then Mem.Header.Ptr_array
+        else Mem.Header.Nonptr_array
+      in
+      let hdr = { Mem.Header.kind; len; site } in
+      Mem.Header.write mem a hdr ~birth:77;
+      let cells = Mem.Memory.cells mem a in
+      let off = Mem.Addr.offset a in
+      let age = kind_sel mod (Mem.Header.max_age + 1) in
+      Mem.Header.set_age mem a age;
+      Mem.Header.set_survivor_c cells ~off;
+      let target = Mem.Addr.add a 32 in
+      Mem.Header.read_c cells ~off = hdr
+      && Mem.Header.len_c cells ~off = len
+      && Mem.Header.site_c cells ~off = site
+      && Mem.Header.birth_c cells ~off = 77
+      && Mem.Header.object_words_c cells ~off = Mem.Header.object_words hdr
+      && Mem.Header.age_c cells ~off = age
+      && Mem.Header.survivor mem a (* set through the raw API above *)
+      && (not (Mem.Header.is_forwarded_c cells ~off))
+      && begin
+        (* forward through the raw API, observe through the safe one *)
+        Mem.Header.set_forward_c cells ~off ~target;
+        Mem.Header.forwarded mem a = Some target
+        && Mem.Header.is_forwarded_c cells ~off
+        && Mem.Header.forward_target_c cells ~off = target
+        && Mem.Header.object_words_c cells ~off = Mem.Header.object_words hdr
+      end)
+
 (* --- Space --- *)
 
 let space_bump () =
@@ -216,6 +352,8 @@ let () =
     [ ( "addr",
         [ Alcotest.test_case "pack/unpack" `Quick addr_pack_unpack;
           Alcotest.test_case "null" `Quick addr_null;
+          Alcotest.test_case "add keeps high block bits" `Quick
+            addr_add_high_block;
           Alcotest.test_case "invalid" `Quick addr_invalid ] );
       ( "value",
         [ QCheck_alcotest.to_alcotest value_roundtrip_prop;
@@ -224,14 +362,17 @@ let () =
         [ Alcotest.test_case "basic" `Quick memory_basic;
           Alcotest.test_case "freed access" `Quick memory_freed_access;
           Alcotest.test_case "block reuse" `Quick memory_block_reuse;
-          Alcotest.test_case "blit" `Quick memory_blit ] );
+          Alcotest.test_case "blit" `Quick memory_blit;
+          Alcotest.test_case "cells handle" `Quick memory_cells_handle;
+          QCheck_alcotest.to_alcotest raw_safe_agreement_prop ] );
       ( "header",
         [ Alcotest.test_case "roundtrip" `Quick header_roundtrip;
           Alcotest.test_case "arrays" `Quick header_arrays;
           Alcotest.test_case "forwarding" `Quick header_forwarding;
           Alcotest.test_case "survivor bit" `Quick header_survivor_bit;
           Alcotest.test_case "validation" `Quick header_validation;
-          QCheck_alcotest.to_alcotest header_prop ] );
+          QCheck_alcotest.to_alcotest header_prop;
+          QCheck_alcotest.to_alcotest header_cells_prop ] );
       ( "space",
         [ Alcotest.test_case "bump" `Quick space_bump;
           Alcotest.test_case "iter objects" `Quick space_iter_objects ] ) ]
