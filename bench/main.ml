@@ -277,6 +277,18 @@ let minor_gc_run raw () =
   done;
   Sys.opaque_identity stats.Collectors.Gc_stats.minor_gcs
 
+(* the disabled-tracing overhead pair: identical instrumented code, the
+   only difference is whether Obs.Trace is enabled.  [untraced] vs the
+   [raw] trajectory in BENCH_gc.json pins the "zero cost when disabled"
+   contract (docs/TRACING.md). *)
+let minor_gc_untraced () = minor_gc_run true ()
+
+let trace_buf = Buffer.create (1 lsl 16)
+
+let minor_gc_traced () =
+  Buffer.clear trace_buf;
+  Obs.Trace.with_buffer trace_buf (fun () -> minor_gc_run true ())
+
 let hotpath_tests =
   [ Test.make ~name:"hotpath.field_read.safe" (Staged.stage field_read_safe);
     Test.make ~name:"hotpath.field_read.raw" (Staged.stage field_read_raw);
@@ -286,7 +298,9 @@ let hotpath_tests =
       (Staged.stage header_decode_safe);
     Test.make ~name:"hotpath.header_decode.raw" (Staged.stage header_decode_raw);
     Test.make ~name:"hotpath.minor_gc.safe" (Staged.stage (minor_gc_run false));
-    Test.make ~name:"hotpath.minor_gc.raw" (Staged.stage (minor_gc_run true))
+    Test.make ~name:"hotpath.minor_gc.raw" (Staged.stage (minor_gc_run true));
+    Test.make ~name:"hotpath.minor_gc.untraced" (Staged.stage minor_gc_untraced);
+    Test.make ~name:"hotpath.minor_gc.traced" (Staged.stage minor_gc_traced)
   ]
 
 (* --- Bechamel driver --- *)
@@ -485,5 +499,5 @@ let () =
     print_endline
       "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";
     print_newline ();
-    print_string (Harness.Suite.render_all ~factor)
+    print_string (Harness.Suite.render_all ~factor ())
   end

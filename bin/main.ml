@@ -34,11 +34,15 @@ let tables_cmd =
     let doc = "Render only this item (table1..table7, figure2, ablation)." in
     Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
   in
-  let run factor only =
+  let trace =
+    let doc = "Also write a JSONL GC trace of the whole run to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run factor only trace_path =
     match only with
-    | None -> print_string (Harness.Suite.render_all ~factor)
+    | None -> print_string (Harness.Suite.render_all ?trace_path ~factor ())
     | Some id ->
-      (match Harness.Suite.render_one ~factor id with
+      (match Harness.Suite.render_one ?trace_path ~factor id with
        | s -> print_string s
        | exception Not_found ->
          prerr_endline ("unknown item: " ^ id);
@@ -47,7 +51,7 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Regenerate the paper's tables and figures (all by default)")
-    Term.(const run $ factor_arg $ only)
+    Term.(const run $ factor_arg $ only $ trace)
 
 (* --- figure2 --- *)
 
@@ -197,7 +201,7 @@ let run_cmd =
             Harness.Runs.with_nursery_cap
               { base with Gsc.Config.verify_heap = verify }
           in
-          Harness.Measure.run ~workload:w ~scale:sc ~cfg ~k
+          Harness.Measure.run ~workload:w ~scale:sc ~cfg ~k ()
       in
       Printf.printf "%s under %s at k=%.1f (scale %d)\n" name
         (Harness.Runs.technique_name technique)
@@ -224,6 +228,76 @@ let run_cmd =
       const run $ factor_arg $ workload_arg $ technique $ k_arg
       $ pretenure_from $ verify)
 
+(* --- gc-trace --- *)
+
+let gc_trace_cmd =
+  let technique =
+    let techniques =
+      [ ("semi", Harness.Runs.Semi); ("gen", Harness.Runs.Gen);
+        ("markers", Harness.Runs.Markers);
+        ("pretenure", Harness.Runs.Pretenure);
+        ("pretenure-elide", Harness.Runs.Pretenure_elide) ]
+    in
+    let doc = "Collector technique: semi, gen, markers, pretenure, \
+               pretenure-elide." in
+    Arg.(value & opt (enum techniques) Harness.Runs.Gen
+         & info [ "technique"; "t" ] ~docv:"TECH" ~doc)
+  in
+  let k_arg =
+    let doc = "Memory multiple of the calibrated Min." in
+    Arg.(value & opt float 4.0 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let out =
+    let doc = "Trace output file (default $(i,WORKLOAD).trace.jsonl)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run factor name technique k out =
+    match Workloads.Registry.find name with
+    | exception Not_found ->
+      prerr_endline ("unknown workload: " ^ name);
+      exit 1
+    | w ->
+      let sc = Harness.Runs.scale ~factor w in
+      let cfg = Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k in
+      let path =
+        match out with Some p -> p | None -> name ^ ".trace.jsonl"
+      in
+      let metrics = Obs.Metrics.create () in
+      (* Site ids are registered by the workload run; capture the names
+         before the runtime is destroyed so the summary can label the
+         survival table. *)
+      let names = Hashtbl.create 64 in
+      Obs.Trace.with_file ~metrics path (fun () ->
+        let rt = Gsc.Runtime.create cfg in
+        Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
+        w.Workloads.Spec.run rt ~scale:sc;
+        for site = 0 to Gsc.Runtime.site_count rt - 1 do
+          Hashtbl.replace names site (Gsc.Runtime.site_name rt site)
+        done);
+      (match Obs.Schema.validate_file path with
+       | Ok n ->
+         Printf.printf "%s under %s at k=%.1f (scale %d)\n" name
+           (Harness.Runs.technique_name technique) k sc;
+         Printf.printf "%d trace records written to %s (schema-valid)\n\n" n
+           path
+       | Error msg ->
+         Printf.eprintf "trace %s failed schema validation: %s\n" path msg;
+         exit 1);
+      let site_name id =
+        match Hashtbl.find_opt names id with
+        | Some n -> n
+        | None -> Printf.sprintf "site-%d" id
+      in
+      print_string (Obs.Summary.render ~site_name metrics)
+  in
+  Cmd.v
+    (Cmd.info "gc-trace"
+       ~doc:
+         "Run a workload with GC tracing on: write the JSONL event trace, \
+          validate it against the schema, and print the pause-time \
+          histograms, phase breakdown and site-survival tables")
+    Term.(const run $ factor_arg $ workload_arg $ technique $ k_arg $ out)
+
 let () =
   let info =
     Cmd.info "repro" ~version:"1.0"
@@ -235,4 +309,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; tables_cmd; figure2_cmd; ablation_cmd; profile_cmd;
-            calibrate_cmd; check_cmd; run_cmd ]))
+            calibrate_cmd; check_cmd; run_cmd; gc_trace_cmd ]))

@@ -120,7 +120,9 @@ let after_collection_hook t ~full:_ =
   if t.cfg.Config.stack_markers then begin
     let installed = Rstack.Markers.place t.markers t.stack in
     t.stats.Collectors.Gc_stats.marker_stubs_installed <-
-      t.stats.Collectors.Gc_stats.marker_stubs_installed + installed
+      t.stats.Collectors.Gc_stats.marker_stubs_installed + installed;
+    if Obs.Trace.enabled () then
+      Obs.Trace.marker_place ~installed ~depth:(Rstack.Stack_.depth t.stack)
   end
 
 let create cfg =
@@ -309,8 +311,11 @@ let alloc_object t hdr =
   let site = hdr.Header.site in
   let col = collector t in
   let base =
-    if Pretenure.should_pretenure t.cfg.Config.pretenure ~site then
+    if Pretenure.should_pretenure t.cfg.Config.pretenure ~site then begin
+      if Obs.Trace.enabled () then
+        Obs.Trace.pretenure ~site ~words:(Header.object_words hdr);
       Collectors.Collector.alloc_pretenured col hdr ~birth
+    end
     else Collectors.Collector.alloc col hdr ~birth
   in
   note_alloc t ~site ~words:(Header.object_words hdr);
@@ -464,6 +469,7 @@ let raise_exn t src =
   Rstack.Stack_.unwind_to t.stack ~depth:entry.h_depth;
   t.stats.Collectors.Gc_stats.exception_unwinds <-
     t.stats.Collectors.Gc_stats.exception_unwinds + 1;
+  if Obs.Trace.enabled () then Obs.Trace.unwind ~target_depth:entry.h_depth;
   (match t.cfg.Config.exception_strategy with
    | Config.Eager_watermark ->
      if t.cfg.Config.stack_markers then

@@ -33,6 +33,10 @@ type t = {
   gray_large : Mem.Addr.t Support.Vec.t;
   mutable copied : int;
   mutable promoted : int;
+  mutable scanned : int;            (* words walked by the drain loops *)
+  sites : (int, int * int) Hashtbl.t option;
+      (* per-site (objects, words) copied — only allocated when the
+         trace layer is recording, [None] otherwise *)
 }
 
 let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
@@ -58,7 +62,21 @@ let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
        | None -> Mem.Addr.null);
     gray_large = Support.Vec.create ();
     copied = 0;
-    promoted = 0 }
+    promoted = 0;
+    scanned = 0;
+    sites = (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
+
+(* per-site survival accounting; engines only pay for it while tracing *)
+let note_site_copy t ~site ~words =
+  match t.sites with
+  | None -> ()
+  | Some tab ->
+    let objects, w =
+      match Hashtbl.find_opt tab site with
+      | Some p -> p
+      | None -> (0, 0)
+    in
+    Hashtbl.replace tab site (objects + 1, w + words)
 
 (* --- raw path --- *)
 
@@ -92,6 +110,8 @@ let copy_object_raw t src soff =
   Mem.Header.set_survivor_c dcells ~off:doff;
   if not promote then
     Mem.Header.set_age_c dcells ~off:doff (min Mem.Header.max_age (age + 1));
+  if t.sites <> None then
+    note_site_copy t ~site:(Mem.Header.site_c src ~off:soff) ~words;
   Mem.Header.set_forward_c src ~off:soff ~target:dst;
   t.copied <- t.copied + words;
   if promote then t.promoted <- t.promoted + words;
@@ -195,6 +215,8 @@ let copy_object_safe t a =
    | Some h ->
      h.Hooks.on_copy hdr ~words;
      if first_copy then h.Hooks.on_first_survival hdr ~words);
+  if t.sites <> None then
+    note_site_copy t ~site:hdr.Mem.Header.site ~words;
   Mem.Header.set_forward t.mem a ~target:dst;
   t.copied <- t.copied + words;
   if promote then t.promoted <- t.promoted + words;
@@ -280,6 +302,7 @@ let drain t =
     while Mem.Addr.diff (Mem.Space.frontier t.to_space) t.scan > 0 do
       progress := true;
       let words = scan_object t t.scan in
+      t.scanned <- t.scanned + words;
       t.scan <- Mem.Addr.unsafe_add t.scan words
     done;
     (* young to-space scan pointer (aging nurseries) *)
@@ -289,19 +312,32 @@ let drain t =
        while Mem.Addr.diff (Mem.Space.frontier a.young_to) t.scan_young > 0 do
          progress := true;
          let words = scan_object t t.scan_young in
+         t.scanned <- t.scanned + words;
          t.scan_young <- Mem.Addr.unsafe_add t.scan_young words
        done);
     (* queued large objects *)
     while not (Support.Vec.is_empty t.gray_large) do
       progress := true;
       let base = Support.Vec.pop t.gray_large in
-      ignore (scan_object t base : int)
+      let words = scan_object t base in
+      t.scanned <- t.scanned + words
     done
   done
 
 let words_copied t = t.copied
 
 let words_promoted t = t.promoted
+
+let words_scanned t = t.scanned
+
+let site_survivals t =
+  match t.sites with
+  | None -> []
+  | Some tab ->
+    List.sort compare
+      (Hashtbl.fold (fun site (objects, words) acc ->
+           (site, objects, words) :: acc)
+         tab [])
 
 let sweep_dead ~mem ~space ~on_die =
   (* one block handle for the whole walk; identical observable behaviour

@@ -6,7 +6,12 @@
     the large-object space are marked and their fields queued for scanning
     when [trace_los] is on (full collections); minor collections leave
     large objects alone because every large-object → nursery pointer is
-    covered by the write barrier. *)
+    covered by the write barrier.
+
+    When [Obs.Trace] is enabled at engine creation, the engine also
+    tallies per-allocation-site survival ({!site_survivals}) for the
+    collectors' [site_survival] trace events; untraced engines skip
+    that accounting entirely. *)
 
 type t
 
@@ -75,6 +80,15 @@ val words_copied : t -> int
 
 (** Words copied into the main to-space (promotions under aging). *)
 val words_promoted : t -> int
+
+(** Words walked by the [drain] scan loops (to-space objects, young
+    to-space objects, queued large objects). *)
+val words_scanned : t -> int
+
+(** Per-allocation-site survival tallies as [(site, objects, words)]
+    sorted by site id.  Populated only when the engine was created while
+    tracing ([Obs.Trace.enabled]); empty otherwise. *)
+val site_survivals : t -> (int * int * int) list
 
 (** [sweep_dead ~mem ~space ~on_die] walks a collected from-space and
     reports every object that was not forwarded (used by profiling

@@ -9,8 +9,11 @@ type t =
   | Semispace of Semispace.t
   | Generational of Generational.t
 
+(** The technique behind a collector value. *)
 val kind : t -> kind
 
+(** [alloc t hdr ~birth] allocates one zero-filled object, collecting
+    first if the active collector's policy requires it. *)
 val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
 
 (** Pretenured allocation; falls back to a normal allocation under the
@@ -25,6 +28,11 @@ val record_update : t -> obj:Mem.Addr.t -> loc:Mem.Addr.t -> unit
 (** Force a full collection. *)
 val collect_now : t -> unit
 
+(** The statistics record the collector mutates in place. *)
 val stats : t -> Gc_stats.t
+
+(** Live words after the most recent full collection. *)
 val live_words : t -> int
+
+(** Release all memory held by the collector. *)
 val destroy : t -> unit

@@ -205,7 +205,15 @@ let drain_barrier t engine =
   t.stats.Gc_stats.barrier_entries_processed <-
     t.stats.Gc_stats.barrier_entries_processed + !processed
 
+let occupancy t = Mem.Space.used_words t.tenured + Los.live_words t.los
+
 let minor_collection t =
+  let traced = Obs.Trace.enabled () in
+  if traced then
+    Obs.Trace.gc_begin ~kind:"minor"
+      ~nursery_w:(Mem.Space.used_words t.nursery)
+      ~tenured_w:(Mem.Space.used_words t.tenured)
+      ~los_w:(Los.live_words t.los);
   let t0 = now () in
   let roots = Support.Vec.create () in
   (* Skipping previously-scanned frames is sound only under immediate
@@ -221,6 +229,10 @@ let minor_collection t =
   Gc_stats.add_scan t.stats res;
   let t1 = now () in
   t.stats.Gc_stats.stack_seconds <- t.stats.Gc_stats.stack_seconds +. (t1 -. t0);
+  if traced then
+    Obs.Trace.phase ~name:"roots"
+      ~dur_us:((t1 -. t0) *. 1e6)
+      ~counters:[ ("roots", Support.Vec.length roots) ];
   let tenured_frontier_at_start = Mem.Space.frontier t.tenured in
   (* under an aging nursery, survivors below the threshold evacuate into
      a fresh nursery semispace instead of being promoted *)
@@ -252,23 +264,53 @@ let minor_collection t =
       ~to_space:t.tenured ?aging ~remember ~los:(Some t.los) ~trace_los:false
       ~promoting:true ~object_hooks:t.hooks.Hooks.object_hooks ()
   in
+  let entries0 = t.stats.Gc_stats.barrier_entries_processed in
+  let region_scanned0 = t.stats.Gc_stats.words_region_scanned in
+  let region_skipped0 = t.stats.Gc_stats.words_region_skipped in
   let t_barrier0 = now () in
   drain_barrier t engine;
+  let t_mid = if traced then now () else t_barrier0 in
   scan_pretenured_region t engine ~until:tenured_frontier_at_start;
   let t_barrier1 = now () in
   t.stats.Gc_stats.barrier_seconds <-
     t.stats.Gc_stats.barrier_seconds +. (t_barrier1 -. t_barrier0);
+  if traced then begin
+    Obs.Trace.phase ~name:"barrier"
+      ~dur_us:((t_mid -. t_barrier0) *. 1e6)
+      ~counters:
+        [ ("entries", t.stats.Gc_stats.barrier_entries_processed - entries0) ];
+    Obs.Trace.phase ~name:"region_scan"
+      ~dur_us:((t_barrier1 -. t_mid) *. 1e6)
+      ~counters:
+        [ ("scanned_w", t.stats.Gc_stats.words_region_scanned - region_scanned0);
+          ("skipped_w", t.stats.Gc_stats.words_region_skipped - region_skipped0) ]
+  end;
   Support.Vec.iter (Cheney.visit_root engine) roots;
   Cheney.drain engine;
   let t2 = now () in
   t.stats.Gc_stats.copy_seconds <-
     t.stats.Gc_stats.copy_seconds +. (t2 -. t_barrier1);
+  if traced then begin
+    Obs.Trace.phase ~name:"copy"
+      ~dur_us:((t2 -. t_barrier1) *. 1e6)
+      ~counters:
+        [ ("copied_w", Cheney.words_copied engine);
+          ("promoted_w", Cheney.words_promoted engine);
+          ("scanned_w", Cheney.words_scanned engine) ];
+    List.iter
+      (fun (site, objects, words) ->
+        Obs.Trace.site_survival ~site ~objects ~words)
+      (Cheney.site_survivals engine)
+  end;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
    | Some h ->
      Cheney.sweep_dead ~mem:t.mem ~space:t.nursery ~on_die:h.Hooks.on_die;
+     let dt = now () -. t2 in
      t.stats.Gc_stats.profile_seconds <-
-       t.stats.Gc_stats.profile_seconds +. (now () -. t2));
+       t.stats.Gc_stats.profile_seconds +. dt;
+     if traced then
+       Obs.Trace.phase ~name:"profile_sweep" ~dur_us:(dt *. 1e6) ~counters:[]);
   (match aging with
    | None -> Mem.Space.reset t.nursery
    | Some a ->
@@ -282,10 +324,22 @@ let minor_collection t =
   t.stats.Gc_stats.minor_gcs <- t.stats.Gc_stats.minor_gcs + 1;
   t.pretenure_from <- Mem.Space.frontier t.tenured;
   cover_new_tenured t;
-  t.hooks.Hooks.after_collection ~full:false
+  t.hooks.Hooks.after_collection ~full:false;
+  if traced then
+    Obs.Trace.gc_end ~kind:"minor"
+      ~pause_us:((now () -. t0) *. 1e6)
+      ~copied_w:copied
+      ~promoted_w:(Cheney.words_promoted engine)
+      ~live_w:(occupancy t)
 
 let major_collection t =
   assert (Mem.Space.used_words t.nursery = 0);
+  let traced = Obs.Trace.enabled () in
+  if traced then
+    Obs.Trace.gc_begin ~kind:"major"
+      ~nursery_w:(Mem.Space.used_words t.nursery)
+      ~tenured_w:(Mem.Space.used_words t.tenured)
+      ~los_w:(Los.live_words t.los);
   let t0 = now () in
   let roots = Support.Vec.create () in
   let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
@@ -293,6 +347,10 @@ let major_collection t =
   Gc_stats.add_scan t.stats res;
   let t1 = now () in
   t.stats.Gc_stats.stack_seconds <- t.stats.Gc_stats.stack_seconds +. (t1 -. t0);
+  if traced then
+    Obs.Trace.phase ~name:"roots"
+      ~dur_us:((t1 -. t0) *. 1e6)
+      ~counters:[ ("roots", Support.Vec.length roots) ];
   let to_space = Mem.Space.create t.mem ~words:t.tenured_phys in
   let engine =
     Cheney.create ~mem:t.mem
@@ -302,6 +360,7 @@ let major_collection t =
   in
   Support.Vec.iter (Cheney.visit_root engine) roots;
   Cheney.drain engine;
+  let t_drain = if traced then now () else t1 in
   let on_die =
     match t.hooks.Hooks.object_hooks with
     | None -> fun _ ~birth:_ ~words:_ -> ()
@@ -310,12 +369,29 @@ let major_collection t =
   Los.sweep t.los ~on_die;
   let t2 = now () in
   t.stats.Gc_stats.copy_seconds <- t.stats.Gc_stats.copy_seconds +. (t2 -. t1);
+  if traced then begin
+    Obs.Trace.phase ~name:"copy"
+      ~dur_us:((t_drain -. t1) *. 1e6)
+      ~counters:
+        [ ("copied_w", Cheney.words_copied engine);
+          ("scanned_w", Cheney.words_scanned engine) ];
+    Obs.Trace.phase ~name:"los_sweep"
+      ~dur_us:((t2 -. t_drain) *. 1e6)
+      ~counters:[ ("live_w", Los.live_words t.los) ];
+    List.iter
+      (fun (site, objects, words) ->
+        Obs.Trace.site_survival ~site ~objects ~words)
+      (Cheney.site_survivals engine)
+  end;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
    | Some h ->
      Cheney.sweep_dead ~mem:t.mem ~space:t.tenured ~on_die:h.Hooks.on_die;
+     let dt = now () -. t2 in
      t.stats.Gc_stats.profile_seconds <-
-       t.stats.Gc_stats.profile_seconds +. (now () -. t2));
+       t.stats.Gc_stats.profile_seconds +. dt;
+     if traced then
+       Obs.Trace.phase ~name:"profile_sweep" ~dur_us:(dt *. 1e6) ~counters:[]);
   Mem.Space.release t.tenured t.mem;
   t.tenured <- to_space;
   t.pretenure_from <- Mem.Space.frontier to_space;
@@ -341,9 +417,11 @@ let major_collection t =
     int_of_float (float_of_int live_total /. t.cfg.tenured_target_liveness)
   in
   t.major_trigger <- min t.tenured_cap (max (live_total + (live_total / 2) + 64) target);
-  t.hooks.Hooks.after_collection ~full:true
-
-let occupancy t = Mem.Space.used_words t.tenured + Los.live_words t.los
+  t.hooks.Hooks.after_collection ~full:true;
+  if traced then
+    Obs.Trace.gc_end ~kind:"major"
+      ~pause_us:((now () -. t0) *. 1e6)
+      ~copied_w:copied ~promoted_w:0 ~live_w:live_total
 
 let collect t ~major =
   if t.in_gc then failwith "Generational: re-entrant collection";

@@ -16,7 +16,12 @@
       in the tenured generation; the freshly pretenured region is scanned
       for young pointers at the next collection (Section 6), except for
       objects whose site the flow analysis proved scan-free
-      (Section 7.2, [Hooks.site_needs_scan]). *)
+      (Section 7.2, [Hooks.site_needs_scan]).
+
+    While [Obs.Trace] is enabled, each collection emits [gc_begin],
+    per-phase spans ([roots], [barrier], [region_scan], [copy],
+    [los_sweep], [profile_sweep]), per-site [site_survival] tallies and
+    a closing [gc_end] record; see docs/TRACING.md. *)
 
 type barrier_kind =
   | Barrier_ssb     (** sequential store buffer; duplicates recorded *)
@@ -39,10 +44,14 @@ type config = {
           pretenuring is predicted to help even more. *)
 }
 
+(** The paper's parameters under the given budget. *)
 val default_config : budget_bytes:int -> config
 
 type t
 
+(** [create mem ~hooks ~stats cfg] builds a collector over [mem] that
+    mutates [stats] in place and calls back into the runtime through
+    [hooks]. *)
 val create : Mem.Memory.t -> hooks:Hooks.t -> stats:Gc_stats.t -> config -> t
 
 (** [alloc t hdr ~birth] allocates in the nursery (or the large-object
@@ -64,13 +73,19 @@ val minor : t -> unit
 (** Force a minor followed by a major collection. *)
 val full : t -> unit
 
+(** The statistics record the collector mutates in place. *)
 val stats : t -> Gc_stats.t
 
 (** Live words after the last major collection, plus large-object words. *)
 val live_words : t -> int
 
+(** Region membership tests, for assertions and the write barrier. *)
 val in_nursery : t -> Mem.Addr.t -> bool
+
 val in_tenured : t -> Mem.Addr.t -> bool
+
+(** Current nursery size (the collector shrinks it to the cache cap). *)
 val nursery_bytes : t -> int
 
+(** Release all memory held by the collector. *)
 val destroy : t -> unit

@@ -10,12 +10,14 @@
 
 type t
 
+(** An empty large-object space drawing blocks from the given memory. *)
 val create : Mem.Memory.t -> t
 
 (** [alloc t hdr ~birth] places a fresh large object, writing its header.
     Payload is zeroed. *)
 val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
 
+(** [contains t a] tells whether [a] lies in a live large object. *)
 val contains : t -> Mem.Addr.t -> bool
 
 (** [mark t addr] marks the object; returns [true] if it was not marked

@@ -11,6 +11,7 @@
 
 type t
 
+(** An empty remembered set. *)
 val create : unit -> t
 
 (** [record t obj] remembers the object containing a mutated slot (its
@@ -27,4 +28,5 @@ val total_recorded : t -> int
     the set first so objects recorded by [f] itself stay remembered. *)
 val drain : t -> (Mem.Addr.t -> unit) -> unit
 
+(** Forget every remembered object without processing it. *)
 val clear : t -> unit

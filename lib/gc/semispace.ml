@@ -49,6 +49,10 @@ let resize t ~need =
     failwith "Semispace: live data exceeds memory budget"
 
 let collect_for t ~need =
+  let traced = Obs.Trace.enabled () in
+  if traced then
+    Obs.Trace.gc_begin ~kind:"semi" ~nursery_w:0
+      ~tenured_w:(Mem.Space.used_words t.space) ~los_w:0;
   let t0 = now () in
   let roots = Support.Vec.create () in
   let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
@@ -56,6 +60,10 @@ let collect_for t ~need =
   Gc_stats.add_scan t.stats res;
   let t1 = now () in
   t.stats.Gc_stats.stack_seconds <- t.stats.Gc_stats.stack_seconds +. (t1 -. t0);
+  if traced then
+    Obs.Trace.phase ~name:"roots"
+      ~dur_us:((t1 -. t0) *. 1e6)
+      ~counters:[ ("roots", Support.Vec.length roots) ];
   (* size the to-space to the current policy limit, not the whole budget
      share: the physical grant tracks the live set, so huge budgets (the
      calibration runs) do not allocate or zero hundreds of megabytes per
@@ -79,12 +87,26 @@ let collect_for t ~need =
   Cheney.drain engine;
   let t2 = now () in
   t.stats.Gc_stats.copy_seconds <- t.stats.Gc_stats.copy_seconds +. (t2 -. t1);
+  if traced then begin
+    Obs.Trace.phase ~name:"copy"
+      ~dur_us:((t2 -. t1) *. 1e6)
+      ~counters:
+        [ ("copied_w", Cheney.words_copied engine);
+          ("scanned_w", Cheney.words_scanned engine) ];
+    List.iter
+      (fun (site, objects, words) ->
+        Obs.Trace.site_survival ~site ~objects ~words)
+      (Cheney.site_survivals engine)
+  end;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
    | Some h ->
      Cheney.sweep_dead ~mem:t.mem ~space:t.space ~on_die:h.Hooks.on_die;
+     let dt = now () -. t2 in
      t.stats.Gc_stats.profile_seconds <-
-       t.stats.Gc_stats.profile_seconds +. (now () -. t2));
+       t.stats.Gc_stats.profile_seconds +. dt;
+     if traced then
+       Obs.Trace.phase ~name:"profile_sweep" ~dur_us:(dt *. 1e6) ~counters:[]);
   Mem.Space.release t.space t.mem;
   t.space <- to_space;
   t.live <- Cheney.words_copied engine;
@@ -93,7 +115,11 @@ let collect_for t ~need =
   t.stats.Gc_stats.live_words_after_gc <- t.live;
   t.stats.Gc_stats.max_live_words <- max t.stats.Gc_stats.max_live_words t.live;
   resize t ~need;
-  t.hooks.Hooks.after_collection ~full:true
+  t.hooks.Hooks.after_collection ~full:true;
+  if traced then
+    Obs.Trace.gc_end ~kind:"semi"
+      ~pause_us:((now () -. t0) *. 1e6)
+      ~copied_w:t.live ~promoted_w:0 ~live_w:t.live
 
 let collect t = collect_for t ~need:0
 

@@ -6,7 +6,11 @@
     is logically resized by [r'/r] — implemented as a soft allocation
     limit within a fixed physical semispace of half the [k * Min]
     budget, so memory usage never exceeds the budget while collection
-    frequency follows the resizing policy. *)
+    frequency follows the resizing policy.
+
+    While [Obs.Trace] is enabled, each collection emits [gc_begin],
+    [roots]/[copy]/[profile_sweep] phase spans, per-site [site_survival]
+    tallies and a closing [gc_end] record; see docs/TRACING.md. *)
 
 type config = {
   target_liveness : float;  (** the paper's r; 0.10 in all experiments *)
@@ -14,10 +18,15 @@ type config = {
   initial_bytes : int;      (** starting soft limit *)
 }
 
+(** The paper's parameters under the given budget. *)
 val default_config : budget_bytes:int -> config
 
 type t
 
+(** [create mem ~hooks ~stats cfg] builds a collector over [mem] that
+    mutates [stats] in place and calls back into the runtime through
+    [hooks].
+    @raise Invalid_argument on an empty budget. *)
 val create : Mem.Memory.t -> hooks:Hooks.t -> stats:Gc_stats.t -> config -> t
 
 (** [alloc t hdr ~birth] allocates one object, collecting first if the
@@ -28,7 +37,10 @@ val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
 (** Force a collection now. *)
 val collect : t -> unit
 
+(** The statistics record the collector mutates in place. *)
 val stats : t -> Gc_stats.t
+
+(** Words surviving the last collection. *)
 val live_words : t -> int
 
 (** [contains t a] tells whether [a] is a live to-space address (for

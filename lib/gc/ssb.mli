@@ -8,6 +8,7 @@
 
 type t
 
+(** An empty buffer. *)
 val create : unit -> t
 
 (** [record t loc] logs a mutated location. *)
@@ -24,4 +25,5 @@ val total_recorded : t -> int
     edges) stay buffered for the next collection. *)
 val drain : t -> (Mem.Addr.t -> unit) -> unit
 
+(** Drop every buffered entry without processing it. *)
 val clear : t -> unit

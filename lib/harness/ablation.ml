@@ -1,4 +1,4 @@
-let run_custom ~workload ~scale ~cfg ~k = Measure.run ~workload ~scale ~cfg ~k
+let run_custom ~workload ~scale ~cfg ~k = Measure.run ~workload ~scale ~cfg ~k ()
 
 let scan_elision ~factor =
   let w = Workloads.Registry.find "nqueen" in

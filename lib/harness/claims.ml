@@ -138,7 +138,7 @@ let claim_barrier ~factor =
         (Runs.with_nursery_cap
            { (Gsc.Config.generational ~budget_bytes:budget) with
              Gsc.Config.barrier = kind })
-      ~k:4.0
+      ~k:4.0 ()
   in
   let ssb = run Collectors.Generational.Barrier_ssb in
   let cards = run Collectors.Generational.Barrier_cards in

@@ -34,7 +34,13 @@ type t = {
   profile : Heap_profile.Profile_data.t option;
 }
 
-let run ~workload ~scale ~cfg ~k =
+let run ?trace_path ~workload ~scale ~cfg ~k () =
+  let with_trace f =
+    match trace_path with
+    | None -> f ()
+    | Some path -> Obs.Trace.with_file path f
+  in
+  with_trace @@ fun () ->
   let rt = Gsc.Runtime.create cfg in
   Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
   let t0 = Unix.gettimeofday () in

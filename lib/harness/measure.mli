@@ -45,11 +45,15 @@ type t = {
   profile : Heap_profile.Profile_data.t option;
 }
 
-(** [run ~workload ~scale ~cfg ~k] creates a fresh runtime, executes the
-    workload (its internal verification runs too), and snapshots the
-    statistics.  The runtime is destroyed before returning. *)
+(** [run ?trace_path ~workload ~scale ~cfg ~k ()] creates a fresh
+    runtime, executes the workload (its internal verification runs too),
+    and snapshots the statistics.  The runtime is destroyed before
+    returning.  When [trace_path] is given the whole run executes with
+    the {!Obs.Trace} tracer writing JSONL to that file. *)
 val run :
-  workload:Workloads.Spec.t -> scale:int -> cfg:Gsc.Config.t -> k:float -> t
+  ?trace_path:string ->
+  workload:Workloads.Spec.t -> scale:int -> cfg:Gsc.Config.t -> k:float ->
+  unit -> t
 
 (** [gc_share m] is GC time / total time. *)
 val gc_share : t -> float

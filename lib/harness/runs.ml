@@ -58,7 +58,7 @@ and measure ~workload ~scale:sc ~technique ~k =
   | Some m -> m
   | None ->
     let cfg = config_for ~workload ~scale:sc ~technique ~k in
-    let m = Measure.run ~workload ~scale:sc ~cfg ~k in
+    let m = Measure.run ~workload ~scale:sc ~cfg ~k () in
     Hashtbl.replace cache key m;
     m
 

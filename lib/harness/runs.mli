@@ -21,6 +21,15 @@ val technique_name : technique -> string
     at least 1. *)
 val scale : factor:float -> Workloads.Spec.t -> int
 
+(** [config_for ~workload ~scale ~technique ~k] is the configuration
+    {!measure} would run (budget calibrated to [k] times Min, nursery
+    cap applied), without running the measurement.  [gc-trace] uses it
+    to run workloads under the standard table configurations with the
+    tracer attached. *)
+val config_for :
+  workload:Workloads.Spec.t -> scale:int -> technique:technique -> k:float ->
+  Gsc.Config.t
+
 (** [measure ~workload ~scale ~technique ~k] runs (or reuses) one
     measurement.  [k] multiplies the calibrated Min. *)
 val measure :

@@ -33,11 +33,22 @@ let items =
       title = "Ablations";
       render = (fun ~factor -> Ablation.render ~factor) } ]
 
-let render_all ~factor =
+(* With a trace attached the memoised measurement cache must not serve
+   results recorded without the tracer (their engines never tallied
+   sites), so the cache is cleared on both sides of the traced render. *)
+let with_trace trace_path f =
+  match trace_path with
+  | None -> f ()
+  | Some path ->
+    Runs.reset ();
+    Fun.protect ~finally:Runs.reset (fun () -> Obs.Trace.with_file path f)
+
+let render_all ?trace_path ~factor () =
+  with_trace trace_path @@ fun () ->
   String.concat "\n\n"
     (List.map (fun item -> item.render ~factor) items)
 
-let render_one ~factor id =
+let render_one ?trace_path ~factor id =
   match List.find_opt (fun item -> item.id = id) items with
-  | Some item -> item.render ~factor
+  | Some item -> with_trace trace_path (fun () -> item.render ~factor)
   | None -> raise Not_found

@@ -8,9 +8,13 @@ type item = {
 
 val items : item list
 
-(** [render_all ~factor] runs everything and concatenates the output. *)
-val render_all : factor:float -> string
+(** [render_all ?trace_path ~factor ()] runs everything and concatenates
+    the output.  With [trace_path] the whole run executes under the
+    {!Obs.Trace} tracer writing JSONL to that file; the {!Runs}
+    measurement cache is cleared before and after so untraced
+    measurements are never reused. *)
+val render_all : ?trace_path:string -> factor:float -> unit -> string
 
-(** [render_one ~factor id] runs a single item.
+(** [render_one ?trace_path ~factor id] runs a single item.
     @raise Not_found on an unknown id. *)
-val render_one : factor:float -> string -> string
+val render_one : ?trace_path:string -> factor:float -> string -> string

@@ -1,0 +1,125 @@
+type t =
+  | Gc_begin of {
+      kind : string;
+      nursery_w : int;
+      tenured_w : int;
+      los_w : int;
+    }
+  | Gc_end of {
+      kind : string;
+      pause_us : float;
+      copied_w : int;
+      promoted_w : int;
+      live_w : int;
+    }
+  | Phase of {
+      name : string;
+      dur_us : float;
+      counters : (string * int) list;
+    }
+  | Stack_scan of {
+      mode : string;
+      valid_prefix : int;
+      depth : int;
+      decoded : int;
+      reused : int;
+      slots : int;
+      roots : int;
+    }
+  | Site_survival of {
+      site : int;
+      objects : int;
+      words : int;
+    }
+  | Pretenure of {
+      site : int;
+      words : int;
+    }
+  | Marker_place of {
+      installed : int;
+      depth : int;
+    }
+  | Unwind of { target_depth : int }
+
+let name = function
+  | Gc_begin _ -> "gc_begin"
+  | Gc_end _ -> "gc_end"
+  | Phase _ -> "phase"
+  | Stack_scan _ -> "stack_scan"
+  | Site_survival _ -> "site_survival"
+  | Pretenure _ -> "pretenure"
+  | Marker_place _ -> "marker_place"
+  | Unwind _ -> "unwind"
+
+(* Serialisation is a straight-line Buffer write: emission runs inside
+   GC pauses, so no intermediate [Json.t] is built. *)
+
+let field_int b k v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b k;
+  Buffer.add_string b "\":";
+  Buffer.add_string b (string_of_int v)
+
+let field_us b k v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b k;
+  Buffer.add_string b "\":";
+  Buffer.add_string b (Printf.sprintf "%.1f" v)
+
+let field_str b k v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b k;
+  Buffer.add_string b "\":";
+  Buffer.add_string b (Json.escape v)
+
+let write b ~seq ~t_us ~gc e =
+  Buffer.add_string b "{\"seq\":";
+  Buffer.add_string b (string_of_int seq);
+  Buffer.add_string b ",\"t_us\":";
+  Buffer.add_string b (Printf.sprintf "%.1f" t_us);
+  field_int b "gc" gc;
+  field_str b "ev" (name e);
+  (match e with
+   | Gc_begin { kind; nursery_w; tenured_w; los_w } ->
+     field_str b "kind" kind;
+     field_int b "nursery_w" nursery_w;
+     field_int b "tenured_w" tenured_w;
+     field_int b "los_w" los_w
+   | Gc_end { kind; pause_us; copied_w; promoted_w; live_w } ->
+     field_str b "kind" kind;
+     field_us b "pause_us" pause_us;
+     field_int b "copied_w" copied_w;
+     field_int b "promoted_w" promoted_w;
+     field_int b "live_w" live_w
+   | Phase { name; dur_us; counters } ->
+     field_str b "name" name;
+     field_us b "dur_us" dur_us;
+     Buffer.add_string b ",\"counters\":{";
+     List.iteri
+       (fun i (k, v) ->
+         if i > 0 then Buffer.add_char b ',';
+         Buffer.add_string b (Json.escape k);
+         Buffer.add_char b ':';
+         Buffer.add_string b (string_of_int v))
+       counters;
+     Buffer.add_char b '}'
+   | Stack_scan { mode; valid_prefix; depth; decoded; reused; slots; roots } ->
+     field_str b "mode" mode;
+     field_int b "valid_prefix" valid_prefix;
+     field_int b "depth" depth;
+     field_int b "decoded" decoded;
+     field_int b "reused" reused;
+     field_int b "slots" slots;
+     field_int b "roots" roots
+   | Site_survival { site; objects; words } ->
+     field_int b "site" site;
+     field_int b "objects" objects;
+     field_int b "words" words
+   | Pretenure { site; words } ->
+     field_int b "site" site;
+     field_int b "words" words
+   | Marker_place { installed; depth } ->
+     field_int b "installed" installed;
+     field_int b "depth" depth
+   | Unwind { target_depth } -> field_int b "target_depth" target_depth);
+  Buffer.add_string b "}\n"

@@ -1,0 +1,69 @@
+(** The typed GC trace events.
+
+    One value of {!t} is one JSONL record (see [docs/TRACING.md] for the
+    on-disk schema).  The emitting layers build these; {!Trace} stamps
+    the envelope fields (sequence number, timestamp, collection ordinal)
+    and serialises; {!Metrics} folds them into the in-process registry.
+
+    Conventions shared by all events:
+
+    - [*_w] fields are word counts, [*_us] fields are microseconds;
+    - [kind] is ["minor"], ["major"] or ["semi"];
+    - a [site] is the allocation-site id from the object header
+      (the runtime's [site_name] maps it back to a label). *)
+
+type t =
+  | Gc_begin of {
+      kind : string;
+      nursery_w : int;   (** nursery occupancy (0 for semispace) *)
+      tenured_w : int;   (** tenured occupancy; the single space for
+                             semispace *)
+      los_w : int;       (** live large-object words *)
+    }  (** a collection starts; increments the envelope's [gc] ordinal *)
+  | Gc_end of {
+      kind : string;
+      pause_us : float;  (** whole collection, marker placement included *)
+      copied_w : int;
+      promoted_w : int;  (** subset of copied: nursery exits *)
+      live_w : int;      (** collector's live estimate after the pause *)
+    }
+  | Phase of {
+      name : string;     (** "roots" | "barrier" | "region_scan" | "copy"
+                             | "los_sweep" | "profile_sweep" *)
+      dur_us : float;
+      counters : (string * int) list;  (** phase-specific work counters *)
+    }  (** one completed span inside the current collection *)
+  | Stack_scan of {
+      mode : string;       (** "minor" | "full" *)
+      valid_prefix : int;  (** frames served from the scan cache's prefix *)
+      depth : int;
+      decoded : int;       (** frames re-decoded this scan *)
+      reused : int;        (** cache hits: frames replayed without decode *)
+      slots : int;
+      roots : int;
+    }  (** emitted by [Rstack.Scan.run] itself — the only layer that
+           knows the cache-valid prefix *)
+  | Site_survival of {
+      site : int;
+      objects : int;
+      words : int;
+    }  (** per-site survivors of the collection that just drained *)
+  | Pretenure of {
+      site : int;
+      words : int;
+    }  (** the pretenuring policy routed an allocation to the tenured
+           generation (mutator side) *)
+  | Marker_place of {
+      installed : int;  (** stubs installed by this placement pass *)
+      depth : int;      (** stack depth at placement *)
+    }
+  | Unwind of { target_depth : int }
+      (** a simulated exception unwound the stack (mutator side) *)
+
+(** [name e] is the record's ["ev"] discriminator. *)
+val name : t -> string
+
+(** [write b ~seq ~t_us ~gc e] appends the full JSONL line (newline
+    included) to [b].  [gc] is the ordinal of the most recently begun
+    collection, 0 before the first. *)
+val write : Buffer.t -> seq:int -> t_us:float -> gc:int -> t -> unit

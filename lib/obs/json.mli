@@ -1,0 +1,34 @@
+(** A minimal JSON value type, parser and printer.
+
+    The observability layer emits and re-reads its own JSON (trace
+    records, metrics snapshots) without an external dependency.  The
+    subset implemented is exactly what the layer produces: objects,
+    arrays, strings with simple escapes, finite numbers, booleans and
+    null — no unicode escape decoding beyond pass-through.  *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** members in source order *)
+
+(** [parse s] parses one complete JSON document.
+    @raise Failure with a position-prefixed message on malformed input,
+    including trailing garbage. *)
+val parse : string -> t
+
+(** [parse_opt s] is [parse] returning [None] instead of raising. *)
+val parse_opt : string -> t option
+
+(** [member name j] is the value of field [name] when [j] is an object
+    that has it. *)
+val member : string -> t -> t option
+
+(** [to_string j] prints compactly (no whitespace), with object members
+    in their stored order; [parse (to_string j)] round-trips. *)
+val to_string : t -> string
+
+(** [escape s] is the JSON string literal for [s], quotes included. *)
+val escape : string -> string

@@ -1,0 +1,34 @@
+(** The machine-readable half of [docs/TRACING.md]: one field table per
+    event kind, and a validator the tests and [gc-trace] run over every
+    emitted record.
+
+    Validation is strict both ways: a record must carry every field its
+    kind declares with the declared type, and may carry nothing else.
+    Numbers declared [Int] must be integral and non-negative. *)
+
+type field_type =
+  | Int       (** non-negative integral JSON number *)
+  | Us        (** non-negative JSON number (microseconds) *)
+  | Str       (** JSON string *)
+  | Counters  (** JSON object whose members are all non-negative ints *)
+
+(** Envelope fields present on every record, in emission order:
+    [seq], [t_us], [gc], [ev]. *)
+val envelope : (string * field_type) list
+
+(** The event kinds, in [docs/TRACING.md] order. *)
+val kinds : string list
+
+(** [fields kind] is the kind's own field table (envelope excluded).
+    @raise Not_found on an unknown kind. *)
+val fields : string -> (string * field_type) list
+
+(** [validate j] checks one parsed record. *)
+val validate : Json.t -> (unit, string) result
+
+(** [validate_line s] parses and validates one JSONL line. *)
+val validate_line : string -> (unit, string) result
+
+(** [validate_file path] validates every non-empty line; [Ok n] is the
+    number of records, [Error _] names the first offending line. *)
+val validate_file : string -> (int, string) result

@@ -1,0 +1,164 @@
+let bar ~width frac =
+  let n = int_of_float (frac *. float_of_int width +. 0.5) in
+  String.make (max 0 (min width n)) '#'
+
+let us_range lo hi =
+  if hi = max_int then Printf.sprintf ">= %d us" lo
+  else if lo = 0 && hi = 1 then "0 us"
+  else Printf.sprintf "%d - %d us" lo (hi - 1)
+
+let pause_histograms m =
+  let names =
+    List.filter
+      (fun n -> String.length n > 9 && String.sub n 0 9 = "pause_us.")
+      (Metrics.histogram_names m)
+  in
+  let render_one name =
+    match Metrics.get_histogram m name with
+    | None -> ""
+    | Some h when Metrics.Histogram.count h = 0 -> ""
+    | Some h ->
+      let kind = String.sub name 9 (String.length name - 9) in
+      let total = Metrics.Histogram.count h in
+      let grid =
+        Support.Textgrid.create
+          ~columns:Support.Textgrid.[ Left; Right; Right; Left ]
+      in
+      Support.Textgrid.add_row grid
+        [ "pause (" ^ kind ^ ")"; "count"; "share"; "" ];
+      Support.Textgrid.add_rule grid;
+      List.iter
+        (fun (lo, hi, c) ->
+          let frac = float_of_int c /. float_of_int total in
+          Support.Textgrid.add_row grid
+            [ us_range lo hi;
+              string_of_int c;
+              Printf.sprintf "%.1f%%" (100. *. frac);
+              bar ~width:30 frac ])
+        (Metrics.Histogram.buckets h);
+      Support.Textgrid.add_rule grid;
+      Support.Textgrid.add_row grid
+        [ "pauses";
+          string_of_int total;
+          "";
+          Printf.sprintf "sum %d us, max %d us"
+            (Metrics.Histogram.total h)
+            (Metrics.Histogram.max_value h) ];
+      Support.Textgrid.render grid
+  in
+  String.concat "\n" (List.filter (fun s -> s <> "") (List.map render_one names))
+
+let phase_breakdown m =
+  let phases =
+    List.filter_map
+      (fun n ->
+        if String.length n > 9 && String.sub n 0 9 = "phase_us." then
+          Some (String.sub n 9 (String.length n - 9))
+        else None)
+      (Metrics.counter_names m)
+  in
+  if phases = [] then ""
+  else begin
+    let total =
+      List.fold_left
+        (fun acc p -> acc + Metrics.get_counter m ("phase_us." ^ p))
+        0 phases
+    in
+    let counters_of p =
+      let prefix = Printf.sprintf "phase.%s." p in
+      let plen = String.length prefix in
+      List.filter_map
+        (fun n ->
+          if String.length n > plen && String.sub n 0 plen = prefix then
+            Some
+              (Printf.sprintf "%s %d"
+                 (String.sub n plen (String.length n - plen))
+                 (Metrics.get_counter m n))
+          else None)
+        (Metrics.counter_names m)
+    in
+    let grid =
+      Support.Textgrid.create
+        ~columns:Support.Textgrid.[ Left; Right; Right; Left ]
+    in
+    Support.Textgrid.add_row grid [ "phase"; "us"; "share"; "work" ];
+    Support.Textgrid.add_rule grid;
+    let by_cost =
+      List.sort
+        (fun a b ->
+          compare
+            (Metrics.get_counter m ("phase_us." ^ b))
+            (Metrics.get_counter m ("phase_us." ^ a)))
+        phases
+    in
+    List.iter
+      (fun p ->
+        let us = Metrics.get_counter m ("phase_us." ^ p) in
+        let share =
+          if total = 0 then 0.
+          else 100. *. float_of_int us /. float_of_int total
+        in
+        Support.Textgrid.add_row grid
+          [ p;
+            string_of_int us;
+            Printf.sprintf "%.1f%%" share;
+            String.concat ", " (counters_of p) ])
+      by_cost;
+    Support.Textgrid.render grid
+  end
+
+(* "site.<id>.<what>" -> (id, what) *)
+let site_counter name =
+  if String.length name > 5 && String.sub name 0 5 = "site." then begin
+    match String.index_from_opt name 5 '.' with
+    | Some dot ->
+      (match int_of_string_opt (String.sub name 5 (dot - 5)) with
+       | Some id ->
+         Some (id, String.sub name (dot + 1) (String.length name - dot - 1))
+       | None -> None)
+    | None -> None
+  end
+  else None
+
+let site_table ?(site_name = fun id -> Printf.sprintf "site-%d" id) m =
+  let sites = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      match site_counter n with
+      | Some (id, _) -> Hashtbl.replace sites id ()
+      | None -> ())
+    (Metrics.counter_names m);
+  let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) sites []) in
+  if ids = [] then ""
+  else begin
+    let survived id = Metrics.get_counter m (Printf.sprintf "site.%d.survived_w" id) in
+    let grid =
+      Support.Textgrid.create
+        ~columns:Support.Textgrid.[ Left; Right; Right; Right ]
+    in
+    Support.Textgrid.add_row grid
+      [ "site"; "survived_w"; "objects"; "pretenured_w" ];
+    Support.Textgrid.add_rule grid;
+    let by_survival =
+      List.sort (fun a b -> compare (survived b) (survived a)) ids
+    in
+    List.iter
+      (fun id ->
+        Support.Textgrid.add_row grid
+          [ site_name id;
+            string_of_int (survived id);
+            string_of_int
+              (Metrics.get_counter m
+                 (Printf.sprintf "site.%d.survived_objects" id));
+            string_of_int
+              (Metrics.get_counter m
+                 (Printf.sprintf "site.%d.pretenured_w" id)) ])
+      by_survival;
+    Support.Textgrid.render grid
+  end
+
+let render ?site_name m =
+  let sections =
+    [ pause_histograms m; phase_breakdown m; site_table ?site_name m ]
+  in
+  String.concat "\n" (List.filter (fun s -> s <> "") sections)

@@ -1,0 +1,21 @@
+(** Human-readable rendering of a metrics registry fed by the trace tap:
+    the pause-time histograms, the per-phase cost breakdown, and the
+    per-site survival/pretenure table ([gc-trace]'s output). *)
+
+(** [pause_histograms m] renders one log-scaled histogram table per
+    [pause_us.*] histogram in [m] (bucket range, count, share bar);
+    empty string when no pauses were recorded. *)
+val pause_histograms : Metrics.t -> string
+
+(** [phase_breakdown m] renders the [phase_us.*] totals with their share
+    of the summed phase time and each phase's work counters. *)
+val phase_breakdown : Metrics.t -> string
+
+(** [site_table ?site_name m] renders the per-site survival and
+    pretenure counters, largest survivors first.  [site_name] maps site
+    ids to labels (ids are printed otherwise). *)
+val site_table : ?site_name:(int -> string) -> Metrics.t -> string
+
+(** [render ?site_name m] is the three sections above, separated by
+    blank lines, sections without data omitted. *)
+val render : ?site_name:(int -> string) -> Metrics.t -> string

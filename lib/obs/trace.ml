@@ -1,0 +1,109 @@
+type sink =
+  | Channel of out_channel
+  | Sink_buffer of Buffer.t
+
+let channel oc = Channel oc
+let buffer b = Sink_buffer b
+
+type state = {
+  sink : sink;
+  metrics : Metrics.t option;
+  clock : unit -> float;
+  t0 : float;
+  scratch : Buffer.t;   (* one line is built here, then written whole *)
+  mutable seq : int;
+  mutable gc : int;
+}
+
+let state : state option ref = ref None
+
+let enabled () = match !state with None -> false | Some _ -> true
+
+let enable ?metrics ?(clock = Unix.gettimeofday) sink =
+  state :=
+    Some
+      { sink;
+        metrics;
+        clock;
+        t0 = clock ();
+        scratch = Buffer.create 256;
+        seq = 0;
+        gc = 0 }
+
+let disable () =
+  (match !state with
+   | Some { sink = Channel oc; _ } -> flush oc
+   | Some { sink = Sink_buffer _; _ } | None -> ());
+  state := None
+
+let with_sink ?metrics ?clock sink f =
+  enable ?metrics ?clock sink;
+  Fun.protect ~finally:disable f
+
+let with_file ?metrics path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  with_sink ?metrics (Channel oc) f
+
+let with_buffer ?metrics ?clock buf f =
+  with_sink ?metrics ?clock (Sink_buffer buf) f
+
+let emit st e =
+  (match e with Event.Gc_begin _ -> st.gc <- st.gc + 1 | _ -> ());
+  let t_us = (st.clock () -. st.t0) *. 1e6 in
+  Buffer.clear st.scratch;
+  Event.write st.scratch ~seq:st.seq ~t_us ~gc:st.gc e;
+  st.seq <- st.seq + 1;
+  (match st.sink with
+   | Channel oc -> Buffer.output_buffer oc st.scratch
+   | Sink_buffer b -> Buffer.add_buffer b st.scratch);
+  match st.metrics with
+  | None -> ()
+  | Some m -> Metrics.record m e
+
+(* Every emitter reads [!state] exactly once and returns immediately
+   when tracing is off: the disabled cost is one load and one branch. *)
+
+let gc_begin ~kind ~nursery_w ~tenured_w ~los_w =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Gc_begin { kind; nursery_w; tenured_w; los_w })
+
+let gc_end ~kind ~pause_us ~copied_w ~promoted_w ~live_w =
+  match !state with
+  | None -> ()
+  | Some st ->
+    emit st (Event.Gc_end { kind; pause_us; copied_w; promoted_w; live_w })
+
+let phase ~name ~dur_us ~counters =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Phase { name; dur_us; counters })
+
+let stack_scan ~mode ~valid_prefix ~depth ~decoded ~reused ~slots ~roots =
+  match !state with
+  | None -> ()
+  | Some st ->
+    emit st
+      (Event.Stack_scan
+         { mode; valid_prefix; depth; decoded; reused; slots; roots })
+
+let site_survival ~site ~objects ~words =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Site_survival { site; objects; words })
+
+let pretenure ~site ~words =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Pretenure { site; words })
+
+let marker_place ~installed ~depth =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Marker_place { installed; depth })
+
+let unwind ~target_depth =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Unwind { target_depth })

@@ -1,0 +1,69 @@
+(** The structured GC trace emitter.
+
+    One process-global tracer, off by default.  While enabled it writes
+    one JSONL record per {!Event.t} to the active sink and optionally
+    folds each event into a {!Metrics.t} registry.  The full record
+    schema lives in [docs/TRACING.md].
+
+    {b Overhead contract}: with tracing disabled every emitter returns
+    after one mutable-ref read — no allocation, no system call, no
+    formatting.  Instrumented code must guard any {e argument
+    computation} of its own (extra [gettimeofday] calls, count
+    deltas...) behind {!enabled}; the [hotpath.minor_gc.untraced] bench
+    (vs the [hotpath.minor_gc.raw] trajectory in [BENCH_gc.json]) pins
+    the contract.
+
+    Collections never nest (the collectors reject re-entrant
+    collection), so the tracer keeps a single current-collection
+    ordinal: {!gc_begin} increments it and every record carries it. *)
+
+(** Where records go. *)
+type sink
+
+val channel : out_channel -> sink
+val buffer : Buffer.t -> sink
+
+(** [enable ?metrics ?clock sink] switches tracing on.  [clock] supplies
+    timestamps in seconds ([Unix.gettimeofday] by default; tests install
+    a deterministic counter).  Timestamps are reported as microseconds
+    since [enable].  Re-enabling replaces the previous sink.
+    Every enable restarts the [seq] and [gc] envelope counters. *)
+val enable : ?metrics:Metrics.t -> ?clock:(unit -> float) -> sink -> unit
+
+(** [disable ()] switches tracing off and flushes channel sinks (the
+    caller owns closing them). *)
+val disable : unit -> unit
+
+(** [enabled ()] is the guard instrumented code checks before computing
+    event arguments. *)
+val enabled : unit -> bool
+
+(** [with_file ?metrics path f] traces [f ()] into a fresh file at
+    [path]; always disables and closes, even on exceptions. *)
+val with_file : ?metrics:Metrics.t -> string -> (unit -> 'a) -> 'a
+
+(** [with_buffer ?metrics ?clock buf f] traces [f ()] into [buf]. *)
+val with_buffer :
+  ?metrics:Metrics.t -> ?clock:(unit -> float) -> Buffer.t -> (unit -> 'a) -> 'a
+
+(** {1 Emitters}
+
+    Each is a no-op when tracing is disabled.  See {!Event.t} for field
+    meaning. *)
+
+val gc_begin : kind:string -> nursery_w:int -> tenured_w:int -> los_w:int -> unit
+
+val gc_end :
+  kind:string -> pause_us:float -> copied_w:int -> promoted_w:int ->
+  live_w:int -> unit
+
+val phase : name:string -> dur_us:float -> counters:(string * int) list -> unit
+
+val stack_scan :
+  mode:string -> valid_prefix:int -> depth:int -> decoded:int -> reused:int ->
+  slots:int -> roots:int -> unit
+
+val site_survival : site:int -> objects:int -> words:int -> unit
+val pretenure : site:int -> words:int -> unit
+val marker_place : installed:int -> depth:int -> unit
+val unwind : target_depth:int -> unit

@@ -112,6 +112,11 @@ let run ~stack ~regs ~cache ~valid_prefix ~mode ~visit =
   for r = 0 to Trace.num_registers - 1 do
     if status.(r) then emit (Root.Register (regs, r))
   done;
+  if Obs.Trace.enabled () then
+    Obs.Trace.stack_scan
+      ~mode:(match mode with Minor -> "minor" | Full -> "full")
+      ~valid_prefix ~depth ~decoded:!frames_decoded ~reused:!frames_reused
+      ~slots:!slots_decoded ~roots:!roots_visited;
   { depth;
     frames_decoded = !frames_decoded;
     frames_reused = !frames_reused;

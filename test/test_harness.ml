@@ -40,8 +40,8 @@ let simclock_deterministic () =
     Harness.Runs.with_nursery_cap
       (Gsc.Config.generational ~budget_bytes:(64 * 1024))
   in
-  let m1 = Harness.Measure.run ~workload:w ~scale:20 ~cfg ~k:0. in
-  let m2 = Harness.Measure.run ~workload:w ~scale:20 ~cfg ~k:0. in
+  let m1 = Harness.Measure.run ~workload:w ~scale:20 ~cfg ~k:0. () in
+  let m2 = Harness.Measure.run ~workload:w ~scale:20 ~cfg ~k:0. () in
   check_bool "identical gc seconds" true
     (m1.Harness.Measure.gc_seconds = m2.Harness.Measure.gc_seconds);
   check_bool "identical totals" true

@@ -1,0 +1,320 @@
+(* Observability-layer tests: histogram bucketing edge cases, the JSON
+   round trip, the metrics registry and its trace tap, schema
+   validation, the golden emitter output (deterministic clock), and the
+   stability of a real traced workload modulo timestamps. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+module H = Obs.Metrics.Histogram
+
+(* --- Histogram bucketing --- *)
+
+let hist_zero () =
+  check_int "0 lands in bucket 0" 0 (H.bucket_index 0);
+  check_bool "bucket 0 is {0}" true (H.bucket_bounds 0 = (0, 1));
+  let h = H.create () in
+  H.observe h 0;
+  check_bool "observed zero" true (H.buckets h = [ (0, 1, 1) ]);
+  check_int "total" 0 (H.total h);
+  check_int "max" 0 (H.max_value h)
+
+let hist_powers_of_two () =
+  (* bucket i >= 1 holds [2^(i-1), 2^i): every power of two opens a new
+     bucket, and the value just below it closes the previous one *)
+  check_int "1" 1 (H.bucket_index 1);
+  check_int "2" 2 (H.bucket_index 2);
+  check_int "3" 2 (H.bucket_index 3);
+  check_int "4" 3 (H.bucket_index 4);
+  for k = 1 to 61 do
+    check_int
+      (Printf.sprintf "2^%d - 1" k)
+      k
+      (H.bucket_index ((1 lsl k) - 1));
+    check_int (Printf.sprintf "2^%d" k) (k + 1) (H.bucket_index (1 lsl k))
+  done
+
+let hist_max_word () =
+  check_int "max_int lands in the last bucket" (H.bucket_count - 1)
+    (H.bucket_index max_int);
+  let lo, hi = H.bucket_bounds (H.bucket_count - 1) in
+  check_bool "last bucket covers max_int" true (lo <= max_int && hi = max_int);
+  let h = H.create () in
+  H.observe h max_int;
+  check_int "count" 1 (H.count h);
+  check_int "max" max_int (H.max_value h)
+
+let hist_bounds_errors () =
+  Alcotest.check_raises "negative bucket"
+    (Invalid_argument "Histogram.bucket_bounds: no such bucket") (fun () ->
+      ignore (H.bucket_bounds (-1)));
+  Alcotest.check_raises "past the last bucket"
+    (Invalid_argument "Histogram.bucket_bounds: no such bucket") (fun () ->
+      ignore (H.bucket_bounds H.bucket_count))
+
+let hist_negative_clamps () =
+  let h = H.create () in
+  H.observe h (-5);
+  check_bool "clamped to zero" true (H.buckets h = [ (0, 1, 1) ]);
+  check_int "total unaffected" 0 (H.total h)
+
+let hist_bounds_prop =
+  QCheck.Test.make ~name:"every value falls inside its bucket's bounds"
+    ~count:500 QCheck.int (fun i ->
+      let v = if i = min_int then max_int else abs i in
+      let lo, hi = H.bucket_bounds (H.bucket_index v) in
+      lo <= v && (v < hi || (hi = max_int && v = max_int)))
+
+(* --- Json --- *)
+
+let json_roundtrip () =
+  let samples =
+    [ "null"; "true"; "[1,2.5,\"x\"]"; "{\"a\":1,\"b\":[{}]}";
+      "{\"s\":\"a\\\"b\\\\c\\n\"}"; "-3"; "[]" ]
+  in
+  List.iter
+    (fun s ->
+      let j = Obs.Json.parse s in
+      check_bool s true (Obs.Json.parse (Obs.Json.to_string j) = j))
+    samples
+
+let json_rejects () =
+  List.iter
+    (fun s ->
+      check_bool s true (Obs.Json.parse_opt s = None))
+    [ ""; "{"; "[1,]"; "{\"a\"}"; "1 2"; "nul"; "\"open"; "{\"a\":}" ]
+
+let json_member () =
+  let j = Obs.Json.parse "{\"a\":1,\"b\":\"x\"}" in
+  check_bool "present" true (Obs.Json.member "b" j = Some (Obs.Json.Str "x"));
+  check_bool "absent" true (Obs.Json.member "c" j = None)
+
+(* --- Metrics --- *)
+
+let metrics_basics () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "c" 2;
+  Obs.Metrics.incr m "c" 3;
+  check_int "counter" 5 (Obs.Metrics.get_counter m "c");
+  check_int "absent counter is 0" 0 (Obs.Metrics.get_counter m "nope");
+  Obs.Metrics.set_gauge m "g" 7;
+  check_bool "gauge" true (Obs.Metrics.get_gauge m "g" = Some 7);
+  Obs.Metrics.observe m "h" 10;
+  check_bool "histogram" true
+    (match Obs.Metrics.get_histogram m "h" with
+     | Some h -> H.count h = 1
+     | None -> false);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics: c is a counter, not a gauge") (fun () ->
+      Obs.Metrics.set_gauge m "c" 1)
+
+let metrics_tap () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.record m
+    (Obs.Event.Gc_begin { kind = "minor"; nursery_w = 10; tenured_w = 20; los_w = 0 });
+  Obs.Metrics.record m
+    (Obs.Event.Gc_end
+       { kind = "minor"; pause_us = 120.; copied_w = 5; promoted_w = 5; live_w = 25 });
+  Obs.Metrics.record m
+    (Obs.Event.Phase { name = "copy"; dur_us = 80.; counters = [ ("copied_w", 5) ] });
+  Obs.Metrics.record m (Obs.Event.Site_survival { site = 3; objects = 2; words = 6 });
+  check_bool "nursery gauge" true (Obs.Metrics.get_gauge m "heap.nursery_w" = Some 10);
+  check_int "gc.minor" 1 (Obs.Metrics.get_counter m "gc.minor");
+  check_int "copied" 5 (Obs.Metrics.get_counter m "copied_w");
+  check_int "phase time" 80 (Obs.Metrics.get_counter m "phase_us.copy");
+  check_int "phase counter" 5 (Obs.Metrics.get_counter m "phase.copy.copied_w");
+  check_int "site words" 6 (Obs.Metrics.get_counter m "site.3.survived_w");
+  check_bool "pause histogram" true
+    (match Obs.Metrics.get_histogram m "pause_us.minor" with
+     | Some h -> H.count h = 1 && H.total h = 120
+     | None -> false)
+
+let metrics_snapshot_parses () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "c" 1;
+  Obs.Metrics.set_gauge m "g" 2;
+  Obs.Metrics.observe m "h" 3;
+  let j = Obs.Json.parse (Obs.Metrics.to_json m) in
+  check_bool "counters member" true
+    (Obs.Json.member "counters" j = Some (Obs.Json.Obj [ ("c", Obs.Json.Num 1.) ]));
+  check_bool "histograms member present" true
+    (match Obs.Json.member "histograms" j with
+     | Some (Obs.Json.Obj [ ("h", _) ]) -> true
+     | _ -> false)
+
+(* --- Schema validation --- *)
+
+let schema_rejects () =
+  let bad =
+    [ ("not an object", "[1]");
+      ("missing envelope", "{\"ev\":\"unwind\",\"target_depth\":1}");
+      ("missing field",
+       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\"}");
+      ("unknown kind",
+       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"mystery\"}");
+      ("wrong type",
+       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
+      ("unknown field",
+       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
+      ("negative int",
+       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
+      ("unparsable", "{") ]
+  in
+  List.iter
+    (fun (what, line) ->
+      check_bool what true
+        (match Obs.Schema.validate_line line with
+         | Error _ -> true
+         | Ok () -> false))
+    bad
+
+(* --- Golden emitter output --- *)
+
+(* one microsecond per clock call: [enable] consumes t = 0 as the
+   origin, so the n-th record is stamped n microseconds *)
+let ticking_clock () =
+  let c = ref 0. in
+  fun () ->
+    let v = !c in
+    c := v +. 1e-6;
+    v
+
+let golden =
+  String.concat "\n"
+    [ {|{"seq":0,"t_us":1.0,"gc":1,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
+      {|{"seq":1,"t_us":2.0,"gc":1,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
+      {|{"seq":2,"t_us":3.0,"gc":1,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
+      {|{"seq":3,"t_us":4.0,"gc":1,"ev":"site_survival","site":1,"objects":4,"words":12}|};
+      {|{"seq":4,"t_us":5.0,"gc":1,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
+      {|{"seq":5,"t_us":6.0,"gc":1,"ev":"pretenure","site":2,"words":8}|};
+      {|{"seq":6,"t_us":7.0,"gc":1,"ev":"marker_place","installed":3,"depth":9}|};
+      {|{"seq":7,"t_us":8.0,"gc":1,"ev":"unwind","target_depth":4}|};
+      "" ]
+
+let golden_emitter () =
+  let buf = Buffer.create 1024 in
+  Obs.Trace.with_buffer ~clock:(ticking_clock ()) buf (fun () ->
+      Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:100 ~tenured_w:200 ~los_w:0;
+      Obs.Trace.phase ~name:"roots" ~dur_us:12.5 ~counters:[ ("roots", 3) ];
+      Obs.Trace.stack_scan ~mode:"minor" ~valid_prefix:2 ~depth:5 ~decoded:3
+        ~reused:2 ~slots:7 ~roots:4;
+      Obs.Trace.site_survival ~site:1 ~objects:4 ~words:12;
+      Obs.Trace.gc_end ~kind:"minor" ~pause_us:250.0 ~copied_w:12
+        ~promoted_w:12 ~live_w:212;
+      Obs.Trace.pretenure ~site:2 ~words:8;
+      Obs.Trace.marker_place ~installed:3 ~depth:9;
+      Obs.Trace.unwind ~target_depth:4);
+  check_str "emitted lines" golden (Buffer.contents buf);
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.iter (fun line ->
+      if line <> "" then
+        match Obs.Schema.validate_line line with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "golden line rejected: %s" msg)
+
+let disabled_is_silent () =
+  check_bool "off by default" false (Obs.Trace.enabled ());
+  (* emitters must be no-ops, not crashes, with no tracer installed *)
+  Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:0 ~tenured_w:0 ~los_w:0;
+  Obs.Trace.unwind ~target_depth:0
+
+(* --- Traced workloads --- *)
+
+let traced_lines f =
+  let buf = Buffer.create (1 lsl 16) in
+  let r = Obs.Trace.with_buffer buf f in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  (r, lines)
+
+(* drop the wall-clock fields; everything left is deterministic work *)
+let normalize line =
+  match Obs.Json.parse line with
+  | Obs.Json.Obj members ->
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         (List.filter
+            (fun (k, _) -> k <> "t_us" && k <> "pause_us" && k <> "dur_us")
+            members))
+  | j -> Obs.Json.to_string j
+
+let measure_life () =
+  let w = Workloads.Registry.find "life" in
+  let cfg =
+    Harness.Runs.with_nursery_cap
+      (Gsc.Config.generational ~budget_bytes:(64 * 1024))
+  in
+  Harness.Measure.run ~workload:w ~scale:20 ~cfg ~k:0. ()
+
+let workload_trace_stable () =
+  let _, lines1 = traced_lines (fun () -> ignore (measure_life ())) in
+  let _, lines2 = traced_lines (fun () -> ignore (measure_life ())) in
+  check_bool "collections happened" true (List.length lines1 > 0);
+  List.iter
+    (fun line ->
+      match Obs.Schema.validate_line line with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "trace line rejected: %s" msg)
+    lines1;
+  check_int "same event count" (List.length lines1) (List.length lines2);
+  List.iter2
+    (fun a b -> check_str "same event modulo timestamps" (normalize a) (normalize b))
+    lines1 lines2
+
+let tracing_preserves_stats () =
+  let untraced = measure_life () in
+  let traced, _ = traced_lines measure_life in
+  check_int "gcs" untraced.Harness.Measure.num_gcs traced.Harness.Measure.num_gcs;
+  check_int "bytes copied" untraced.Harness.Measure.bytes_copied
+    traced.Harness.Measure.bytes_copied;
+  check_int "frames decoded" untraced.Harness.Measure.frames_decoded
+    traced.Harness.Measure.frames_decoded;
+  check_bool "identical simulated time" true
+    (untraced.Harness.Measure.total_seconds
+     = traced.Harness.Measure.total_seconds)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let summary_renders () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.record m
+    (Obs.Event.Gc_end
+       { kind = "minor"; pause_us = 42.; copied_w = 1; promoted_w = 1; live_w = 2 });
+  Obs.Metrics.record m
+    (Obs.Event.Phase { name = "copy"; dur_us = 30.; counters = [ ("copied_w", 1) ] });
+  Obs.Metrics.record m (Obs.Event.Site_survival { site = 0; objects = 1; words = 2 });
+  let out = Obs.Summary.render ~site_name:(fun _ -> "list.cons") m in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle out))
+    [ "pause (minor)"; "phase"; "copy"; "list.cons" ]
+
+let () =
+  Alcotest.run "obs"
+    [ ("histogram",
+       [ Alcotest.test_case "zero" `Quick hist_zero;
+         Alcotest.test_case "powers of two" `Quick hist_powers_of_two;
+         Alcotest.test_case "max word" `Quick hist_max_word;
+         Alcotest.test_case "bounds errors" `Quick hist_bounds_errors;
+         Alcotest.test_case "negative clamps" `Quick hist_negative_clamps;
+         QCheck_alcotest.to_alcotest hist_bounds_prop ]);
+      ("json",
+       [ Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+         Alcotest.test_case "rejects" `Quick json_rejects;
+         Alcotest.test_case "member" `Quick json_member ]);
+      ("metrics",
+       [ Alcotest.test_case "basics" `Quick metrics_basics;
+         Alcotest.test_case "trace tap" `Quick metrics_tap;
+         Alcotest.test_case "snapshot parses" `Quick metrics_snapshot_parses ]);
+      ("schema", [ Alcotest.test_case "rejects" `Quick schema_rejects ]);
+      ("trace",
+       [ Alcotest.test_case "golden emitter" `Quick golden_emitter;
+         Alcotest.test_case "disabled is silent" `Quick disabled_is_silent;
+         Alcotest.test_case "workload trace stable" `Quick workload_trace_stable;
+         Alcotest.test_case "tracing preserves stats" `Quick
+           tracing_preserves_stats;
+         Alcotest.test_case "summary renders" `Quick summary_renders ]) ]
