@@ -303,6 +303,96 @@ let hotpath_tests =
     Test.make ~name:"hotpath.minor_gc.traced" (Staged.stage minor_gc_traced)
   ]
 
+(* --- parallel_drain: the work-stealing drain at 1/2/4 domains ---
+
+   These rows are deterministic virtual-time makespans (Par_drain charges
+   fixed per-operation costs and reports the maximum worker clock), not
+   host wall-clock: the simulator never times simulated work on the host
+   (see EXPERIMENTS.md), and a single-core machine could not measure real
+   domain speedups anyway.  Identical seeded workload for every row, so
+   drain.pN/drain.pM is a pure scheduling ratio. *)
+
+(* A bushy from-space graph: [n_roots] globals each rooting an
+   independent binary tree, so initial packets spread breadth and chunk
+   retirements feed the steal path. *)
+let build_drain_graph ~n_roots ~depth =
+  let mem = Mem.Memory.create () in
+  let from = Mem.Space.create mem ~words:(n_roots * (1 lsl depth) * 24) in
+  let alloc hdr =
+    let words = H.header_words + hdr.H.len in
+    match Mem.Space.alloc from words with
+    | Some a ->
+      H.write mem a hdr ~birth:0;
+      a
+    | None -> failwith "bench: drain graph from-space overflow"
+  in
+  let rec tree site d =
+    if d = 0 then
+      let a = alloc { H.kind = H.Nonptr_array; len = 8; site } in
+      for i = 0 to 7 do
+        Mem.Memory.set mem (H.field_addr a i) (V.Int (site + i))
+      done;
+      a
+    else begin
+      let a = alloc { H.kind = H.Record { mask = 0b011 }; len = 3; site } in
+      Mem.Memory.set mem (H.field_addr a 0) (V.Ptr (tree site (d - 1)));
+      Mem.Memory.set mem (H.field_addr a 1) (V.Ptr (tree site (d - 1)));
+      Mem.Memory.set mem (H.field_addr a 2) (V.Int d);
+      a
+    end
+  in
+  let globals = Array.init n_roots (fun r -> V.Ptr (tree r depth)) in
+  (mem, from, globals)
+
+(* Rebuilds the graph (forwarding destroys it), drains it at
+   [parallelism], and reports the virtual makespan in ns. *)
+let drain_makespan ~parallelism =
+  let mem, from, globals = build_drain_graph ~n_roots:64 ~depth:5 in
+  let live = Mem.Space.used_words from in
+  let to_space =
+    Mem.Space.create mem
+      ~words:
+        (live
+        + Collectors.Par_drain.space_headroom ~parallelism ~copy_bound:live)
+  in
+  let p =
+    Collectors.Par_drain.create ~mem
+      ~in_from:(Mem.Space.contains from)
+      ~to_space ~los:None ~trace_los:false ~promoting:false ~object_hooks:None
+      ~parallelism ()
+  in
+  (* eight-root packets: enough initial breadth that every domain has
+     work before the first steal *)
+  let batch =
+    Rstack.Root.Batch.create ~capacity:8
+      ~emit:(Collectors.Par_drain.add_roots p)
+  in
+  Array.iteri
+    (fun i _ -> Rstack.Root.Batch.push batch (Rstack.Root.Global (globals, i)))
+    globals;
+  Rstack.Root.Batch.flush batch;
+  Collectors.Par_drain.run p;
+  if Collectors.Par_drain.words_copied p < live then
+    failwith "bench: parallel drain lost reachable words";
+  float_of_int (Collectors.Par_drain.makespan_ns p)
+
+let parallel_drain_rows degrees =
+  List.map
+    (fun n -> (Printf.sprintf "drain.p%d" n, drain_makespan ~parallelism:n))
+    degrees
+
+let print_drain_rows rows =
+  print_endline "Parallel drain (virtual-time makespan, work-stealing):";
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-44s %12.0f virtual ns\n" ("parallel_drain/" ^ name) ns)
+    rows;
+  (match (List.assoc_opt "drain.p1" rows, List.assoc_opt "drain.p4" rows) with
+   | Some p1, Some p4 when p4 > 0. ->
+     Printf.printf "  %-44s %12.2fx\n" "speedup p4/p1" (p1 /. p4)
+   | _ -> ());
+  print_newline ()
+
 (* --- Bechamel driver --- *)
 
 let run_group ~group_name ~quota ~limit tests =
@@ -478,7 +568,15 @@ let () =
       run_group ~group_name:"gc_hotpath" ~quota:0.02 ~limit:20 hotpath_tests
     in
     if rows = [] then failwith "bench-smoke: no benchmark estimates";
-    emit_json rows;
+    (* 2-domain drain smoke: the virtual rows are deterministic, so the
+       speedup is checkable even under the tiny quota *)
+    let drain = parallel_drain_rows [ 1; 2 ] in
+    let p1 = List.assoc "drain.p1" drain and p2 = List.assoc "drain.p2" drain in
+    if not (p2 < p1) then
+      failwith "bench-smoke: 2-domain drain no faster than 1-domain";
+    print_drain_rows drain;
+    emit_json
+      (rows @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain);
     print_endline "bench-smoke: OK"
   end
   else begin
@@ -495,7 +593,15 @@ let () =
       run_group ~group_name:"gc_hotpath" ~quota:0.5 ~limit:50 hotpath_tests
     in
     print_rows "GC hot-path micro-benchmarks (safe vs raw):" hot_rows;
-    emit_json (table_rows @ hot_rows);
+    let drain = parallel_drain_rows [ 1; 2; 4 ] in
+    print_drain_rows drain;
+    let p1 = List.assoc "drain.p1" drain and p4 = List.assoc "drain.p4" drain in
+    if p4 *. 1.8 > p1 then
+      Printf.printf "WARNING: drain.p4 speedup below 1.8x (%.2fx)\n\n"
+        (p1 /. p4);
+    emit_json
+      (table_rows @ hot_rows
+      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain);
     print_endline
       "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";
     print_newline ();

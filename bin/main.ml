@@ -251,14 +251,22 @@ let gc_trace_cmd =
     let doc = "Trace output file (default $(i,WORKLOAD).trace.jsonl)." in
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run factor name technique k out =
+  let parallelism_arg =
+    let doc = "Drain domains for the copying fixpoint (1 = sequential \
+               engine; >1 emits per-domain copy.dN phase spans)." in
+    Arg.(value & opt int 1 & info [ "parallelism"; "p" ] ~docv:"N" ~doc)
+  in
+  let run factor name technique k out parallelism =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
       exit 1
     | w ->
       let sc = Harness.Runs.scale ~factor w in
-      let cfg = Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k in
+      let cfg =
+        { (Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k) with
+          Gsc.Config.parallelism }
+      in
       let path =
         match out with Some p -> p | None -> name ^ ".trace.jsonl"
       in
@@ -296,7 +304,9 @@ let gc_trace_cmd =
          "Run a workload with GC tracing on: write the JSONL event trace, \
           validate it against the schema, and print the pause-time \
           histograms, phase breakdown and site-survival tables")
-    Term.(const run $ factor_arg $ workload_arg $ technique $ k_arg $ out)
+    Term.(
+      const run $ factor_arg $ workload_arg $ technique $ k_arg $ out
+      $ parallelism_arg)
 
 let () =
   let info =

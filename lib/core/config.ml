@@ -16,6 +16,7 @@ type t = {
   los_threshold_words : int;
   barrier : Collectors.Generational.barrier_kind;
   tenure_threshold : int;
+  parallelism : int;
   stack_markers : bool;
   marker_spacing : int;
   exception_strategy : exception_strategy;
@@ -35,6 +36,7 @@ let default ~budget_bytes =
     los_threshold_words = 512;
     barrier = Collectors.Generational.Barrier_ssb;
     tenure_threshold = 1;
+    parallelism = 1;
     stack_markers = false;
     marker_spacing = 25;
     exception_strategy = Eager_watermark;

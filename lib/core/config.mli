@@ -37,6 +37,12 @@ type t = {
   tenure_threshold : int;             (** 1 = immediate promotion (the
                                           paper); >1 = aging nursery
                                           (Section 7.2) *)
+  parallelism : int;                  (** drain domains for the copying
+                                          fixpoint; 1 = the sequential
+                                          engine (default), >1 = the
+                                          work-stealing [Par_drain]
+                                          engine.  Applies to both
+                                          collectors. *)
   (* generational stack collection *)
   stack_markers : bool;
   marker_spacing : int;               (** paper: n = 25 *)

@@ -172,7 +172,8 @@ let create cfg =
            { Collectors.Semispace.target_liveness =
                cfg.Config.semispace_target_liveness;
              budget_bytes = cfg.Config.budget_bytes;
-             initial_bytes = cfg.Config.semispace_initial_bytes })
+             initial_bytes = cfg.Config.semispace_initial_bytes;
+             parallelism = cfg.Config.parallelism })
     | Config.Generational ->
       Collectors.Collector.Generational
         (Collectors.Generational.create mem ~hooks ~stats
@@ -182,7 +183,8 @@ let create cfg =
              budget_bytes = cfg.Config.budget_bytes;
              los_threshold_words = cfg.Config.los_threshold_words;
              barrier = cfg.Config.barrier;
-             tenure_threshold = cfg.Config.tenure_threshold })
+             tenure_threshold = cfg.Config.tenure_threshold;
+             parallelism = cfg.Config.parallelism })
   in
   t.collector <- Some col;
   t

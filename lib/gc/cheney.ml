@@ -349,7 +349,12 @@ let sweep_dead ~mem ~space ~on_die =
   let rec walk off =
     if off < limit then begin
       let words = Mem.Header.object_words_c cells ~off in
-      if not (Mem.Header.is_forwarded_c cells ~off) then begin
+      if
+        (not (Mem.Header.is_forwarded_c cells ~off))
+        (* chunk-tail fillers left by the parallel drain are not mutator
+           objects; their "death" must not reach the profiler *)
+        && not (Mem.Header.is_filler_c cells ~off)
+      then begin
         let hdr = Mem.Header.read_c cells ~off in
         let birth = Mem.Header.birth_c cells ~off in
         on_die hdr ~birth ~words

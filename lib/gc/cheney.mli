@@ -92,7 +92,9 @@ val site_survivals : t -> (int * int * int) list
 
 (** [sweep_dead ~mem ~space ~on_die] walks a collected from-space and
     reports every object that was not forwarded (used by profiling
-    runs to observe deaths). *)
+    runs to observe deaths).  Chunk-tail fillers left behind by the
+    parallel drain ({!Mem.Header.filler_site}) are stepped over without
+    reporting. *)
 val sweep_dead :
   mem:Mem.Memory.t ->
   space:Mem.Space.t ->

@@ -1,0 +1,80 @@
+(* A Chase-Lev-style work-stealing deque (Chase & Lev, SPAA 2005),
+   specialised for the parallel drain's work packets.
+
+   The owner pushes and pops at the *bottom*; thieves steal from the
+   *top*.  In the real multicore protocol [top] advances via CAS and
+   [bottom] is published with a release store; under the virtual-time
+   scheduler every step is a whole turn, so the CAS can never lose a
+   race at runtime and both indices are plain fields.  What remains of
+   the concurrent discipline — owner-only bottom access, thief-only top
+   access, and every slot taken exactly once — is enforced by the
+   [checks] assertions so a protocol violation fails loudly instead of
+   silently double-processing a packet. *)
+
+let checks =
+  ref
+    (match Sys.getenv_opt "GSC_DEQUE_CHECKS" with
+     | Some ("" | "0") | None -> false
+     | Some _ -> true)
+
+type 'a t = {
+  owner : int;                    (* worker id allowed at the bottom end *)
+  mutable buf : 'a option array;  (* circular; [None] = empty slot *)
+  mutable top : int;              (* next index thieves steal from *)
+  mutable bottom : int;           (* next index the owner pushes at *)
+}
+
+let create ~owner =
+  if owner < 0 then invalid_arg "Deque.create";
+  { owner; buf = Array.make 16 None; top = 0; bottom = 0 }
+
+let length t = t.bottom - t.top
+
+let is_empty t = length t = 0
+
+let slot t i = i land (Array.length t.buf - 1)
+
+let grow t =
+  let old = t.buf in
+  let old_cap = Array.length old in
+  let buf = Array.make (2 * old_cap) None in
+  for i = t.top to t.bottom - 1 do
+    buf.(i land (2 * old_cap - 1)) <- old.(i land (old_cap - 1))
+  done;
+  t.buf <- buf
+
+let take t i =
+  let s = slot t i in
+  let x = t.buf.(s) in
+  t.buf.(s) <- None;
+  match x with
+  | Some v -> v
+  | None -> invalid_arg "Deque: slot taken twice (stealing race)"
+
+let push t ~self x =
+  if !checks && self <> t.owner then
+    invalid_arg "Deque.push: bottom access by non-owner";
+  if length t = Array.length t.buf then grow t;
+  t.buf.(slot t t.bottom) <- Some x;
+  t.bottom <- t.bottom + 1
+
+let pop t ~self =
+  if !checks && self <> t.owner then
+    invalid_arg "Deque.pop: bottom access by non-owner";
+  if length t = 0 then None
+  else begin
+    let b = t.bottom - 1 in
+    t.bottom <- b;
+    Some (take t b)
+  end
+
+let steal t ~self =
+  if !checks && self = t.owner then
+    invalid_arg "Deque.steal: owner must pop, not steal";
+  if length t = 0 then None
+  else begin
+    let i = t.top in
+    (* the CAS on [top] in the concurrent protocol; atomic per turn here *)
+    t.top <- i + 1;
+    Some (take t i)
+  end

@@ -1,0 +1,38 @@
+(** A Chase-Lev-style work-stealing deque for the parallel drain's work
+    packets (Chase & Lev, "Dynamic Circular Work-Stealing Deque",
+    SPAA 2005).
+
+    The owner worker pushes and pops packets LIFO at the bottom (depth
+    first keeps the copy buffers warm); idle workers steal FIFO from the
+    top (breadth first hands thieves the oldest, typically largest,
+    subtrees).  In a true multicore build [steal] advances [top] with a
+    compare-and-swap and [push] publishes [bottom] with a release store;
+    the virtual-time scheduler in {!Par_drain} makes each deque operation
+    an atomic turn, so the indices degrade to plain fields while the
+    access discipline stays the concurrent one — and is asserted when
+    {!checks} is on. *)
+
+type 'a t
+
+(** Assertion switch: when true, bottom-end access by a non-owner,
+    top-end access by the owner, and any slot consumed twice raise
+    [Invalid_argument] instead of corrupting the drain.  Defaults to
+    true when the [GSC_DEQUE_CHECKS] environment variable is set to a
+    non-empty, non-"0" value (the debug-assert test alias sets it). *)
+val checks : bool ref
+
+(** [create ~owner] is an empty deque owned by worker id [owner]. *)
+val create : owner:int -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push t ~self x] appends at the bottom ([self] must be the owner). *)
+val push : 'a t -> self:int -> 'a -> unit
+
+(** [pop t ~self] removes the newest packet ([self] must be the owner). *)
+val pop : 'a t -> self:int -> 'a option
+
+(** [steal t ~self] removes the oldest packet ([self] must {e not} be
+    the owner). *)
+val steal : 'a t -> self:int -> 'a option

@@ -1,3 +1,6 @@
+(* upper bound on drain domains; matches Par_drain.max_workers *)
+let max_domains = 16
+
 type t = {
   mutable minor_gcs : int;
   mutable major_gcs : int;
@@ -10,6 +13,7 @@ type t = {
   mutable words_pretenured : int;
   mutable words_region_scanned : int;
   mutable words_region_skipped : int;
+  words_scanned_dom : int array;
   mutable max_live_words : int;
   mutable live_words_after_gc : int;
   mutable mutator_ops : int;
@@ -43,6 +47,7 @@ let create () = {
   words_pretenured = 0;
   words_region_scanned = 0;
   words_region_skipped = 0;
+  words_scanned_dom = Array.make max_domains 0;
   max_live_words = 0;
   live_words_after_gc = 0;
   mutator_ops = 0;
@@ -65,6 +70,14 @@ let create () = {
 }
 
 let gcs t = t.minor_gcs + t.major_gcs
+
+(* summed at report time: parallel drains bump their own slot, so no
+   increment is ever lost to a racy read-modify-write on a shared cell *)
+let words_scanned t = Array.fold_left ( + ) 0 t.words_scanned_dom
+
+let add_scanned t ~domain words =
+  if domain < 0 || domain >= max_domains then invalid_arg "Gc_stats.add_scanned";
+  t.words_scanned_dom.(domain) <- t.words_scanned_dom.(domain) + words
 
 let gc_seconds t = t.stack_seconds +. t.copy_seconds +. t.barrier_seconds
 

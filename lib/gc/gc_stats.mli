@@ -24,6 +24,11 @@ type t = {
   mutable words_pretenured : int;     (** allocated straight into tenured *)
   mutable words_region_scanned : int; (** pretenured-region scan work *)
   mutable words_region_skipped : int; (** scan elision savings (Section 7.2) *)
+  words_scanned_dom : int array;
+      (** drain scan work, one slot per drain domain ({!max_domains}
+          slots; the sequential engine uses slot 0).  Kept per-domain so
+          parallel drains never share a counter cell; read the total
+          through {!words_scanned}. *)
   mutable max_live_words : int;       (** high-water mark sampled at GCs *)
   mutable live_words_after_gc : int;
   (* mutator work (the runtime counts field accesses, calls and stores;
@@ -51,6 +56,17 @@ type t = {
 }
 
 val create : unit -> t
+
+(** Size of {!t.words_scanned_dom}: the maximum drain parallelism. *)
+val max_domains : int
+
+(** Total drain scan work: [words_scanned_dom] summed at report time. *)
+val words_scanned : t -> int
+
+(** [add_scanned t ~domain words] credits [words] of drain scanning to
+    [domain]'s slot.
+    @raise Invalid_argument if [domain] is outside [0, max_domains). *)
+val add_scanned : t -> domain:int -> int -> unit
 
 val gcs : t -> int
 

@@ -10,6 +10,7 @@ type config = {
   los_threshold_words : int;
   barrier : barrier_kind;
   tenure_threshold : int;
+  parallelism : int;
 }
 
 let default_config ~budget_bytes =
@@ -18,7 +19,8 @@ let default_config ~budget_bytes =
     budget_bytes;
     los_threshold_words = 512;
     barrier = Barrier_ssb;
-    tenure_threshold = 1 }
+    tenure_threshold = 1;
+    parallelism = 1 }
 
 type barrier =
   | B_ssb of Ssb.t
@@ -55,11 +57,22 @@ let create mem ~hooks ~stats cfg =
   if cfg.budget_bytes <= 0 then invalid_arg "Generational.create: empty budget";
   if cfg.tenure_threshold < 1 || cfg.tenure_threshold > Mem.Header.max_age then
     invalid_arg "Generational.create: bad tenure threshold";
+  if cfg.parallelism < 1 || cfg.parallelism > Gc_stats.max_domains then
+    invalid_arg "Generational.create: bad parallelism";
   let wpb = Mem.Memory.bytes_per_word in
   let budget_w = cfg.budget_bytes / wpb in
   let nursery_words = max 64 (min (cfg.nursery_bytes_max / wpb) (budget_w / 4)) in
   let tenured_cap = max 128 ((budget_w - nursery_words) / 2) in
-  let tenured_phys = tenured_cap + nursery_words + 64 in
+  (* a parallel drain wastes to-space on chunk tails and fillers; grant
+     the physical block the worst-case slop on top of the sequential
+     sizing so the copy reserve still cannot overflow *)
+  let par_headroom =
+    if cfg.parallelism > 1 then
+      Par_drain.space_headroom ~parallelism:cfg.parallelism
+        ~copy_bound:(tenured_cap + nursery_words)
+    else 0
+  in
+  let tenured_phys = tenured_cap + nursery_words + 64 + par_headroom in
   let tenured = Mem.Space.create mem ~words:tenured_phys in
   { mem;
     hooks;
@@ -121,9 +134,10 @@ let cover_new_tenured t =
     t.cards_covered_to <- Mem.Space.frontier t.tenured
 
 (* scan one marked card: walk the objects overlapping it and visit the
-   pointer fields that lie inside the card window.  The tenured block is
-   resolved once; headers decode straight from the cell array. *)
-let scan_card t engine cards card =
+   pointer fields that lie inside the card window through [visit].  The
+   tenured block is resolved once; headers decode straight from the cell
+   array. *)
+let scan_card t ~visit cards card =
   let base = Mem.Space.base t.tenured in
   let lo, hi = Card_table.card_range cards card in
   if lo < hi then
@@ -143,7 +157,7 @@ let scan_card t engine cards card =
             let i_hi = min (len - 1) (hi - 1 - (off + Mem.Header.header_words)) in
             for i = i_lo to i_hi do
               if is_ptr_field i then
-                Cheney.visit_loc engine
+                visit
                   (Mem.Addr.unsafe_add base (off + Mem.Header.header_words + i))
             done
           in
@@ -160,16 +174,22 @@ let scan_card t engine cards card =
 (* Scan the pretenured region [pretenure_from, frontier_at_gc_start):
    those objects were allocated directly into the tenured generation since
    the last collection and may hold young pointers.  Objects whose site
-   the flow analysis cleared are skipped (Section 7.2). *)
-let scan_pretenured_region t engine ~until =
+   the flow analysis cleared are skipped (Section 7.2); [visit_fields] is
+   either the sequential in-place rewrite or the parallel drain's packet
+   staging, so the region counters are identical either way. *)
+let scan_pretenured_region t ~visit_fields ~until =
   let cells = Mem.Memory.cells t.mem (Mem.Space.base t.tenured) in
   let limit = Mem.Addr.offset until in
   let rec walk a =
     let off = Mem.Addr.offset a in
     if off < limit then begin
       let words = Mem.Header.object_words_c cells ~off in
-      if t.hooks.Hooks.site_needs_scan (Mem.Header.site_c cells ~off) then begin
-        Cheney.visit_object_fields engine a;
+      (* chunk-tail fillers from earlier parallel drains are not
+         pretenured objects; step over them without counting *)
+      if Mem.Header.is_filler_c cells ~off then ()
+      else if t.hooks.Hooks.site_needs_scan (Mem.Header.site_c cells ~off)
+      then begin
+        visit_fields a;
         t.stats.Gc_stats.words_region_scanned <-
           t.stats.Gc_stats.words_region_scanned + words
       end
@@ -181,7 +201,11 @@ let scan_pretenured_region t engine ~until =
   in
   walk t.pretenure_from
 
-let drain_barrier t engine =
+(* [visit_loc]/[visit_fields]/[card] abstract over the engine: the
+   sequential path rewrites in place, the parallel path stages packets.
+   The [processed] counter is bumped at enumeration time, so both paths
+   report identical barrier statistics. *)
+let drain_barrier t ~visit_loc ~visit_fields ~card =
   let processed = ref 0 in
   (match t.barrier with
    | B_ssb ssb ->
@@ -189,21 +213,108 @@ let drain_barrier t engine =
        incr processed;
        (* a mutated slot inside the nursery needs no action: live nursery
           objects are traced wholesale *)
-       if not (in_nursery t loc) then Cheney.visit_loc engine loc)
+       if not (in_nursery t loc) then visit_loc loc)
    | B_remset rs ->
      Remset.drain rs (fun obj ->
        incr processed;
-       if not (in_nursery t obj) then Cheney.visit_object_fields engine obj)
+       if not (in_nursery t obj) then visit_fields obj)
    | B_cards (cards, overflow) ->
-     Card_table.iter_marked cards (fun card ->
+     Card_table.iter_marked cards (fun c ->
        incr processed;
-       scan_card t engine cards card);
+       card cards c);
      Card_table.clear_marks cards;
      Ssb.drain overflow (fun loc ->
        incr processed;
-       if not (in_nursery t loc) then Cheney.visit_loc engine loc));
+       if not (in_nursery t loc) then visit_loc loc));
   t.stats.Gc_stats.barrier_entries_processed <-
     t.stats.Gc_stats.barrier_entries_processed + !processed
+
+(* --- engine dispatch ---
+
+   [parallelism = 1] keeps the sequential [Cheney] engine, bit-for-bit
+   today's behaviour (the oracle the equivalence tests pin against).
+   The parallel drain runs only under immediate promotion and the raw
+   word paths: an aging nursery needs the [remember] re-recording that
+   the packet protocol does not carry, and the safe path deliberately
+   stays sequential as the executable specification. *)
+type engine =
+  | E_seq of Cheney.t
+  | E_par of Par_drain.t
+
+let use_par t =
+  t.cfg.parallelism > 1 && t.cfg.tenure_threshold = 1 && !Cheney.use_raw
+
+let eng_visit_loc = function
+  | E_seq e -> Cheney.visit_loc e
+  | E_par p -> Par_drain.add_loc p
+
+let eng_visit_fields = function
+  | E_seq e -> Cheney.visit_object_fields e
+  | E_par p -> Par_drain.add_obj p
+
+let eng_copied = function
+  | E_seq e -> Cheney.words_copied e
+  | E_par p -> Par_drain.words_copied p
+
+let eng_promoted = function
+  | E_seq e -> Cheney.words_promoted e
+  | E_par p -> Par_drain.words_promoted p
+
+let eng_scanned = function
+  | E_seq e -> Cheney.words_scanned e
+  | E_par p -> Par_drain.words_scanned p
+
+let eng_site_survivals = function
+  | E_seq e -> Cheney.site_survivals e
+  | E_par p -> Par_drain.site_survivals p
+
+(* visit the collected roots and run the drain to its fixpoint; the
+   parallel engine receives the roots as packets via the batch export *)
+let eng_drain engine roots =
+  match engine with
+  | E_seq e ->
+    Support.Vec.iter (Cheney.visit_root e) roots;
+    Cheney.drain e
+  | E_par p ->
+    let batch =
+      Rstack.Root.Batch.create ~capacity:32 ~emit:(Par_drain.add_roots p)
+    in
+    Support.Vec.iter (Rstack.Root.Batch.push batch) roots;
+    Rstack.Root.Batch.flush batch;
+    Par_drain.run p
+
+(* drain scan work lands in the per-domain slots; the sequential engine
+   is domain 0 *)
+let eng_record_scanned t engine =
+  match engine with
+  | E_seq e -> Gc_stats.add_scanned t.stats ~domain:0 (Cheney.words_scanned e)
+  | E_par p ->
+    Array.iteri
+      (fun domain words -> Gc_stats.add_scanned t.stats ~domain words)
+      (Par_drain.per_worker_scanned p)
+
+(* per-domain [copy.dN] spans: each worker's virtual-time cost and work
+   counters, the scaling evidence the trace carries for parallel drains *)
+let trace_domain_spans engine =
+  match engine with
+  | E_seq _ -> ()
+  | E_par p ->
+    Array.iter
+      (fun r ->
+        Obs.Trace.phase
+          ~name:(Printf.sprintf "copy.d%d" r.Par_drain.w_id)
+          ~dur_us:(float_of_int r.Par_drain.w_cost_ns /. 1e3)
+          ~counters:
+            [ ("copied_w", r.Par_drain.w_copied);
+              ("scanned_w", r.Par_drain.w_scanned);
+              ("packets", r.Par_drain.w_packets);
+              ("steals", r.Par_drain.w_steals) ])
+      (Par_drain.report p)
+
+let steal_counters engine =
+  match engine with
+  | E_seq _ -> []
+  | E_par p -> [ ("steals", Par_drain.steals p) ]
 
 let occupancy t = Mem.Space.used_words t.tenured + Los.live_words t.los
 
@@ -259,18 +370,39 @@ let minor_collection t =
       else Ssb.record overflow loc
   in
   let engine =
-    Cheney.create ~mem:t.mem
-      ~in_from:(Mem.Space.contains t.nursery)
-      ~to_space:t.tenured ?aging ~remember ~los:(Some t.los) ~trace_los:false
-      ~promoting:true ~object_hooks:t.hooks.Hooks.object_hooks ()
+    if use_par t then
+      E_par
+        (Par_drain.create ~mem:t.mem
+           ~in_from:(Mem.Space.contains t.nursery)
+           ~to_space:t.tenured ~los:(Some t.los) ~trace_los:false
+           ~promoting:true ~object_hooks:t.hooks.Hooks.object_hooks
+           ?card_scan:
+             (match t.barrier with
+              | B_cards (cards, _) ->
+                Some (fun visit card -> scan_card t ~visit cards card)
+              | B_ssb _ | B_remset _ -> None)
+           ~parallelism:t.cfg.parallelism ())
+    else
+      E_seq
+        (Cheney.create ~mem:t.mem
+           ~in_from:(Mem.Space.contains t.nursery)
+           ~to_space:t.tenured ?aging ~remember ~los:(Some t.los)
+           ~trace_los:false ~promoting:true
+           ~object_hooks:t.hooks.Hooks.object_hooks ())
   in
   let entries0 = t.stats.Gc_stats.barrier_entries_processed in
   let region_scanned0 = t.stats.Gc_stats.words_region_scanned in
   let region_skipped0 = t.stats.Gc_stats.words_region_skipped in
   let t_barrier0 = now () in
-  drain_barrier t engine;
+  drain_barrier t ~visit_loc:(eng_visit_loc engine)
+    ~visit_fields:(eng_visit_fields engine)
+    ~card:
+      (match engine with
+       | E_seq e -> fun cards c -> scan_card t ~visit:(Cheney.visit_loc e) cards c
+       | E_par p -> fun _cards c -> Par_drain.add_card p c);
   let t_mid = if traced then now () else t_barrier0 in
-  scan_pretenured_region t engine ~until:tenured_frontier_at_start;
+  scan_pretenured_region t ~visit_fields:(eng_visit_fields engine)
+    ~until:tenured_frontier_at_start;
   let t_barrier1 = now () in
   t.stats.Gc_stats.barrier_seconds <-
     t.stats.Gc_stats.barrier_seconds +. (t_barrier1 -. t_barrier0);
@@ -285,8 +417,8 @@ let minor_collection t =
         [ ("scanned_w", t.stats.Gc_stats.words_region_scanned - region_scanned0);
           ("skipped_w", t.stats.Gc_stats.words_region_skipped - region_skipped0) ]
   end;
-  Support.Vec.iter (Cheney.visit_root engine) roots;
-  Cheney.drain engine;
+  eng_drain engine roots;
+  eng_record_scanned t engine;
   let t2 = now () in
   t.stats.Gc_stats.copy_seconds <-
     t.stats.Gc_stats.copy_seconds +. (t2 -. t_barrier1);
@@ -294,13 +426,15 @@ let minor_collection t =
     Obs.Trace.phase ~name:"copy"
       ~dur_us:((t2 -. t_barrier1) *. 1e6)
       ~counters:
-        [ ("copied_w", Cheney.words_copied engine);
-          ("promoted_w", Cheney.words_promoted engine);
-          ("scanned_w", Cheney.words_scanned engine) ];
+        ([ ("copied_w", eng_copied engine);
+           ("promoted_w", eng_promoted engine);
+           ("scanned_w", eng_scanned engine) ]
+         @ steal_counters engine);
+    trace_domain_spans engine;
     List.iter
       (fun (site, objects, words) ->
         Obs.Trace.site_survival ~site ~objects ~words)
-      (Cheney.site_survivals engine)
+      (eng_site_survivals engine)
   end;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
@@ -317,10 +451,10 @@ let minor_collection t =
      (* the fresh semispace with the young survivors becomes the nursery *)
      Mem.Space.release t.nursery t.mem;
      t.nursery <- a.Cheney.young_to);
-  let copied = Cheney.words_copied engine in
+  let copied = eng_copied engine in
   t.stats.Gc_stats.words_copied <- t.stats.Gc_stats.words_copied + copied;
   t.stats.Gc_stats.words_promoted <-
-    t.stats.Gc_stats.words_promoted + Cheney.words_promoted engine;
+    t.stats.Gc_stats.words_promoted + eng_promoted engine;
   t.stats.Gc_stats.minor_gcs <- t.stats.Gc_stats.minor_gcs + 1;
   t.pretenure_from <- Mem.Space.frontier t.tenured;
   cover_new_tenured t;
@@ -329,7 +463,7 @@ let minor_collection t =
     Obs.Trace.gc_end ~kind:"minor"
       ~pause_us:((now () -. t0) *. 1e6)
       ~copied_w:copied
-      ~promoted_w:(Cheney.words_promoted engine)
+      ~promoted_w:(eng_promoted engine)
       ~live_w:(occupancy t)
 
 let major_collection t =
@@ -352,14 +486,24 @@ let major_collection t =
       ~dur_us:((t1 -. t0) *. 1e6)
       ~counters:[ ("roots", Support.Vec.length roots) ];
   let to_space = Mem.Space.create t.mem ~words:t.tenured_phys in
+  (* the major drain never ages, so only the raw-path gate applies *)
   let engine =
-    Cheney.create ~mem:t.mem
-      ~in_from:(Mem.Space.contains t.tenured)
-      ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
-      ~object_hooks:t.hooks.Hooks.object_hooks ()
+    if t.cfg.parallelism > 1 && !Cheney.use_raw then
+      E_par
+        (Par_drain.create ~mem:t.mem
+           ~in_from:(Mem.Space.contains t.tenured)
+           ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
+           ~object_hooks:t.hooks.Hooks.object_hooks
+           ~parallelism:t.cfg.parallelism ())
+    else
+      E_seq
+        (Cheney.create ~mem:t.mem
+           ~in_from:(Mem.Space.contains t.tenured)
+           ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
+           ~object_hooks:t.hooks.Hooks.object_hooks ())
   in
-  Support.Vec.iter (Cheney.visit_root engine) roots;
-  Cheney.drain engine;
+  eng_drain engine roots;
+  eng_record_scanned t engine;
   let t_drain = if traced then now () else t1 in
   let on_die =
     match t.hooks.Hooks.object_hooks with
@@ -373,15 +517,17 @@ let major_collection t =
     Obs.Trace.phase ~name:"copy"
       ~dur_us:((t_drain -. t1) *. 1e6)
       ~counters:
-        [ ("copied_w", Cheney.words_copied engine);
-          ("scanned_w", Cheney.words_scanned engine) ];
+        ([ ("copied_w", eng_copied engine);
+           ("scanned_w", eng_scanned engine) ]
+         @ steal_counters engine);
+    trace_domain_spans engine;
     Obs.Trace.phase ~name:"los_sweep"
       ~dur_us:((t2 -. t_drain) *. 1e6)
       ~counters:[ ("live_w", Los.live_words t.los) ];
     List.iter
       (fun (site, objects, words) ->
         Obs.Trace.site_survival ~site ~objects ~words)
-      (Cheney.site_survivals engine)
+      (eng_site_survivals engine)
   end;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
@@ -403,7 +549,7 @@ let major_collection t =
      Ssb.clear overflow;
      t.cards_covered_to <- Mem.Space.base to_space);
   cover_new_tenured t;
-  let copied = Cheney.words_copied engine in
+  let copied = eng_copied engine in
   t.live <- copied;
   t.stats.Gc_stats.words_copied <- t.stats.Gc_stats.words_copied + copied;
   t.stats.Gc_stats.major_gcs <- t.stats.Gc_stats.major_gcs + 1;

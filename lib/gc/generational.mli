@@ -21,7 +21,9 @@
     While [Obs.Trace] is enabled, each collection emits [gc_begin],
     per-phase spans ([roots], [barrier], [region_scan], [copy],
     [los_sweep], [profile_sweep]), per-site [site_survival] tallies and
-    a closing [gc_end] record; see docs/TRACING.md. *)
+    a closing [gc_end] record; parallel drains additionally emit one
+    [copy.dN] span per domain and a [steals] counter on the [copy]
+    span; see docs/TRACING.md. *)
 
 type barrier_kind =
   | Barrier_ssb     (** sequential store buffer; duplicates recorded *)
@@ -42,6 +44,15 @@ type config = {
           1 (the paper's system) promotes immediately; higher values give
           the aging-nursery policy of Section 7.2, under which
           pretenuring is predicted to help even more. *)
+  parallelism : int;
+      (** drain domains for the copy/scan fixpoint.  [1] (the default)
+          runs the sequential {!Cheney} engine, bit-for-bit today's
+          behaviour; higher values run the {!Par_drain} engine with that
+          many logical domains (virtual-time — see par_drain.mli) for
+          minor collections under immediate promotion and for all major
+          collections, falling back to the sequential engine under an
+          aging nursery or the safe reference path.  At most
+          {!Gc_stats.max_domains}. *)
 }
 
 (** The paper's parameters under the given budget. *)

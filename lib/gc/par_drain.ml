@@ -1,0 +1,546 @@
+(* Parallel Cheney drain over N logical domains.
+
+   The protocol is Cheng & Blelloch's (PLDI 2001), specialised to the
+   raw-word fast paths from cheney.ml: root batches, store-buffer
+   locations, remembered objects and card indices arrive as work
+   packets; each domain owns a Chase-Lev deque of packets plus a
+   private to-space *chunk* carved from the shared [Mem.Space] frontier
+   ([Space.alloc_chunk]), so domains never contend on the allocation
+   pointer; forwarding installation is a compare-and-swap on the header
+   word; idle domains steal packets from the top of a victim's deque.
+
+   Execution is *virtual-time*: this host exposes a single core, and the
+   repo's measurement doctrine (lib/harness/simclock.ml) is that
+   reported times derive from deterministic work counters, never from
+   host wall-clock inside the simulator.  So the N domains here are
+   logical workers driven by a discrete-event scheduler: each worker
+   has a virtual clock in integer nanoseconds; every step runs one
+   turn (scan one object, process one packet, one steal) of the
+   lowest-clock runnable worker and charges it the fixed per-operation
+   costs below.  The reported drain time is the *makespan* — the
+   maximum worker clock — which is exactly the pause a real N-way drain
+   with these operation costs would take.  Because turns are atomic,
+   the forwarding CAS can never lose a race at runtime; the discipline
+   is still exercised (the claim asserts the header is unforwarded at
+   install when [Deque.checks] is on) and the heap-shape consequences
+   of arbitrary interleavings are explored by seeding the steal-victim
+   PRNG (the qcheck double-copy property randomises it).
+
+   parallelism = 1 runs the same packet machinery on one worker and is
+   pinned by test_gc.ml to be observationally identical to the
+   sequential [Cheney] drain, which stays the oracle. *)
+
+type packet =
+  | Roots of Rstack.Root.t array
+  | Locs of Mem.Addr.t array
+  | Visit_objs of Mem.Addr.t array
+      (* remset / pretenured-region objects: fields rewritten, but the
+         walk is not part of the drain's [words_scanned], matching the
+         sequential accounting *)
+  | Scan_objs of Mem.Addr.t array
+      (* grey large objects: scanned and counted, like the sequential
+         [gray_large] queue *)
+  | Cards of int array
+  | Range of { base : int; words : int }
+      (* unscanned tail of a retired chunk, as offsets into to-space *)
+
+(* Fixed virtual operation costs, in nanoseconds.  The ratios follow the
+   harness's Simclock constants (copy ≈ 2.5x a scanned word) with
+   coordination costs — packet pop, steal, chunk grab — priced as a
+   handful of cache misses each. *)
+let cost_copy_word = 10
+let cost_scan_word = 4
+let cost_root = 8
+let cost_loc = 12
+let cost_card = 40
+let cost_packet = 15
+let cost_steal = 60
+let cost_chunk = 50
+
+let default_chunk_words = 256
+let default_batch = 32
+let max_workers = 16
+
+type worker = {
+  id : int;
+  deque : packet Deque.t;
+  (* private copy chunk, as offsets into the to-space cell array;
+     [c_base = -1] means no chunk is held *)
+  mutable c_base : int;
+  mutable c_scan : int;   (* local grey: [c_scan, c_alloc) awaits scanning *)
+  mutable c_alloc : int;
+  mutable c_limit : int;
+  mutable copied : int;
+  mutable scanned : int;
+  mutable packets : int;
+  mutable steals : int;
+  mutable clock : int;    (* virtual ns consumed by this worker *)
+  mutable idle : bool;
+  sites : (int, int * int) Hashtbl.t option;
+}
+
+type t = {
+  mem : Mem.Memory.t;
+  in_from : Mem.Addr.t -> bool;
+  to_space : Mem.Space.t;
+  to_cells : int array;
+  to_base : Mem.Addr.t;
+  to_base_off : int;
+  los : Los.t option;
+  trace_los : bool;
+  promoting : bool;
+  object_hooks : Hooks.object_hooks option;
+  card_scan : ((Mem.Addr.t -> unit) -> int -> unit) option;
+  chunk_words : int;
+  batch : int;
+  prng : Support.Prng.t;
+  workers : worker array;
+  staged : packet Support.Vec.t;
+  pend_locs : Mem.Addr.t Support.Vec.t;
+  pend_objs : Mem.Addr.t Support.Vec.t;
+  pend_cards : int Support.Vec.t;
+  mutable running : bool;
+  mutable ran : bool;
+}
+
+let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ~object_hooks
+    ?card_scan ~parallelism ?(chunk_words = default_chunk_words)
+    ?(batch = default_batch) ?(seed = 0x9e3779) () =
+  if parallelism < 1 || parallelism > max_workers then
+    invalid_arg "Par_drain.create: parallelism out of range";
+  if chunk_words < 2 * Mem.Header.header_words then
+    invalid_arg "Par_drain.create: chunk too small";
+  if batch < 1 then invalid_arg "Par_drain.create: empty batch";
+  let tracing = Obs.Trace.enabled () in
+  let to_base = Mem.Space.base to_space in
+  { mem;
+    in_from;
+    to_space;
+    to_cells = Mem.Memory.cells mem to_base;
+    to_base;
+    to_base_off = Mem.Addr.offset to_base;
+    los;
+    trace_los;
+    promoting;
+    object_hooks;
+    card_scan;
+    chunk_words;
+    batch;
+    prng = Support.Prng.create ~seed;
+    workers =
+      Array.init parallelism (fun id ->
+        { id;
+          deque = Deque.create ~owner:id;
+          c_base = -1;
+          c_scan = 0;
+          c_alloc = 0;
+          c_limit = 0;
+          copied = 0;
+          scanned = 0;
+          packets = 0;
+          steals = 0;
+          clock = 0;
+          idle = false;
+          sites = (if tracing then Some (Hashtbl.create 32) else None) });
+    staged = Support.Vec.create ();
+    pend_locs = Support.Vec.create ();
+    pend_objs = Support.Vec.create ();
+    pend_cards = Support.Vec.create ();
+    running = false;
+    ran = false }
+
+let addr_of t doff = Mem.Addr.unsafe_add t.to_base (doff - t.to_base_off)
+
+(* [publish] is the owner-side deque push; during the drain it also wakes
+   idle workers, modelling thieves that spin on the victims' bottoms.  A
+   woken thief cannot act before the publisher's present, so its clock
+   jumps forward to the publication instant. *)
+let publish t w p =
+  Deque.push w.deque ~self:w.id p;
+  if t.running then
+    Array.iter
+      (fun v ->
+        if v.idle then begin
+          v.idle <- false;
+          if v.clock < w.clock then v.clock <- w.clock
+        end)
+      t.workers
+
+(* --- private copy chunks --- *)
+
+(* Hand the unscanned tail of the chunk to the deque (stealable grey
+   work) and pad the unused tail with a filler so the to-space stays
+   linearly walkable.  [Space.alloc_chunk]'s grant rule plus the fit
+   check in [alloc_copy] guarantee the unused tail is 0 or >= 3 words. *)
+let retire_chunk t w =
+  if w.c_base >= 0 then begin
+    if w.c_scan < w.c_alloc then begin
+      publish t w (Range { base = w.c_scan; words = w.c_alloc - w.c_scan });
+      w.c_scan <- w.c_alloc
+    end;
+    if w.c_alloc < w.c_limit then
+      Mem.Header.write_filler_c t.to_cells ~off:w.c_alloc
+        ~words:(w.c_limit - w.c_alloc);
+    w.c_base <- -1
+  end
+
+let grab_chunk t w ~min_words =
+  w.clock <- w.clock + cost_chunk;
+  let pref = max t.chunk_words (min_words + Mem.Header.header_words) in
+  match Mem.Space.alloc_chunk t.to_space ~min_words ~pref_words:pref with
+  | None -> failwith "Par_drain: to-space overflow (collector sizing bug)"
+  | Some (a, grant) ->
+    let off = Mem.Addr.offset a in
+    w.c_base <- off;
+    w.c_scan <- off;
+    w.c_alloc <- off;
+    w.c_limit <- off + grant
+
+let alloc_copy t w words =
+  let fits =
+    w.c_base >= 0
+    &&
+    let rem = w.c_limit - (w.c_alloc + words) in
+    rem = 0 || rem >= Mem.Header.header_words
+  in
+  if not fits then begin
+    retire_chunk t w;
+    grab_chunk t w ~min_words:words
+  end;
+  let off = w.c_alloc in
+  w.c_alloc <- off + words;
+  off
+
+(* --- evacuation --- *)
+
+let note_site_copy w ~site ~words =
+  match w.sites with
+  | None -> ()
+  | Some tab ->
+    let objects, ws =
+      match Hashtbl.find_opt tab site with
+      | Some p -> p
+      | None -> (0, 0)
+    in
+    Hashtbl.replace tab site (objects + 1, ws + words)
+
+let copy_object t w src soff =
+  (* claim = the forwarding CAS: under the virtual-time scheduler the
+     check-and-install below is one atomic turn, so it cannot lose a
+     race; the assertion keeps a broken claim discipline loud *)
+  if !Deque.checks && Mem.Header.is_forwarded_c src ~off:soff then
+    invalid_arg "Par_drain: forwarding CAS lost (object about to double-copy)";
+  let words = Mem.Header.object_words_c src ~off:soff in
+  let doff = alloc_copy t w words in
+  (match t.object_hooks with
+   | None -> ()
+   | Some h ->
+     let hdr = Mem.Header.read_c src ~off:soff in
+     h.Hooks.on_copy hdr ~words;
+     if not (Mem.Header.survivor_c src ~off:soff) then
+       h.Hooks.on_first_survival hdr ~words);
+  Array.blit src soff t.to_cells doff words;
+  Mem.Header.set_survivor_c t.to_cells ~off:doff;
+  if w.sites <> None then
+    note_site_copy w ~site:(Mem.Header.site_c src ~off:soff) ~words;
+  let dst = addr_of t doff in
+  Mem.Header.set_forward_c src ~off:soff ~target:dst;
+  w.copied <- w.copied + words;
+  w.clock <- w.clock + (words * cost_copy_word);
+  dst
+
+let evacuate t w word =
+  if Mem.Value.encoded_is_int word || word = Mem.Value.encoded_null then word
+  else begin
+    let a = Mem.Value.encoded_to_addr word in
+    if t.in_from a then begin
+      let src = Mem.Memory.cells t.mem a in
+      let soff = Mem.Addr.offset a in
+      if Mem.Header.is_forwarded_c src ~off:soff then
+        Mem.Value.encode_addr (Mem.Header.forward_target_c src ~off:soff)
+      else Mem.Value.encode_addr (copy_object t w src soff)
+    end
+    else begin
+      (match t.los with
+       | Some los when t.trace_los && Los.contains los a ->
+         if Los.mark los a then publish t w (Scan_objs [| a |])
+       | Some _ | None -> ());
+      word
+    end
+  end
+
+(* rewrite the pointer fields of the object at [cells]/[off]; returns its
+   footprint *)
+let scan_fields t w cells off =
+  let tag = Mem.Header.tag_c cells ~off in
+  let len = Mem.Header.len_c cells ~off in
+  (if tag <> Mem.Header.tag_nonptr_array then begin
+     let visit foff =
+       let word = cells.(foff) in
+       let word' = evacuate t w word in
+       if word' <> word then cells.(foff) <- word'
+     in
+     let fbase = off + Mem.Header.header_words in
+     if tag = Mem.Header.tag_ptr_array then
+       for i = 0 to len - 1 do
+         visit (fbase + i)
+       done
+     else begin
+       let mask = Mem.Header.mask_c cells ~off in
+       for i = 0 to len - 1 do
+         if mask land (1 lsl i) <> 0 then visit (fbase + i)
+       done
+     end
+   end);
+  let words = Mem.Header.header_words + len in
+  w.clock <- w.clock + (words * cost_scan_word);
+  words
+
+let scan_obj t w a ~count =
+  let cells = Mem.Memory.cells t.mem a in
+  let words = scan_fields t w cells (Mem.Addr.offset a) in
+  if count then w.scanned <- w.scanned + words
+
+let visit_loc t w loc =
+  w.clock <- w.clock + cost_loc;
+  let cells = Mem.Memory.cells t.mem loc in
+  let off = Mem.Addr.offset loc in
+  let word = cells.(off) in
+  let word' = evacuate t w word in
+  if word' <> word then cells.(off) <- word'
+
+let visit_root t w root =
+  w.clock <- w.clock + cost_root;
+  let v = Rstack.Root.get root in
+  match v with
+  | Mem.Value.Int _ -> ()
+  | Mem.Value.Ptr a ->
+    if not (Mem.Addr.is_null a) then begin
+      let word' = evacuate t w (Mem.Value.encode v) in
+      let v' = Mem.Value.Ptr (Mem.Value.encoded_to_addr word') in
+      if not (Mem.Value.equal v v') then Rstack.Root.set root v'
+    end
+
+let process_packet t w p =
+  w.packets <- w.packets + 1;
+  w.clock <- w.clock + cost_packet;
+  match p with
+  | Roots arr -> Array.iter (visit_root t w) arr
+  | Locs arr -> Array.iter (visit_loc t w) arr
+  | Visit_objs arr -> Array.iter (fun a -> scan_obj t w a ~count:false) arr
+  | Scan_objs arr -> Array.iter (fun a -> scan_obj t w a ~count:true) arr
+  | Cards arr ->
+    (match t.card_scan with
+     | None -> invalid_arg "Par_drain: card packet without a card scanner"
+     | Some scan ->
+       Array.iter
+         (fun card ->
+           w.clock <- w.clock + cost_card;
+           scan (visit_loc t w) card)
+         arr)
+  | Range { base; words } ->
+    let limit = base + words in
+    let off = ref base in
+    while !off < limit do
+      let ws = Mem.Header.object_words_c t.to_cells ~off:!off in
+      ignore (scan_fields t w t.to_cells !off : int);
+      w.scanned <- w.scanned + ws;
+      off := !off + ws
+    done
+
+(* one object off the worker's local grey region.  The scan cursor moves
+   past the object *before* its fields are visited: an evacuation during
+   the visit may retire this very chunk, and the Range packet it
+   publishes must not cover the in-flight object again. *)
+let scan_local_step t w =
+  let off = w.c_scan in
+  let ws = Mem.Header.object_words_c t.to_cells ~off in
+  w.c_scan <- off + ws;
+  ignore (scan_fields t w t.to_cells off : int);
+  w.scanned <- w.scanned + ws
+
+let try_steal t w =
+  let n = Array.length t.workers in
+  if n = 1 then None
+  else begin
+    (* seeded victim rotation: deterministic for a fixed seed, and the
+       qcheck schedule-randomisation varies the seed *)
+    let r = Support.Prng.int t.prng (n - 1) in
+    let found = ref None in
+    (try
+       for k = 0 to n - 2 do
+         let d = 1 + ((r + k) mod (n - 1)) in
+         let v = t.workers.((w.id + d) mod n) in
+         match Deque.steal v.deque ~self:w.id with
+         | Some p ->
+           found := Some p;
+           raise Exit
+         | None -> ()
+       done
+     with Exit -> ());
+    !found
+  end
+
+let step t w =
+  if w.c_base >= 0 && w.c_scan < w.c_alloc then scan_local_step t w
+  else
+    match Deque.pop w.deque ~self:w.id with
+    | Some p -> process_packet t w p
+    | None ->
+      (match try_steal t w with
+       | Some p ->
+         w.steals <- w.steals + 1;
+         w.clock <- w.clock + cost_steal;
+         process_packet t w p
+       | None -> w.idle <- true)
+
+(* --- staging (before [run]) --- *)
+
+let check_staging t name = if t.ran then invalid_arg ("Par_drain." ^ name ^ ": already run")
+
+let stage t p = Support.Vec.push t.staged p
+
+let flush_pending (type a) t (vec : a Support.Vec.t) (mk : a array -> packet) =
+  let n = Support.Vec.length vec in
+  let off = ref 0 in
+  while !off < n do
+    let len = min t.batch (n - !off) in
+    let arr = Array.init len (fun i -> Support.Vec.get vec (!off + i)) in
+    stage t (mk arr);
+    off := !off + len
+  done;
+  Support.Vec.clear vec
+
+let add_roots t arr =
+  check_staging t "add_roots";
+  if Array.length arr > 0 then stage t (Roots arr)
+
+let add_loc t loc =
+  check_staging t "add_loc";
+  Support.Vec.push t.pend_locs loc;
+  if Support.Vec.length t.pend_locs = t.batch then
+    flush_pending t t.pend_locs (fun a -> Locs a)
+
+let add_obj t a =
+  check_staging t "add_obj";
+  Support.Vec.push t.pend_objs a;
+  if Support.Vec.length t.pend_objs = t.batch then
+    flush_pending t t.pend_objs (fun a -> Visit_objs a)
+
+let add_card t card =
+  check_staging t "add_card";
+  Support.Vec.push t.pend_cards card;
+  if Support.Vec.length t.pend_cards = t.batch then
+    flush_pending t t.pend_cards (fun a -> Cards a)
+
+(* --- the drain --- *)
+
+let run t =
+  check_staging t "run";
+  t.ran <- true;
+  flush_pending t t.pend_locs (fun a -> Locs a);
+  flush_pending t t.pend_objs (fun a -> Visit_objs a);
+  flush_pending t t.pend_cards (fun a -> Cards a);
+  (* deal the staged packets round-robin; this is the initial partition,
+     load balance from here on is the thieves' business *)
+  let n = Array.length t.workers in
+  let k = ref 0 in
+  Support.Vec.iter
+    (fun p ->
+      let w = t.workers.(!k mod n) in
+      incr k;
+      Deque.push w.deque ~self:w.id p)
+    t.staged;
+  Support.Vec.clear t.staged;
+  t.running <- true;
+  let continue_ = ref true in
+  while !continue_ do
+    (* next turn: the runnable worker with the lowest virtual clock *)
+    let next = ref None in
+    Array.iter
+      (fun w ->
+        if not w.idle then
+          match !next with
+          | Some b when b.clock <= w.clock -> ()
+          | _ -> next := Some w)
+      t.workers;
+    match !next with
+    | None -> continue_ := false
+    | Some w -> step t w
+  done;
+  t.running <- false;
+  (* all grey exhausted; pad the final chunks *)
+  Array.iter
+    (fun w ->
+      assert (w.c_base < 0 || w.c_scan = w.c_alloc);
+      retire_chunk t w)
+    t.workers
+
+(* --- results --- *)
+
+let sum f t = Array.fold_left (fun acc w -> acc + f w) 0 t.workers
+
+let words_copied t = sum (fun w -> w.copied) t
+
+(* no aging under the parallel drain: every copy is a promotion, exactly
+   as the sequential engine counts it *)
+let words_promoted = words_copied
+
+let words_scanned t = sum (fun w -> w.scanned) t
+
+let steals t = sum (fun w -> w.steals) t
+
+let per_worker_scanned t = Array.map (fun w -> w.scanned) t.workers
+
+let makespan_ns t = Array.fold_left (fun m w -> max m w.clock) 0 t.workers
+
+type worker_report = {
+  w_id : int;
+  w_copied : int;
+  w_scanned : int;
+  w_packets : int;
+  w_steals : int;
+  w_cost_ns : int;
+}
+
+let report t =
+  Array.map
+    (fun w ->
+      { w_id = w.id;
+        w_copied = w.copied;
+        w_scanned = w.scanned;
+        w_packets = w.packets;
+        w_steals = w.steals;
+        w_cost_ns = w.clock })
+    t.workers
+
+let site_survivals t =
+  let merged = Hashtbl.create 32 in
+  Array.iter
+    (fun w ->
+      match w.sites with
+      | None -> ()
+      | Some tab ->
+        Hashtbl.iter
+          (fun site (objects, words) ->
+            let o, ws =
+              match Hashtbl.find_opt merged site with
+              | Some p -> p
+              | None -> (0, 0)
+            in
+            Hashtbl.replace merged site (o + objects, ws + words))
+          tab)
+    t.workers;
+  List.sort compare
+    (Hashtbl.fold
+       (fun site (objects, words) acc -> (site, objects, words) :: acc)
+       merged [])
+
+(* worst-case to-space slop of a parallel drain on top of the live data:
+   one partly-used chunk per worker, plus a filler tail per retire — and
+   each retire is triggered by an object that lands in the next chunk, so
+   the cumulative tails are bounded by the copied words themselves.
+   Collectors add this to their sequential to-space sizing. *)
+let space_headroom ~parallelism ~copy_bound =
+  copy_bound
+  + (parallelism * (default_chunk_words + (2 * Mem.Header.header_words)))

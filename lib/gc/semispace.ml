@@ -2,10 +2,14 @@ type config = {
   target_liveness : float;
   budget_bytes : int;
   initial_bytes : int;
+  parallelism : int;
 }
 
 let default_config ~budget_bytes =
-  { target_liveness = 0.10; budget_bytes; initial_bytes = budget_bytes / 4 }
+  { target_liveness = 0.10;
+    budget_bytes;
+    initial_bytes = budget_bytes / 4;
+    parallelism = 1 }
 
 type t = {
   mem : Mem.Memory.t;
@@ -22,6 +26,8 @@ let now () = Unix.gettimeofday ()
 
 let create mem ~hooks ~stats cfg =
   if cfg.budget_bytes <= 0 then invalid_arg "Semispace.create: empty budget";
+  if cfg.parallelism < 1 || cfg.parallelism > Gc_stats.max_domains then
+    invalid_arg "Semispace.create: bad parallelism";
   let semi_words = max 64 (cfg.budget_bytes / Mem.Memory.bytes_per_word / 2) in
   let initial_words = cfg.initial_bytes / Mem.Memory.bytes_per_word in
   let soft_limit = min semi_words (max 64 initial_words) in
@@ -69,34 +75,93 @@ let collect_for t ~need =
      calibration runs) do not allocate or zero hundreds of megabytes per
      collection.  Growth decided by the resizing policy lands at the next
      collection. *)
-  let to_words =
+  let seq_words =
     min t.semi_words
       (max 64
          (max
             (Mem.Space.used_words t.space + need)
             t.soft_limit))
   in
-  let to_space = Mem.Space.create t.mem ~words:to_words in
-  let engine =
-    Cheney.create ~mem:t.mem
-      ~in_from:(Mem.Space.contains t.space)
-      ~to_space ~los:None ~trace_los:false ~promoting:false
-      ~object_hooks:t.hooks.Hooks.object_hooks ()
+  (* parallelism = 1 is the sequential oracle: same engine, same sizing.
+     A parallel drain additionally needs to-space headroom for chunk
+     tails and fillers, and stays on the raw paths (the safe path is the
+     sequential reference). *)
+  let par = t.cfg.parallelism > 1 && !Cheney.use_raw in
+  let to_words =
+    if par then
+      seq_words
+      + Par_drain.space_headroom ~parallelism:t.cfg.parallelism
+          ~copy_bound:(Mem.Space.used_words t.space)
+    else seq_words
   in
-  Support.Vec.iter (Cheney.visit_root engine) roots;
-  Cheney.drain engine;
+  let to_space = Mem.Space.create t.mem ~words:to_words in
+  let copied, promoted_ignored, scanned, sites, steal_counters, reports =
+    if par then begin
+      let engine =
+        Par_drain.create ~mem:t.mem
+          ~in_from:(Mem.Space.contains t.space)
+          ~to_space ~los:None ~trace_los:false ~promoting:false
+          ~object_hooks:t.hooks.Hooks.object_hooks
+          ~parallelism:t.cfg.parallelism ()
+      in
+      let batch =
+        Rstack.Root.Batch.create ~capacity:32
+          ~emit:(Par_drain.add_roots engine)
+      in
+      Support.Vec.iter (Rstack.Root.Batch.push batch) roots;
+      Rstack.Root.Batch.flush batch;
+      Par_drain.run engine;
+      Array.iteri
+        (fun domain words -> Gc_stats.add_scanned t.stats ~domain words)
+        (Par_drain.per_worker_scanned engine);
+      ( Par_drain.words_copied engine,
+        Par_drain.words_promoted engine,
+        Par_drain.words_scanned engine,
+        Par_drain.site_survivals engine,
+        [ ("steals", Par_drain.steals engine) ],
+        Par_drain.report engine )
+    end
+    else begin
+      let engine =
+        Cheney.create ~mem:t.mem
+          ~in_from:(Mem.Space.contains t.space)
+          ~to_space ~los:None ~trace_los:false ~promoting:false
+          ~object_hooks:t.hooks.Hooks.object_hooks ()
+      in
+      Support.Vec.iter (Cheney.visit_root engine) roots;
+      Cheney.drain engine;
+      Gc_stats.add_scanned t.stats ~domain:0 (Cheney.words_scanned engine);
+      ( Cheney.words_copied engine,
+        Cheney.words_promoted engine,
+        Cheney.words_scanned engine,
+        Cheney.site_survivals engine,
+        [],
+        [||] )
+    end
+  in
+  ignore (promoted_ignored : int);
   let t2 = now () in
   t.stats.Gc_stats.copy_seconds <- t.stats.Gc_stats.copy_seconds +. (t2 -. t1);
   if traced then begin
     Obs.Trace.phase ~name:"copy"
       ~dur_us:((t2 -. t1) *. 1e6)
       ~counters:
-        [ ("copied_w", Cheney.words_copied engine);
-          ("scanned_w", Cheney.words_scanned engine) ];
+        ([ ("copied_w", copied); ("scanned_w", scanned) ] @ steal_counters);
+    Array.iter
+      (fun r ->
+        Obs.Trace.phase
+          ~name:(Printf.sprintf "copy.d%d" r.Par_drain.w_id)
+          ~dur_us:(float_of_int r.Par_drain.w_cost_ns /. 1e3)
+          ~counters:
+            [ ("copied_w", r.Par_drain.w_copied);
+              ("scanned_w", r.Par_drain.w_scanned);
+              ("packets", r.Par_drain.w_packets);
+              ("steals", r.Par_drain.w_steals) ])
+      reports;
     List.iter
       (fun (site, objects, words) ->
         Obs.Trace.site_survival ~site ~objects ~words)
-      (Cheney.site_survivals engine)
+      sites
   end;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
@@ -109,7 +174,7 @@ let collect_for t ~need =
        Obs.Trace.phase ~name:"profile_sweep" ~dur_us:(dt *. 1e6) ~counters:[]);
   Mem.Space.release t.space t.mem;
   t.space <- to_space;
-  t.live <- Cheney.words_copied engine;
+  t.live <- copied;
   t.stats.Gc_stats.words_copied <- t.stats.Gc_stats.words_copied + t.live;
   t.stats.Gc_stats.major_gcs <- t.stats.Gc_stats.major_gcs + 1;
   t.stats.Gc_stats.live_words_after_gc <- t.live;

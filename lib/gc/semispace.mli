@@ -16,6 +16,11 @@ type config = {
   target_liveness : float;  (** the paper's r; 0.10 in all experiments *)
   budget_bytes : int;       (** k * Min; both semispaces together *)
   initial_bytes : int;      (** starting soft limit *)
+  parallelism : int;
+      (** drain domains for the copy/scan fixpoint; [1] (the default) is
+          the sequential {!Cheney} oracle, higher values run the
+          {!Par_drain} engine (virtual-time logical domains) on the raw
+          paths.  At most {!Gc_stats.max_domains}. *)
 }
 
 (** The paper's parameters under the given budget. *)

@@ -149,6 +149,26 @@ let read_c cells ~off =
   else if tag = tag_ptr_array then { kind = Ptr_array; len; site }
   else { kind = Nonptr_array; len; site }
 
+(* --- filler pseudo-objects ---
+
+   Parallel copying retires per-domain chunks with unused tails; a filler
+   is a Nonptr_array carrying the reserved site id that pads such a tail
+   so linear walks ([Space.iter_objects], card-crossing walks, from-space
+   sweeps) still step object-to-object.  Fillers hold no mutator data and
+   are skipped by the profiler's death sweep and the pretenured-region
+   scan. *)
+
+let filler_site = max_site
+
+let is_filler_c cells ~off =
+  tag_c cells ~off = tag_nonptr_array && site_c cells ~off = filler_site
+
+let write_filler_c cells ~off ~words =
+  if words < header_words then invalid_arg "Header.write_filler_c";
+  cells.(off) <- ((((words - header_words) lsl 6) lor tag_nonptr_array) lsl 1) lor 1;
+  cells.(off + 1) <- (filler_site lsl 1) lor 1;
+  cells.(off + 2) <- 1 (* birth 0, encoded *)
+
 let pp fmt h =
   let kind_s =
     match h.kind with

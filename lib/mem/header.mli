@@ -134,3 +134,22 @@ val set_survivor_c : int array -> off:int -> unit
 (** [read_c cells ~off] decodes a full header record.
     @raise Invalid_argument if the object is forwarded. *)
 val read_c : int array -> off:int -> t
+
+(** {2 Filler pseudo-objects}
+
+    A parallel copier retires per-domain to-space chunks whose tails may
+    be unused; fillers pad those tails so the space stays linearly
+    walkable.  A filler is a [Nonptr_array] whose site id is the reserved
+    {!filler_site} ([= max_site]); real allocation sites are expected to
+    stay below it.  Fillers are invisible to the mutator (nothing points
+    at them) and skipped by the profiler's death sweep and the
+    pretenured-region scan. *)
+
+(** The reserved allocation-site id that marks fillers. *)
+val filler_site : int
+
+val is_filler_c : int array -> off:int -> bool
+
+(** [write_filler_c cells ~off ~words] writes a filler spanning exactly
+    [words] cells ([words >= header_words]). *)
+val write_filler_c : int array -> off:int -> words:int -> unit

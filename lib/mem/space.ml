@@ -24,6 +24,27 @@ let alloc t words =
     Some a
   end
 
+let alloc_chunk t ~min_words ~pref_words =
+  if min_words <= 0 || pref_words < min_words then invalid_arg "Space.alloc_chunk";
+  let free = free_words t in
+  if free < min_words then None
+  else begin
+    let grant =
+      if free >= pref_words then pref_words
+      else if free = min_words || free >= min_words + Header.header_words then
+        free
+      else
+        (* granting [free] would leave the caller a tail remainder of 1-2
+           words: too small for a filler object.  Grant [min_words] and
+           strand the 1-2 words past the frontier instead; nothing ever
+           walks beyond the frontier, so the gap is invisible. *)
+        min_words
+    in
+    let a = t.next in
+    t.next <- Addr.add t.next grant;
+    Some (a, grant)
+  end
+
 let contains t addr =
   (not (Addr.is_null addr)) && Addr.block addr = Addr.block t.base
 

@@ -24,6 +24,19 @@ val free_words : t -> int
     [None] when the space is full. *)
 val alloc : t -> int -> Addr.t option
 
+(** [alloc_chunk t ~min_words ~pref_words] carves a private bump region
+    out of the space for a parallel copier: the caller gets
+    [Some (base, grant)] with [min_words <= grant <= pref_words], or
+    [None] when fewer than [min_words] words remain.  The grant rule
+    guarantees that the caller can always keep the space linearly
+    walkable with {!Header}-sized filler objects: the grant is either
+    exactly [min_words], or at least [min_words + Header.header_words],
+    never in between (a 1-2 word tail could not hold a filler).  When the
+    space is nearly full the last 1-2 free words may be stranded beyond
+    the frontier, which no walk ever visits. *)
+val alloc_chunk :
+  t -> min_words:int -> pref_words:int -> (Addr.t * int) option
+
 (** [contains t addr] tells whether [addr] lies in this space's block. *)
 val contains : t -> Addr.t -> bool
 

@@ -5,12 +5,26 @@ type sink =
 let channel oc = Channel oc
 let buffer b = Sink_buffer b
 
+(* A record captured during a pause, serialised after it.  The envelope
+   (seq / timestamp / collection ordinal) is stamped at emit time, so
+   the deferred output is byte-identical to immediate writing. *)
+type pending = {
+  p_seq : int;
+  p_t_us : float;
+  p_gc : int;
+  p_ev : Event.t;
+}
+
 type state = {
   sink : sink;
   metrics : Metrics.t option;
   clock : unit -> float;
   t0 : float;
   scratch : Buffer.t;   (* one line is built here, then written whole *)
+  pending : pending Support.Vec.t;
+      (* records buffered while inside a collection; flushed outside the
+         pause so serialisation and channel writes do not lengthen it *)
+  mutable in_pause : bool;
   mutable seq : int;
   mutable gc : int;
 }
@@ -27,13 +41,40 @@ let enable ?metrics ?(clock = Unix.gettimeofday) sink =
         clock;
         t0 = clock ();
         scratch = Buffer.create 256;
+        pending = Support.Vec.create ();
+        in_pause = false;
         seq = 0;
         gc = 0 }
 
+let write_one st p =
+  Buffer.clear st.scratch;
+  Event.write st.scratch ~seq:p.p_seq ~t_us:p.p_t_us ~gc:p.p_gc p.p_ev;
+  (match st.sink with
+   | Channel oc -> Buffer.output_buffer oc st.scratch
+   | Sink_buffer b -> Buffer.add_buffer b st.scratch);
+  match st.metrics with
+  | None -> ()
+  | Some m -> Metrics.record m p.p_ev
+
+let flush_pending st =
+  if not (Support.Vec.is_empty st.pending) then begin
+    Support.Vec.iter (write_one st) st.pending;
+    Support.Vec.clear st.pending
+  end
+
+let flush () =
+  match !state with
+  | None -> ()
+  | Some st -> flush_pending st
+
 let disable () =
   (match !state with
-   | Some { sink = Channel oc; _ } -> flush oc
-   | Some { sink = Sink_buffer _; _ } | None -> ());
+   | Some st ->
+     flush_pending st;
+     (match st.sink with
+      | Channel oc -> Stdlib.flush oc
+      | Sink_buffer _ -> ())
+   | None -> ());
   state := None
 
 let with_sink ?metrics ?clock sink f =
@@ -48,18 +89,23 @@ let with_file ?metrics path f =
 let with_buffer ?metrics ?clock buf f =
   with_sink ?metrics ?clock (Sink_buffer buf) f
 
+(* Emit = stamp the envelope and queue the record.  Inside a
+   [gc_begin, gc_end] window the queue is held (the concurrent-sink
+   discipline: the pause only pays the stamp and the push); everywhere
+   else it drains immediately, so non-collection records never sit in
+   the buffer. *)
 let emit st e =
-  (match e with Event.Gc_begin _ -> st.gc <- st.gc + 1 | _ -> ());
+  (match e with
+   | Event.Gc_begin _ ->
+     st.gc <- st.gc + 1;
+     st.in_pause <- true
+   | _ -> ());
   let t_us = (st.clock () -. st.t0) *. 1e6 in
-  Buffer.clear st.scratch;
-  Event.write st.scratch ~seq:st.seq ~t_us ~gc:st.gc e;
+  Support.Vec.push st.pending
+    { p_seq = st.seq; p_t_us = t_us; p_gc = st.gc; p_ev = e };
   st.seq <- st.seq + 1;
-  (match st.sink with
-   | Channel oc -> Buffer.output_buffer oc st.scratch
-   | Sink_buffer b -> Buffer.add_buffer b st.scratch);
-  match st.metrics with
-  | None -> ()
-  | Some m -> Metrics.record m e
+  (match e with Event.Gc_end _ -> st.in_pause <- false | _ -> ());
+  if not st.in_pause then flush_pending st
 
 (* Every emitter reads [!state] exactly once and returns immediately
    when tracing is off: the disabled cost is one load and one branch. *)

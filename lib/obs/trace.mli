@@ -15,7 +15,14 @@
 
     Collections never nest (the collectors reject re-entrant
     collection), so the tracer keeps a single current-collection
-    ordinal: {!gc_begin} increments it and every record carries it. *)
+    ordinal: {!gc_begin} increments it and every record carries it.
+
+    {b Concurrent sink}: records emitted between a [gc_begin] and its
+    [gc_end] are stamped (seq / timestamp / ordinal) immediately but
+    serialised and written {e after} the pause — the matching [gc_end]
+    drains the buffer, so pauses pay only the stamp and a vector push
+    while the output stays byte-identical to immediate writing.
+    {!Metrics} folding happens at drain time, in emit order. *)
 
 (** Where records go. *)
 type sink
@@ -30,9 +37,16 @@ val buffer : Buffer.t -> sink
     Every enable restarts the [seq] and [gc] envelope counters. *)
 val enable : ?metrics:Metrics.t -> ?clock:(unit -> float) -> sink -> unit
 
-(** [disable ()] switches tracing off and flushes channel sinks (the
+(** [disable ()] switches tracing off, drains any records still buffered
+    from the current collection window, and flushes channel sinks (the
     caller owns closing them). *)
 val disable : unit -> unit
+
+(** [flush ()] drains any buffered in-pause records now.  Normally
+    unnecessary — the tracer drains at every [gc_end] and on
+    {!disable} — but useful when inspecting the sink mid-collection
+    (e.g. from a heap-verification failure handler). *)
+val flush : unit -> unit
 
 (** [enabled ()] is the guard instrumented code checks before computing
     event arguments. *)

@@ -18,3 +18,33 @@ let pp fmt = function
   | Frame_slot (f, i) -> Format.fprintf fmt "slot[serial=%d,%d]" f.Frame.serial i
   | Register (_, r) -> Format.fprintf fmt "reg[%d]" r
   | Global (_, i) -> Format.fprintf fmt "global[%d]" i
+
+module Batch = struct
+  type root = t
+
+  type nonrec t = {
+    capacity : int;
+    emit : root array -> unit;
+    buf : root array;
+    mutable len : int;
+  }
+
+  (* never read: slots above [len] are dead *)
+  let dummy : root = Global ([||], 0)
+
+  let create ~capacity ~emit =
+    if capacity <= 0 then invalid_arg "Root.Batch.create";
+    { capacity; emit; buf = Array.make capacity dummy; len = 0 }
+
+  let flush b =
+    if b.len > 0 then begin
+      let out = Array.sub b.buf 0 b.len in
+      b.len <- 0;
+      b.emit out
+    end
+
+  let push b r =
+    b.buf.(b.len) <- r;
+    b.len <- b.len + 1;
+    if b.len = b.capacity then flush b
+end

@@ -13,3 +13,24 @@ type t =
 val get : t -> Mem.Value.t
 val set : t -> Mem.Value.t -> unit
 val pp : Format.formatter -> t -> unit
+
+(** Fixed-capacity root batching, the export format the parallel drain
+    consumes: collectors push roots one at a time as the stack walk
+    discovers them, and [emit] receives freshly-allocated arrays of at
+    most [capacity] roots — each array becomes one work packet.  The
+    final partial batch must be released with {!Batch.flush} before the
+    drain runs. *)
+module Batch : sig
+  type root = t
+
+  type t
+
+  (** [create ~capacity ~emit] batches roots into arrays of [capacity].
+      @raise Invalid_argument if [capacity <= 0]. *)
+  val create : capacity:int -> emit:(root array -> unit) -> t
+
+  val push : t -> root -> unit
+
+  (** [flush b] emits the pending partial batch, if any. *)
+  val flush : t -> unit
+end

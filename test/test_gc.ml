@@ -149,7 +149,8 @@ let semispace_budget_failure () =
 (* --- Generational --- *)
 
 let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
-    ?(barrier = Collectors.Generational.Barrier_ssb) ?(threshold = 1) globals =
+    ?(barrier = Collectors.Generational.Barrier_ssb) ?(threshold = 1)
+    ?(parallelism = 1) globals =
   let mem = Mem.Memory.create () in
   let stats = Collectors.Gc_stats.create () in
   let g =
@@ -157,7 +158,8 @@ let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
       { (Collectors.Generational.default_config ~budget_bytes:budget) with
         Collectors.Generational.nursery_bytes_max = nursery;
         barrier;
-        tenure_threshold = threshold }
+        tenure_threshold = threshold;
+        parallelism }
   in
   (mem, g, stats)
 
@@ -447,6 +449,7 @@ let counters (s : Collectors.Gc_stats.t) =
     "max_live_words", s.Collectors.Gc_stats.max_live_words;
     "live_words_after_gc", s.Collectors.Gc_stats.live_words_after_gc;
     "pointer_updates", s.Collectors.Gc_stats.pointer_updates;
+    "words_scanned", Collectors.Gc_stats.words_scanned s;
     "barrier_entries_processed",
     s.Collectors.Gc_stats.barrier_entries_processed;
     "roots_visited", s.Collectors.Gc_stats.roots_visited ]
@@ -455,12 +458,13 @@ let counters (s : Collectors.Gc_stats.t) =
    old->young stores, pretenured allocations holding young pointers, and
    an occasional large object.  Returns the stats counters plus a
    fingerprint of the surviving heap. *)
-let run_gen_workload ~raw ~barrier ~threshold =
+let run_gen_workload ?(parallelism = 1) ?(budget = 256 * 1024) ~raw ~barrier
+    ~threshold () =
   Collectors.Cheney.use_raw := raw;
   Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
   @@ fun () ->
   let globals = Array.make 4 V.zero in
-  let mem, g, stats = gen ~barrier ~threshold globals in
+  let mem, g, stats = gen ~budget ~barrier ~threshold ~parallelism globals in
   let prng = Support.Prng.create ~seed:7 in
   for i = 1 to 2500 do
     let keep = Support.Prng.int prng 10 = 0 in
@@ -507,10 +511,10 @@ let safe_raw_identical_stats () =
   List.iter
     (fun (name, barrier, threshold) ->
       let stats_safe, heap_safe =
-        run_gen_workload ~raw:false ~barrier ~threshold
+        run_gen_workload ~raw:false ~barrier ~threshold ()
       in
       let stats_raw, heap_raw =
-        run_gen_workload ~raw:true ~barrier ~threshold
+        run_gen_workload ~raw:true ~barrier ~threshold ()
       in
       Alcotest.(check (list (pair string int)))
         (name ^ ": identical Gc_stats counters")
@@ -545,6 +549,300 @@ let safe_raw_identical_semispace () =
   let cr, lr = run true in
   Alcotest.(check (list (pair string int))) "identical counters" cs cr;
   check_int "identical live words" ls lr
+
+(* --- the parallel drain engine (Par_drain) --- *)
+
+(* The equivalence runs use a budget big enough that the filler words
+   padding retired chunks never push tenured occupancy over a collection
+   trigger: both engines must see the same collection schedule or the
+   counters diverge trivially. *)
+let par_budget = 1024 * 1024
+
+let par_seq_identical_stats () =
+  List.iter
+    (fun (name, barrier, drop) ->
+      let filter l = List.filter (fun (k, _) -> not (List.mem k drop)) l in
+      let stats_seq, heap_seq =
+        run_gen_workload ~budget:par_budget ~raw:true ~barrier ~threshold:1 ()
+      in
+      List.iter
+        (fun p ->
+          let stats_par, heap_par =
+            run_gen_workload ~parallelism:p ~budget:par_budget ~raw:true
+              ~barrier ~threshold:1 ()
+          in
+          let label = Printf.sprintf "%s p=%d" name p in
+          Alcotest.(check (list (pair string int)))
+            (label ^ ": identical Gc_stats counters")
+            (filter stats_seq) (filter stats_par);
+          Alcotest.(check (list int))
+            (label ^ ": identical surviving heap")
+            heap_seq heap_par)
+        [ 2; 4 ])
+    [ ("ssb", Collectors.Generational.Barrier_ssb, []);
+      ("remset", Collectors.Generational.Barrier_remset, []);
+      (* card geometry depends on tenured addresses, and the parallel
+         drain's chunk fillers shift those, so which two stores share a
+         dirty card is the one counter that may legitimately differ *)
+      ("cards", Collectors.Generational.Barrier_cards,
+       [ "barrier_entries_processed" ]) ]
+
+let par_seq_identical_semispace () =
+  let run parallelism =
+    let globals = Array.make 2 V.zero in
+    let mem = Mem.Memory.create () in
+    let stats = Collectors.Gc_stats.create () in
+    let s =
+      Collectors.Semispace.create mem ~hooks:(global_hooks globals) ~stats
+        { (Collectors.Semispace.default_config ~budget_bytes:(256 * 1024)) with
+          Collectors.Semispace.parallelism }
+    in
+    for i = 1 to 800 do
+      let a = Collectors.Semispace.alloc s (record_hdr ~mask:2 2) ~birth:i in
+      Mem.Memory.set mem (H.field_addr a 0) (V.Int i);
+      Mem.Memory.set mem (H.field_addr a 1) globals.(0);
+      if i mod 5 = 0 then globals.(0) <- V.Ptr a
+    done;
+    Collectors.Semispace.collect s;
+    (counters stats, Collectors.Semispace.live_words s)
+  in
+  let cs, ls = run 1 in
+  List.iter
+    (fun p ->
+      let cp, lp = run p in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "p=%d identical counters" p)
+        cs cp;
+      check_int (Printf.sprintf "p=%d identical live words" p) ls lp)
+    [ 2; 4 ]
+
+(* trace-level equivalence: per-site survival tallies must not depend on
+   which domain copied the object, and parallel runs must publish their
+   per-domain [copy.dN] phase spans *)
+let trace_int_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let n = String.length line and m = String.length pat in
+  let rec find i =
+    if i + m > n then Alcotest.fail ("trace line missing " ^ key)
+    else if String.sub line i m = pat then i + m
+    else find (i + 1)
+  in
+  let i = find 0 in
+  let j = ref i in
+  while
+    !j < n && (match line.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+  do
+    incr j
+  done;
+  int_of_string (String.sub line i (!j - i))
+
+let traced_run ~parallelism ~barrier =
+  let buf = Buffer.create (1 lsl 16) in
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 1e-6;
+    !t
+  in
+  let counters_and_heap =
+    Obs.Trace.with_buffer ~clock buf (fun () ->
+      run_gen_workload ~parallelism ~budget:par_budget ~raw:true ~barrier
+        ~threshold:1 ())
+  in
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  let survivals =
+    List.filter_map
+      (fun l ->
+        if String.length l = 0 then None
+        else
+          let is_survival =
+            (* every record carries its type in "ev" *)
+            let rec has i =
+              let pat = "\"ev\":\"site_survival\"" in
+              let m = String.length pat in
+              i + m <= String.length l
+              && (String.sub l i m = pat || has (i + 1))
+            in
+            has 0
+          in
+          if not is_survival then None
+          else
+            Some
+              (Printf.sprintf "gc=%d site=%d objects=%d words=%d"
+                 (trace_int_field l "gc") (trace_int_field l "site")
+                 (trace_int_field l "objects") (trace_int_field l "words")))
+      lines
+  in
+  (counters_and_heap, survivals, lines)
+
+let par_seq_identical_site_survival () =
+  let barrier = Collectors.Generational.Barrier_ssb in
+  let (stats_seq, heap_seq), surv_seq, _ = traced_run ~parallelism:1 ~barrier in
+  List.iter
+    (fun p ->
+      let (stats_par, heap_par), surv_par, lines =
+        traced_run ~parallelism:p ~barrier
+      in
+      let label = Printf.sprintf "traced p=%d" p in
+      Alcotest.(check (list (pair string int)))
+        (label ^ ": identical counters") stats_seq stats_par;
+      Alcotest.(check (list int)) (label ^ ": identical heap") heap_seq heap_par;
+      Alcotest.(check (list string))
+        (label ^ ": identical site_survival records")
+        surv_seq surv_par;
+      (* the per-domain spans are published for every worker *)
+      for d = 0 to p - 1 do
+        let span = Printf.sprintf "\"name\":\"copy.d%d\"" d in
+        check_bool
+          (Printf.sprintf "%s: has %s span" label span)
+          true
+          (List.exists
+             (fun l ->
+               let n = String.length l and m = String.length span in
+               let rec has i =
+                 i + m <= n && (String.sub l i m = span || has (i + 1))
+               in
+               has 0)
+             lines)
+      done)
+    [ 2; 4 ]
+
+(* --- Deque --- *)
+
+let with_deque_checks f =
+  let prev = !Collectors.Deque.checks in
+  Collectors.Deque.checks := true;
+  Fun.protect ~finally:(fun () -> Collectors.Deque.checks := prev) f
+
+let deque_owner_lifo_thief_fifo () =
+  with_deque_checks @@ fun () ->
+  let d = Collectors.Deque.create ~owner:0 in
+  check_bool "starts empty" true (Collectors.Deque.is_empty d);
+  (* grow past the initial capacity *)
+  for i = 1 to 100 do
+    Collectors.Deque.push d ~self:0 i
+  done;
+  check_int "length" 100 (Collectors.Deque.length d);
+  Alcotest.(check (option int))
+    "owner pops newest" (Some 100)
+    (Collectors.Deque.pop d ~self:0);
+  Alcotest.(check (option int))
+    "thief steals oldest" (Some 1)
+    (Collectors.Deque.steal d ~self:1);
+  Alcotest.(check (option int))
+    "steals advance" (Some 2)
+    (Collectors.Deque.steal d ~self:2);
+  (* drain the rest from both ends; every element exactly once *)
+  let seen = Hashtbl.create 128 in
+  List.iter (fun x -> Hashtbl.replace seen x ()) [ 100; 1; 2 ];
+  let rec drain flip =
+    let next =
+      if flip then Collectors.Deque.pop d ~self:0
+      else Collectors.Deque.steal d ~self:1
+    in
+    match next with
+    | None -> ()
+    | Some x ->
+      check_bool "no element twice" false (Hashtbl.mem seen x);
+      Hashtbl.replace seen x ();
+      drain (not flip)
+  in
+  drain true;
+  check_int "all elements seen" 100 (Hashtbl.length seen);
+  Alcotest.(check (option int)) "empty pop" None (Collectors.Deque.pop d ~self:0)
+
+let deque_checks_catch_misuse () =
+  with_deque_checks @@ fun () ->
+  let d = Collectors.Deque.create ~owner:3 in
+  Collectors.Deque.push d ~self:3 42;
+  Alcotest.check_raises "non-owner push"
+    (Invalid_argument "Deque.push: bottom access by non-owner") (fun () ->
+      Collectors.Deque.push d ~self:0 1);
+  Alcotest.check_raises "owner steal"
+    (Invalid_argument "Deque.steal: owner must pop, not steal") (fun () ->
+      ignore (Collectors.Deque.steal d ~self:3))
+
+(* property: CAS-claim forwarding never double-copies, whatever order the
+   packets arrive in.  Random graphs are staged as duplicated root
+   packets of random grain and drained at random parallelism under a
+   random steal schedule; copied words must equal the reachable words
+   (a second copy of any object would overshoot). *)
+let par_drain_no_double_copy_prop =
+  QCheck.Test.make ~name:"parallel drain never double-copies" ~count:60
+    QCheck.(
+      quad (int_range 1 80) (int_range 0 1000000) (int_range 1 4)
+        (int_range 1 8))
+    (fun (n, seed, parallelism, grain) ->
+      with_deque_checks @@ fun () ->
+      let mem = Mem.Memory.create () in
+      let from = Mem.Space.create mem ~words:(n * 6 + 8) in
+      let prng = Support.Prng.create ~seed in
+      let objs = Array.make n Mem.Addr.null in
+      for i = 0 to n - 1 do
+        let a =
+          match Mem.Space.alloc from (H.header_words + 3) with
+          | Some a -> a
+          | None -> QCheck.assume_fail ()
+        in
+        H.write mem a (record_hdr ~mask:0b110 3) ~birth:0;
+        Mem.Memory.set mem (H.field_addr a 0) (V.Int (i * 17));
+        let pick () =
+          if i = 0 || Support.Prng.bool prng then V.null
+          else V.Ptr objs.(Support.Prng.int prng i)
+        in
+        Mem.Memory.set mem (H.field_addr a 1) (pick ());
+        Mem.Memory.set mem (H.field_addr a 2) (pick ());
+        objs.(i) <- a
+      done;
+      let globals = Array.init 4 (fun _ -> V.Ptr objs.(Support.Prng.int prng n)) in
+      let snapshot () =
+        let seen = Hashtbl.create 64 in
+        let words = ref 0 and acc = ref [] in
+        let rec go v =
+          match v with
+          | V.Int _ -> ()
+          | V.Ptr a ->
+            if (not (Mem.Addr.is_null a)) && not (Hashtbl.mem seen a) then begin
+              Hashtbl.replace seen a ();
+              words := !words + H.header_words + 3;
+              acc := V.to_int (Mem.Memory.get mem (H.field_addr a 0)) :: !acc;
+              go (Mem.Memory.get mem (H.field_addr a 1));
+              go (Mem.Memory.get mem (H.field_addr a 2))
+            end
+        in
+        Array.iter go globals;
+        (!words, List.sort compare !acc)
+      in
+      let reachable_words, before = snapshot () in
+      let to_space =
+        Mem.Space.create mem
+          ~words:
+            (reachable_words
+            + Collectors.Par_drain.space_headroom ~parallelism
+                ~copy_bound:reachable_words)
+      in
+      let p =
+        Collectors.Par_drain.create ~mem
+          ~in_from:(Mem.Space.contains from)
+          ~to_space ~los:None ~trace_los:false ~promoting:false
+          ~object_hooks:None ~parallelism ~seed ()
+      in
+      let batch =
+        Rstack.Root.Batch.create ~capacity:grain
+          ~emit:(Collectors.Par_drain.add_roots p)
+      in
+      (* every root staged twice: the claim must make the second sighting
+         a forwarding lookup, never a second copy *)
+      for round = 0 to 1 do
+        ignore round;
+        Array.iteri
+          (fun i _ ->
+            Rstack.Root.Batch.push batch (Rstack.Root.Global (globals, i)))
+          globals
+      done;
+      Rstack.Root.Batch.flush batch;
+      Collectors.Par_drain.run p;
+      let _, after = snapshot () in
+      Collectors.Par_drain.words_copied p = reachable_words && before = after)
 
 (* property: random object graphs survive a semispace collection intact *)
 let graph_roundtrip_prop =
@@ -631,4 +929,16 @@ let () =
         [ Alcotest.test_case "identical stats (generational)" `Quick
             safe_raw_identical_stats;
           Alcotest.test_case "identical stats (semispace)" `Quick
-            safe_raw_identical_semispace ] ) ]
+            safe_raw_identical_semispace ] );
+      ( "parallel-drain",
+        [ Alcotest.test_case "identical stats (generational)" `Quick
+            par_seq_identical_stats;
+          Alcotest.test_case "identical stats (semispace)" `Quick
+            par_seq_identical_semispace;
+          Alcotest.test_case "identical site survival + domain spans" `Quick
+            par_seq_identical_site_survival;
+          Alcotest.test_case "deque LIFO/FIFO discipline" `Quick
+            deque_owner_lifo_thief_fifo;
+          Alcotest.test_case "deque checks catch misuse" `Quick
+            deque_checks_catch_misuse;
+          QCheck_alcotest.to_alcotest par_drain_no_double_copy_prop ] ) ]
