@@ -161,11 +161,18 @@ let run_cmd =
     Arg.(value & opt (some file) None
          & info [ "pretenure-from" ] ~docv:"FILE" ~doc)
   in
+  let policy_arg =
+    let doc =
+      "Pretenure from a policy file emitted by `repro gc-profile \
+       emit-policy` (the trace-driven loop; no profiler attached)."
+    in
+    Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"FILE" ~doc)
+  in
   let verify =
     let doc = "Walk and check the whole heap after every collection." in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run factor name technique k pretenure_from verify =
+  let run factor name technique k pretenure_from policy verify =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
@@ -173,14 +180,22 @@ let run_cmd =
     | w ->
       let sc = Harness.Runs.scale ~factor w in
       let m =
-        match pretenure_from, verify with
-        | None, false -> Harness.Runs.measure ~workload:w ~scale:sc ~technique ~k
+        match pretenure_from, policy, verify with
+        | None, None, false ->
+          Harness.Runs.measure ~workload:w ~scale:sc ~technique ~k
         | _ ->
-          (* ad-hoc configuration: saved profile and/or verification *)
+          (* ad-hoc configuration: saved profile or policy file, and/or
+             verification *)
           let budget = Harness.Calibrate.budget_for ~workload:w ~scale:sc ~k in
           let base =
-            match technique, pretenure_from with
-            | _, Some path ->
+            match technique, pretenure_from, policy with
+            | _, _, Some path ->
+              (match Gsc.Config.with_policy_file ~budget_bytes:budget path with
+               | Ok cfg -> cfg
+               | Error msg ->
+                 prerr_endline ("policy " ^ path ^ ": " ^ msg);
+                 exit 1)
+            | _, Some path, None ->
               let data = Heap_profile.Profile_data.load ~path in
               let policy =
                 Gsc.Pretenure.of_profile data ~cutoff:Harness.Runs.cutoff
@@ -188,11 +203,13 @@ let run_cmd =
                   ~scan_elision:(technique = Harness.Runs.Pretenure_elide)
               in
               Gsc.Config.with_pretenuring ~budget_bytes:budget policy
-            | Harness.Runs.Semi, None -> Gsc.Config.semispace ~budget_bytes:budget
-            | Harness.Runs.Gen, None -> Gsc.Config.generational ~budget_bytes:budget
-            | (Harness.Runs.Markers | Harness.Runs.Profiled), None ->
+            | Harness.Runs.Semi, None, None ->
+              Gsc.Config.semispace ~budget_bytes:budget
+            | Harness.Runs.Gen, None, None ->
+              Gsc.Config.generational ~budget_bytes:budget
+            | (Harness.Runs.Markers | Harness.Runs.Profiled), None, None ->
               Gsc.Config.with_markers ~budget_bytes:budget
-            | (Harness.Runs.Pretenure | Harness.Runs.Pretenure_elide), None ->
+            | (Harness.Runs.Pretenure | Harness.Runs.Pretenure_elide), None, None ->
               Gsc.Config.with_pretenuring ~budget_bytes:budget
                 (Harness.Runs.policy_of ~workload:w ~scale:sc
                    ~scan_elision:(technique = Harness.Runs.Pretenure_elide))
@@ -226,7 +243,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload under one configuration")
     Term.(
       const run $ factor_arg $ workload_arg $ technique $ k_arg
-      $ pretenure_from $ verify)
+      $ pretenure_from $ policy_arg $ verify)
 
 (* --- gc-trace --- *)
 
@@ -256,7 +273,13 @@ let gc_trace_cmd =
                engine; >1 emits per-domain copy.dN phase spans)." in
     Arg.(value & opt int 1 & info [ "parallelism"; "p" ] ~docv:"N" ~doc)
   in
-  let run factor name technique k out parallelism =
+  let census_arg =
+    let doc = "Emit a heap census (per-site live words and object-age \
+               buckets) every $(docv)-th collection; 0 disables the \
+               census." in
+    Arg.(value & opt int 0 & info [ "census" ] ~docv:"K" ~doc)
+  in
+  let run factor name technique k out parallelism census_period =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
@@ -265,7 +288,7 @@ let gc_trace_cmd =
       let sc = Harness.Runs.scale ~factor w in
       let cfg =
         { (Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k) with
-          Gsc.Config.parallelism }
+          Gsc.Config.parallelism; census_period }
       in
       let path =
         match out with Some p -> p | None -> name ^ ".trace.jsonl"
@@ -306,7 +329,117 @@ let gc_trace_cmd =
           histograms, phase breakdown and site-survival tables")
     Term.(
       const run $ factor_arg $ workload_arg $ technique $ k_arg $ out
-      $ parallelism_arg)
+      $ parallelism_arg $ census_arg)
+
+(* --- gc-profile --- *)
+
+let gc_profile_cmd =
+  let trace_arg =
+    let doc = "JSONL trace file written by $(b,gc-trace)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let top_arg =
+    let doc = "Show at most $(docv) rows per site table." in
+    Arg.(value & opt int 12 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let windows_arg =
+    let doc = "MMU window sizes in microseconds (comma-separated)." in
+    Arg.(value
+         & opt (list float) [ 1_000.; 5_000.; 10_000.; 50_000.; 100_000. ]
+         & info [ "windows" ] ~docv:"US,US,..." ~doc)
+  in
+  let analyze path =
+    match Obs.Profile.of_file path with
+    | Ok p -> p
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1
+  in
+  let report_cmd =
+    let diff_arg =
+      let doc = "Compare $(i,TRACE) against this second trace instead of \
+                 reporting on it alone." in
+      Arg.(value & opt (some file) None & info [ "diff" ] ~docv:"TRACE2" ~doc)
+    in
+    let run path diff top windows_us =
+      let a = analyze path in
+      match diff with
+      | None -> print_string (Obs.Summary.profile_report ~top ~windows_us a)
+      | Some path2 ->
+        let b = analyze path2 in
+        print_string (Obs.Summary.profile_diff ~top ~a ~b ())
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Analyze a trace offline (no collector running) and print the \
+            survival, pause-percentile, MMU, census and stack-scan tables; \
+            with $(b,--diff), compare two traces")
+      Term.(const run $ trace_arg $ diff_arg $ top_arg $ windows_arg)
+  in
+  let emit_policy_cmd =
+    let out_arg =
+      let doc = "Policy output file." in
+      Arg.(value & opt string "policy.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc)
+    in
+    let cutoff_arg =
+      let doc = "Pretenure a site when its old fraction reaches $(docv)." in
+      Arg.(value & opt float Harness.Runs.cutoff
+           & info [ "cutoff" ] ~docv:"FRAC" ~doc)
+    in
+    let min_objects_arg =
+      let doc = "Ignore sites with fewer than $(docv) allocated objects." in
+      Arg.(value & opt int Harness.Runs.min_objects
+           & info [ "min-objects" ] ~docv:"N" ~doc)
+    in
+    let no_elide_arg =
+      let doc = "Do not derive the scan-free (elidable) subset from the \
+                 traced points-into graph." in
+      Arg.(value & flag & info [ "no-elide" ] ~doc)
+    in
+    let run path out cutoff min_objects no_elide =
+      let p = analyze path in
+      let policy =
+        Gsc.Policy_file.of_profile p ~cutoff ~min_objects
+          ~scan_elision:(not no_elide)
+      in
+      Gsc.Policy_file.save policy out;
+      (* Reload and verify: the file we just wrote must load back to the
+         policy we derived, so a later `run --policy` sees the same
+         decisions. *)
+      (match Gsc.Policy_file.load out with
+       | Ok p' when p' = policy -> ()
+       | Ok _ ->
+         Printf.eprintf "%s: reloaded policy differs from the one written\n"
+           out;
+         exit 1
+       | Error msg ->
+         Printf.eprintf "%s: written policy fails to load: %s\n" out msg;
+         exit 1);
+      Printf.printf
+        "%s: %d pretenured site(s), %d scan-free (cutoff %.2f, min %d \
+         objects)\n"
+        out
+        (List.length policy.Gsc.Policy_file.sites)
+        (List.length policy.Gsc.Policy_file.no_scan)
+        cutoff min_objects
+    in
+    Cmd.v
+      (Cmd.info "emit-policy"
+         ~doc:
+           "Derive a pretenuring policy from a trace and write it as a \
+            versioned policy.json for $(b,run --policy)")
+      Term.(
+        const run $ trace_arg $ out_arg $ cutoff_arg $ min_objects_arg
+        $ no_elide_arg)
+  in
+  Cmd.group
+    (Cmd.info "gc-profile"
+       ~doc:
+         "Offline trace analysis: survival curves, MMU, pause percentiles, \
+          heap census — and policy emission that closes the pretenure loop")
+    [ report_cmd; emit_policy_cmd ]
 
 let () =
   let info =
@@ -319,4 +452,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; tables_cmd; figure2_cmd; ablation_cmd; profile_cmd;
-            calibrate_cmd; check_cmd; run_cmd; gc_trace_cmd ]))
+            calibrate_cmd; check_cmd; run_cmd; gc_trace_cmd;
+            gc_profile_cmd ]))

@@ -17,6 +17,7 @@ type t = {
   barrier : Collectors.Generational.barrier_kind;
   tenure_threshold : int;
   parallelism : int;
+  census_period : int;
   stack_markers : bool;
   marker_spacing : int;
   exception_strategy : exception_strategy;
@@ -37,6 +38,7 @@ let default ~budget_bytes =
     barrier = Collectors.Generational.Barrier_ssb;
     tenure_threshold = 1;
     parallelism = 1;
+    census_period = 0;
     stack_markers = false;
     marker_spacing = 25;
     exception_strategy = Eager_watermark;
@@ -53,6 +55,11 @@ let with_markers ~budget_bytes = { (default ~budget_bytes) with stack_markers = 
 
 let with_pretenuring ~budget_bytes policy =
   { (default ~budget_bytes) with stack_markers = true; pretenure = policy }
+
+let with_policy_file ~budget_bytes path =
+  Result.map
+    (fun p -> with_pretenuring ~budget_bytes (Pretenure.of_policy p))
+    (Policy_file.load path)
 
 let name t =
   match t.collector with

@@ -43,6 +43,11 @@ type t = {
                                           work-stealing [Par_drain]
                                           engine.  Applies to both
                                           collectors. *)
+  census_period : int;                (** generational only: emit a heap
+                                          census every this-many
+                                          collections while tracing;
+                                          0 (default) disables census
+                                          bookkeeping entirely *)
   (* generational stack collection *)
   stack_markers : bool;
   marker_spacing : int;               (** paper: n = 25 *)
@@ -65,6 +70,14 @@ val semispace : budget_bytes:int -> t
 val generational : budget_bytes:int -> t
 val with_markers : budget_bytes:int -> t
 val with_pretenuring : budget_bytes:int -> Pretenure.t -> t
+
+(** [with_policy_file ~budget_bytes path] is {!with_pretenuring} with
+    the policy loaded from a file {!Policy_file.save}d by the offline
+    analyzer — a run configured this way pretenures from an earlier
+    run's trace with no live profiler attached.  Errors (unreadable
+    file, version mismatch, malformed policy) are returned, not
+    raised. *)
+val with_policy_file : budget_bytes:int -> string -> (t, string) result
 
 (** [name t] is a short label for tables: ["semi"], ["gen"],
     ["gen+marker"], ["gen+marker+pretenure"]. *)

@@ -1,0 +1,47 @@
+(** Persisted pretenuring policies — the file format that closes the
+    profile-driven loop (Section 6).
+
+    A profiled run writes a JSONL trace; the offline analyzer
+    ({!Obs.Profile}) folds it and {!of_profile} applies the paper's
+    selection rule to produce a policy; {!save} writes it as one JSON
+    document; a later run {!load}s it and pretenures without any live
+    profiler attached.
+
+    The file carries the trace-format version ({!Obs.Event.version}): a
+    policy emitted by one build is rejected with a clear error by a
+    build whose trace schema differs, the same guard the trace reader
+    applies. *)
+
+type t = {
+  cutoff : float;      (** old-fraction threshold the sites passed *)
+  min_objects : int;   (** minimum allocated objects the sites passed *)
+  sites : int list;    (** pretenured allocation sites, sorted *)
+  no_scan : int list;  (** subset of [sites] proved scan-free, sorted *)
+}
+
+(** [of_profile p ~cutoff ~min_objects ~scan_elision] applies the
+    paper's rule to an analyzed trace: sites with
+    [Obs.Profile.old_fraction >= cutoff] and at least [min_objects]
+    allocations are pretenured; with [scan_elision] the trace's
+    points-to edges additionally exempt scan-free sites
+    ({!Site_flow.scan_free}).  Over a fully-traced run this reproduces
+    {!Pretenure.of_profile} on the live profiler's data exactly. *)
+val of_profile :
+  Obs.Profile.t ->
+  cutoff:float ->
+  min_objects:int ->
+  scan_elision:bool ->
+  t
+
+val to_json : t -> Obs.Json.t
+
+(** [of_json j] validates shape, version and the no_scan-subset
+    invariant, with a field-naming error message on failure. *)
+val of_json : Obs.Json.t -> (t, string) result
+
+(** [save t path] writes the policy as one JSON document (plus a
+    trailing newline). *)
+val save : t -> string -> unit
+
+(** [load path] reads, parses and validates a saved policy. *)
+val load : string -> (t, string) result

@@ -28,6 +28,9 @@ let of_profile data ~cutoff ~min_objects ~scan_elision =
   in
   { sites; no_scan }
 
+let of_policy p =
+  of_sites ~sites:p.Policy_file.sites ~no_scan:p.Policy_file.no_scan
+
 let is_empty t = Int_set.is_empty t.sites
 let should_pretenure t ~site = Int_set.mem site t.sites
 let needs_scan t ~site = not (Int_set.mem site t.no_scan)

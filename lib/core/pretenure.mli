@@ -26,6 +26,13 @@ val of_profile :
   scan_elision:bool ->
   t
 
+(** [of_policy p] builds the policy a saved {!Policy_file.t} describes —
+    the trace-driven counterpart of {!of_profile}: a run configured with
+    it pretenures from an earlier run's trace with no live profiler
+    attached.  Loaded policies are already validated, so this cannot
+    raise. *)
+val of_policy : Policy_file.t -> t
+
 val is_empty : t -> bool
 val should_pretenure : t -> site:int -> bool
 val needs_scan : t -> site:int -> bool

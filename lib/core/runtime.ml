@@ -22,6 +22,9 @@ type t = {
   stats : Collectors.Gc_stats.t;
   site_names : string Support.Vec.t;
   profiler : Heap_profile.Profiler.t option;
+  trace_edges : (int * int, unit) Hashtbl.t option;
+      (* site pairs already emitted as [site_edge] trace records;
+         [Some] only when created while tracing *)
   handlers : handler_entry Support.Vec.t;
   mutable next_handler_id : int;
   mutable last_scan_serial : int;
@@ -149,6 +152,8 @@ let create cfg =
                   (fun () -> stats.Collectors.Gc_stats.words_allocated
                              * Memory.bytes_per_word))
          else None);
+      trace_edges =
+        (if Obs.Trace.enabled () then Some (Hashtbl.create 64) else None);
       handlers = Support.Vec.create ();
       next_handler_id = 0;
       last_scan_serial = -1;
@@ -184,7 +189,8 @@ let create cfg =
              los_threshold_words = cfg.Config.los_threshold_words;
              barrier = cfg.Config.barrier;
              tenure_threshold = cfg.Config.tenure_threshold;
-             parallelism = cfg.Config.parallelism })
+             parallelism = cfg.Config.parallelism;
+             census_period = cfg.Config.census_period })
   in
   t.collector <- Some col;
   t
@@ -296,17 +302,26 @@ let note_alloc t ~site ~words =
   | Some p -> Heap_profile.Profiler.note_alloc p ~site ~words
 
 let note_edge_value t ~from_site v =
-  match t.profiler with
-  | None -> ()
-  | Some p ->
-    if Value.is_ptr v then begin
-      let target = Value.to_addr v in
-      match Header.forwarded t.mem target with
-      | Some _ -> () (* cannot happen outside a collection *)
-      | None ->
-        let to_site = (Header.read t.mem target).Header.site in
-        Heap_profile.Profiler.note_edge p ~from_site ~to_site
-    end
+  (* feeds both edge consumers: the live profiler (scan elision decided
+     in-process) and the trace (the offline analyzer's evidence for the
+     same decision) *)
+  if (t.profiler <> None || t.trace_edges <> None) && Value.is_ptr v then begin
+    let target = Value.to_addr v in
+    match Header.forwarded t.mem target with
+    | Some _ -> () (* cannot happen outside a collection *)
+    | None ->
+      let to_site = (Header.read t.mem target).Header.site in
+      (match t.profiler with
+       | None -> ()
+       | Some p -> Heap_profile.Profiler.note_edge p ~from_site ~to_site);
+      (match t.trace_edges with
+       | None -> ()
+       | Some seen ->
+         if not (Hashtbl.mem seen (from_site, to_site)) then begin
+           Hashtbl.replace seen (from_site, to_site) ();
+           Obs.Trace.site_edge ~from_site ~to_site
+         end)
+  end
 
 let alloc_object t hdr =
   let birth = birth_bytes t in

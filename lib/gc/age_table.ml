@@ -1,0 +1,55 @@
+(* Sorted parallel arrays of region starts and birth ordinals; the
+   region [i] spans [starts.(i), starts.(i+1)) (the last runs to
+   [covered]).  Appends are amortised O(1), lookups binary-search. *)
+
+type t = {
+  mutable starts : int array;
+  mutable borns : int array;
+  mutable len : int;
+  mutable covered : int;
+}
+
+let create () =
+  { starts = Array.make 8 0; borns = Array.make 8 0; len = 0; covered = 0 }
+
+let covered_to t = t.covered
+
+let push t start born =
+  if t.len = Array.length t.starts then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    t.starts <- grow t.starts;
+    t.borns <- grow t.borns
+  end;
+  t.starts.(t.len) <- start;
+  t.borns.(t.len) <- born;
+  t.len <- t.len + 1
+
+let extend t ~upto ~born =
+  if upto > t.covered then begin
+    (* merge with the previous region when the ordinal repeats, so a
+       collection that promotes nothing costs no entry *)
+    if t.len > 0 && t.borns.(t.len - 1) = born then ()
+    else push t t.covered born;
+    t.covered <- upto
+  end
+
+let collapse t ~upto ~born =
+  t.len <- 0;
+  t.covered <- 0;
+  if upto > 0 then extend t ~upto ~born else ()
+
+let min_born t ~default =
+  (* ordinals never decrease across [extend]s, so the oldest is first *)
+  if t.len = 0 then default else t.borns.(0)
+
+let born_at t ~off =
+  if t.len = 0 then 0
+  else begin
+    (* greatest i with starts.(i) <= off *)
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.starts.(mid) <= off then lo := mid else hi := mid - 1
+    done;
+    t.borns.(!lo)
+  end

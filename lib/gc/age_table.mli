@@ -1,0 +1,44 @@
+(** A compact per-region age map for a bump-allocated space.
+
+    The census ({!Generational} with [census_period > 0]) needs the age
+    of every tenured object in collections survived, but tenured objects
+    do not move between major collections and headers only record the
+    age an object reached while young.  This table exploits the bump
+    discipline instead: the region [\[covered, frontier)] appended to
+    the tenured space by (or since) collection [n] is stamped with the
+    birth ordinal [n], so an object's age is [now - born(offset)] — one
+    [(start, born)] pair per collection, not per object.
+
+    Offsets are word offsets relative to the space base.  Regions are
+    appended in offset order ({!extend}); lookups binary-search the
+    starts.  A major collection compacts the space into a fresh block,
+    destroying per-region boundaries: {!collapse} then re-covers the
+    survivors as a single region, conventionally stamped with the oldest
+    previous birth (survivors of a major are at least as old as they
+    claim — a documented conservative approximation). *)
+
+type t
+
+(** An empty table covering nothing ([covered_to = 0]). *)
+val create : unit -> t
+
+(** Word offset up to which the space is covered. *)
+val covered_to : t -> int
+
+(** [extend t ~upto ~born] stamps the uncovered region
+    [\[covered_to, upto)] with birth ordinal [born]; no-op when
+    [upto <= covered_to].  [born] must not decrease across calls. *)
+val extend : t -> upto:int -> born:int -> unit
+
+(** [collapse t ~upto ~born] resets the table to the single region
+    [\[0, upto)] stamped [born] (used after a major collection rebuilds
+    the space; pass {!min_born} to keep survivors conservatively old). *)
+val collapse : t -> upto:int -> born:int -> unit
+
+(** Oldest birth ordinal in the table; [default] when empty. *)
+val min_born : t -> default:int -> int
+
+(** [born_at t ~off] is the birth ordinal of the region containing word
+    offset [off]; [off] beyond [covered_to] reports the newest region's
+    birth (objects allocated since the last {!extend}). *)
+val born_at : t -> off:int -> int

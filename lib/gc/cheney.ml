@@ -34,9 +34,10 @@ type t = {
   mutable copied : int;
   mutable promoted : int;
   mutable scanned : int;            (* words walked by the drain loops *)
-  sites : (int, int * int) Hashtbl.t option;
-      (* per-site (objects, words) copied — only allocated when the
-         trace layer is recording, [None] otherwise *)
+  sites : (int, int * int * int) Hashtbl.t option;
+      (* per-site (objects, first-collection objects, words) copied —
+         only allocated when the trace layer is recording, [None]
+         otherwise *)
 }
 
 let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
@@ -67,16 +68,17 @@ let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
     sites = (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
 
 (* per-site survival accounting; engines only pay for it while tracing *)
-let note_site_copy t ~site ~words =
+let note_site_copy t ~site ~first ~words =
   match t.sites with
   | None -> ()
   | Some tab ->
-    let objects, w =
+    let objects, firsts, w =
       match Hashtbl.find_opt tab site with
       | Some p -> p
-      | None -> (0, 0)
+      | None -> (0, 0, 0)
     in
-    Hashtbl.replace tab site (objects + 1, w + words)
+    Hashtbl.replace tab site
+      (objects + 1, (if first then firsts + 1 else firsts), w + words)
 
 (* --- raw path --- *)
 
@@ -99,19 +101,21 @@ let copy_object_raw t src soff =
     | None -> failwith "Cheney: to-space overflow (collector sizing bug)"
   in
   let doff = Mem.Addr.offset dst in
+  let first_copy = not (Mem.Header.survivor_c src ~off:soff) in
   (match t.object_hooks with
    | None -> ()
    | Some h ->
      let hdr = Mem.Header.read_c src ~off:soff in
      h.Hooks.on_copy hdr ~words;
-     if not (Mem.Header.survivor_c src ~off:soff) then
-       h.Hooks.on_first_survival hdr ~words);
+     if first_copy then h.Hooks.on_first_survival hdr ~words);
   Array.blit src soff dcells doff words;
   Mem.Header.set_survivor_c dcells ~off:doff;
   if not promote then
     Mem.Header.set_age_c dcells ~off:doff (min Mem.Header.max_age (age + 1));
   if t.sites <> None then
-    note_site_copy t ~site:(Mem.Header.site_c src ~off:soff) ~words;
+    note_site_copy t
+      ~site:(Mem.Header.site_c src ~off:soff)
+      ~first:first_copy ~words;
   Mem.Header.set_forward_c src ~off:soff ~target:dst;
   t.copied <- t.copied + words;
   if promote then t.promoted <- t.promoted + words;
@@ -216,7 +220,7 @@ let copy_object_safe t a =
      h.Hooks.on_copy hdr ~words;
      if first_copy then h.Hooks.on_first_survival hdr ~words);
   if t.sites <> None then
-    note_site_copy t ~site:hdr.Mem.Header.site ~words;
+    note_site_copy t ~site:hdr.Mem.Header.site ~first:first_copy ~words;
   Mem.Header.set_forward t.mem a ~target:dst;
   t.copied <- t.copied + words;
   if promote then t.promoted <- t.promoted + words;
@@ -335,8 +339,8 @@ let site_survivals t =
   | None -> []
   | Some tab ->
     List.sort compare
-      (Hashtbl.fold (fun site (objects, words) acc ->
-           (site, objects, words) :: acc)
+      (Hashtbl.fold (fun site (objects, first_objects, words) acc ->
+           (site, objects, first_objects, words) :: acc)
          tab [])
 
 let sweep_dead ~mem ~space ~on_die =

@@ -85,10 +85,12 @@ val words_promoted : t -> int
     to-space objects, queued large objects). *)
 val words_scanned : t -> int
 
-(** Per-allocation-site survival tallies as [(site, objects, words)]
-    sorted by site id.  Populated only when the engine was created while
-    tracing ([Obs.Trace.enabled]); empty otherwise. *)
-val site_survivals : t -> (int * int * int) list
+(** Per-allocation-site survival tallies as
+    [(site, objects, first_objects, words)] sorted by site id, where
+    [first_objects] counts the objects surviving their first collection
+    (no survivor bit yet).  Populated only when the engine was created
+    while tracing ([Obs.Trace.enabled]); empty otherwise. *)
+val site_survivals : t -> (int * int * int * int) list
 
 (** [sweep_dead ~mem ~space ~on_die] walks a collected from-space and
     reports every object that was not forwarded (used by profiling

@@ -11,6 +11,7 @@ type config = {
   barrier : barrier_kind;
   tenure_threshold : int;
   parallelism : int;
+  census_period : int;
 }
 
 let default_config ~budget_bytes =
@@ -20,7 +21,8 @@ let default_config ~budget_bytes =
     los_threshold_words = 512;
     barrier = Barrier_ssb;
     tenure_threshold = 1;
-    parallelism = 1 }
+    parallelism = 1;
+    census_period = 0 }
 
 type barrier =
   | B_ssb of Ssb.t
@@ -49,6 +51,17 @@ type t = {
          last collection; scanned for young pointers at the next one *)
   mutable live : int;          (* live words after the last major *)
   mutable in_gc : bool;
+  mutable collections : int;   (* collection ordinal (minors + majors) *)
+  age_table : Age_table.t;
+      (* birth ordinals of the tenured regions, maintained only under
+         [census_period > 0] *)
+  los_births : (Mem.Addr.t, int) Hashtbl.t option;
+      (* large-object birth ordinals; [Some] iff [census_period > 0] *)
+  alloc_sites : (int, int * int) Hashtbl.t option;
+      (* per-site (objects, words) allocated since the last [site_alloc]
+         flush — only allocated when the trace layer is recording at
+         collector creation, same gating as the engines' survival
+         tables *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -59,6 +72,8 @@ let create mem ~hooks ~stats cfg =
     invalid_arg "Generational.create: bad tenure threshold";
   if cfg.parallelism < 1 || cfg.parallelism > Gc_stats.max_domains then
     invalid_arg "Generational.create: bad parallelism";
+  if cfg.census_period < 0 then
+    invalid_arg "Generational.create: negative census period";
   let wpb = Mem.Memory.bytes_per_word in
   let budget_w = cfg.budget_bytes / wpb in
   let nursery_words = max 64 (min (cfg.nursery_bytes_max / wpb) (budget_w / 4)) in
@@ -94,7 +109,12 @@ let create mem ~hooks ~stats cfg =
     cards_covered_to = Mem.Space.base tenured;
     pretenure_from = Mem.Space.frontier tenured;
     live = 0;
-    in_gc = false }
+    in_gc = false;
+    collections = 0;
+    age_table = Age_table.create ();
+    los_births = (if cfg.census_period > 0 then Some (Hashtbl.create 16) else None);
+    alloc_sites =
+      (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
 
 let in_nursery t a = Mem.Space.contains t.nursery a
 let in_tenured t a = Mem.Space.contains t.tenured a
@@ -318,13 +338,138 @@ let steal_counters engine =
 
 let occupancy t = Mem.Space.used_words t.tenured + Los.live_words t.los
 
+(* --- per-site allocation accounting (tracing only) --- *)
+
+let note_alloc_site t ~site ~words =
+  match t.alloc_sites with
+  | None -> ()
+  | Some tab ->
+    let objects, w =
+      match Hashtbl.find_opt tab site with
+      | Some p -> p
+      | None -> (0, 0)
+    in
+    Hashtbl.replace tab site (objects + 1, w + words)
+
+(* flushed at every collection start and at [destroy], so the trace's
+   per-site allocation totals are exact over a fully-traced run *)
+let flush_site_allocs t =
+  match t.alloc_sites with
+  | None -> ()
+  | Some tab ->
+    if Hashtbl.length tab > 0 then begin
+      let rows =
+        Hashtbl.fold
+          (fun site (objects, words) acc -> (site, objects, words) :: acc)
+          tab []
+      in
+      List.iter
+        (fun (site, objects, words) ->
+          Obs.Trace.site_alloc ~site ~objects ~words)
+        (List.sort compare rows);
+      Hashtbl.reset tab
+    end
+
+(* --- heap census (census_period > 0, tracing only) --- *)
+
+let age_bucket_labels = [| "0"; "1"; "2-3"; "4-7"; "8+" |]
+
+let age_bucket age =
+  if age <= 0 then 0
+  else if age = 1 then 1
+  else if age <= 3 then 2
+  else if age <= 7 then 3
+  else 4
+
+(* Walk the whole live heap and emit one [census] record per site:
+   live objects, live words, and object counts bucketed by collections
+   survived.  Tenured ages come from the per-region {!Age_table},
+   nursery survivors (aging configurations) from the header age, large
+   objects from their recorded birth ordinal. *)
+let emit_census t =
+  let tab : (int, int * int * int array) Hashtbl.t = Hashtbl.create 32 in
+  let note ~site ~words ~age =
+    let objects, w, ages =
+      match Hashtbl.find_opt tab site with
+      | Some r -> r
+      | None -> (0, 0, Array.make (Array.length age_bucket_labels) 0)
+    in
+    let b = age_bucket age in
+    ages.(b) <- ages.(b) + 1;
+    Hashtbl.replace tab site (objects + 1, w + words, ages)
+  in
+  let now_ord = t.collections in
+  let walk_space space age_of =
+    let base = Mem.Space.base space in
+    let cells = Mem.Memory.cells t.mem base in
+    let base_off = Mem.Addr.offset base in
+    let limit = Mem.Addr.diff (Mem.Space.frontier space) base in
+    let rec walk off =
+      if off < limit then begin
+        let aoff = base_off + off in
+        let words = Mem.Header.object_words_c cells ~off:aoff in
+        if not (Mem.Header.is_filler_c cells ~off:aoff) then
+          note
+            ~site:(Mem.Header.site_c cells ~off:aoff)
+            ~words
+            ~age:(age_of ~off ~aoff cells);
+        walk (off + words)
+      end
+    in
+    walk 0
+  in
+  walk_space t.tenured (fun ~off ~aoff:_ _ ->
+    max 0 (now_ord - Age_table.born_at t.age_table ~off));
+  if Mem.Space.used_words t.nursery > 0 then
+    walk_space t.nursery (fun ~off:_ ~aoff cells ->
+      Mem.Header.age_c cells ~off:aoff);
+  Los.iter t.los (fun a ->
+    let hdr = Mem.Header.read t.mem a in
+    let born =
+      match t.los_births with
+      | Some tbl ->
+        (match Hashtbl.find_opt tbl a with Some b -> b | None -> now_ord)
+      | None -> now_ord
+    in
+    note ~site:hdr.Mem.Header.site
+      ~words:(Mem.Header.object_words hdr)
+      ~age:(max 0 (now_ord - born)));
+  let rows =
+    Hashtbl.fold
+      (fun site (objects, words, ages) acc ->
+        (site, objects, words, ages) :: acc)
+      tab []
+  in
+  List.iter
+    (fun (site, objects, words, ages) ->
+      let pairs = ref [] in
+      for b = Array.length ages - 1 downto 0 do
+        if ages.(b) > 0 then
+          pairs := (age_bucket_labels.(b), ages.(b)) :: !pairs
+      done;
+      Obs.Trace.census ~site ~objects ~words ~ages:!pairs)
+    (List.sort compare rows)
+
+(* age-table upkeep at the end of a collection, plus the sampled census
+   emission; the census itself additionally requires active tracing *)
+let census_after_collection t ~traced =
+  if t.cfg.census_period > 0 then begin
+    Age_table.extend t.age_table
+      ~upto:(Mem.Space.used_words t.tenured)
+      ~born:t.collections;
+    if traced && t.collections mod t.cfg.census_period = 0 then emit_census t
+  end
+
 let minor_collection t =
+  t.collections <- t.collections + 1;
   let traced = Obs.Trace.enabled () in
-  if traced then
+  if traced then begin
     Obs.Trace.gc_begin ~kind:"minor"
       ~nursery_w:(Mem.Space.used_words t.nursery)
       ~tenured_w:(Mem.Space.used_words t.tenured)
       ~los_w:(Los.live_words t.los);
+    flush_site_allocs t
+  end;
   let t0 = now () in
   let roots = Support.Vec.create () in
   (* Skipping previously-scanned frames is sound only under immediate
@@ -432,8 +577,8 @@ let minor_collection t =
          @ steal_counters engine);
     trace_domain_spans engine;
     List.iter
-      (fun (site, objects, words) ->
-        Obs.Trace.site_survival ~site ~objects ~words)
+      (fun (site, objects, first_objects, words) ->
+        Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
       (eng_site_survivals engine)
   end;
   (match t.hooks.Hooks.object_hooks with
@@ -458,6 +603,7 @@ let minor_collection t =
   t.stats.Gc_stats.minor_gcs <- t.stats.Gc_stats.minor_gcs + 1;
   t.pretenure_from <- Mem.Space.frontier t.tenured;
   cover_new_tenured t;
+  census_after_collection t ~traced;
   t.hooks.Hooks.after_collection ~full:false;
   if traced then
     Obs.Trace.gc_end ~kind:"minor"
@@ -468,12 +614,15 @@ let minor_collection t =
 
 let major_collection t =
   assert (Mem.Space.used_words t.nursery = 0);
+  t.collections <- t.collections + 1;
   let traced = Obs.Trace.enabled () in
-  if traced then
+  if traced then begin
     Obs.Trace.gc_begin ~kind:"major"
       ~nursery_w:(Mem.Space.used_words t.nursery)
       ~tenured_w:(Mem.Space.used_words t.tenured)
       ~los_w:(Los.live_words t.los);
+    flush_site_allocs t
+  end;
   let t0 = now () in
   let roots = Support.Vec.create () in
   let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
@@ -525,8 +674,8 @@ let major_collection t =
       ~dur_us:((t2 -. t_drain) *. 1e6)
       ~counters:[ ("live_w", Los.live_words t.los) ];
     List.iter
-      (fun (site, objects, words) ->
-        Obs.Trace.site_survival ~site ~objects ~words)
+      (fun (site, objects, first_objects, words) ->
+        Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
       (eng_site_survivals engine)
   end;
   (match t.hooks.Hooks.object_hooks with
@@ -563,6 +712,25 @@ let major_collection t =
     int_of_float (float_of_int live_total /. t.cfg.tenured_target_liveness)
   in
   t.major_trigger <- min t.tenured_cap (max (live_total + (live_total / 2) + 64) target);
+  if t.cfg.census_period > 0 then begin
+    (* the compaction destroyed region boundaries: re-cover the
+       survivors as one conservatively-old region, and drop birth
+       records of swept large objects *)
+    let born = Age_table.min_born t.age_table ~default:t.collections in
+    Age_table.collapse t.age_table
+      ~upto:(Mem.Space.used_words t.tenured)
+      ~born;
+    match t.los_births with
+    | None -> ()
+    | Some tbl ->
+      let dead =
+        Hashtbl.fold
+          (fun a _ acc -> if Los.contains t.los a then acc else a :: acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) dead
+  end;
+  census_after_collection t ~traced;
   t.hooks.Hooks.after_collection ~full:true;
   if traced then
     Obs.Trace.gc_end ~kind:"major"
@@ -613,6 +781,8 @@ let bump_alloc t space hdr ~birth =
      else
        t.stats.Gc_stats.words_alloc_records <-
          t.stats.Gc_stats.words_alloc_records + words);
+    if t.alloc_sites <> None then
+      note_alloc_site t ~site:hdr.Mem.Header.site ~words;
     Some base
 
 let alloc t hdr ~birth =
@@ -628,6 +798,11 @@ let alloc t hdr ~birth =
     t.stats.Gc_stats.objects_allocated <- t.stats.Gc_stats.objects_allocated + 1;
     t.stats.Gc_stats.words_alloc_arrays <-
       t.stats.Gc_stats.words_alloc_arrays + words;
+    if t.alloc_sites <> None then
+      note_alloc_site t ~site:hdr.Mem.Header.site ~words;
+    (match t.los_births with
+     | None -> ()
+     | Some tbl -> Hashtbl.replace tbl base t.collections);
     base
   end
   else begin
@@ -665,6 +840,9 @@ let alloc_pretenured t hdr ~birth =
   | None -> failwith "Generational: tenured area exhausted (pretenuring)"
 
 let destroy t =
+  (* allocations since the last collection have not been flushed yet;
+     emit them so a fully-traced run's per-site totals are exact *)
+  if Obs.Trace.enabled () then flush_site_allocs t;
   Mem.Space.release t.nursery t.mem;
   Mem.Space.release t.tenured t.mem;
   Los.destroy t.los

@@ -53,6 +53,18 @@ type config = {
           collections, falling back to the sequential engine under an
           aging nursery or the safe reference path.  At most
           {!Gc_stats.max_domains}. *)
+  census_period : int;
+      (** heap-census sampling: every [census_period]-th collection the
+          collector walks the live heap and (when tracing is on) emits
+          one [census] trace record per allocation site — live objects,
+          live words and object-age buckets, the offline evidence for
+          the paper's bimodal-lifetime claim.  Ages come from a compact
+          per-region {!Age_table} over the tenured space (survivors of a
+          major collection are conservatively stamped with the oldest
+          prior region's birth), header ages for aging-nursery
+          survivors, and recorded birth ordinals for large objects.
+          [0] (the default) disables the census and all its
+          bookkeeping. *)
 }
 
 (** The paper's parameters under the given budget. *)

@@ -76,7 +76,7 @@ type worker = {
   mutable steals : int;
   mutable clock : int;    (* virtual ns consumed by this worker *)
   mutable idle : bool;
-  sites : (int, int * int) Hashtbl.t option;
+  sites : (int, int * int * int) Hashtbl.t option;
 }
 
 type t = {
@@ -213,16 +213,17 @@ let alloc_copy t w words =
 
 (* --- evacuation --- *)
 
-let note_site_copy w ~site ~words =
+let note_site_copy w ~site ~first ~words =
   match w.sites with
   | None -> ()
   | Some tab ->
-    let objects, ws =
+    let objects, firsts, ws =
       match Hashtbl.find_opt tab site with
       | Some p -> p
-      | None -> (0, 0)
+      | None -> (0, 0, 0)
     in
-    Hashtbl.replace tab site (objects + 1, ws + words)
+    Hashtbl.replace tab site
+      (objects + 1, (if first then firsts + 1 else firsts), ws + words)
 
 let copy_object t w src soff =
   (* claim = the forwarding CAS: under the virtual-time scheduler the
@@ -232,17 +233,19 @@ let copy_object t w src soff =
     invalid_arg "Par_drain: forwarding CAS lost (object about to double-copy)";
   let words = Mem.Header.object_words_c src ~off:soff in
   let doff = alloc_copy t w words in
+  let first_copy = not (Mem.Header.survivor_c src ~off:soff) in
   (match t.object_hooks with
    | None -> ()
    | Some h ->
      let hdr = Mem.Header.read_c src ~off:soff in
      h.Hooks.on_copy hdr ~words;
-     if not (Mem.Header.survivor_c src ~off:soff) then
-       h.Hooks.on_first_survival hdr ~words);
+     if first_copy then h.Hooks.on_first_survival hdr ~words);
   Array.blit src soff t.to_cells doff words;
   Mem.Header.set_survivor_c t.to_cells ~off:doff;
   if w.sites <> None then
-    note_site_copy w ~site:(Mem.Header.site_c src ~off:soff) ~words;
+    note_site_copy w
+      ~site:(Mem.Header.site_c src ~off:soff)
+      ~first:first_copy ~words;
   let dst = addr_of t doff in
   Mem.Header.set_forward_c src ~off:soff ~target:dst;
   w.copied <- w.copied + words;
@@ -522,18 +525,19 @@ let site_survivals t =
       | None -> ()
       | Some tab ->
         Hashtbl.iter
-          (fun site (objects, words) ->
-            let o, ws =
+          (fun site (objects, firsts, words) ->
+            let o, f, ws =
               match Hashtbl.find_opt merged site with
               | Some p -> p
-              | None -> (0, 0)
+              | None -> (0, 0, 0)
             in
-            Hashtbl.replace merged site (o + objects, ws + words))
+            Hashtbl.replace merged site (o + objects, f + firsts, ws + words))
           tab)
     t.workers;
   List.sort compare
     (Hashtbl.fold
-       (fun site (objects, words) acc -> (site, objects, words) :: acc)
+       (fun site (objects, firsts, words) acc ->
+         (site, objects, firsts, words) :: acc)
        merged [])
 
 (* worst-case to-space slop of a parallel drain on top of the live data:

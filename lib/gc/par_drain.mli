@@ -121,10 +121,11 @@ type worker_report = {
     trace spans). *)
 val report : t -> worker_report array
 
-(** Merged per-site survival tallies, sorted by site id; populated only
-    when the engine was created while tracing (same gating as
-    {!Cheney.site_survivals}). *)
-val site_survivals : t -> (int * int * int) list
+(** Merged per-site survival tallies
+    [(site, objects, first_objects, words)], sorted by site id;
+    populated only when the engine was created while tracing (same
+    gating and tuple shape as {!Cheney.site_survivals}). *)
+val site_survivals : t -> (int * int * int * int) list
 
 (** [space_headroom ~parallelism ~copy_bound] is the extra to-space a
     parallel drain may consume beyond the live data: one partly-used

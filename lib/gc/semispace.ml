@@ -20,6 +20,9 @@ type t = {
   mutable space : Mem.Space.t;
   mutable soft_limit : int;      (* collect when used exceeds this *)
   mutable live : int;            (* words surviving the last collection *)
+  alloc_sites : (int, int * int) Hashtbl.t option;
+      (* per-site (objects, words) allocated since the last [site_alloc]
+         flush; [Some] only when created while tracing *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -38,7 +41,37 @@ let create mem ~hooks ~stats cfg =
     semi_words;
     space = Mem.Space.create mem ~words:soft_limit;
     soft_limit;
-    live = 0 }
+    live = 0;
+    alloc_sites =
+      (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
+
+let note_alloc_site t ~site ~words =
+  match t.alloc_sites with
+  | None -> ()
+  | Some tab ->
+    let objects, w =
+      match Hashtbl.find_opt tab site with
+      | Some p -> p
+      | None -> (0, 0)
+    in
+    Hashtbl.replace tab site (objects + 1, w + words)
+
+let flush_site_allocs t =
+  match t.alloc_sites with
+  | None -> ()
+  | Some tab ->
+    if Hashtbl.length tab > 0 then begin
+      let rows =
+        Hashtbl.fold
+          (fun site (objects, words) acc -> (site, objects, words) :: acc)
+          tab []
+      in
+      List.iter
+        (fun (site, objects, words) ->
+          Obs.Trace.site_alloc ~site ~objects ~words)
+        (List.sort compare rows);
+      Hashtbl.reset tab
+    end
 
 let live_words t = t.live
 
@@ -56,9 +89,11 @@ let resize t ~need =
 
 let collect_for t ~need =
   let traced = Obs.Trace.enabled () in
-  if traced then
+  if traced then begin
     Obs.Trace.gc_begin ~kind:"semi" ~nursery_w:0
       ~tenured_w:(Mem.Space.used_words t.space) ~los_w:0;
+    flush_site_allocs t
+  end;
   let t0 = now () in
   let roots = Support.Vec.create () in
   let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
@@ -159,8 +194,8 @@ let collect_for t ~need =
               ("steals", r.Par_drain.w_steals) ])
       reports;
     List.iter
-      (fun (site, objects, words) ->
-        Obs.Trace.site_survival ~site ~objects ~words)
+      (fun (site, objects, first_objects, words) ->
+        Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
       sites
   end;
   (match t.hooks.Hooks.object_hooks with
@@ -216,8 +251,12 @@ let alloc t hdr ~birth =
    | Mem.Header.Record _ ->
      t.stats.Gc_stats.words_alloc_records <-
        t.stats.Gc_stats.words_alloc_records + words);
+  if t.alloc_sites <> None then
+    note_alloc_site t ~site:hdr.Mem.Header.site ~words;
   base
 
 let stats t = t.stats
 
-let destroy t = Mem.Space.release t.space t.mem
+let destroy t =
+  if Obs.Trace.enabled () then flush_site_allocs t;
+  Mem.Space.release t.space t.mem

@@ -1,3 +1,5 @@
+let version = 2
+
 type t =
   | Gc_begin of {
       kind : string;
@@ -29,7 +31,23 @@ type t =
   | Site_survival of {
       site : int;
       objects : int;
+      first_objects : int;
       words : int;
+    }
+  | Site_alloc of {
+      site : int;
+      objects : int;
+      words : int;
+    }
+  | Site_edge of {
+      from_site : int;
+      to_site : int;
+    }
+  | Census of {
+      site : int;
+      objects : int;
+      words : int;
+      ages : (string * int) list;
     }
   | Pretenure of {
       site : int;
@@ -47,6 +65,9 @@ let name = function
   | Phase _ -> "phase"
   | Stack_scan _ -> "stack_scan"
   | Site_survival _ -> "site_survival"
+  | Site_alloc _ -> "site_alloc"
+  | Site_edge _ -> "site_edge"
+  | Census _ -> "census"
   | Pretenure _ -> "pretenure"
   | Marker_place _ -> "marker_place"
   | Unwind _ -> "unwind"
@@ -72,8 +93,23 @@ let field_str b k v =
   Buffer.add_string b "\":";
   Buffer.add_string b (Json.escape v)
 
+let field_counters b k pairs =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b k;
+  Buffer.add_string b "\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Json.escape k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int v))
+    pairs;
+  Buffer.add_char b '}'
+
 let write b ~seq ~t_us ~gc e =
-  Buffer.add_string b "{\"seq\":";
+  Buffer.add_string b "{\"v\":";
+  Buffer.add_string b (string_of_int version);
+  Buffer.add_string b ",\"seq\":";
   Buffer.add_string b (string_of_int seq);
   Buffer.add_string b ",\"t_us\":";
   Buffer.add_string b (Printf.sprintf "%.1f" t_us);
@@ -94,15 +130,7 @@ let write b ~seq ~t_us ~gc e =
    | Phase { name; dur_us; counters } ->
      field_str b "name" name;
      field_us b "dur_us" dur_us;
-     Buffer.add_string b ",\"counters\":{";
-     List.iteri
-       (fun i (k, v) ->
-         if i > 0 then Buffer.add_char b ',';
-         Buffer.add_string b (Json.escape k);
-         Buffer.add_char b ':';
-         Buffer.add_string b (string_of_int v))
-       counters;
-     Buffer.add_char b '}'
+     field_counters b "counters" counters
    | Stack_scan { mode; valid_prefix; depth; decoded; reused; slots; roots } ->
      field_str b "mode" mode;
      field_int b "valid_prefix" valid_prefix;
@@ -111,10 +139,23 @@ let write b ~seq ~t_us ~gc e =
      field_int b "reused" reused;
      field_int b "slots" slots;
      field_int b "roots" roots
-   | Site_survival { site; objects; words } ->
+   | Site_survival { site; objects; first_objects; words } ->
+     field_int b "site" site;
+     field_int b "objects" objects;
+     field_int b "first_objects" first_objects;
+     field_int b "words" words
+   | Site_alloc { site; objects; words } ->
      field_int b "site" site;
      field_int b "objects" objects;
      field_int b "words" words
+   | Site_edge { from_site; to_site } ->
+     field_int b "from_site" from_site;
+     field_int b "to_site" to_site
+   | Census { site; objects; words; ages } ->
+     field_int b "site" site;
+     field_int b "objects" objects;
+     field_int b "words" words;
+     field_counters b "ages" ages
    | Pretenure { site; words } ->
      field_int b "site" site;
      field_int b "words" words

@@ -12,6 +12,14 @@
     - a [site] is the allocation-site id from the object header
       (the runtime's [site_name] maps it back to a label). *)
 
+(** Trace-format version, carried as the envelope's leading ["v"] field.
+    {!Schema} rejects any other value; [policy.json] carries the same
+    number so a policy is always traceable to the format that produced
+    it.  History: 1 = PR 2's eight-event schema (no version field);
+    2 = adds ["v"], [site_alloc]/[site_edge]/[census] events and
+    [site_survival.first_objects]. *)
+val version : int
+
 type t =
   | Gc_begin of {
       kind : string;
@@ -46,8 +54,33 @@ type t =
   | Site_survival of {
       site : int;
       objects : int;
+      first_objects : int;  (** subset of [objects] surviving their first
+                                collection — the numerator of the paper's
+                                [old%] when summed over a run *)
       words : int;
     }  (** per-site survivors of the collection that just drained *)
+  | Site_alloc of {
+      site : int;
+      objects : int;
+      words : int;
+    }  (** per-site allocation deltas since the previous [site_alloc]
+           for the site (flushed at every collection and at collector
+           destruction) — the denominator of the offline [old%] *)
+  | Site_edge of {
+      from_site : int;
+      to_site : int;
+    }  (** a pointer from a [from_site] object to a [to_site] object was
+           observed (stores and record initialisation); deduplicated, so
+           each pair appears at most once per trace *)
+  | Census of {
+      site : int;
+      objects : int;  (** live objects from this site *)
+      words : int;    (** live words from this site *)
+      ages : (string * int) list;
+        (** live objects bucketed by collections survived:
+            "0","1","2-3","4-7","8+"; zero buckets omitted *)
+    }  (** heap census: one record per live site, sampled every
+           [census_period]-th collection (Config-gated) *)
   | Pretenure of {
       site : int;
       words : int;

@@ -139,9 +139,19 @@ let record t e =
     incr t "scan.frames_reused" reused;
     incr t "scan.slots_decoded" slots;
     incr t "scan.roots" roots
-  | Event.Site_survival { site; objects; words } ->
+  | Event.Site_survival { site; objects; first_objects; words } ->
     incr t (Printf.sprintf "site.%d.survived_w" site) words;
-    incr t (Printf.sprintf "site.%d.survived_objects" site) objects
+    incr t (Printf.sprintf "site.%d.survived_objects" site) objects;
+    incr t (Printf.sprintf "site.%d.first_survivals" site) first_objects
+  | Event.Site_alloc { site; objects; words } ->
+    incr t (Printf.sprintf "site.%d.alloc_objects" site) objects;
+    incr t (Printf.sprintf "site.%d.alloc_w" site) words
+  | Event.Site_edge _ -> incr t "site_edges" 1
+  | Event.Census _ ->
+    (* Census records are live-heap snapshots, not deltas — summing them
+       into counters would double-count; the offline analyzer
+       ({!Profile}) is their consumer.  Only their volume is counted. *)
+    incr t "census.records" 1
   | Event.Pretenure { site; words } ->
     incr t (Printf.sprintf "site.%d.pretenured_w" site) words
   | Event.Marker_place { installed; depth = _ } ->

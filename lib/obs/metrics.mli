@@ -19,7 +19,13 @@
     - [scan.frames_decoded], [scan.frames_reused], [scan.slots_decoded],
       [scan.roots] — stack-scan counters;
     - [site.<id>.survived_w], [site.<id>.survived_objects],
-      [site.<id>.pretenured_w] — per-site survival/pretenure counters;
+      [site.<id>.first_survivals], [site.<id>.alloc_objects],
+      [site.<id>.alloc_w], [site.<id>.pretenured_w] — per-site
+      allocation/survival/pretenure counters;
+    - [site_edges] — distinct inter-site pointer edges observed;
+    - [census.records] — census records seen (censuses are live-heap
+      snapshots, so they fold into no cumulative counter — the offline
+      analyzer consumes them);
     - [markers.installed], [unwinds] — counters. *)
 
 module Histogram : sig

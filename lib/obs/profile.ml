@@ -1,0 +1,378 @@
+type site = {
+  site : int;
+  alloc_objects : int;
+  alloc_words : int;
+  survived_objects : int;
+  first_objects : int;
+  survived_words : int;
+  pretenured_objects : int;
+  pretenured_words : int;
+}
+
+type pause = {
+  gc : int;
+  kind : string;
+  start_us : float;
+  dur_us : float;
+}
+
+type census_row = {
+  c_site : int;
+  c_objects : int;
+  c_words : int;
+  c_ages : (string * int) list;
+}
+
+type census = {
+  census_gc : int;
+  rows : census_row list;
+}
+
+type scan_stats = {
+  scans : int;
+  frames_decoded : int;
+  frames_reused : int;
+  slots_decoded : int;
+  scan_roots : int;
+}
+
+type t = {
+  events : int;
+  collections : int;
+  gc_kinds : (string * int) list;
+  sites : site list;
+  edges : (int * int) list;
+  pauses : pause list;
+  censuses : census list;
+  scan : scan_stats;
+  phase_us : (string * float) list;
+  copied_w : int;
+  promoted_w : int;
+  span_us : float;
+}
+
+(* mutable accumulator mirrored into the public [site] at the end *)
+type acc = {
+  mutable a_alloc_objects : int;
+  mutable a_alloc_words : int;
+  mutable a_survived_objects : int;
+  mutable a_first_objects : int;
+  mutable a_survived_words : int;
+  mutable a_pretenured_objects : int;
+  mutable a_pretenured_words : int;
+}
+
+let fresh_acc () =
+  { a_alloc_objects = 0;
+    a_alloc_words = 0;
+    a_survived_objects = 0;
+    a_first_objects = 0;
+    a_survived_words = 0;
+    a_pretenured_objects = 0;
+    a_pretenured_words = 0 }
+
+(* Records are schema-validated before folding, so the accessors may
+   assume the declared shape; the fallbacks are unreachable. *)
+let mem_int members k =
+  match List.assoc_opt k members with
+  | Some (Json.Num f) -> int_of_float f
+  | _ -> 0
+
+let mem_float members k =
+  match List.assoc_opt k members with
+  | Some (Json.Num f) -> f
+  | _ -> 0.
+
+let mem_str members k =
+  match List.assoc_opt k members with
+  | Some (Json.Str s) -> s
+  | _ -> ""
+
+let mem_counters members k =
+  match List.assoc_opt k members with
+  | Some (Json.Obj pairs) ->
+    List.map
+      (fun (name, v) ->
+        (name, match v with Json.Num f -> int_of_float f | _ -> 0))
+      pairs
+  | _ -> []
+
+let of_lines lines =
+  let sites : (int, acc) Hashtbl.t = Hashtbl.create 32 in
+  let acc_for id =
+    match Hashtbl.find_opt sites id with
+    | Some a -> a
+    | None ->
+      let a = fresh_acc () in
+      Hashtbl.replace sites id a;
+      a
+  in
+  let edges : (int * int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let gc_kinds : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let phase_us : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let pauses = ref [] in
+  let censuses = ref [] in          (* (gc, rows ref) newest first *)
+  let events = ref 0 in
+  let collections = ref 0 in
+  let copied_w = ref 0 in
+  let promoted_w = ref 0 in
+  let span_us = ref 0. in
+  let scans = ref 0 in
+  let frames_decoded = ref 0 in
+  let frames_reused = ref 0 in
+  let slots_decoded = ref 0 in
+  let scan_roots = ref 0 in
+  (* the pending collection: (gc ordinal, kind, begin timestamp) —
+     collections never nest, so one slot suffices *)
+  let open_gc = ref None in
+  let fold members =
+    incr events;
+    span_us := Float.max !span_us (mem_float members "t_us");
+    let gc = mem_int members "gc" in
+    match mem_str members "ev" with
+    | "gc_begin" ->
+      incr collections;
+      let kind = mem_str members "kind" in
+      Hashtbl.replace gc_kinds kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt gc_kinds kind));
+      open_gc := Some (gc, kind, mem_float members "t_us")
+    | "gc_end" ->
+      let pause_us = mem_float members "pause_us" in
+      copied_w := !copied_w + mem_int members "copied_w";
+      promoted_w := !promoted_w + mem_int members "promoted_w";
+      let start_us =
+        match !open_gc with
+        | Some (g, _, t0) when g = gc -> t0
+        | _ ->
+          (* truncated trace head: anchor the pause at its end *)
+          Float.max 0. (mem_float members "t_us" -. pause_us)
+      in
+      open_gc := None;
+      pauses :=
+        { gc; kind = mem_str members "kind"; start_us; dur_us = pause_us }
+        :: !pauses;
+      span_us := Float.max !span_us (start_us +. pause_us)
+    | "phase" ->
+      let name = mem_str members "name" in
+      Hashtbl.replace phase_us name
+        (mem_float members "dur_us"
+         +. Option.value ~default:0. (Hashtbl.find_opt phase_us name))
+    | "stack_scan" ->
+      incr scans;
+      frames_decoded := !frames_decoded + mem_int members "decoded";
+      frames_reused := !frames_reused + mem_int members "reused";
+      slots_decoded := !slots_decoded + mem_int members "slots";
+      scan_roots := !scan_roots + mem_int members "roots"
+    | "site_survival" ->
+      let a = acc_for (mem_int members "site") in
+      a.a_survived_objects <- a.a_survived_objects + mem_int members "objects";
+      a.a_first_objects <- a.a_first_objects + mem_int members "first_objects";
+      a.a_survived_words <- a.a_survived_words + mem_int members "words"
+    | "site_alloc" ->
+      let a = acc_for (mem_int members "site") in
+      a.a_alloc_objects <- a.a_alloc_objects + mem_int members "objects";
+      a.a_alloc_words <- a.a_alloc_words + mem_int members "words"
+    | "site_edge" ->
+      Hashtbl.replace edges
+        (mem_int members "from_site", mem_int members "to_site")
+        ()
+    | "census" ->
+      let row =
+        { c_site = mem_int members "site";
+          c_objects = mem_int members "objects";
+          c_words = mem_int members "words";
+          c_ages = mem_counters members "ages" }
+      in
+      (match !censuses with
+       | (g, rows) :: _ when g = gc -> rows := row :: !rows
+       | _ -> censuses := (gc, ref [ row ]) :: !censuses)
+    | "pretenure" ->
+      let a = acc_for (mem_int members "site") in
+      a.a_pretenured_objects <- a.a_pretenured_objects + 1;
+      a.a_pretenured_words <- a.a_pretenured_words + mem_int members "words"
+    | "marker_place" | "unwind" -> ()
+    | _ -> ()
+  in
+  let rec go n = function
+    | [] -> Ok ()
+    | "" :: rest -> go (n + 1) rest
+    | line :: rest ->
+      (match Json.parse line with
+       | exception Failure msg -> Error (Printf.sprintf "line %d: %s" n msg)
+       | j ->
+         (match Schema.validate j with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" n msg)
+          | Ok () ->
+            (match j with
+             | Json.Obj members -> fold members
+             | _ -> ());
+            go (n + 1) rest))
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () ->
+    let site_list =
+      Hashtbl.fold
+        (fun id a rest ->
+          { site = id;
+            alloc_objects = a.a_alloc_objects;
+            alloc_words = a.a_alloc_words;
+            survived_objects = a.a_survived_objects;
+            first_objects = a.a_first_objects;
+            survived_words = a.a_survived_words;
+            pretenured_objects = a.a_pretenured_objects;
+            pretenured_words = a.a_pretenured_words }
+          :: rest)
+        sites []
+      |> List.sort (fun a b -> compare a.site b.site)
+    in
+    Ok
+      { events = !events;
+        collections = !collections;
+        gc_kinds =
+          List.sort compare
+            (Hashtbl.fold (fun k v rest -> (k, v) :: rest) gc_kinds []);
+        sites = site_list;
+        edges =
+          List.sort compare
+            (Hashtbl.fold (fun e () rest -> e :: rest) edges []);
+        pauses = List.rev !pauses;
+        censuses =
+          List.rev_map
+            (fun (g, rows) -> { census_gc = g; rows = List.rev !rows })
+            !censuses;
+        scan =
+          { scans = !scans;
+            frames_decoded = !frames_decoded;
+            frames_reused = !frames_reused;
+            slots_decoded = !slots_decoded;
+            scan_roots = !scan_roots };
+        phase_us =
+          List.sort compare
+            (Hashtbl.fold (fun k v rest -> (k, v) :: rest) phase_us []);
+        copied_w = !copied_w;
+        promoted_w = !promoted_w;
+        span_us = !span_us }
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let rec read acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> read (line :: acc)
+  in
+  of_lines (read [])
+
+let site_stats t ~site = List.find_opt (fun s -> s.site = site) t.sites
+
+let old_fraction s =
+  if s.alloc_objects = 0 then 0.
+  else
+    (* pretenured objects were placed old by fiat and never take a first
+       copy; counting them as survivors keeps the fraction stable when a
+       policy-driven run is itself profiled *)
+    float_of_int (s.first_objects + s.pretenured_objects)
+    /. float_of_int s.alloc_objects
+
+let select_pretenure t ~cutoff ~min_objects =
+  List.filter_map
+    (fun s ->
+      if old_fraction s >= cutoff && s.alloc_objects >= min_objects then
+        Some s.site
+      else None)
+    t.sites
+
+type percentiles = {
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_us : float;
+  total_us : float;
+}
+
+let percentile_of sorted n q =
+  (* nearest-rank on a sorted array: the ceil(q*n)-th value *)
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let percentiles_of durs =
+  let n = Array.length durs in
+  if n = 0 then None
+  else begin
+    let sorted = Array.copy durs in
+    Array.sort compare sorted;
+    Some
+      { count = n;
+        p50 = percentile_of sorted n 0.50;
+        p90 = percentile_of sorted n 0.90;
+        p99 = percentile_of sorted n 0.99;
+        max_us = sorted.(n - 1);
+        total_us = Array.fold_left ( +. ) 0. sorted }
+  end
+
+let pause_percentiles t =
+  if t.pauses = [] then []
+  else begin
+    let kinds =
+      List.sort_uniq compare (List.map (fun p -> p.kind) t.pauses)
+    in
+    let entry kind =
+      let durs =
+        Array.of_list
+          (List.filter_map
+             (fun p ->
+               if kind = "all" || p.kind = kind then Some p.dur_us else None)
+             t.pauses)
+      in
+      Option.map (fun pc -> (kind, pc)) (percentiles_of durs)
+    in
+    List.filter_map entry (List.sort compare ("all" :: kinds))
+  end
+
+(* --- MMU --- *)
+
+(* Pause time overlapping the window [lo, lo + w). *)
+let busy_in pauses ~lo ~w =
+  let hi = lo +. w in
+  List.fold_left
+    (fun acc p ->
+      let s = p.start_us and e = p.start_us +. p.dur_us in
+      acc +. Float.max 0. (Float.min e hi -. Float.max s lo))
+    0. pauses
+
+let mmu t ~window_us =
+  let span = t.span_us in
+  if window_us <= 0. || span <= 0. then 1.
+  else if t.pauses = [] then 1.
+  else if window_us >= span then begin
+    (* degenerate: the only "window" is the run itself *)
+    let total = List.fold_left (fun acc p -> acc +. p.dur_us) 0. t.pauses in
+    Float.max 0. (1. -. (total /. span))
+  end
+  else begin
+    (* the minimum is reached with a window edge on a pause boundary:
+       sliding a window whose edges touch no boundary changes busy time
+       linearly, so an endpoint of the slide is at least as bad *)
+    let candidates =
+      List.concat_map
+        (fun p ->
+          [ p.start_us;
+            p.start_us +. p.dur_us -. window_us;
+            p.start_us +. p.dur_us;
+            p.start_us -. window_us ])
+        t.pauses
+    in
+    let worst =
+      List.fold_left
+        (fun acc lo ->
+          let lo = Float.max 0. (Float.min lo (span -. window_us)) in
+          Float.max acc (busy_in t.pauses ~lo ~w:window_us))
+        0. candidates
+    in
+    Float.max 0. (1. -. (worst /. window_us))
+  end
+
+let mmu_curve t ~windows_us =
+  List.map (fun w -> (w, mmu t ~window_us:w)) windows_us

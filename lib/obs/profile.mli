@@ -1,0 +1,131 @@
+(** The offline trace analyzer: folds a JSONL GC trace into per-site
+    survival statistics, exact pause records, heap censuses, inter-site
+    pointer edges and stack-scan cost attribution.
+
+    This is the batch half of the observability layer: {!Trace} writes
+    during a run, [Profile] reads afterwards — no collector needs to be
+    running.  Every line is validated against {!Schema} (including the
+    envelope version) before folding, so an analysis never silently
+    misreads a trace from another format version.
+
+    Over a fully-traced run the per-site integers are exact, not
+    sampled: [site_alloc] deltas are flushed at every collection and at
+    collector destruction, and [site_survival.first_objects] counts each
+    object's first copy exactly once (pretenured objects carry the
+    survivor bit from birth and never count).  The derived
+    {!old_fraction} therefore equals the live profiler's
+    survived/allocated ratio, which is what lets {!select_pretenure}
+    reproduce the live policy decision offline. *)
+
+(** Per-site totals folded over the whole trace. *)
+type site = {
+  site : int;
+  alloc_objects : int;       (** from [site_alloc] deltas *)
+  alloc_words : int;
+  survived_objects : int;    (** copies, summed over collections *)
+  first_objects : int;       (** objects that survived their first
+                                 collection — the paper's [old%]
+                                 numerator *)
+  survived_words : int;
+  pretenured_objects : int;  (** [pretenure] events *)
+  pretenured_words : int;
+}
+
+(** One collection's pause: [\[start_us, start_us +. dur_us)] on the
+    trace clock. *)
+type pause = {
+  gc : int;
+  kind : string;
+  start_us : float;
+  dur_us : float;
+}
+
+type census_row = {
+  c_site : int;
+  c_objects : int;
+  c_words : int;
+  c_ages : (string * int) list;  (** age-bucket label -> live objects *)
+}
+
+(** One sampled heap census (all [census] records of one collection). *)
+type census = {
+  census_gc : int;
+  rows : census_row list;  (** sorted by site *)
+}
+
+(** Stack-scan cost attribution summed over [stack_scan] records. *)
+type scan_stats = {
+  scans : int;
+  frames_decoded : int;
+  frames_reused : int;
+  slots_decoded : int;
+  scan_roots : int;
+}
+
+type t = {
+  events : int;               (** records folded *)
+  collections : int;          (** [gc_begin] records *)
+  gc_kinds : (string * int) list;   (** collections by kind, sorted *)
+  sites : site list;          (** sorted by site id *)
+  edges : (int * int) list;   (** deduplicated [site_edge]s, sorted *)
+  pauses : pause list;        (** in trace order *)
+  censuses : census list;     (** in trace order *)
+  scan : scan_stats;
+  phase_us : (string * float) list;  (** summed [phase] spans, sorted *)
+  copied_w : int;
+  promoted_w : int;
+  span_us : float;            (** run span: the largest timestamp seen,
+                                  pause ends included *)
+}
+
+(** [of_lines lines] folds one JSONL line per element; empty lines are
+    skipped.  The first schema-invalid line (including a version
+    mismatch) aborts with [Error "line N: ..."]. *)
+val of_lines : string list -> (t, string) result
+
+(** [of_file path] reads and folds a trace file. *)
+val of_file : string -> (t, string) result
+
+(** [site_stats t ~site] looks up one site's totals. *)
+val site_stats : t -> site:int -> site option
+
+(** The fraction of this site's allocated objects that survived their
+    first collection ([first_objects / alloc_objects]; 0 when nothing
+    was allocated).  Objects the policy pretenured count as surviving —
+    they were placed old by fiat — so a policy-driven re-run reports the
+    same fractions as the profiled run that produced the policy. *)
+val old_fraction : site -> float
+
+(** [select_pretenure t ~cutoff ~min_objects] applies the paper's rule:
+    sites with [old_fraction >= cutoff] and at least [min_objects]
+    allocated objects, sorted.  [cutoff = 0.8] and [min_objects = 32]
+    reproduce the harness's live-profiler selection. *)
+val select_pretenure : t -> cutoff:float -> min_objects:int -> int list
+
+(** Exact pause-time percentiles (nearest-rank) in microseconds. *)
+type percentiles = {
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_us : float;
+  total_us : float;
+}
+
+(** [pause_percentiles t] is one entry per collection kind plus ["all"],
+    sorted by kind; empty when the trace has no pauses. *)
+val pause_percentiles : t -> (string * percentiles) list
+
+(** [mmu t ~window_us] is the minimum mutator utilisation over every
+    window of [window_us] microseconds inside the run span: the least
+    fraction of any such window not spent in a collection pause.
+    Conventions: a zero-pause trace has MMU 1 for every window; a window
+    not longer than 0 or an empty span reports 1; [window_us >= span_us]
+    degenerates to the run-wide utilisation [1 - total_pause / span].
+    Candidate windows need only be examined at pause boundaries, so the
+    cost is O(pauses²). *)
+val mmu : t -> window_us:float -> float
+
+(** [mmu_curve t ~windows_us] evaluates {!mmu} at each window size,
+    returning [(window_us, mmu)] pairs in the given order. *)
+val mmu_curve : t -> windows_us:float list -> (float * float) list

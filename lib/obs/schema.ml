@@ -4,7 +4,8 @@ type field_type =
   | Str
   | Counters
 
-let envelope = [ ("seq", Int); ("t_us", Us); ("gc", Int); ("ev", Str) ]
+let envelope =
+  [ ("v", Int); ("seq", Int); ("t_us", Us); ("gc", Int); ("ev", Str) ]
 
 (* Keep in lockstep with Event.write and docs/TRACING.md; the golden
    test cross-checks emission against this table. *)
@@ -18,7 +19,13 @@ let tables =
     ("stack_scan",
      [ ("mode", Str); ("valid_prefix", Int); ("depth", Int); ("decoded", Int);
        ("reused", Int); ("slots", Int); ("roots", Int) ]);
-    ("site_survival", [ ("site", Int); ("objects", Int); ("words", Int) ]);
+    ("site_survival",
+     [ ("site", Int); ("objects", Int); ("first_objects", Int);
+       ("words", Int) ]);
+    ("site_alloc", [ ("site", Int); ("objects", Int); ("words", Int) ]);
+    ("site_edge", [ ("from_site", Int); ("to_site", Int) ]);
+    ("census",
+     [ ("site", Int); ("objects", Int); ("words", Int); ("ages", Counters) ]);
     ("pretenure", [ ("site", Int); ("words", Int) ]);
     ("marker_place", [ ("installed", Int); ("depth", Int) ]);
     ("unwind", [ ("target_depth", Int) ]) ]
@@ -66,9 +73,22 @@ let validate j =
                    (Printf.sprintf "field %S is not a %s" name (type_name ty))))
         (Ok ()) spec
     in
+    let version_ok =
+      match List.assoc_opt "v" members with
+      | Some (Json.Num f)
+        when Float.is_integer f && int_of_float f <> Event.version ->
+        Error
+          (Printf.sprintf
+             "trace version %d not supported (this build reads version %d)"
+             (int_of_float f) Event.version)
+      | _ -> Ok ()
+    in
     (match check_spec envelope with
      | Error _ as e -> e
      | Ok () ->
+       (match version_ok with
+        | Error _ as e -> e
+        | Ok () ->
        (match List.assoc_opt "ev" members with
         | Some (Json.Str kind) ->
           (match List.assoc_opt kind tables with
@@ -89,7 +109,7 @@ let validate j =
                    Error
                      (Printf.sprintf "unknown field %S on %S" k kind)
                  | None -> Ok ())))
-        | Some _ | None -> Error "missing \"ev\" discriminator"))
+        | Some _ | None -> Error "missing \"ev\" discriminator")))
   | _ -> Error "record is not a JSON object"
 
 let validate_line s =

@@ -4,7 +4,10 @@
 
     Validation is strict both ways: a record must carry every field its
     kind declares with the declared type, and may carry nothing else.
-    Numbers declared [Int] must be integral and non-negative. *)
+    Numbers declared [Int] must be integral and non-negative.  The
+    envelope's ["v"] field must equal {!Event.version}: traces from
+    other format versions are rejected with an error naming both
+    versions rather than misread. *)
 
 type field_type =
   | Int       (** non-negative integral JSON number *)
@@ -13,7 +16,7 @@ type field_type =
   | Counters  (** JSON object whose members are all non-negative ints *)
 
 (** Envelope fields present on every record, in emission order:
-    [seq], [t_us], [gc], [ev]. *)
+    [v], [seq], [t_us], [gc], [ev]. *)
 val envelope : (string * field_type) list
 
 (** The event kinds, in [docs/TRACING.md] order. *)

@@ -162,3 +162,284 @@ let render ?site_name m =
     [ pause_histograms m; phase_breakdown m; site_table ?site_name m ]
   in
   String.concat "\n" (List.filter (fun s -> s <> "") sections)
+
+(* --- offline profile reports (gc-profile) --- *)
+
+let default_site_name id = Printf.sprintf "site-%d" id
+
+let pct f = Printf.sprintf "%.1f%%" (100. *. f)
+
+let take n l =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n l
+
+let survival_table ?(site_name = default_site_name) ?top (p : Profile.t) =
+  if p.Profile.sites = [] then ""
+  else begin
+    let by_weight =
+      List.sort
+        (fun a b -> compare b.Profile.survived_words a.Profile.survived_words)
+        p.Profile.sites
+    in
+    let shown, elided =
+      match top with
+      | Some n when List.length by_weight > n ->
+        (take n by_weight, List.length by_weight - n)
+      | _ -> (by_weight, 0)
+    in
+    let grid =
+      Support.Textgrid.create
+        ~columns:Support.Textgrid.[ Left; Right; Right; Right; Right; Left ]
+    in
+    Support.Textgrid.add_row grid
+      [ "site"; "alloc_objs"; "alloc_w"; "survived_w"; "old%"; "" ];
+    Support.Textgrid.add_rule grid;
+    List.iter
+      (fun s ->
+        let old = Profile.old_fraction s in
+        Support.Textgrid.add_row grid
+          [ site_name s.Profile.site;
+            string_of_int s.Profile.alloc_objects;
+            string_of_int s.Profile.alloc_words;
+            string_of_int s.Profile.survived_words;
+            pct old;
+            bar ~width:20 old
+            ^ (if s.Profile.pretenured_objects > 0 then " [pretenured]" else "")
+          ])
+      shown;
+    if elided > 0 then begin
+      Support.Textgrid.add_rule grid;
+      Support.Textgrid.add_row grid
+        [ Printf.sprintf "(%d more sites)" elided; ""; ""; ""; ""; "" ]
+    end;
+    Support.Textgrid.render grid
+  end
+
+let pause_table (p : Profile.t) =
+  match Profile.pause_percentiles p with
+  | [] -> ""
+  | entries ->
+    let grid =
+      Support.Textgrid.create
+        ~columns:Support.Textgrid.[ Left; Right; Right; Right; Right; Right; Right ]
+    in
+    Support.Textgrid.add_row grid
+      [ "pause"; "count"; "p50_us"; "p90_us"; "p99_us"; "max_us"; "total_us" ];
+    Support.Textgrid.add_rule grid;
+    List.iter
+      (fun (kind, (pc : Profile.percentiles)) ->
+        Support.Textgrid.add_row grid
+          [ kind;
+            string_of_int pc.Profile.count;
+            Printf.sprintf "%.1f" pc.Profile.p50;
+            Printf.sprintf "%.1f" pc.Profile.p90;
+            Printf.sprintf "%.1f" pc.Profile.p99;
+            Printf.sprintf "%.1f" pc.Profile.max_us;
+            Printf.sprintf "%.1f" pc.Profile.total_us ])
+      entries;
+    Support.Textgrid.render grid
+
+let mmu_table (p : Profile.t) ~windows_us =
+  if windows_us = [] then ""
+  else begin
+    let grid =
+      Support.Textgrid.create ~columns:Support.Textgrid.[ Right; Right; Left ]
+    in
+    Support.Textgrid.add_row grid [ "window_us"; "mmu"; "" ];
+    Support.Textgrid.add_rule grid;
+    List.iter
+      (fun (w, u) ->
+        Support.Textgrid.add_row grid
+          [ Printf.sprintf "%.0f" w; pct u; bar ~width:30 u ])
+      (Profile.mmu_curve p ~windows_us);
+    Support.Textgrid.render grid
+  end
+
+let census_table ?(site_name = default_site_name) ?top (p : Profile.t) =
+  match List.rev p.Profile.censuses with
+  | [] -> ""
+  | last :: _ ->
+    let by_words =
+      List.sort
+        (fun a b -> compare b.Profile.c_words a.Profile.c_words)
+        last.Profile.rows
+    in
+    let shown, elided =
+      match top with
+      | Some n when List.length by_words > n ->
+        (take n by_words, List.length by_words - n)
+      | _ -> (by_words, 0)
+    in
+    let grid =
+      Support.Textgrid.create
+        ~columns:Support.Textgrid.[ Left; Right; Right; Left ]
+    in
+    Support.Textgrid.add_row grid
+      [ Printf.sprintf "census (gc %d)" last.Profile.census_gc;
+        "live_objs"; "live_w"; "ages" ];
+    Support.Textgrid.add_rule grid;
+    List.iter
+      (fun (r : Profile.census_row) ->
+        Support.Textgrid.add_row grid
+          [ site_name r.Profile.c_site;
+            string_of_int r.Profile.c_objects;
+            string_of_int r.Profile.c_words;
+            String.concat " "
+              (List.map
+                 (fun (b, n) -> Printf.sprintf "%s:%d" b n)
+                 r.Profile.c_ages) ])
+      shown;
+    if elided > 0 then begin
+      Support.Textgrid.add_rule grid;
+      Support.Textgrid.add_row grid
+        [ Printf.sprintf "(%d more sites)" elided; ""; ""; "" ]
+    end;
+    Support.Textgrid.render grid
+
+let scan_table (p : Profile.t) =
+  let s = p.Profile.scan in
+  if s.Profile.scans = 0 then ""
+  else begin
+    let grid =
+      Support.Textgrid.create ~columns:Support.Textgrid.[ Left; Right ]
+    in
+    let frames = s.Profile.frames_decoded + s.Profile.frames_reused in
+    Support.Textgrid.add_row grid [ "stack scans"; string_of_int s.Profile.scans ];
+    Support.Textgrid.add_rule grid;
+    Support.Textgrid.add_row grid
+      [ "frames decoded"; string_of_int s.Profile.frames_decoded ];
+    Support.Textgrid.add_row grid
+      [ "frames reused (markers)"; string_of_int s.Profile.frames_reused ];
+    Support.Textgrid.add_row grid
+      [ "reuse rate";
+        (if frames = 0 then "-"
+         else pct (float_of_int s.Profile.frames_reused /. float_of_int frames))
+      ];
+    Support.Textgrid.add_row grid
+      [ "slots decoded"; string_of_int s.Profile.slots_decoded ];
+    Support.Textgrid.add_row grid
+      [ "roots found"; string_of_int s.Profile.scan_roots ];
+    (match List.assoc_opt "roots" p.Profile.phase_us with
+     | Some us ->
+       Support.Textgrid.add_row grid
+         [ "root-phase time"; Printf.sprintf "%.0f us" us ]
+     | None -> ());
+    Support.Textgrid.render grid
+  end
+
+let profile_header (p : Profile.t) =
+  let kinds =
+    String.concat ", "
+      (List.map
+         (fun (k, n) -> Printf.sprintf "%d %s" n k)
+         p.Profile.gc_kinds)
+  in
+  Printf.sprintf
+    "%d events, %d collections (%s), %d sites, %.0f us span, %d w copied, %d w promoted"
+    p.Profile.events p.Profile.collections
+    (if kinds = "" then "none" else kinds)
+    (List.length p.Profile.sites) p.Profile.span_us p.Profile.copied_w
+    p.Profile.promoted_w
+
+let profile_report ?site_name ?top ~windows_us (p : Profile.t) =
+  let sections =
+    [ profile_header p;
+      survival_table ?site_name ?top p;
+      pause_table p;
+      mmu_table p ~windows_us;
+      census_table ?site_name ?top p;
+      scan_table p ]
+  in
+  String.concat "\n" (List.filter (fun s -> s <> "") sections)
+
+let profile_diff ?(site_name = default_site_name) ?top ~a ~b () =
+  let header = "A: " ^ profile_header a ^ "\nB: " ^ profile_header b in
+  let site_section =
+    let ids =
+      List.sort_uniq compare
+        (List.map (fun s -> s.Profile.site) a.Profile.sites
+         @ List.map (fun s -> s.Profile.site) b.Profile.sites)
+    in
+    if ids = [] then ""
+    else begin
+      let stat (t : Profile.t) id = Profile.site_stats t ~site:id in
+      let words t id =
+        match stat t id with
+        | Some s -> s.Profile.survived_words
+        | None -> 0
+      in
+      let by_delta =
+        List.sort
+          (fun i j ->
+            compare
+              (abs (words b j - words a j))
+              (abs (words b i - words a i)))
+          ids
+      in
+      let shown =
+        match top with
+        | Some n when List.length by_delta > n -> take n by_delta
+        | _ -> by_delta
+      in
+      let grid =
+        Support.Textgrid.create
+          ~columns:Support.Textgrid.[ Left; Right; Right; Right; Right ]
+      in
+      Support.Textgrid.add_row grid
+        [ "site"; "survived_w A"; "survived_w B"; "old% A"; "old% B" ];
+      Support.Textgrid.add_rule grid;
+      List.iter
+        (fun id ->
+          let old t =
+            match stat t id with
+            | Some s -> pct (Profile.old_fraction s)
+            | None -> "-"
+          in
+          Support.Textgrid.add_row grid
+            [ site_name id;
+              string_of_int (words a id);
+              string_of_int (words b id);
+              old a;
+              old b ])
+        shown;
+      Support.Textgrid.render grid
+    end
+  in
+  let pause_section =
+    let pa = Profile.pause_percentiles a and pb = Profile.pause_percentiles b in
+    let kinds =
+      List.sort_uniq compare (List.map fst pa @ List.map fst pb)
+    in
+    if kinds = [] then ""
+    else begin
+      let grid =
+        Support.Textgrid.create
+          ~columns:Support.Textgrid.[ Left; Right; Right; Right; Right; Right; Right ]
+      in
+      Support.Textgrid.add_row grid
+        [ "pause"; "p50 A"; "p50 B"; "p99 A"; "p99 B"; "total A"; "total B" ];
+      Support.Textgrid.add_rule grid;
+      List.iter
+        (fun kind ->
+          let f entries sel =
+            match List.assoc_opt kind entries with
+            | Some (pc : Profile.percentiles) -> Printf.sprintf "%.1f" (sel pc)
+            | None -> "-"
+          in
+          Support.Textgrid.add_row grid
+            [ kind;
+              f pa (fun pc -> pc.Profile.p50);
+              f pb (fun pc -> pc.Profile.p50);
+              f pa (fun pc -> pc.Profile.p99);
+              f pb (fun pc -> pc.Profile.p99);
+              f pa (fun pc -> pc.Profile.total_us);
+              f pb (fun pc -> pc.Profile.total_us) ])
+        kinds;
+      Support.Textgrid.render grid
+    end
+  in
+  String.concat "\n"
+    (List.filter (fun s -> s <> "") [ header; site_section; pause_section ])

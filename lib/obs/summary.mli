@@ -19,3 +19,47 @@ val site_table : ?site_name:(int -> string) -> Metrics.t -> string
 (** [render ?site_name m] is the three sections above, separated by
     blank lines, sections without data omitted. *)
 val render : ?site_name:(int -> string) -> Metrics.t -> string
+
+(** {1 Offline profile reports}
+
+    Rendering for {!Profile.t} analyses ([gc-profile]'s output).  Every
+    table returns the empty string when its data is absent from the
+    trace, so reports compose with {!profile_report} regardless of
+    which event families a run emitted. *)
+
+(** [survival_table ?site_name ?top p] is the per-site survival table:
+    allocated objects/words, survived words, the old% column that
+    drives pretenuring, and a bar; heaviest survivors first, truncated
+    to [top] rows when given. *)
+val survival_table :
+  ?site_name:(int -> string) -> ?top:int -> Profile.t -> string
+
+(** [pause_table p] is one row of exact nearest-rank percentiles per
+    collection kind plus ["all"]. *)
+val pause_table : Profile.t -> string
+
+(** [mmu_table p ~windows_us] tabulates {!Profile.mmu_curve}. *)
+val mmu_table : Profile.t -> windows_us:float list -> string
+
+(** [census_table ?site_name ?top p] renders the {e last} heap census in
+    the trace: live objects, live words and age buckets per site,
+    heaviest first. *)
+val census_table :
+  ?site_name:(int -> string) -> ?top:int -> Profile.t -> string
+
+(** [scan_table p] is the stack-scan cost attribution (decoded vs
+    reused frames, slots, roots, and the summed root-phase time). *)
+val scan_table : Profile.t -> string
+
+(** [profile_report ?site_name ?top ~windows_us p] is a one-line run
+    header followed by every non-empty table above. *)
+val profile_report :
+  ?site_name:(int -> string) -> ?top:int -> windows_us:float list ->
+  Profile.t -> string
+
+(** [profile_diff ?site_name ?top ~a ~b ()] compares two analyzed
+    traces: per-site survived words and old% side by side (largest
+    movement first), and pause percentiles per kind. *)
+val profile_diff :
+  ?site_name:(int -> string) -> ?top:int -> a:Profile.t -> b:Profile.t ->
+  unit -> string

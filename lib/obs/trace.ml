@@ -83,8 +83,15 @@ let with_sink ?metrics ?clock sink f =
 
 let with_file ?metrics path f =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
-  with_sink ?metrics (Channel oc) f
+  (* [with_sink]'s [disable] already drains the pending queue, but be
+     defensive about ordering: flush whatever the tracer still buffers
+     before the channel closes, so even an exceptional exit mid-pause
+     leaves a complete, schema-valid trace on disk. *)
+  Fun.protect
+    ~finally:(fun () ->
+      flush ();
+      close_out oc)
+  @@ fun () -> with_sink ?metrics (Channel oc) f
 
 let with_buffer ?metrics ?clock buf f =
   with_sink ?metrics ?clock (Sink_buffer buf) f
@@ -134,10 +141,26 @@ let stack_scan ~mode ~valid_prefix ~depth ~decoded ~reused ~slots ~roots =
       (Event.Stack_scan
          { mode; valid_prefix; depth; decoded; reused; slots; roots })
 
-let site_survival ~site ~objects ~words =
+let site_survival ~site ~objects ~first_objects ~words =
   match !state with
   | None -> ()
-  | Some st -> emit st (Event.Site_survival { site; objects; words })
+  | Some st ->
+    emit st (Event.Site_survival { site; objects; first_objects; words })
+
+let site_alloc ~site ~objects ~words =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Site_alloc { site; objects; words })
+
+let site_edge ~from_site ~to_site =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Site_edge { from_site; to_site })
+
+let census ~site ~objects ~words ~ages =
+  match !state with
+  | None -> ()
+  | Some st -> emit st (Event.Census { site; objects; words; ages })
 
 let pretenure ~site ~words =
   match !state with

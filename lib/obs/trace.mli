@@ -53,7 +53,9 @@ val flush : unit -> unit
 val enabled : unit -> bool
 
 (** [with_file ?metrics path f] traces [f ()] into a fresh file at
-    [path]; always disables and closes, even on exceptions. *)
+    [path]; always drains buffered records, disables and closes — even
+    when [f] raises mid-collection, so a crashing workload still leaves
+    a complete, schema-valid trace. *)
 val with_file : ?metrics:Metrics.t -> string -> (unit -> 'a) -> 'a
 
 (** [with_buffer ?metrics ?clock buf f] traces [f ()] into [buf]. *)
@@ -77,7 +79,14 @@ val stack_scan :
   mode:string -> valid_prefix:int -> depth:int -> decoded:int -> reused:int ->
   slots:int -> roots:int -> unit
 
-val site_survival : site:int -> objects:int -> words:int -> unit
+val site_survival :
+  site:int -> objects:int -> first_objects:int -> words:int -> unit
+
+val site_alloc : site:int -> objects:int -> words:int -> unit
+val site_edge : from_site:int -> to_site:int -> unit
+val census :
+  site:int -> objects:int -> words:int -> ages:(string * int) list -> unit
+
 val pretenure : site:int -> words:int -> unit
 val marker_place : installed:int -> depth:int -> unit
 val unwind : target_depth:int -> unit

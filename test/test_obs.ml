@@ -7,6 +7,11 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_str = Alcotest.(check string)
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
 module H = Obs.Metrics.Histogram
 
 (* --- Histogram bucketing --- *)
@@ -118,13 +123,23 @@ let metrics_tap () =
        { kind = "minor"; pause_us = 120.; copied_w = 5; promoted_w = 5; live_w = 25 });
   Obs.Metrics.record m
     (Obs.Event.Phase { name = "copy"; dur_us = 80.; counters = [ ("copied_w", 5) ] });
-  Obs.Metrics.record m (Obs.Event.Site_survival { site = 3; objects = 2; words = 6 });
+  Obs.Metrics.record m
+    (Obs.Event.Site_survival { site = 3; objects = 2; first_objects = 1; words = 6 });
+  Obs.Metrics.record m (Obs.Event.Site_alloc { site = 3; objects = 5; words = 15 });
+  Obs.Metrics.record m (Obs.Event.Site_edge { from_site = 3; to_site = 4 });
+  Obs.Metrics.record m
+    (Obs.Event.Census { site = 3; objects = 2; words = 6; ages = [ ("0", 2) ] });
   check_bool "nursery gauge" true (Obs.Metrics.get_gauge m "heap.nursery_w" = Some 10);
   check_int "gc.minor" 1 (Obs.Metrics.get_counter m "gc.minor");
   check_int "copied" 5 (Obs.Metrics.get_counter m "copied_w");
   check_int "phase time" 80 (Obs.Metrics.get_counter m "phase_us.copy");
   check_int "phase counter" 5 (Obs.Metrics.get_counter m "phase.copy.copied_w");
   check_int "site words" 6 (Obs.Metrics.get_counter m "site.3.survived_w");
+  check_int "first survivals" 1 (Obs.Metrics.get_counter m "site.3.first_survivals");
+  check_int "alloc objects" 5 (Obs.Metrics.get_counter m "site.3.alloc_objects");
+  check_int "alloc words" 15 (Obs.Metrics.get_counter m "site.3.alloc_w");
+  check_int "edges" 1 (Obs.Metrics.get_counter m "site_edges");
+  check_int "census records" 1 (Obs.Metrics.get_counter m "census.records");
   check_bool "pause histogram" true
     (match Obs.Metrics.get_histogram m "pause_us.minor" with
      | Some h -> H.count h = 1 && H.total h = 120
@@ -149,16 +164,17 @@ let schema_rejects () =
   let bad =
     [ ("not an object", "[1]");
       ("missing envelope", "{\"ev\":\"unwind\",\"target_depth\":1}");
+      ("missing version", "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1}");
       ("missing field",
-       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\"}");
+       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\"}");
       ("unknown kind",
-       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"mystery\"}");
+       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"mystery\"}");
       ("wrong type",
-       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
+       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
       ("unknown field",
-       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
+       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
       ("negative int",
-       "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
+       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
       ("unparsable", "{") ]
   in
   List.iter
@@ -168,6 +184,26 @@ let schema_rejects () =
          | Error _ -> true
          | Ok () -> false))
     bad
+
+let schema_version_gate () =
+  let mk v =
+    Printf.sprintf
+      "{\"v\":%d,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1}"
+      v
+  in
+  (match Obs.Schema.validate_line (mk 2) with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "current version rejected: %s" msg);
+  List.iter
+    (fun v ->
+      match Obs.Schema.validate_line (mk v) with
+      | Ok () -> Alcotest.failf "version %d accepted" v
+      | Error msg ->
+        check_bool "names the foreign version" true
+          (contains ~needle:(Printf.sprintf "version %d" v) msg);
+        check_bool "names the supported version" true
+          (contains ~needle:"version 2" msg))
+    [ 1; 3 ]
 
 (* --- Golden emitter output --- *)
 
@@ -182,27 +218,34 @@ let ticking_clock () =
 
 let golden =
   String.concat "\n"
-    [ {|{"seq":0,"t_us":1.0,"gc":1,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
-      {|{"seq":1,"t_us":2.0,"gc":1,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
-      {|{"seq":2,"t_us":3.0,"gc":1,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
-      {|{"seq":3,"t_us":4.0,"gc":1,"ev":"site_survival","site":1,"objects":4,"words":12}|};
-      {|{"seq":4,"t_us":5.0,"gc":1,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
-      {|{"seq":5,"t_us":6.0,"gc":1,"ev":"pretenure","site":2,"words":8}|};
-      {|{"seq":6,"t_us":7.0,"gc":1,"ev":"marker_place","installed":3,"depth":9}|};
-      {|{"seq":7,"t_us":8.0,"gc":1,"ev":"unwind","target_depth":4}|};
+    [ {|{"v":2,"seq":0,"t_us":1.0,"gc":1,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
+      {|{"v":2,"seq":1,"t_us":2.0,"gc":1,"ev":"site_alloc","site":1,"objects":10,"words":30}|};
+      {|{"v":2,"seq":2,"t_us":3.0,"gc":1,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
+      {|{"v":2,"seq":3,"t_us":4.0,"gc":1,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
+      {|{"v":2,"seq":4,"t_us":5.0,"gc":1,"ev":"site_survival","site":1,"objects":4,"first_objects":3,"words":12}|};
+      {|{"v":2,"seq":5,"t_us":6.0,"gc":1,"ev":"census","site":1,"objects":4,"words":12,"ages":{"0":1,"2-3":3}}|};
+      {|{"v":2,"seq":6,"t_us":7.0,"gc":1,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
+      {|{"v":2,"seq":7,"t_us":8.0,"gc":1,"ev":"pretenure","site":2,"words":8}|};
+      {|{"v":2,"seq":8,"t_us":9.0,"gc":1,"ev":"site_edge","from_site":2,"to_site":1}|};
+      {|{"v":2,"seq":9,"t_us":10.0,"gc":1,"ev":"marker_place","installed":3,"depth":9}|};
+      {|{"v":2,"seq":10,"t_us":11.0,"gc":1,"ev":"unwind","target_depth":4}|};
       "" ]
 
 let golden_emitter () =
   let buf = Buffer.create 1024 in
   Obs.Trace.with_buffer ~clock:(ticking_clock ()) buf (fun () ->
       Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:100 ~tenured_w:200 ~los_w:0;
+      Obs.Trace.site_alloc ~site:1 ~objects:10 ~words:30;
       Obs.Trace.phase ~name:"roots" ~dur_us:12.5 ~counters:[ ("roots", 3) ];
       Obs.Trace.stack_scan ~mode:"minor" ~valid_prefix:2 ~depth:5 ~decoded:3
         ~reused:2 ~slots:7 ~roots:4;
-      Obs.Trace.site_survival ~site:1 ~objects:4 ~words:12;
+      Obs.Trace.site_survival ~site:1 ~objects:4 ~first_objects:3 ~words:12;
+      Obs.Trace.census ~site:1 ~objects:4 ~words:12
+        ~ages:[ ("0", 1); ("2-3", 3) ];
       Obs.Trace.gc_end ~kind:"minor" ~pause_us:250.0 ~copied_w:12
         ~promoted_w:12 ~live_w:212;
       Obs.Trace.pretenure ~site:2 ~words:8;
+      Obs.Trace.site_edge ~from_site:2 ~to_site:1;
       Obs.Trace.marker_place ~installed:3 ~depth:9;
       Obs.Trace.unwind ~target_depth:4);
   check_str "emitted lines" golden (Buffer.contents buf);
@@ -275,11 +318,6 @@ let tracing_preserves_stats () =
     (untraced.Harness.Measure.total_seconds
      = traced.Harness.Measure.total_seconds)
 
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
-
 let summary_renders () =
   let m = Obs.Metrics.create () in
   Obs.Metrics.record m
@@ -287,11 +325,349 @@ let summary_renders () =
        { kind = "minor"; pause_us = 42.; copied_w = 1; promoted_w = 1; live_w = 2 });
   Obs.Metrics.record m
     (Obs.Event.Phase { name = "copy"; dur_us = 30.; counters = [ ("copied_w", 1) ] });
-  Obs.Metrics.record m (Obs.Event.Site_survival { site = 0; objects = 1; words = 2 });
+  Obs.Metrics.record m
+    (Obs.Event.Site_survival { site = 0; objects = 1; first_objects = 1; words = 2 });
   let out = Obs.Summary.render ~site_name:(fun _ -> "list.cons") m in
   List.iter
     (fun needle -> check_bool needle true (contains ~needle out))
     [ "pause (minor)"; "phase"; "copy"; "list.cons" ]
+
+(* --- with_file on exceptional exit --- *)
+
+let with_file_flushes_on_raise () =
+  let path = Filename.temp_file "gsc_trace" ".jsonl" in
+  (try
+     Obs.Trace.with_file path (fun () ->
+         Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:1 ~tenured_w:0 ~los_w:0;
+         (* in-pause records sit in the concurrent sink until the gc_end
+            that never comes: the exit path must still drain and flush *)
+         Obs.Trace.phase ~name:"roots" ~dur_us:1.0 ~counters:[];
+         failwith "workload crashed")
+   with Failure _ -> ());
+  let ic = open_in path in
+  let lines =
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | l -> go (l :: acc)
+    in
+    go []
+  in
+  Sys.remove path;
+  check_int "both buffered records on disk" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Schema.validate_line line with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "flushed line rejected: %s" msg)
+    lines
+
+(* --- the offline analyzer --- *)
+
+let env ~seq ~t_us ~gc rest =
+  Printf.sprintf "{\"v\":2,\"seq\":%d,\"t_us\":%.1f,\"gc\":%d,%s}" seq t_us gc
+    rest
+
+let analyzed_exn lines =
+  match Obs.Profile.of_lines lines with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "analyze: %s" msg
+
+(* one minor collection pausing [0, 100] us, mutator active to t = 1000 *)
+let synthetic_trace =
+  [ env ~seq:0 ~t_us:0.0 ~gc:1
+      {|"ev":"gc_begin","kind":"minor","nursery_w":10,"tenured_w":0,"los_w":0|};
+    env ~seq:1 ~t_us:1.0 ~gc:1 {|"ev":"site_alloc","site":1,"objects":100,"words":300|};
+    env ~seq:2 ~t_us:2.0 ~gc:1 {|"ev":"site_alloc","site":2,"objects":50,"words":100|};
+    env ~seq:3 ~t_us:3.0 ~gc:1 {|"ev":"site_alloc","site":3,"objects":4,"words":8|};
+    env ~seq:4 ~t_us:4.0 ~gc:1
+      {|"ev":"site_survival","site":1,"objects":90,"first_objects":85,"words":270|};
+    env ~seq:5 ~t_us:5.0 ~gc:1
+      {|"ev":"site_survival","site":2,"objects":10,"first_objects":10,"words":20|};
+    env ~seq:6 ~t_us:6.0 ~gc:1
+      {|"ev":"site_survival","site":3,"objects":4,"first_objects":4,"words":8|};
+    env ~seq:7 ~t_us:7.0 ~gc:1 {|"ev":"census","site":1,"objects":90,"words":270,"ages":{"0":90}|};
+    env ~seq:8 ~t_us:8.0 ~gc:1 {|"ev":"census","site":2,"objects":10,"words":20,"ages":{"0":10}|};
+    env ~seq:9 ~t_us:9.0 ~gc:1 {|"ev":"site_edge","from_site":1,"to_site":1|};
+    env ~seq:10 ~t_us:9.5 ~gc:1 {|"ev":"site_edge","from_site":1,"to_site":1|};
+    env ~seq:11 ~t_us:9.8 ~gc:1 {|"ev":"site_edge","from_site":2,"to_site":1|};
+    env ~seq:12 ~t_us:100.0 ~gc:1
+      {|"ev":"gc_end","kind":"minor","pause_us":100.0,"copied_w":104,"promoted_w":104,"live_w":104|};
+    env ~seq:13 ~t_us:1000.0 ~gc:1 {|"ev":"marker_place","installed":0,"depth":1|} ]
+
+let analyzer_fold () =
+  let t = analyzed_exn synthetic_trace in
+  check_int "events" 14 t.Obs.Profile.events;
+  check_int "collections" 1 t.Obs.Profile.collections;
+  check_bool "gc kinds" true (t.Obs.Profile.gc_kinds = [ ("minor", 1) ]);
+  check_int "sites" 3 (List.length t.Obs.Profile.sites);
+  (match Obs.Profile.site_stats t ~site:1 with
+   | None -> Alcotest.fail "site 1 missing"
+   | Some s ->
+     check_int "alloc objects" 100 s.Obs.Profile.alloc_objects;
+     check_int "alloc words" 300 s.Obs.Profile.alloc_words;
+     check_int "survived" 90 s.Obs.Profile.survived_objects;
+     check_int "first" 85 s.Obs.Profile.first_objects;
+     check_bool "old fraction" true (Obs.Profile.old_fraction s = 0.85));
+  check_bool "edges deduplicated" true
+    (t.Obs.Profile.edges = [ (1, 1); (2, 1) ]);
+  (match t.Obs.Profile.pauses with
+   | [ p ] ->
+     check_bool "pause start from gc_begin" true (p.Obs.Profile.start_us = 0.);
+     check_bool "pause duration" true (p.Obs.Profile.dur_us = 100.)
+   | ps -> Alcotest.failf "expected 1 pause, got %d" (List.length ps));
+  (match t.Obs.Profile.censuses with
+   | [ c ] ->
+     check_int "census gc" 1 c.Obs.Profile.census_gc;
+     check_int "census rows" 2 (List.length c.Obs.Profile.rows)
+   | cs -> Alcotest.failf "expected 1 census, got %d" (List.length cs));
+  check_int "copied" 104 t.Obs.Profile.copied_w;
+  check_bool "span covers the quiet tail" true (t.Obs.Profile.span_us = 1000.);
+  (* selection: site 1 is old and hot; site 2 is young; site 3 is old but
+     too cold to clear the noise guard *)
+  check_bool "selection" true
+    (Obs.Profile.select_pretenure t ~cutoff:0.8 ~min_objects:32 = [ 1 ])
+
+let analyzer_rejects_bad_lines () =
+  (match Obs.Profile.of_lines [ "{\"v\":1}" ] with
+   | Error msg -> check_bool "line number named" true (contains ~needle:"line 1" msg)
+   | Ok _ -> Alcotest.fail "accepted an invalid line");
+  match
+    Obs.Profile.of_lines
+      (synthetic_trace @ [ "not json" ])
+  with
+  | Error msg -> check_bool "tail line named" true (contains ~needle:"line 15" msg)
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+
+let pause_percentiles_exact () =
+  let lines =
+    List.concat
+      (List.mapi
+         (fun i dur ->
+           let gc = i + 1 in
+           let t0 = float_of_int (i * 1000) in
+           [ env ~seq:(2 * i) ~t_us:t0 ~gc
+               {|"ev":"gc_begin","kind":"minor","nursery_w":1,"tenured_w":0,"los_w":0|};
+             env ~seq:((2 * i) + 1) ~t_us:(t0 +. dur) ~gc
+               (Printf.sprintf
+                  {|"ev":"gc_end","kind":"minor","pause_us":%.1f,"copied_w":0,"promoted_w":0,"live_w":0|}
+                  dur) ])
+         [ 10.; 20.; 30.; 40. ])
+  in
+  let t = analyzed_exn lines in
+  match Obs.Profile.pause_percentiles t with
+  | [ ("all", a); ("minor", m) ] ->
+    check_int "count" 4 a.Obs.Profile.count;
+    check_bool "p50 is the 2nd of 4" true (a.Obs.Profile.p50 = 20.);
+    check_bool "p90 is the 4th of 4" true (a.Obs.Profile.p90 = 40.);
+    check_bool "p99" true (a.Obs.Profile.p99 = 40.);
+    check_bool "max" true (a.Obs.Profile.max_us = 40.);
+    check_bool "total" true (a.Obs.Profile.total_us = 100.);
+    check_bool "per-kind mirrors all here" true (m = a)
+  | l -> Alcotest.failf "expected [all; minor], got %d entries" (List.length l)
+
+let mmu_conventions () =
+  let t = analyzed_exn synthetic_trace in
+  (* one 100 us pause in a 1000 us run *)
+  check_bool "window swallowed by the pause" true
+    (Obs.Profile.mmu t ~window_us:50. = 0.);
+  check_bool "window twice the pause" true
+    (Obs.Profile.mmu t ~window_us:200. = 0.5);
+  check_bool "window longer than the run degenerates to utilisation" true
+    (Obs.Profile.mmu t ~window_us:5000. = 0.9);
+  check_bool "curve echoes windows" true
+    (Obs.Profile.mmu_curve t ~windows_us:[ 50.; 200. ]
+     = [ (50., 0.); (200., 0.5) ]);
+  (* a trace with no pauses is all mutator *)
+  let quiet =
+    analyzed_exn
+      [ env ~seq:0 ~t_us:5.0 ~gc:0 {|"ev":"marker_place","installed":1,"depth":1|} ]
+  in
+  check_bool "zero-pause trace" true (Obs.Profile.mmu quiet ~window_us:1. = 1.);
+  check_bool "no pauses, no percentiles" true
+    (Obs.Profile.pause_percentiles quiet = [])
+
+(* --- live census emission --- *)
+
+let census_cfg ~period =
+  Harness.Runs.with_nursery_cap
+    { (Gsc.Config.generational ~budget_bytes:(64 * 1024)) with
+      Gsc.Config.census_period = period }
+
+let census_workload_valid () =
+  let w = Workloads.Registry.find "life" in
+  let _, lines =
+    traced_lines (fun () ->
+        ignore (Harness.Measure.run ~workload:w ~scale:20 ~cfg:(census_cfg ~period:2) ~k:0. ()))
+  in
+  let t = analyzed_exn lines in
+  check_bool "censuses emitted" true (t.Obs.Profile.censuses <> []);
+  check_bool "sampled every 2nd collection at most" true
+    (List.length t.Obs.Profile.censuses
+     <= (t.Obs.Profile.collections / 2) + 1);
+  List.iter
+    (fun c ->
+      List.iter
+        (fun r ->
+          check_bool "age buckets partition the objects" true
+            (List.fold_left (fun acc (_, n) -> acc + n) 0 r.Obs.Profile.c_ages
+             = r.Obs.Profile.c_objects);
+          check_bool "words cover headers" true
+            (r.Obs.Profile.c_words >= r.Obs.Profile.c_objects))
+        c.Obs.Profile.rows)
+    t.Obs.Profile.censuses;
+  (* per-site allocation totals are exact: every surviving word was
+     allocated, so census live words never exceed the site's total *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun r ->
+          match Obs.Profile.site_stats t ~site:r.Obs.Profile.c_site with
+          | None -> Alcotest.fail "census names an unknown site"
+          | Some s ->
+            check_bool "live <= allocated" true
+              (r.Obs.Profile.c_words <= s.Obs.Profile.alloc_words))
+        c.Obs.Profile.rows)
+    t.Obs.Profile.censuses
+
+let census_off_is_untraced () =
+  let w = Workloads.Registry.find "life" in
+  let run cfg = traced_lines (fun () ->
+      ignore (Harness.Measure.run ~workload:w ~scale:20 ~cfg ~k:0. ()))
+  in
+  let _, with_census = run (census_cfg ~period:2) in
+  let _, without = run (census_cfg ~period:0) in
+  let is_census line = contains ~needle:"\"ev\":\"census\"" line in
+  check_bool "period 2 emits censuses" true (List.exists is_census with_census);
+  check_bool "period 0 emits none" true
+    (not (List.exists is_census without));
+  (* the census is a pure addition: removing its records recovers the
+     census-free run, so the sampling never perturbs collection.  [seq]
+     goes too — census records consume sequence numbers. *)
+  let renumber line =
+    match Obs.Json.parse (normalize line) with
+    | Obs.Json.Obj members ->
+      Obs.Json.to_string
+        (Obs.Json.Obj (List.filter (fun (k, _) -> k <> "seq") members))
+    | j -> Obs.Json.to_string j
+  in
+  let strip l = List.map renumber (List.filter (fun x -> not (is_census x)) l) in
+  check_bool "identical modulo census records" true
+    (strip with_census = strip without)
+
+(* --- the closed pretenure loop --- *)
+
+let closed_loop () =
+  let w = Workloads.Registry.find "nqueen" in
+  let sc = Harness.Runs.scale ~factor:0.9 w in
+  let cutoff = Harness.Runs.cutoff and min_objects = Harness.Runs.min_objects in
+  (* the standard profiled configuration: calibrated budget, k = 4 *)
+  let prof_cfg =
+    Harness.Runs.config_for ~workload:w ~scale:sc
+      ~technique:Harness.Runs.Profiled ~k:4.0
+  in
+  let budget = prof_cfg.Gsc.Config.budget_bytes in
+  let m, lines =
+    traced_lines (fun () ->
+        Harness.Measure.run ~workload:w ~scale:sc ~cfg:prof_cfg ~k:4.0 ())
+  in
+  let live_profile =
+    match m.Harness.Measure.profile with
+    | Some p -> p
+    | None -> Alcotest.fail "profiled run kept no profile"
+  in
+  let analyzed = analyzed_exn lines in
+  (* the offline analyzer reproduces the live profiler's decision *)
+  let live =
+    Gsc.Pretenure.of_profile live_profile ~cutoff ~min_objects
+      ~scan_elision:true
+  in
+  let pf =
+    Gsc.Policy_file.of_profile analyzed ~cutoff ~min_objects
+      ~scan_elision:true
+  in
+  check_bool "policy selects something" true (pf.Gsc.Policy_file.sites <> []);
+  check_bool "trace policy = live policy (sites)" true
+    (pf.Gsc.Policy_file.sites = Gsc.Pretenure.pretenured_sites live);
+  check_bool "trace policy = live policy (no_scan)" true
+    (pf.Gsc.Policy_file.no_scan = Gsc.Pretenure.no_scan_sites live);
+  (* the policy survives the file system *)
+  let path = Filename.temp_file "gsc_policy" ".json" in
+  Gsc.Policy_file.save pf path;
+  let loaded =
+    match Gsc.Policy_file.load path with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "load: %s" msg
+  in
+  Sys.remove path;
+  check_bool "policy round-trips" true (loaded = pf);
+  (* a second run driven by the loaded policy — live profiler off —
+     pretenures exactly the selected sites and skips the scan-free ones *)
+  let run_cfg =
+    Harness.Runs.with_nursery_cap
+      (Gsc.Config.with_pretenuring ~budget_bytes:budget
+         (Gsc.Pretenure.of_policy loaded))
+  in
+  let mb, lines_b =
+    traced_lines (fun () ->
+        Harness.Measure.run ~workload:w ~scale:sc ~cfg:run_cfg ~k:0. ())
+  in
+  check_bool "policy-driven run pretenures" true
+    (mb.Harness.Measure.bytes_pretenured > 0);
+  let b = analyzed_exn lines_b in
+  let pretenured_b =
+    List.filter_map
+      (fun s ->
+        if s.Obs.Profile.pretenured_objects > 0 then Some s.Obs.Profile.site
+        else None)
+      b.Obs.Profile.sites
+  in
+  check_bool "every pretenured site was selected" true
+    (List.for_all (fun s -> List.mem s loaded.Gsc.Policy_file.sites) pretenured_b);
+  check_bool "every selected site pretenured" true
+    (List.for_all
+       (fun s ->
+         match Obs.Profile.site_stats b ~site:s with
+         | Some st ->
+           st.Obs.Profile.pretenured_objects = st.Obs.Profile.alloc_objects
+         | None -> true)
+       loaded.Gsc.Policy_file.sites);
+  (* re-deriving a policy from the policy-driven run's own trace keeps
+     every site: pretenured objects count as surviving by fiat *)
+  let pf_b =
+    Gsc.Policy_file.of_profile b ~cutoff ~min_objects ~scan_elision:true
+  in
+  check_bool "selection is stable under its own policy" true
+    (List.for_all
+       (fun s -> List.mem s pf_b.Gsc.Policy_file.sites)
+       loaded.Gsc.Policy_file.sites)
+
+let policy_file_rejects () =
+  let check_err what text needle =
+    let path = Filename.temp_file "gsc_policy" ".json" in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    (match Gsc.Policy_file.load path with
+     | Ok _ -> Alcotest.failf "%s: accepted" what
+     | Error msg ->
+       check_bool (what ^ ": error names the cause") true
+         (contains ~needle msg));
+    Sys.remove path
+  in
+  check_err "foreign version"
+    {|{"v":99,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
+    "version 99";
+  check_err "wrong kind"
+    {|{"v":2,"kind":"mystery","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
+    "kind";
+  check_err "no_scan not a subset"
+    {|{"v":2,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[1],"no_scan":[2]}|}
+    "subset";
+  check_err "missing field"
+    {|{"v":2,"kind":"pretenure_policy","cutoff":0.8,"sites":[],"no_scan":[]}|}
+    "min_objects"
 
 let () =
   Alcotest.run "obs"
@@ -310,11 +686,29 @@ let () =
        [ Alcotest.test_case "basics" `Quick metrics_basics;
          Alcotest.test_case "trace tap" `Quick metrics_tap;
          Alcotest.test_case "snapshot parses" `Quick metrics_snapshot_parses ]);
-      ("schema", [ Alcotest.test_case "rejects" `Quick schema_rejects ]);
+      ("schema",
+       [ Alcotest.test_case "rejects" `Quick schema_rejects;
+         Alcotest.test_case "version gate" `Quick schema_version_gate ]);
       ("trace",
        [ Alcotest.test_case "golden emitter" `Quick golden_emitter;
          Alcotest.test_case "disabled is silent" `Quick disabled_is_silent;
          Alcotest.test_case "workload trace stable" `Quick workload_trace_stable;
          Alcotest.test_case "tracing preserves stats" `Quick
            tracing_preserves_stats;
-         Alcotest.test_case "summary renders" `Quick summary_renders ]) ]
+         Alcotest.test_case "summary renders" `Quick summary_renders;
+         Alcotest.test_case "with_file flushes on raise" `Quick
+           with_file_flushes_on_raise ]);
+      ("profile",
+       [ Alcotest.test_case "fold" `Quick analyzer_fold;
+         Alcotest.test_case "rejects bad lines" `Quick
+           analyzer_rejects_bad_lines;
+         Alcotest.test_case "pause percentiles" `Quick pause_percentiles_exact;
+         Alcotest.test_case "mmu conventions" `Quick mmu_conventions ]);
+      ("census",
+       [ Alcotest.test_case "workload census valid" `Quick
+           census_workload_valid;
+         Alcotest.test_case "census off is untraced" `Quick
+           census_off_is_untraced ]);
+      ("pretenure loop",
+       [ Alcotest.test_case "closed loop" `Slow closed_loop;
+         Alcotest.test_case "policy file rejects" `Quick policy_file_rejects ]) ]
