@@ -321,6 +321,29 @@ let profile_analyze () =
   | Ok p -> Sys.opaque_identity p.Obs.Profile.events
   | Error msg -> failwith ("bench: analyzer rejected its own trace: " ^ msg)
 
+(* steady-state allocation throughput through the collector's nursery
+   bump path: everything dies young, so the row is the alloc fast path
+   plus the minor-collection cadence, with no copy cost to speak of *)
+let alloc_loop () =
+  let mem = Mem.Memory.create () in
+  let stats = Collectors.Gc_stats.create () in
+  let g =
+    Collectors.Generational.create mem ~hooks:Collectors.Hooks.nothing ~stats
+      { (Collectors.Generational.default_config ~budget_bytes:(256 * 1024)) with
+        Collectors.Generational.nursery_bytes_max = 8 * 1024 }
+  in
+  Fun.protect ~finally:(fun () -> Collectors.Generational.destroy g)
+  @@ fun () ->
+  for i = 1 to 4000 do
+    let a =
+      Collectors.Generational.alloc g
+        { H.kind = H.Nonptr_array; len = 2 + (i land 3); site = 0 }
+        ~birth:i
+    in
+    Mem.Memory.set mem (H.field_addr a 0) (V.Int i)
+  done;
+  Sys.opaque_identity stats.Collectors.Gc_stats.minor_gcs
+
 let hotpath_tests =
   [ Test.make ~name:"hotpath.field_read.safe" (Staged.stage field_read_safe);
     Test.make ~name:"hotpath.field_read.raw" (Staged.stage field_read_raw);
@@ -334,8 +357,90 @@ let hotpath_tests =
     Test.make ~name:"hotpath.minor_gc.untraced" (Staged.stage minor_gc_untraced);
     Test.make ~name:"hotpath.minor_gc.traced" (Staged.stage minor_gc_traced);
     Test.make ~name:"hotpath.minor_gc.census" (Staged.stage minor_gc_census);
+    Test.make ~name:"hotpath.alloc_loop" (Staged.stage alloc_loop);
     Test.make ~name:"profile.analyze_trace" (Staged.stage profile_analyze)
   ]
+
+(* --- alloc_backend: the pluggable placement policies under churn ---
+
+   The same deterministic mixed-size alloc/free sequence against each
+   lib/alloc backend, so the timed rows compare placement policy (hole
+   search, bucket lookup, coalescing) and nothing else.  The frag.*
+   rows are deterministic end-state snapshots, not timings: they pin
+   how much of the footprint each policy leaves reusable after
+   identical churn. *)
+
+let churn_slots = 64
+let churn_rounds = 16
+
+(* request sizes cycle through 4..64 words total (header included),
+   co-prime stride so neighbours differ and free_list has to coalesce
+   unequal holes *)
+let churn_words slot round =
+  let i = (slot + (round * 13)) mod churn_slots in
+  H.header_words + 1 + (i * 7 mod 61)
+
+let backend_churn kind =
+  let mem = Mem.Memory.create () in
+  let be = Alloc.Registry.growable kind mem ~segment_words:(1 lsl 14) in
+  let live = Array.make churn_slots None in
+  for round = 0 to churn_rounds - 1 do
+    for slot = 0 to churn_slots - 1 do
+      (match live.(slot) with
+       | Some (base, words) when (slot + round) land 1 = 0 ->
+         Alloc.Backend.free be base ~words;
+         live.(slot) <- None
+       | Some _ | None -> ());
+      if live.(slot) = None then begin
+        let words = churn_words slot round in
+        match Alloc.Backend.alloc be words with
+        | None -> failwith "bench: backend refused a grant"
+        | Some base ->
+          H.write mem base
+            { H.kind = H.Nonptr_array; len = words - H.header_words;
+              site = slot }
+            ~birth:round;
+          live.(slot) <- Some (base, words)
+      end
+    done
+  done;
+  let frag = Alloc.Backend.frag be in
+  let live_w = Alloc.Backend.live_words be in
+  Alloc.Backend.destroy be;
+  (frag, live_w)
+
+let alloc_backend_tests =
+  List.map
+    (fun kind ->
+      Test.make
+        ~name:("alloc." ^ Alloc.Backend.kind_name kind)
+        (Staged.stage (fun () ->
+           Sys.opaque_identity (fst (backend_churn kind)))))
+    Alloc.Backend.all_kinds
+
+(* deterministic fragmentation snapshots after the fixed churn, one
+   triple per backend (virtual rows like the drain makespans) *)
+let backend_frag_rows () =
+  List.concat_map
+    (fun kind ->
+      let frag, live_w = backend_churn kind in
+      let name = Alloc.Backend.kind_name kind in
+      [ (Printf.sprintf "frag.%s.free_w" name,
+         float_of_int frag.Alloc.Backend.free_words);
+        (Printf.sprintf "frag.%s.holes" name,
+         float_of_int frag.Alloc.Backend.free_blocks);
+        (Printf.sprintf "frag.%s.largest_hole" name,
+         float_of_int frag.Alloc.Backend.largest_hole);
+        (Printf.sprintf "frag.%s.live_w" name, float_of_int live_w) ])
+    Alloc.Backend.all_kinds
+
+let print_frag_rows rows =
+  print_endline "Backend fragmentation after fixed churn (deterministic):";
+  List.iter
+    (fun (name, v) ->
+      Printf.printf "  %-44s %12.0f words\n" ("alloc_backend/" ^ name) v)
+    rows;
+  print_newline ()
 
 (* --- parallel_drain: the work-stealing drain at 1/2/4 domains ---
 
@@ -638,8 +743,24 @@ let () =
     if not (p2 < p1) then
       failwith "bench-smoke: 2-domain drain no faster than 1-domain";
     print_drain_rows drain;
+    let be_rows =
+      run_group ~group_name:"alloc_backend" ~quota:0.02 ~limit:20
+        alloc_backend_tests
+    in
+    if be_rows = [] then failwith "bench-smoke: no backend estimates";
+    let frag = backend_frag_rows () in
+    (* bump never reuses a hole, so after identical churn the reusing
+       policies must leave strictly less garbage stranded *)
+    let free_of kind =
+      List.assoc (Printf.sprintf "frag.%s.free_w" kind) frag
+    in
+    if not (free_of "free_list" < free_of "bump") then
+      failwith "bench-smoke: free_list strands no less than bump";
+    print_frag_rows frag;
     emit_json
-      (rows @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain);
+      (rows @ be_rows
+      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain
+      @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag);
     print_endline "bench-smoke: OK"
   end
   else begin
@@ -664,9 +785,17 @@ let () =
     if p4 *. 1.8 > p1 then
       Printf.printf "WARNING: drain.p4 speedup below 1.8x (%.2fx)\n\n"
         (p1 /. p4);
+    let be_rows =
+      run_group ~group_name:"alloc_backend" ~quota:0.5 ~limit:50
+        alloc_backend_tests
+    in
+    print_rows "Allocation backends (identical churn per row):" be_rows;
+    let frag = backend_frag_rows () in
+    print_frag_rows frag;
     emit_json
-      (table_rows @ hot_rows
-      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain);
+      (table_rows @ hot_rows @ be_rows
+      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain
+      @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag);
     print_endline
       "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";
     print_newline ();

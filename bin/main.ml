@@ -279,7 +279,32 @@ let gc_trace_cmd =
                census." in
     Arg.(value & opt int 0 & info [ "census" ] ~docv:"K" ~doc)
   in
-  let run factor name technique k out parallelism census_period =
+  let backend_conv =
+    let parse s =
+      match Alloc.Backend.kind_of_string s with
+      | Some k -> Ok k
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown backend %S (bump, free_list, size_class)"
+                s))
+    in
+    Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Alloc.Backend.kind_name k))
+  in
+  let tenured_backend_arg =
+    let doc = "Placement policy for pretenured allocations: bump, \
+               free_list or size_class." in
+    Arg.(value & opt backend_conv Alloc.Backend.Bump
+         & info [ "tenured-backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let los_backend_arg =
+    let doc = "Placement policy for the large-object space: bump, \
+               free_list or size_class." in
+    Arg.(value & opt backend_conv Alloc.Backend.Free_list
+         & info [ "los-backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let run factor name technique k out parallelism census_period tenured_backend
+      los_backend =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
@@ -288,7 +313,7 @@ let gc_trace_cmd =
       let sc = Harness.Runs.scale ~factor w in
       let cfg =
         { (Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k) with
-          Gsc.Config.parallelism; census_period }
+          Gsc.Config.parallelism; census_period; tenured_backend; los_backend }
       in
       let path =
         match out with Some p -> p | None -> name ^ ".trace.jsonl"
@@ -329,7 +354,7 @@ let gc_trace_cmd =
           histograms, phase breakdown and site-survival tables")
     Term.(
       const run $ factor_arg $ workload_arg $ technique $ k_arg $ out
-      $ parallelism_arg $ census_arg)
+      $ parallelism_arg $ census_arg $ tenured_backend_arg $ los_backend_arg)
 
 (* --- gc-profile --- *)
 

@@ -1,0 +1,50 @@
+type kind =
+  | Bump
+  | Free_list
+  | Size_class
+
+let kind_name = function
+  | Bump -> "bump"
+  | Free_list -> "free_list"
+  | Size_class -> "size_class"
+
+let kind_of_string = function
+  | "bump" -> Some Bump
+  | "free_list" -> Some Free_list
+  | "size_class" -> Some Size_class
+  | _ -> None
+
+let all_kinds = [ Bump; Free_list; Size_class ]
+
+type frag = {
+  free_words : int;
+  free_blocks : int;
+  largest_hole : int;
+}
+
+let no_frag = { free_words = 0; free_blocks = 0; largest_hole = 0 }
+
+module type S = sig
+  type t
+
+  val kind : kind
+  val alloc : t -> int -> Mem.Addr.t option
+  val free : t -> Mem.Addr.t -> words:int -> unit
+  val contains : t -> Mem.Addr.t -> bool
+  val iter_objects : t -> (Mem.Addr.t -> unit) -> unit
+  val live_words : t -> int
+  val frag : t -> frag
+  val destroy : t -> unit
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let kind_of (Packed ((module B), _)) = B.kind
+let name p = kind_name (kind_of p)
+let alloc (Packed ((module B), b)) words = B.alloc b words
+let free (Packed ((module B), b)) addr ~words = B.free b addr ~words
+let contains (Packed ((module B), b)) addr = B.contains b addr
+let iter_objects (Packed ((module B), b)) f = B.iter_objects b f
+let live_words (Packed ((module B), b)) = B.live_words b
+let frag (Packed ((module B), b)) = B.frag b
+let destroy (Packed ((module B), b)) = B.destroy b

@@ -1,0 +1,22 @@
+(** Frontier-only backend: the behaviour the collectors had before
+    backends existed.  [free] writes a filler and counts the words dead
+    but never reuses them, so allocation order and placement are
+    bit-for-bit those of raw {!Mem.Space} bumping. *)
+
+type t
+
+val of_space : Mem.Memory.t -> Mem.Space.t -> t
+val growable : Mem.Memory.t -> segment_words:int -> t
+
+val alloc : t -> int -> Mem.Addr.t option
+val free : t -> Mem.Addr.t -> words:int -> unit
+val contains : t -> Mem.Addr.t -> bool
+val iter_objects : t -> (Mem.Addr.t -> unit) -> unit
+val live_words : t -> int
+
+(** [frag] reports freed-but-unreusable words: the waste a reusing
+    backend would recover. *)
+val frag : t -> Backend.frag
+
+val destroy : t -> unit
+val backend : t -> Backend.packed

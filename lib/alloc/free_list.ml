@@ -1,0 +1,48 @@
+type t = {
+  arena : Arena.t;
+  holes : Holes.t;
+}
+
+let make arena =
+  { arena; holes = Holes.create (Arena.mem arena) }
+
+let of_space mem space = make (Arena.of_space mem space)
+let growable mem ~segment_words = make (Arena.growable mem ~segment_words)
+
+(* First-fit over the coalesced hole list, falling back to the frontier.
+   The fallback keeps a hole-free region identical to a bump backend. *)
+let alloc t words =
+  match Holes.take_first_fit t.holes words with
+  | Some _ as a -> a
+  | None -> Arena.alloc t.arena words
+
+let free t addr ~words = Holes.insert t.holes addr ~words
+let contains t addr = Arena.contains t.arena addr
+let iter_objects t f = Arena.iter_objects t.arena f
+let live_words t = Arena.used_words t.arena - Holes.free_words t.holes
+
+let frag t =
+  {
+    Backend.free_words = Holes.free_words t.holes;
+    free_blocks = Holes.count t.holes;
+    largest_hole = Holes.largest t.holes;
+  }
+
+let destroy t =
+  Holes.clear t.holes;
+  Arena.destroy t.arena
+
+module B = struct
+  type nonrec t = t
+
+  let kind = Backend.Free_list
+  let alloc = alloc
+  let free = free
+  let contains = contains
+  let iter_objects = iter_objects
+  let live_words = live_words
+  let frag = frag
+  let destroy = destroy
+end
+
+let backend t = Backend.Packed ((module B), t)

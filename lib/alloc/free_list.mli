@@ -1,0 +1,18 @@
+(** First-fit free-list backend: freed grants go to an address-ordered
+    hole list ({!Holes}) with coalescing; allocation scans it before
+    falling back to the frontier.  With no frees it is placement-
+    identical to {!Bump}. *)
+
+type t
+
+val of_space : Mem.Memory.t -> Mem.Space.t -> t
+val growable : Mem.Memory.t -> segment_words:int -> t
+
+val alloc : t -> int -> Mem.Addr.t option
+val free : t -> Mem.Addr.t -> words:int -> unit
+val contains : t -> Mem.Addr.t -> bool
+val iter_objects : t -> (Mem.Addr.t -> unit) -> unit
+val live_words : t -> int
+val frag : t -> Backend.frag
+val destroy : t -> unit
+val backend : t -> Backend.packed

@@ -1,0 +1,12 @@
+let of_space kind mem space =
+  match (kind : Backend.kind) with
+  | Bump -> Bump.backend (Bump.of_space mem space)
+  | Free_list -> Free_list.backend (Free_list.of_space mem space)
+  | Size_class -> Size_class.backend (Size_class.of_space mem space)
+
+let growable ?classes kind mem ~segment_words =
+  match (kind : Backend.kind) with
+  | Bump -> Bump.backend (Bump.growable mem ~segment_words)
+  | Free_list -> Free_list.backend (Free_list.growable mem ~segment_words)
+  | Size_class ->
+    Size_class.backend (Size_class.growable ?classes mem ~segment_words)

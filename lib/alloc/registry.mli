@@ -1,0 +1,15 @@
+(** Kind-indexed constructors, for callers configured with a
+    {!Backend.kind} knob rather than a concrete module. *)
+
+(** Wrap one externally-owned space (fixed size, never released by the
+    backend). *)
+val of_space : Backend.kind -> Mem.Memory.t -> Mem.Space.t -> Backend.packed
+
+(** Own a growable segment list.  [classes] only affects
+    {!Backend.Size_class}. *)
+val growable :
+  ?classes:int list ->
+  Backend.kind ->
+  Mem.Memory.t ->
+  segment_words:int ->
+  Backend.packed

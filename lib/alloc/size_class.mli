@@ -1,0 +1,23 @@
+(** Segregated-fit backend: per-class free lists for small grants (O(1)
+    free, no coalescing inside a class), a coalescing oversize list for
+    grants wider than the top class, frontier fallback otherwise.
+
+    The class ladder is in object words, header included, ascending,
+    with every class at least [Mem.Header.header_words].  Default:
+    [4; 8; 16; 32; 64; 128; 256]. *)
+
+type t
+
+val default_classes : int list
+
+val of_space : ?classes:int list -> Mem.Memory.t -> Mem.Space.t -> t
+val growable : ?classes:int list -> Mem.Memory.t -> segment_words:int -> t
+
+val alloc : t -> int -> Mem.Addr.t option
+val free : t -> Mem.Addr.t -> words:int -> unit
+val contains : t -> Mem.Addr.t -> bool
+val iter_objects : t -> (Mem.Addr.t -> unit) -> unit
+val live_words : t -> int
+val frag : t -> Backend.frag
+val destroy : t -> unit
+val backend : t -> Backend.packed

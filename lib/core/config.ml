@@ -18,6 +18,8 @@ type t = {
   tenure_threshold : int;
   parallelism : int;
   census_period : int;
+  tenured_backend : Alloc.Backend.kind;
+  los_backend : Alloc.Backend.kind;
   stack_markers : bool;
   marker_spacing : int;
   exception_strategy : exception_strategy;
@@ -39,6 +41,8 @@ let default ~budget_bytes =
     tenure_threshold = 1;
     parallelism = 1;
     census_period = 0;
+    tenured_backend = Alloc.Backend.Bump;
+    los_backend = Alloc.Backend.Free_list;
     stack_markers = false;
     marker_spacing = 25;
     exception_strategy = Eager_watermark;

@@ -48,6 +48,13 @@ type t = {
                                           collections while tracing;
                                           0 (default) disables census
                                           bookkeeping entirely *)
+  tenured_backend : Alloc.Backend.kind;
+                                      (** placement policy for pretenured
+                                          allocations (default [Bump],
+                                          the pre-backend behaviour) *)
+  los_backend : Alloc.Backend.kind;   (** placement policy for the
+                                          large-object space (default
+                                          [Free_list]) *)
   (* generational stack collection *)
   stack_markers : bool;
   marker_spacing : int;               (** paper: n = 25 *)

@@ -190,7 +190,9 @@ let create cfg =
              barrier = cfg.Config.barrier;
              tenure_threshold = cfg.Config.tenure_threshold;
              parallelism = cfg.Config.parallelism;
-             census_period = cfg.Config.census_period })
+             census_period = cfg.Config.census_period;
+             tenured_backend = cfg.Config.tenured_backend;
+             los_backend = cfg.Config.los_backend })
   in
   t.collector <- Some col;
   t

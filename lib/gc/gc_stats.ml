@@ -13,6 +13,7 @@ type t = {
   mutable words_pretenured : int;
   mutable words_region_scanned : int;
   mutable words_region_skipped : int;
+  mutable words_los_freed : int;
   words_scanned_dom : int array;
   mutable max_live_words : int;
   mutable live_words_after_gc : int;
@@ -33,6 +34,12 @@ type t = {
   mutable copy_seconds : float;
   mutable barrier_seconds : float;
   mutable profile_seconds : float;
+  mutable tenured_free_words : int;
+  mutable tenured_free_blocks : int;
+  mutable tenured_largest_hole : int;
+  mutable los_free_words : int;
+  mutable los_free_blocks : int;
+  mutable los_largest_hole : int;
 }
 
 let create () = {
@@ -47,6 +54,7 @@ let create () = {
   words_pretenured = 0;
   words_region_scanned = 0;
   words_region_skipped = 0;
+  words_los_freed = 0;
   words_scanned_dom = Array.make max_domains 0;
   max_live_words = 0;
   live_words_after_gc = 0;
@@ -67,6 +75,12 @@ let create () = {
   copy_seconds = 0.;
   barrier_seconds = 0.;
   profile_seconds = 0.;
+  tenured_free_words = 0;
+  tenured_free_blocks = 0;
+  tenured_largest_hole = 0;
+  los_free_words = 0;
+  los_free_blocks = 0;
+  los_largest_hole = 0;
 }
 
 let gcs t = t.minor_gcs + t.major_gcs

@@ -24,6 +24,7 @@ type t = {
   mutable words_pretenured : int;     (** allocated straight into tenured *)
   mutable words_region_scanned : int; (** pretenured-region scan work *)
   mutable words_region_skipped : int; (** scan elision savings (Section 7.2) *)
+  mutable words_los_freed : int;      (** returned to the LOS backend by sweeps *)
   words_scanned_dom : int array;
       (** drain scan work, one slot per drain domain ({!max_domains}
           slots; the sequential engine uses slot 0).  Kept per-domain so
@@ -53,6 +54,14 @@ type t = {
   mutable copy_seconds : float;
   mutable barrier_seconds : float;    (** write-barrier drain *)
   mutable profile_seconds : float;    (** death sweeps; profiling runs only *)
+  (* allocation-backend fragmentation, sampled after each collection:
+     gauges (last value wins), not accumulating counters *)
+  mutable tenured_free_words : int;
+  mutable tenured_free_blocks : int;
+  mutable tenured_largest_hole : int;
+  mutable los_free_words : int;
+  mutable los_free_blocks : int;
+  mutable los_largest_hole : int;
 }
 
 val create : unit -> t

@@ -12,6 +12,8 @@ type config = {
   tenure_threshold : int;
   parallelism : int;
   census_period : int;
+  tenured_backend : Alloc.Backend.kind;
+  los_backend : Alloc.Backend.kind;
 }
 
 let default_config ~budget_bytes =
@@ -22,7 +24,9 @@ let default_config ~budget_bytes =
     barrier = Barrier_ssb;
     tenure_threshold = 1;
     parallelism = 1;
-    census_period = 0 }
+    census_period = 0;
+    tenured_backend = Alloc.Backend.Bump;
+    los_backend = Alloc.Backend.Free_list }
 
 type barrier =
   | B_ssb of Ssb.t
@@ -39,6 +43,11 @@ type t = {
   mutable nursery : Mem.Space.t;
   nursery_words : int;
   mutable tenured : Mem.Space.t;
+  mutable tenured_be : Alloc.Backend.packed;
+      (* placement policy over [tenured]; rebuilt when a major swaps the
+         space.  The copy engines keep bumping the space frontier
+         directly (their scan pointer needs contiguity), so the backend
+         only serves pretenured allocations. *)
   tenured_phys : int;         (* physical block size of the tenured area *)
   tenured_cap : int;          (* hard budget share for tenured + large *)
   mutable major_trigger : int; (* soft trigger from the liveness policy *)
@@ -96,10 +105,11 @@ let create mem ~hooks ~stats cfg =
     nursery = Mem.Space.create mem ~words:nursery_words;
     nursery_words;
     tenured;
+    tenured_be = Alloc.Registry.of_space cfg.tenured_backend mem tenured;
     tenured_phys;
     tenured_cap;
     major_trigger = tenured_cap;
-    los = Los.create mem;
+    los = Los.create ~backend:cfg.los_backend mem;
     barrier =
       (match cfg.barrier with
        | Barrier_ssb -> B_ssb (Ssb.create ())
@@ -460,6 +470,34 @@ let census_after_collection t ~traced =
     if traced && t.collections mod t.cfg.census_period = 0 then emit_census t
   end
 
+(* fragmentation snapshot at the end of a collection: gauges into
+   [Gc_stats] always, one [backend_stats] record per managed region when
+   tracing.  Placement-independent invariants (live words, collection
+   counts) stay comparable across backends; these gauges carry the part
+   that legitimately differs. *)
+let sample_backend_stats t ~traced =
+  let tf = Alloc.Backend.frag t.tenured_be in
+  let lf = Los.frag t.los in
+  t.stats.Gc_stats.tenured_free_words <- tf.Alloc.Backend.free_words;
+  t.stats.Gc_stats.tenured_free_blocks <- tf.Alloc.Backend.free_blocks;
+  t.stats.Gc_stats.tenured_largest_hole <- tf.Alloc.Backend.largest_hole;
+  t.stats.Gc_stats.los_free_words <- lf.Alloc.Backend.free_words;
+  t.stats.Gc_stats.los_free_blocks <- lf.Alloc.Backend.free_blocks;
+  t.stats.Gc_stats.los_largest_hole <- lf.Alloc.Backend.largest_hole;
+  if traced then begin
+    Obs.Trace.backend_stats ~region:"tenured"
+      ~backend:(Alloc.Backend.name t.tenured_be)
+      ~live_w:(Alloc.Backend.live_words t.tenured_be)
+      ~free_w:tf.Alloc.Backend.free_words
+      ~free_blocks:tf.Alloc.Backend.free_blocks
+      ~largest_hole:tf.Alloc.Backend.largest_hole;
+    Obs.Trace.backend_stats ~region:"los" ~backend:(Los.backend_name t.los)
+      ~live_w:(Los.live_words t.los)
+      ~free_w:lf.Alloc.Backend.free_words
+      ~free_blocks:lf.Alloc.Backend.free_blocks
+      ~largest_hole:lf.Alloc.Backend.largest_hole
+  end
+
 let minor_collection t =
   t.collections <- t.collections + 1;
   let traced = Obs.Trace.enabled () in
@@ -604,6 +642,7 @@ let minor_collection t =
   t.pretenure_from <- Mem.Space.frontier t.tenured;
   cover_new_tenured t;
   census_after_collection t ~traced;
+  sample_backend_stats t ~traced;
   t.hooks.Hooks.after_collection ~full:false;
   if traced then
     Obs.Trace.gc_end ~kind:"minor"
@@ -659,7 +698,9 @@ let major_collection t =
     | None -> fun _ ~birth:_ ~words:_ -> ()
     | Some h -> h.Hooks.on_die
   in
-  Los.sweep t.los ~on_die;
+  let los_freed_w = Los.sweep t.los ~on_die in
+  t.stats.Gc_stats.words_los_freed <-
+    t.stats.Gc_stats.words_los_freed + los_freed_w;
   let t2 = now () in
   t.stats.Gc_stats.copy_seconds <- t.stats.Gc_stats.copy_seconds +. (t2 -. t1);
   if traced then begin
@@ -672,7 +713,7 @@ let major_collection t =
     trace_domain_spans engine;
     Obs.Trace.phase ~name:"los_sweep"
       ~dur_us:((t2 -. t_drain) *. 1e6)
-      ~counters:[ ("live_w", Los.live_words t.los) ];
+      ~counters:[ ("live_w", Los.live_words t.los); ("freed_w", los_freed_w) ];
     List.iter
       (fun (site, objects, first_objects, words) ->
         Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
@@ -689,6 +730,10 @@ let major_collection t =
        Obs.Trace.phase ~name:"profile_sweep" ~dur_us:(dt *. 1e6) ~counters:[]);
   Mem.Space.release t.tenured t.mem;
   t.tenured <- to_space;
+  (* the compaction emptied every hole: restart the placement policy
+     over the fresh space (of_space backends own no segments, so the
+     old value needs no teardown beyond dropping it) *)
+  t.tenured_be <- Alloc.Registry.of_space t.cfg.tenured_backend t.mem to_space;
   t.pretenure_from <- Mem.Space.frontier to_space;
   (match t.barrier with
    | B_ssb _ | B_remset _ -> ()
@@ -731,6 +776,7 @@ let major_collection t =
       List.iter (Hashtbl.remove tbl) dead
   end;
   census_after_collection t ~traced;
+  sample_backend_stats t ~traced;
   t.hooks.Hooks.after_collection ~full:true;
   if traced then
     Obs.Trace.gc_end ~kind:"major"
@@ -764,26 +810,38 @@ let is_array hdr =
   | Mem.Header.Ptr_array | Mem.Header.Nonptr_array -> true
   | Mem.Header.Record _ -> false
 
+(* shared epilogue of a fresh grant: header, zeroed payload, counters *)
+let finish_alloc t hdr ~birth ~words base =
+  Mem.Header.write t.mem base hdr ~birth;
+  Mem.Memory.fill t.mem
+    ~dst:(Mem.Header.field_addr base 0)
+    ~words:hdr.Mem.Header.len Mem.Value.zero;
+  t.stats.Gc_stats.words_allocated <- t.stats.Gc_stats.words_allocated + words;
+  t.stats.Gc_stats.objects_allocated <- t.stats.Gc_stats.objects_allocated + 1;
+  (if is_array hdr then
+     t.stats.Gc_stats.words_alloc_arrays <-
+       t.stats.Gc_stats.words_alloc_arrays + words
+   else
+     t.stats.Gc_stats.words_alloc_records <-
+       t.stats.Gc_stats.words_alloc_records + words);
+  if t.alloc_sites <> None then
+    note_alloc_site t ~site:hdr.Mem.Header.site ~words;
+  base
+
 let bump_alloc t space hdr ~birth =
   let words = Mem.Header.object_words hdr in
   match Mem.Space.alloc space words with
   | None -> None
-  | Some base ->
-    Mem.Header.write t.mem base hdr ~birth;
-    Mem.Memory.fill t.mem
-      ~dst:(Mem.Header.field_addr base 0)
-      ~words:hdr.Mem.Header.len Mem.Value.zero;
-    t.stats.Gc_stats.words_allocated <- t.stats.Gc_stats.words_allocated + words;
-    t.stats.Gc_stats.objects_allocated <- t.stats.Gc_stats.objects_allocated + 1;
-    (if is_array hdr then
-       t.stats.Gc_stats.words_alloc_arrays <-
-         t.stats.Gc_stats.words_alloc_arrays + words
-     else
-       t.stats.Gc_stats.words_alloc_records <-
-         t.stats.Gc_stats.words_alloc_records + words);
-    if t.alloc_sites <> None then
-      note_alloc_site t ~site:hdr.Mem.Header.site ~words;
-    Some base
+  | Some base -> Some (finish_alloc t hdr ~birth ~words base)
+
+(* pretenured grants go through the configured placement policy; with
+   the default bump backend this is byte-identical to [bump_alloc] on
+   the tenured space *)
+let tenured_alloc t hdr ~birth =
+  let words = Mem.Header.object_words hdr in
+  match Alloc.Backend.alloc t.tenured_be words with
+  | None -> None
+  | Some base -> Some (finish_alloc t hdr ~birth ~words base)
 
 let alloc t hdr ~birth =
   let words = Mem.Header.object_words hdr in
@@ -829,7 +887,7 @@ let alloc t hdr ~birth =
 let alloc_pretenured t hdr ~birth =
   let words = Mem.Header.object_words hdr in
   if occupancy t + words >= t.major_trigger then collect t ~major:true;
-  match bump_alloc t t.tenured hdr ~birth with
+  match tenured_alloc t hdr ~birth with
   | Some base ->
     t.stats.Gc_stats.words_pretenured <-
       t.stats.Gc_stats.words_pretenured + words;

@@ -65,6 +65,22 @@ type config = {
           survivors, and recorded birth ordinals for large objects.
           [0] (the default) disables the census and all its
           bookkeeping. *)
+  tenured_backend : Alloc.Backend.kind;
+      (** placement policy for pretenured allocations into the tenured
+          space.  Default {!Alloc.Backend.Bump} — byte-identical to the
+          pre-backend collector.  The copy engines always bump the space
+          frontier directly (their Cheney scan pointer requires
+          contiguous to-space), and tenured objects are only reclaimed
+          by whole-space compaction, so every backend degenerates to
+          frontier allocation here; the knob exists so the equivalence
+          is testable and future in-place tenured reclamation has a
+          policy seam. *)
+  los_backend : Alloc.Backend.kind;
+      (** placement policy for the large-object space.  Default
+          {!Alloc.Backend.Free_list}: holes opened by sweeps are reused
+          first-fit.  [Bump] never reuses swept words (measures the
+          fragmentation the free list recovers); [Size_class] trades
+          coalescing for segregated per-class lists. *)
 }
 
 (** The paper's parameters under the given budget. *)

@@ -6,26 +6,44 @@ type entry = {
 
 type t = {
   mem : Mem.Memory.t;
-  objects : (int, entry) Hashtbl.t; (* block id -> entry *)
+  backend : Alloc.Backend.packed;
+  objects : (Mem.Addr.t, entry) Hashtbl.t; (* base address -> entry *)
   mutable live_words : int;
 }
 
-let create mem = { mem; objects = Hashtbl.create 64; live_words = 0 }
+let default_segment_words = 4096
+
+let create ?(backend = Alloc.Backend.Free_list) mem =
+  {
+    mem;
+    backend =
+      Alloc.Registry.growable backend mem ~segment_words:default_segment_words;
+    objects = Hashtbl.create 64;
+    live_words = 0;
+  }
 
 let alloc t hdr ~birth =
   let words = Mem.Header.object_words hdr in
-  let base = Mem.Memory.alloc_block t.mem ~words in
+  let base =
+    match Alloc.Backend.alloc t.backend words with
+    | Some base -> base
+    | None -> failwith "Los.alloc: growable backend refused a grant"
+  in
   Mem.Header.write t.mem base hdr ~birth;
-  Hashtbl.replace t.objects (Mem.Addr.block base)
-    { base; words; marked = false };
+  (* reused holes carry stale payloads; fresh segments are zeroed, but
+     zero unconditionally so placement cannot leak through contents *)
+  Mem.Memory.fill t.mem
+    ~dst:(Mem.Header.field_addr base 0)
+    ~words:hdr.Mem.Header.len Mem.Value.zero;
+  Hashtbl.replace t.objects base { base; words; marked = false };
   t.live_words <- t.live_words + words;
   base
 
 let contains t addr =
-  (not (Mem.Addr.is_null addr)) && Hashtbl.mem t.objects (Mem.Addr.block addr)
+  (not (Mem.Addr.is_null addr)) && Hashtbl.mem t.objects addr
 
 let mark t addr =
-  match Hashtbl.find_opt t.objects (Mem.Addr.block addr) with
+  match Hashtbl.find_opt t.objects addr with
   | None -> invalid_arg "Los.mark: not a large object"
   | Some e ->
     if e.marked then false
@@ -37,18 +55,18 @@ let mark t addr =
 let sweep t ~on_die =
   let dead = ref [] in
   Hashtbl.iter
-    (fun id e ->
-      if e.marked then e.marked <- false else dead := (id, e) :: !dead)
+    (fun _ e -> if e.marked then e.marked <- false else dead := e :: !dead)
     t.objects;
-  List.iter
-    (fun (id, e) ->
+  List.fold_left
+    (fun freed e ->
       let hdr = Mem.Header.read t.mem e.base in
       let birth = Mem.Header.birth t.mem e.base in
       on_die hdr ~birth ~words:e.words;
-      Mem.Memory.free_block t.mem e.base;
-      Hashtbl.remove t.objects id;
-      t.live_words <- t.live_words - e.words)
-    !dead
+      Alloc.Backend.free t.backend e.base ~words:e.words;
+      Hashtbl.remove t.objects e.base;
+      t.live_words <- t.live_words - e.words;
+      freed + e.words)
+    0 !dead
 
 let live_words t = t.live_words
 
@@ -56,7 +74,11 @@ let object_count t = Hashtbl.length t.objects
 
 let iter t f = Hashtbl.iter (fun _ e -> f e.base) t.objects
 
+let backend_name t = Alloc.Backend.name t.backend
+
+let frag t = Alloc.Backend.frag t.backend
+
 let destroy t =
-  Hashtbl.iter (fun _ e -> Mem.Memory.free_block t.mem e.base) t.objects;
+  Alloc.Backend.destroy t.backend;
   Hashtbl.reset t.objects;
   t.live_words <- 0

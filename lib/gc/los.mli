@@ -1,23 +1,27 @@
 (** The large-object space.
 
     Large arrays are not allocated in the nursery and promoted; they live
-    in a region managed by mark-sweep (Section 2.1).  Each large object
-    occupies its own memory block, so membership testing is a block-id
-    lookup and "freeing" really returns the block.  Marking happens while
+    in a region managed by mark-sweep (Section 2.1).  Placement is
+    delegated to a pluggable {!Alloc.Backend} over a growable segment
+    arena (default: first-fit free list, so swept holes are reused);
+    membership testing is a base-address lookup.  Marking happens while
     the copying collector traces (a traced pointer that lands here marks
     the object and queues it for field scanning); sweeping happens at full
     collections. *)
 
 type t
 
-(** An empty large-object space drawing blocks from the given memory. *)
-val create : Mem.Memory.t -> t
+(** An empty large-object space drawing segments from the given memory.
+    [backend] picks the placement policy (default {!Alloc.Backend.Free_list}). *)
+val create : ?backend:Alloc.Backend.kind -> Mem.Memory.t -> t
 
 (** [alloc t hdr ~birth] places a fresh large object, writing its header.
     Payload is zeroed. *)
 val alloc : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
 
-(** [contains t a] tells whether [a] lies in a live large object. *)
+(** [contains t a] tells whether [a] is the base address of a live large
+    object.  (All tracing paths hand object bases around, never interior
+    pointers.) *)
 val contains : t -> Mem.Addr.t -> bool
 
 (** [mark t addr] marks the object; returns [true] if it was not marked
@@ -25,8 +29,9 @@ val contains : t -> Mem.Addr.t -> bool
 val mark : t -> Mem.Addr.t -> bool
 
 (** [sweep t ~on_die] frees unmarked objects and clears surviving marks.
-    [on_die hdr ~birth ~words] fires for each corpse. *)
-val sweep : t -> on_die:(Mem.Header.t -> birth:int -> words:int -> unit) -> unit
+    [on_die hdr ~birth ~words] fires for each corpse.  Returns the words
+    returned to the backend. *)
+val sweep : t -> on_die:(Mem.Header.t -> birth:int -> words:int -> unit) -> int
 
 (** Words across live (currently allocated) large objects. *)
 val live_words : t -> int
@@ -37,5 +42,11 @@ val object_count : t -> int
 (** [iter t f] visits each live object's base address. *)
 val iter : t -> (Mem.Addr.t -> unit) -> unit
 
-(** Release every block (end of a run). *)
+(** Name of the placement backend ("bump", "free_list", "size_class"). *)
+val backend_name : t -> string
+
+(** Fragmentation snapshot of the backing arena. *)
+val frag : t -> Alloc.Backend.frag
+
+(** Release every segment (end of a run). *)
 val destroy : t -> unit

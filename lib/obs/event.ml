@@ -58,6 +58,14 @@ type t =
       depth : int;
     }
   | Unwind of { target_depth : int }
+  | Backend_stats of {
+      region : string;
+      backend : string;
+      live_w : int;
+      free_w : int;
+      free_blocks : int;
+      largest_hole : int;
+    }
 
 let name = function
   | Gc_begin _ -> "gc_begin"
@@ -71,6 +79,7 @@ let name = function
   | Pretenure _ -> "pretenure"
   | Marker_place _ -> "marker_place"
   | Unwind _ -> "unwind"
+  | Backend_stats _ -> "backend_stats"
 
 (* Serialisation is a straight-line Buffer write: emission runs inside
    GC pauses, so no intermediate [Json.t] is built. *)
@@ -162,5 +171,12 @@ let write b ~seq ~t_us ~gc e =
    | Marker_place { installed; depth } ->
      field_int b "installed" installed;
      field_int b "depth" depth
-   | Unwind { target_depth } -> field_int b "target_depth" target_depth);
+   | Unwind { target_depth } -> field_int b "target_depth" target_depth
+   | Backend_stats { region; backend; live_w; free_w; free_blocks; largest_hole } ->
+     field_str b "region" region;
+     field_str b "backend" backend;
+     field_int b "live_w" live_w;
+     field_int b "free_w" free_w;
+     field_int b "free_blocks" free_blocks;
+     field_int b "largest_hole" largest_hole);
   Buffer.add_string b "}\n"

@@ -92,6 +92,15 @@ type t =
     }
   | Unwind of { target_depth : int }
       (** a simulated exception unwound the stack (mutator side) *)
+  | Backend_stats of {
+      region : string;       (** "tenured" | "los" *)
+      backend : string;      (** "bump" | "free_list" | "size_class" *)
+      live_w : int;          (** granted words not yet freed *)
+      free_w : int;          (** reusable words sitting in holes *)
+      free_blocks : int;     (** hole count *)
+      largest_hole : int;    (** widest single hole, words *)
+    }  (** allocation-backend fragmentation snapshot, one per managed
+           region, sampled at the end of each collection *)
 
 (** [name e] is the record's ["ev"] discriminator. *)
 val name : t -> string

@@ -157,6 +157,11 @@ let record t e =
   | Event.Marker_place { installed; depth = _ } ->
     incr t "markers.installed" installed
   | Event.Unwind _ -> incr t "unwinds" 1
+  | Event.Backend_stats { region; live_w; free_w; free_blocks; largest_hole; _ } ->
+    set_gauge t (Printf.sprintf "backend.%s.live_w" region) live_w;
+    set_gauge t (Printf.sprintf "backend.%s.free_w" region) free_w;
+    set_gauge t (Printf.sprintf "backend.%s.free_blocks" region) free_blocks;
+    set_gauge t (Printf.sprintf "backend.%s.largest_hole" region) largest_hole
 
 (* --- snapshot --- *)
 

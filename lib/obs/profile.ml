@@ -36,6 +36,15 @@ type scan_stats = {
   scan_roots : int;
 }
 
+type backend_row = {
+  b_region : string;
+  b_backend : string;
+  b_live_w : int;
+  b_free_w : int;
+  b_free_blocks : int;
+  b_largest_hole : int;
+}
+
 type t = {
   events : int;
   collections : int;
@@ -46,6 +55,9 @@ type t = {
   censuses : census list;
   scan : scan_stats;
   phase_us : (string * float) list;
+  region_scanned_w : int;
+  region_skipped_w : int;
+  backends : backend_row list;
   copied_w : int;
   promoted_w : int;
   span_us : float;
@@ -122,6 +134,10 @@ let of_lines lines =
   let frames_reused = ref 0 in
   let slots_decoded = ref 0 in
   let scan_roots = ref 0 in
+  let region_scanned_w = ref 0 in
+  let region_skipped_w = ref 0 in
+  (* last snapshot per region: backend_stats records are gauges *)
+  let backends : (string, backend_row) Hashtbl.t = Hashtbl.create 4 in
   (* the pending collection: (gc ordinal, kind, begin timestamp) —
      collections never nest, so one slot suffices *)
   let open_gc = ref None in
@@ -156,7 +172,13 @@ let of_lines lines =
       let name = mem_str members "name" in
       Hashtbl.replace phase_us name
         (mem_float members "dur_us"
-         +. Option.value ~default:0. (Hashtbl.find_opt phase_us name))
+         +. Option.value ~default:0. (Hashtbl.find_opt phase_us name));
+      if name = "region_scan" then begin
+        let counters = mem_counters members "counters" in
+        let get k = Option.value ~default:0 (List.assoc_opt k counters) in
+        region_scanned_w := !region_scanned_w + get "scanned_w";
+        region_skipped_w := !region_skipped_w + get "skipped_w"
+      end
     | "stack_scan" ->
       incr scans;
       frames_decoded := !frames_decoded + mem_int members "decoded";
@@ -190,6 +212,15 @@ let of_lines lines =
       let a = acc_for (mem_int members "site") in
       a.a_pretenured_objects <- a.a_pretenured_objects + 1;
       a.a_pretenured_words <- a.a_pretenured_words + mem_int members "words"
+    | "backend_stats" ->
+      let region = mem_str members "region" in
+      Hashtbl.replace backends region
+        { b_region = region;
+          b_backend = mem_str members "backend";
+          b_live_w = mem_int members "live_w";
+          b_free_w = mem_int members "free_w";
+          b_free_blocks = mem_int members "free_blocks";
+          b_largest_hole = mem_int members "largest_hole" }
     | "marker_place" | "unwind" -> ()
     | _ -> ()
   in
@@ -250,6 +281,11 @@ let of_lines lines =
         phase_us =
           List.sort compare
             (Hashtbl.fold (fun k v rest -> (k, v) :: rest) phase_us []);
+        region_scanned_w = !region_scanned_w;
+        region_skipped_w = !region_skipped_w;
+        backends =
+          List.sort compare
+            (Hashtbl.fold (fun _ row rest -> row :: rest) backends []);
         copied_w = !copied_w;
         promoted_w = !promoted_w;
         span_us = !span_us }

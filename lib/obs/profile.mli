@@ -62,6 +62,18 @@ type scan_stats = {
   scan_roots : int;
 }
 
+(** Final fragmentation snapshot of one region's allocation backend (the
+    last [backend_stats] record seen for the region — they are gauges,
+    not deltas). *)
+type backend_row = {
+  b_region : string;
+  b_backend : string;
+  b_live_w : int;
+  b_free_w : int;
+  b_free_blocks : int;
+  b_largest_hole : int;
+}
+
 type t = {
   events : int;               (** records folded *)
   collections : int;          (** [gc_begin] records *)
@@ -72,6 +84,10 @@ type t = {
   censuses : census list;     (** in trace order *)
   scan : scan_stats;
   phase_us : (string * float) list;  (** summed [phase] spans, sorted *)
+  region_scanned_w : int;  (** pretenured-region words walked, summed over
+                               [region_scan] phase counters *)
+  region_skipped_w : int;  (** words the Section 7.2 scan elision skipped *)
+  backends : backend_row list;  (** one row per region, sorted *)
   copied_w : int;
   promoted_w : int;
   span_us : float;            (** run span: the largest timestamp seen,

@@ -28,7 +28,10 @@ let tables =
      [ ("site", Int); ("objects", Int); ("words", Int); ("ages", Counters) ]);
     ("pretenure", [ ("site", Int); ("words", Int) ]);
     ("marker_place", [ ("installed", Int); ("depth", Int) ]);
-    ("unwind", [ ("target_depth", Int) ]) ]
+    ("unwind", [ ("target_depth", Int) ]);
+    ("backend_stats",
+     [ ("region", Str); ("backend", Str); ("live_w", Int); ("free_w", Int);
+       ("free_blocks", Int); ("largest_hole", Int) ]) ]
 
 let kinds = List.map fst tables
 

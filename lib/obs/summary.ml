@@ -330,6 +330,48 @@ let scan_table (p : Profile.t) =
     Support.Textgrid.render grid
   end
 
+(* one line per run: the Section 7.2 scan-elision effect — how much
+   pretenured-region walking the scan-free marking removed *)
+let region_scan_line (p : Profile.t) =
+  let scanned = p.Profile.region_scanned_w
+  and skipped = p.Profile.region_skipped_w in
+  if scanned = 0 && skipped = 0 then ""
+  else begin
+    let total = scanned + skipped in
+    Printf.sprintf "region_scan: %d w scanned, %d w skipped (%s elided)"
+      scanned skipped
+      (if total = 0 then "-"
+       else pct (float_of_int skipped /. float_of_int total))
+  end
+
+let backend_table (p : Profile.t) =
+  if p.Profile.backends = [] then ""
+  else begin
+    let grid =
+      Support.Textgrid.create
+        ~columns:Support.Textgrid.[ Left; Left; Right; Right; Right; Right; Right ]
+    in
+    Support.Textgrid.add_row grid
+      [ "region"; "backend"; "live_w"; "free_w"; "holes"; "largest"; "frag" ];
+    Support.Textgrid.add_rule grid;
+    List.iter
+      (fun (r : Profile.backend_row) ->
+        let footprint = r.Profile.b_live_w + r.Profile.b_free_w in
+        Support.Textgrid.add_row grid
+          [ r.Profile.b_region;
+            r.Profile.b_backend;
+            string_of_int r.Profile.b_live_w;
+            string_of_int r.Profile.b_free_w;
+            string_of_int r.Profile.b_free_blocks;
+            string_of_int r.Profile.b_largest_hole;
+            (if footprint = 0 then "-"
+             else
+               pct (float_of_int r.Profile.b_free_w /. float_of_int footprint))
+          ])
+      p.Profile.backends;
+    Support.Textgrid.render grid
+  end
+
 let profile_header (p : Profile.t) =
   let kinds =
     String.concat ", "
@@ -347,10 +389,12 @@ let profile_header (p : Profile.t) =
 let profile_report ?site_name ?top ~windows_us (p : Profile.t) =
   let sections =
     [ profile_header p;
+      region_scan_line p;
       survival_table ?site_name ?top p;
       pause_table p;
       mmu_table p ~windows_us;
       census_table ?site_name ?top p;
+      backend_table p;
       scan_table p ]
   in
   String.concat "\n" (List.filter (fun s -> s <> "") sections)

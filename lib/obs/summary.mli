@@ -51,6 +51,16 @@ val census_table :
     reused frames, slots, roots, and the summed root-phase time). *)
 val scan_table : Profile.t -> string
 
+(** [region_scan_line p] is one line summarising the Section 7.2 scan
+    elision over the run: pretenured-region words scanned vs skipped and
+    the elided share; empty when the trace has no [region_scan] work. *)
+val region_scan_line : Profile.t -> string
+
+(** [backend_table p] is one row per managed region with the final
+    allocation-backend fragmentation snapshot (live/free words, hole
+    count, largest hole, free share of the footprint). *)
+val backend_table : Profile.t -> string
+
 (** [profile_report ?site_name ?top ~windows_us p] is a one-line run
     header followed by every non-empty table above. *)
 val profile_report :

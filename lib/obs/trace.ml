@@ -176,3 +176,11 @@ let unwind ~target_depth =
   match !state with
   | None -> ()
   | Some st -> emit st (Event.Unwind { target_depth })
+
+let backend_stats ~region ~backend ~live_w ~free_w ~free_blocks ~largest_hole =
+  match !state with
+  | None -> ()
+  | Some st ->
+    emit st
+      (Event.Backend_stats
+         { region; backend; live_w; free_w; free_blocks; largest_hole })

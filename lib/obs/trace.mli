@@ -90,3 +90,7 @@ val census :
 val pretenure : site:int -> words:int -> unit
 val marker_place : installed:int -> depth:int -> unit
 val unwind : target_depth:int -> unit
+
+val backend_stats :
+  region:string -> backend:string -> live_w:int -> free_w:int ->
+  free_blocks:int -> largest_hole:int -> unit

@@ -1,0 +1,103 @@
+(* alloc-smoke: end-to-end check that the choice of allocation backend
+   is invisible to the heap shape.
+
+   Runs one real workload under the pretenuring technique (so the
+   tenured backend actually serves allocations, not just the nursery
+   copy path) once per backend, pairing the same kind on the tenured
+   and LOS side, and diffs every placement-independent [Gc_stats]
+   counter against the bump/free_list default run.  Placement-dependent
+   gauges (the fragmentation snapshot) are printed but not compared:
+   they are exactly what a backend is allowed to change. *)
+
+let counters (s : Collectors.Gc_stats.t) =
+  [ ("minor_gcs", s.Collectors.Gc_stats.minor_gcs);
+    ("major_gcs", s.Collectors.Gc_stats.major_gcs);
+    ("words_allocated", s.Collectors.Gc_stats.words_allocated);
+    ("words_alloc_records", s.Collectors.Gc_stats.words_alloc_records);
+    ("words_alloc_arrays", s.Collectors.Gc_stats.words_alloc_arrays);
+    ("objects_allocated", s.Collectors.Gc_stats.objects_allocated);
+    ("words_copied", s.Collectors.Gc_stats.words_copied);
+    ("words_promoted", s.Collectors.Gc_stats.words_promoted);
+    ("words_pretenured", s.Collectors.Gc_stats.words_pretenured);
+    ("words_region_scanned", s.Collectors.Gc_stats.words_region_scanned);
+    ("words_region_skipped", s.Collectors.Gc_stats.words_region_skipped);
+    ("words_los_freed", s.Collectors.Gc_stats.words_los_freed);
+    ("max_live_words", s.Collectors.Gc_stats.max_live_words);
+    ("live_words_after_gc", s.Collectors.Gc_stats.live_words_after_gc);
+    ("mutator_ops", s.Collectors.Gc_stats.mutator_ops);
+    ("pointer_updates", s.Collectors.Gc_stats.pointer_updates);
+    ("barrier_entries", s.Collectors.Gc_stats.barrier_entries_processed);
+    ("roots_visited", s.Collectors.Gc_stats.roots_visited) ]
+
+let frag_line label (s : Collectors.Gc_stats.t) =
+  Printf.printf
+    "  %-10s tenured free %d w in %d holes (largest %d) | los free %d w in \
+     %d holes (largest %d)\n"
+    label s.Collectors.Gc_stats.tenured_free_words
+    s.Collectors.Gc_stats.tenured_free_blocks
+    s.Collectors.Gc_stats.tenured_largest_hole
+    s.Collectors.Gc_stats.los_free_words
+    s.Collectors.Gc_stats.los_free_blocks
+    s.Collectors.Gc_stats.los_largest_hole
+
+let run_one (w : Workloads.Spec.t) ~scale base kind =
+  let cfg =
+    { base with
+      Gsc.Config.tenured_backend = kind;
+      los_backend = kind }
+  in
+  let rt = Gsc.Runtime.create cfg in
+  Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
+  w.Workloads.Spec.run rt ~scale;
+  let s = Gsc.Runtime.stats rt in
+  frag_line (Alloc.Backend.kind_name kind) s;
+  counters s
+
+let diff name ref_counters got =
+  let bad = ref [] in
+  List.iter2
+    (fun (k, a) (k', b) ->
+      assert (k = k');
+      if a <> b then bad := (k, a, b) :: !bad)
+    ref_counters got;
+  match !bad with
+  | [] -> true
+  | bad ->
+    Printf.printf "FAIL: backend %s diverges from the default heap shape:\n"
+      name;
+    List.iter
+      (fun (k, a, b) -> Printf.printf "  %-22s default=%d %s=%d\n" k a name b)
+      (List.rev bad);
+    false
+
+let () =
+  let w = Workloads.Registry.find "nqueen" in
+  let scale = Harness.Runs.scale ~factor:0.5 w in
+  let base =
+    Harness.Runs.config_for ~workload:w ~scale
+      ~technique:Harness.Runs.Pretenure ~k:3.0
+  in
+  Printf.printf "alloc-smoke: %s at scale %d under all backends\n"
+    w.Workloads.Spec.name scale;
+  let reference = run_one w ~scale base Alloc.Backend.Bump in
+  let counter k = List.assoc k reference in
+  if counter "words_pretenured" = 0 then begin
+    (* The whole point is to push allocations through the tenured
+       backend; a zero here means the smoke has stopped testing it. *)
+    Printf.printf
+      "FAIL: workload pretenured nothing, tenured backend unexercised\n";
+    exit 1
+  end;
+  Printf.printf "  (pretenured %d w, %d minor / %d major gcs)\n"
+    (counter "words_pretenured") (counter "minor_gcs") (counter "major_gcs");
+  let ok =
+    List.for_all
+      (fun kind ->
+        if kind = Alloc.Backend.Bump then true
+        else diff (Alloc.Backend.kind_name kind) reference
+               (run_one w ~scale base kind))
+      Alloc.Backend.all_kinds
+  in
+  if not ok then exit 1;
+  Printf.printf "alloc-smoke: heap shape identical across %d backends\n"
+    (List.length Alloc.Backend.all_kinds)

@@ -31,13 +31,17 @@ let los_mark_sweep () =
   check_bool "first mark" true (Collectors.Los.mark los a);
   check_bool "second mark is idempotent" false (Collectors.Los.mark los a);
   let died = ref [] in
-  Collectors.Los.sweep los ~on_die:(fun hdr ~birth:_ ~words:_ ->
-    died := hdr.H.site :: !died);
+  let freed =
+    Collectors.Los.sweep los ~on_die:(fun hdr ~birth:_ ~words:_ ->
+      died := hdr.H.site :: !died)
+  in
   Alcotest.(check (list int)) "b died" [ 2 ] !died;
+  check_int "sweep reports freed words" 703 freed;
   check_bool "a survives" true (Collectors.Los.contains los a);
   check_bool "b freed" false (Collectors.Los.contains los b);
   (* marks cleared: an unmarked second sweep kills a *)
-  Collectors.Los.sweep los ~on_die:(fun _ ~birth:_ ~words:_ -> ());
+  let freed2 = Collectors.Los.sweep los ~on_die:(fun _ ~birth:_ ~words:_ -> ()) in
+  check_int "second sweep frees a" 603 freed2;
   check_int "empty" 0 (Collectors.Los.live_words los)
 
 (* --- Ssb / Remset --- *)
@@ -150,7 +154,8 @@ let semispace_budget_failure () =
 
 let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
     ?(barrier = Collectors.Generational.Barrier_ssb) ?(threshold = 1)
-    ?(parallelism = 1) globals =
+    ?(parallelism = 1) ?(tenured_backend = Alloc.Backend.Bump)
+    ?(los_backend = Alloc.Backend.Free_list) globals =
   let mem = Mem.Memory.create () in
   let stats = Collectors.Gc_stats.create () in
   let g =
@@ -159,7 +164,9 @@ let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
         Collectors.Generational.nursery_bytes_max = nursery;
         barrier;
         tenure_threshold = threshold;
-        parallelism }
+        parallelism;
+        tenured_backend;
+        los_backend }
   in
   (mem, g, stats)
 
@@ -446,6 +453,7 @@ let counters (s : Collectors.Gc_stats.t) =
     "words_pretenured", s.Collectors.Gc_stats.words_pretenured;
     "words_region_scanned", s.Collectors.Gc_stats.words_region_scanned;
     "words_region_skipped", s.Collectors.Gc_stats.words_region_skipped;
+    "words_los_freed", s.Collectors.Gc_stats.words_los_freed;
     "max_live_words", s.Collectors.Gc_stats.max_live_words;
     "live_words_after_gc", s.Collectors.Gc_stats.live_words_after_gc;
     "pointer_updates", s.Collectors.Gc_stats.pointer_updates;
@@ -458,13 +466,16 @@ let counters (s : Collectors.Gc_stats.t) =
    old->young stores, pretenured allocations holding young pointers, and
    an occasional large object.  Returns the stats counters plus a
    fingerprint of the surviving heap. *)
-let run_gen_workload ?(parallelism = 1) ?(budget = 256 * 1024) ~raw ~barrier
-    ~threshold () =
+let run_gen_workload ?(parallelism = 1) ?(budget = 256 * 1024)
+    ?tenured_backend ?los_backend ~raw ~barrier ~threshold () =
   Collectors.Cheney.use_raw := raw;
   Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
   @@ fun () ->
   let globals = Array.make 4 V.zero in
-  let mem, g, stats = gen ~budget ~barrier ~threshold ~parallelism globals in
+  let mem, g, stats =
+    gen ~budget ~barrier ~threshold ~parallelism ?tenured_backend ?los_backend
+      globals
+  in
   let prng = Support.Prng.create ~seed:7 in
   for i = 1 to 2500 do
     let keep = Support.Prng.int prng 10 = 0 in
@@ -706,6 +717,283 @@ let par_seq_identical_site_survival () =
       done)
     [ 2; 4 ]
 
+(* --- allocation backends --- *)
+
+(* Swept large-object words must be reusable under the reusing backends
+   and measurably lost under bump. *)
+let los_backend_reuse () =
+  let run backend =
+    let mem = Mem.Memory.create () in
+    let los = Collectors.Los.create ~backend mem in
+    let hdr = { H.kind = H.Nonptr_array; len = 600; site = 1 } in
+    let a = Collectors.Los.alloc los hdr ~birth:0 in
+    let b = Collectors.Los.alloc los hdr ~birth:0 in
+    ignore (Collectors.Los.mark los a);
+    let freed = Collectors.Los.sweep los ~on_die:(fun _ ~birth:_ ~words:_ -> ()) in
+    check_int "sweep freed b" 603 freed;
+    let c = Collectors.Los.alloc los hdr ~birth:0 in
+    let frag = Collectors.Los.frag los in
+    (b, c, frag)
+  in
+  (* free_list and size_class (oversize path) reuse b's hole exactly *)
+  List.iter
+    (fun backend ->
+      let b, c, frag = run backend in
+      let name = Alloc.Backend.kind_name backend in
+      check_bool (name ^ " reuses the swept hole") true (Mem.Addr.equal b c);
+      check_int (name ^ " leaves no free words") 0
+        frag.Alloc.Backend.free_words)
+    [ Alloc.Backend.Free_list; Alloc.Backend.Size_class ];
+  (* bump never reuses: the swept grant stays a dead hole *)
+  let b, c, frag = run Alloc.Backend.Bump in
+  check_bool "bump does not reuse" false (Mem.Addr.equal b c);
+  check_int "bump reports the dead words" 603 frag.Alloc.Backend.free_words;
+  check_int "bump reports one hole" 1 frag.Alloc.Backend.free_blocks
+
+(* The full mutation workload must produce bit-identical Gc_stats and
+   surviving heap under every (tenured_backend, los_backend) pair:
+   tenured objects are only reclaimed by whole-space compaction, so every
+   tenured backend degenerates to frontier bumping, and the collection
+   schedule depends only on live words, never on large-object
+   placement. *)
+let backend_matrix_equivalence () =
+  let barrier = Collectors.Generational.Barrier_ssb in
+  let stats_ref, heap_ref =
+    run_gen_workload ~raw:true ~barrier ~threshold:1 ()
+  in
+  List.iter
+    (fun tb ->
+      List.iter
+        (fun lb ->
+          let stats, heap =
+            run_gen_workload ~tenured_backend:tb ~los_backend:lb ~raw:true
+              ~barrier ~threshold:1 ()
+          in
+          let label =
+            Printf.sprintf "tenured=%s los=%s" (Alloc.Backend.kind_name tb)
+              (Alloc.Backend.kind_name lb)
+          in
+          Alcotest.(check (list (pair string int)))
+            (label ^ ": identical Gc_stats counters")
+            stats_ref stats;
+          Alcotest.(check (list int))
+            (label ^ ": identical surviving heap")
+            heap_ref heap)
+        Alloc.Backend.all_kinds)
+    Alloc.Backend.all_kinds
+
+(* the equivalence must also hold under aging, the card barrier, and the
+   parallel drain engine — the other axes of the GC test matrix *)
+let backend_matrix_other_axes () =
+  List.iter
+    (fun (name, barrier, threshold, parallelism) ->
+      let stats_ref, heap_ref =
+        run_gen_workload ~parallelism ~budget:par_budget ~raw:true ~barrier
+          ~threshold ()
+      in
+      List.iter
+        (fun (tb, lb) ->
+          let stats, heap =
+            run_gen_workload ~parallelism ~budget:par_budget
+              ~tenured_backend:tb ~los_backend:lb ~raw:true ~barrier
+              ~threshold ()
+          in
+          let label =
+            Printf.sprintf "%s tenured=%s los=%s" name
+              (Alloc.Backend.kind_name tb) (Alloc.Backend.kind_name lb)
+          in
+          Alcotest.(check (list (pair string int)))
+            (label ^ ": identical Gc_stats counters")
+            stats_ref stats;
+          Alcotest.(check (list int))
+            (label ^ ": identical surviving heap")
+            heap_ref heap)
+        [ (Alloc.Backend.Free_list, Alloc.Backend.Bump);
+          (Alloc.Backend.Size_class, Alloc.Backend.Size_class) ])
+    [ ("cards+aging", Collectors.Generational.Barrier_cards, 3, 1);
+      ("ssb p=2", Collectors.Generational.Barrier_ssb, 1, 2) ]
+
+(* --- backend properties (qcheck) --- *)
+
+(* Random alloc/free interleavings against a growable backend: grants
+   never overlap each other, freeing everything restores [live_words] to
+   zero, and the coalescing free list collapses adjacent holes. *)
+let backend_no_overlap_prop =
+  QCheck.Test.make ~name:"backend grants never overlap" ~count:80
+    QCheck.(
+      triple (int_range 0 1000000) (int_range 1 120)
+        (oneofl Alloc.Backend.[ Bump; Free_list; Size_class ]))
+    (fun (seed, ops, kind) ->
+      let mem = Mem.Memory.create () in
+      let be = Alloc.Registry.growable kind mem ~segment_words:512 in
+      let prng = Support.Prng.create ~seed in
+      let live = Hashtbl.create 32 in (* base -> words *)
+      let granted = ref 0 in
+      let ok = ref true in
+      let overlaps base words =
+        Hashtbl.fold
+          (fun b w acc ->
+            acc
+            || Mem.Addr.block b = Mem.Addr.block base
+               && Mem.Addr.offset base < Mem.Addr.offset b + w
+               && Mem.Addr.offset b < Mem.Addr.offset base + words)
+          live false
+      in
+      for _ = 1 to ops do
+        if Support.Prng.int prng 3 < 2 || Hashtbl.length live = 0 then begin
+          let words = 3 + Support.Prng.int prng 60 in
+          match Alloc.Backend.alloc be words with
+          | None -> ok := false (* growable backends never refuse *)
+          | Some base ->
+            if overlaps base words then ok := false;
+            if not (Alloc.Backend.contains be base) then ok := false;
+            Hashtbl.replace live base words;
+            granted := !granted + words
+        end
+        else begin
+          (* free a pseudo-random live grant *)
+          let n = Support.Prng.int prng (Hashtbl.length live) in
+          let victim = ref None in
+          let i = ref 0 in
+          Hashtbl.iter
+            (fun b w ->
+              if !i = n then victim := Some (b, w);
+              incr i)
+            live;
+          match !victim with
+          | None -> ()
+          | Some (b, w) ->
+            Alloc.Backend.free be b ~words:w;
+            Hashtbl.remove live b;
+            granted := !granted - w
+        end
+      done;
+      if Alloc.Backend.live_words be <> !granted then ok := false;
+      (* drain: freeing every survivor must restore live_words = 0 *)
+      Hashtbl.iter (fun b w -> Alloc.Backend.free be b ~words:w) live;
+      if Alloc.Backend.live_words be <> 0 then ok := false;
+      Alloc.Backend.destroy be;
+      !ok)
+
+(* free + coalesce: freeing a contiguous run of grants in any order must
+   merge them into one hole of the full width (free list only — the
+   size-class buckets deliberately do not coalesce) *)
+let free_list_coalesce_prop =
+  QCheck.Test.make ~name:"free list coalesces adjacent holes" ~count:80
+    QCheck.(pair (int_range 0 1000000) (int_range 2 12))
+    (fun (seed, n) ->
+      let mem = Mem.Memory.create () in
+      let space = Mem.Space.create mem ~words:4096 in
+      let fl = Alloc.Free_list.of_space mem space in
+      let prng = Support.Prng.create ~seed in
+      let words = Array.init n (fun _ -> 3 + Support.Prng.int prng 20) in
+      let grants =
+        Array.map
+          (fun w ->
+            match Alloc.Free_list.alloc fl w with
+            | Some b -> (b, w)
+            | None -> QCheck.assume_fail ())
+          words
+      in
+      let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 grants in
+      (* free in a random order *)
+      let order = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Support.Prng.int prng (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      Array.iter
+        (fun i ->
+          let b, w = grants.(i) in
+          Alloc.Free_list.free fl b ~words:w)
+        order;
+      let frag = Alloc.Free_list.frag fl in
+      frag.Alloc.Backend.free_words = total
+      && frag.Alloc.Backend.free_blocks = 1
+      && frag.Alloc.Backend.largest_hole = total
+      && Alloc.Free_list.live_words fl = 0)
+
+(* size-class fallback: requests wider than the top class round-trip
+   through the oversize coalescing list, and a small request never
+   splits an oversize hole (it falls back to the frontier) *)
+let size_class_fallback_prop =
+  QCheck.Test.make ~name:"size-class oversize fallback is correct" ~count:80
+    QCheck.(pair (int_range 0 1000000) (int_range 300 900))
+    (fun (seed, big) ->
+      let mem = Mem.Memory.create () in
+      let sc = Alloc.Size_class.growable mem ~segment_words:4096 in
+      let prng = Support.Prng.create ~seed in
+      let b1 =
+        match Alloc.Size_class.alloc sc big with
+        | Some b -> b
+        | None -> QCheck.assume_fail ()
+      in
+      Alloc.Size_class.free sc b1 ~words:big;
+      (* a small grant must not carve the oversize hole *)
+      let small = 3 + Support.Prng.int prng 10 in
+      let s =
+        match Alloc.Size_class.alloc sc small with
+        | Some b -> b
+        | None -> QCheck.assume_fail ()
+      in
+      let frag_after_small = Alloc.Size_class.frag sc in
+      (* the oversize hole is reused exactly by an equal request *)
+      let b2 =
+        match Alloc.Size_class.alloc sc big with
+        | Some b -> b
+        | None -> QCheck.assume_fail ()
+      in
+      (not (Mem.Addr.equal s b1))
+      && frag_after_small.Alloc.Backend.free_words = big
+      && Mem.Addr.equal b1 b2
+      && Alloc.Size_class.frag sc |> fun f ->
+         f.Alloc.Backend.free_words = 0)
+
+(* walkability: after any interleaving, a linear walk of the backend
+   visits fillers and live objects covering the region exactly *)
+let backend_walkable_prop =
+  QCheck.Test.make ~name:"backends keep regions walkable" ~count:60
+    QCheck.(
+      pair (int_range 0 1000000)
+        (oneofl Alloc.Backend.[ Bump; Free_list; Size_class ]))
+    (fun (seed, kind) ->
+      let mem = Mem.Memory.create () in
+      let space = Mem.Space.create mem ~words:2048 in
+      let be = Alloc.Registry.of_space kind mem space in
+      let prng = Support.Prng.create ~seed in
+      let live = ref [] in
+      for i = 1 to 60 do
+        let words = H.header_words + Support.Prng.int prng 12 in
+        (match Alloc.Backend.alloc be words with
+         | None -> ()
+         | Some base ->
+           H.write mem base
+             { H.kind = H.Nonptr_array; len = words - H.header_words;
+               site = i }
+             ~birth:0;
+           live := (base, words) :: !live);
+        if Support.Prng.int prng 3 = 0 && !live <> [] then begin
+          let b, w = List.hd !live in
+          Alloc.Backend.free be b ~words:w;
+          live := List.tl !live
+        end
+      done;
+      (* the walk must cover used_words exactly, fillers included, and
+         report each live object at its base *)
+      let walked = ref 0 in
+      let seen = Hashtbl.create 32 in
+      Alloc.Backend.iter_objects be (fun a ->
+        let cells = Mem.Memory.cells mem a in
+        let w = H.object_words_c cells ~off:(Mem.Addr.offset a) in
+        walked := !walked + w;
+        if not (H.is_filler_c cells ~off:(Mem.Addr.offset a)) then
+          Hashtbl.replace seen a ());
+      !walked = Mem.Space.used_words space
+      && List.for_all (fun (b, _) -> Hashtbl.mem seen b) !live
+      && Hashtbl.length seen = List.length !live)
+
 (* --- Deque --- *)
 
 let with_deque_checks f =
@@ -941,4 +1229,15 @@ let () =
             deque_owner_lifo_thief_fifo;
           Alcotest.test_case "deque checks catch misuse" `Quick
             deque_checks_catch_misuse;
-          QCheck_alcotest.to_alcotest par_drain_no_double_copy_prop ] ) ]
+          QCheck_alcotest.to_alcotest par_drain_no_double_copy_prop ] );
+      ( "alloc-backends",
+        [ Alcotest.test_case "los backends reuse swept holes" `Quick
+            los_backend_reuse;
+          Alcotest.test_case "backend matrix equivalence" `Quick
+            backend_matrix_equivalence;
+          Alcotest.test_case "backend matrix (aging, cards, parallel)" `Quick
+            backend_matrix_other_axes;
+          QCheck_alcotest.to_alcotest backend_no_overlap_prop;
+          QCheck_alcotest.to_alcotest free_list_coalesce_prop;
+          QCheck_alcotest.to_alcotest size_class_fallback_prop;
+          QCheck_alcotest.to_alcotest backend_walkable_prop ] ) ]
