@@ -444,12 +444,21 @@ let print_frag_rows rows =
 
 (* --- parallel_drain: the work-stealing drain at 1/2/4 domains ---
 
-   These rows are deterministic virtual-time makespans (Par_drain charges
-   fixed per-operation costs and reports the maximum worker clock), not
-   host wall-clock: the simulator never times simulated work on the host
-   (see EXPERIMENTS.md), and a single-core machine could not measure real
-   domain speedups anyway.  Identical seeded workload for every row, so
-   drain.pN/drain.pM is a pure scheduling ratio. *)
+   Two row families measure the same seeded graph:
+
+   - [drain.pN]: deterministic virtual-time makespans (the Virtual
+     engine charges fixed per-operation costs and reports the maximum
+     worker clock).  Identical workload for every row, so
+     drain.pN/drain.pM is a pure scheduling ratio, reproducible on any
+     host.
+
+   - [drain.pN.wall] (and the [autotune.cN.wall] chunk sweep): host
+     wall-clock medians of the Real engine — actual OCaml domains
+     draining through the same deques.  These rows DO depend on the
+     host; on a single-core machine they measure scheduling overhead,
+     not speedup, so the speedup guards below only arm when
+     [Domain.recommended_domain_count] reports enough cores (see
+     EXPERIMENTS.md). *)
 
 (* A bushy from-space graph: [n_roots] globals each rooting an
    independent binary tree, so initial packets spread breadth and chunk
@@ -484,21 +493,23 @@ let build_drain_graph ~n_roots ~depth =
   (mem, from, globals)
 
 (* Rebuilds the graph (forwarding destroys it), drains it at
-   [parallelism], and reports the virtual makespan in ns. *)
-let drain_makespan ~parallelism =
+   [parallelism] under [mode], and reports the virtual makespan
+   (Virtual) or the measured wall time of [run] (Real), in ns. *)
+let drain_once ~mode ?chunk_words ~parallelism () =
   let mem, from, globals = build_drain_graph ~n_roots:64 ~depth:5 in
   let live = Mem.Space.used_words from in
   let to_space =
     Mem.Space.create mem
       ~words:
         (live
-        + Collectors.Par_drain.space_headroom ~parallelism ~copy_bound:live)
+        + Collectors.Par_drain.space_headroom ?chunk_words ~parallelism
+            ~copy_bound:live ())
   in
   let p =
     Collectors.Par_drain.create ~mem
       ~in_from:(Mem.Space.contains from)
       ~to_space ~los:None ~trace_los:false ~promoting:false ~object_hooks:None
-      ~parallelism ()
+      ~parallelism ~mode ?chunk_words ()
   in
   (* eight-root packets: enough initial breadth that every domain has
      work before the first steal *)
@@ -510,15 +521,47 @@ let drain_makespan ~parallelism =
     (fun i _ -> Rstack.Root.Batch.push batch (Rstack.Root.Global (globals, i)))
     globals;
   Rstack.Root.Batch.flush batch;
+  let t0 = Support.Units.now_ns () in
   Collectors.Par_drain.run p;
+  let wall = Support.Units.now_ns () - t0 in
   if Collectors.Par_drain.words_copied p < live then
     failwith "bench: parallel drain lost reachable words";
-  float_of_int (Collectors.Par_drain.makespan_ns p)
+  match mode with
+  | Collectors.Par_drain.Virtual ->
+    float_of_int (Collectors.Par_drain.makespan_ns p)
+  | Collectors.Par_drain.Real -> float_of_int wall
+
+let drain_makespan ~parallelism =
+  drain_once ~mode:Collectors.Par_drain.Virtual ~parallelism ()
+
+(* Real-domain wall time is noisy (domain wake-up, host scheduler), so
+   each wall row is the median of five runs, graph rebuilt each time. *)
+let drain_wall ?chunk_words ~parallelism () =
+  let runs =
+    List.init 5 (fun _ ->
+        drain_once ~mode:Collectors.Par_drain.Real ?chunk_words ~parallelism ())
+  in
+  match List.sort compare runs with
+  | [ _; _; m; _; _ ] -> m
+  | _ -> assert false
 
 let parallel_drain_rows degrees =
   List.map
     (fun n -> (Printf.sprintf "drain.p%d" n, drain_makespan ~parallelism:n))
     degrees
+
+let drain_wall_rows degrees =
+  List.map
+    (fun n ->
+      (Printf.sprintf "drain.p%d.wall" n, drain_wall ~parallelism:n ()))
+    degrees
+
+let autotune_rows ~parallelism chunk_sizes =
+  List.map
+    (fun c ->
+      ( Printf.sprintf "autotune.c%d.wall" c,
+        drain_wall ~chunk_words:c ~parallelism () ))
+    chunk_sizes
 
 let print_drain_rows rows =
   print_endline "Parallel drain (virtual-time makespan, work-stealing):";
@@ -530,6 +573,16 @@ let print_drain_rows rows =
    | Some p1, Some p4 when p4 > 0. ->
      Printf.printf "  %-44s %12.2fx\n" "speedup p4/p1" (p1 /. p4)
    | _ -> ());
+  print_newline ()
+
+let print_wall_rows ~header rows =
+  Printf.printf "%s (host: %d core%s):\n" header
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-44s %12.0f wall ns\n" ("parallel_drain/" ^ name) ns)
+    rows;
   print_newline ()
 
 (* --- Bechamel driver --- *)
@@ -743,6 +796,24 @@ let () =
     if not (p2 < p1) then
       failwith "bench-smoke: 2-domain drain no faster than 1-domain";
     print_drain_rows drain;
+    (* 2-domain wall sanity: real domains must complete and, given real
+       cores to run on, not collapse (>= 0.85x of sequential — a floor
+       against pathological contention, not a speedup claim) *)
+    let wall = drain_wall_rows [ 1; 2 ] in
+    print_wall_rows ~header:"Real-domain drain wall time (median of 5)" wall;
+    let w1 = List.assoc "drain.p1.wall" wall
+    and w2 = List.assoc "drain.p2.wall" wall in
+    if Domain.recommended_domain_count () >= 2 then begin
+      if w1 /. w2 < 0.85 then
+        failwith
+          (Printf.sprintf
+             "bench-smoke: 2-domain wall drain collapsed (%.2fx of p1)"
+             (w1 /. w2))
+    end
+    else
+      print_endline
+        "  (single-core host: wall speedup guard skipped; rows measure \
+         scheduling overhead only)\n";
     let be_rows =
       run_group ~group_name:"alloc_backend" ~quota:0.02 ~limit:20
         alloc_backend_tests
@@ -759,7 +830,7 @@ let () =
     print_frag_rows frag;
     emit_json
       (rows @ be_rows
-      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain
+      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall)
       @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag);
     print_endline "bench-smoke: OK"
   end
@@ -785,6 +856,32 @@ let () =
     if p4 *. 1.8 > p1 then
       Printf.printf "WARNING: drain.p4 speedup below 1.8x (%.2fx)\n\n"
         (p1 /. p4);
+    let wall = drain_wall_rows [ 1; 2; 4 ] in
+    print_wall_rows ~header:"Real-domain drain wall time (median of 5)" wall;
+    let cores = Domain.recommended_domain_count () in
+    (if cores >= 4 then begin
+       let w1 = List.assoc "drain.p1.wall" wall
+       and w4 = List.assoc "drain.p4.wall" wall in
+       if w4 *. 1.5 > w1 then
+         Printf.printf "WARNING: drain.p4.wall speedup below 1.5x (%.2fx)\n\n"
+           (w1 /. w4)
+     end
+     else
+       Printf.printf
+         "  (%d-core host: real speedup unattainable; wall rows measure \
+          engine overhead)\n\n"
+         cores);
+    (* chunk-size autotune sweep at p=4: the grant size trades steal
+       traffic (small chunks) against tail imbalance and filler waste
+       (large chunks); the sweep makes the knob's response visible even
+       where the host can't show speedup *)
+    let tune = autotune_rows ~parallelism:4 [ 64; 128; 256; 512; 1024 ] in
+    print_wall_rows ~header:"Chunk-size autotune at p=4 (median of 5)" tune;
+    (let best_name, best =
+       List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+         (List.hd tune) (List.tl tune)
+     in
+     Printf.printf "  best chunk: %s (%.0f wall ns)\n\n" best_name best);
     let be_rows =
       run_group ~group_name:"alloc_backend" ~quota:0.5 ~limit:50
         alloc_backend_tests
@@ -794,7 +891,7 @@ let () =
     print_frag_rows frag;
     emit_json
       (table_rows @ hot_rows @ be_rows
-      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) drain
+      @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall @ tune)
       @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag);
     print_endline
       "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";

@@ -273,6 +273,23 @@ let gc_trace_cmd =
                engine; >1 emits per-domain copy.dN phase spans)." in
     Arg.(value & opt int 1 & info [ "parallelism"; "p" ] ~docv:"N" ~doc)
   in
+  let mode_arg =
+    let modes =
+      [ ("virtual", Collectors.Par_drain.Virtual);
+        ("real", Collectors.Par_drain.Real) ]
+    in
+    let doc = "Parallel-drain execution engine: $(b,virtual) (deterministic \
+               single-threaded scheduler, simulated clocks) or $(b,real) \
+               (OCaml domains, wall-clock phase spans).  Only meaningful \
+               with --parallelism > 1." in
+    Arg.(value & opt (enum modes) Collectors.Par_drain.Virtual
+         & info [ "parallelism-mode" ] ~docv:"MODE" ~doc)
+  in
+  let chunk_words_arg =
+    let doc = "Copy-chunk grant size in words for the real-mode drain \
+               (0 = engine default)." in
+    Arg.(value & opt int 0 & info [ "chunk-words" ] ~docv:"N" ~doc)
+  in
   let census_arg =
     let doc = "Emit a heap census (per-site live words and object-age \
                buckets) every $(docv)-th collection; 0 disables the \
@@ -303,8 +320,8 @@ let gc_trace_cmd =
     Arg.(value & opt backend_conv Alloc.Backend.Free_list
          & info [ "los-backend" ] ~docv:"BACKEND" ~doc)
   in
-  let run factor name technique k out parallelism census_period tenured_backend
-      los_backend =
+  let run factor name technique k out parallelism parallelism_mode chunk_words
+      census_period tenured_backend los_backend =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
@@ -313,7 +330,8 @@ let gc_trace_cmd =
       let sc = Harness.Runs.scale ~factor w in
       let cfg =
         { (Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k) with
-          Gsc.Config.parallelism; census_period; tenured_backend; los_backend }
+          Gsc.Config.parallelism; parallelism_mode; chunk_words; census_period;
+          tenured_backend; los_backend }
       in
       let path =
         match out with Some p -> p | None -> name ^ ".trace.jsonl"
@@ -354,7 +372,8 @@ let gc_trace_cmd =
           histograms, phase breakdown and site-survival tables")
     Term.(
       const run $ factor_arg $ workload_arg $ technique $ k_arg $ out
-      $ parallelism_arg $ census_arg $ tenured_backend_arg $ los_backend_arg)
+      $ parallelism_arg $ mode_arg $ chunk_words_arg $ census_arg
+      $ tenured_backend_arg $ los_backend_arg)
 
 (* --- gc-profile --- *)
 

@@ -17,6 +17,8 @@ type t = {
   barrier : Collectors.Generational.barrier_kind;
   tenure_threshold : int;
   parallelism : int;
+  parallelism_mode : Collectors.Par_drain.mode;
+  chunk_words : int;
   census_period : int;
   tenured_backend : Alloc.Backend.kind;
   los_backend : Alloc.Backend.kind;
@@ -40,6 +42,8 @@ let default ~budget_bytes =
     barrier = Collectors.Generational.Barrier_ssb;
     tenure_threshold = 1;
     parallelism = 1;
+    parallelism_mode = Collectors.Par_drain.Virtual;
+    chunk_words = 0;
     census_period = 0;
     tenured_backend = Alloc.Backend.Bump;
     los_backend = Alloc.Backend.Free_list;

@@ -43,6 +43,16 @@ type t = {
                                           work-stealing [Par_drain]
                                           engine.  Applies to both
                                           collectors. *)
+  parallelism_mode : Collectors.Par_drain.mode;
+                                      (** [Virtual] (default) drives the
+                                          drain domains from the
+                                          deterministic discrete-event
+                                          scheduler; [Real] runs true
+                                          OCaml 5 domains for wall-clock
+                                          parallelism *)
+  chunk_words : int;                  (** parallel-drain copy-chunk size
+                                          in words; 0 (default) = engine
+                                          default *)
   census_period : int;                (** generational only: emit a heap
                                           census every this-many
                                           collections while tracing;

@@ -178,7 +178,9 @@ let create cfg =
                cfg.Config.semispace_target_liveness;
              budget_bytes = cfg.Config.budget_bytes;
              initial_bytes = cfg.Config.semispace_initial_bytes;
-             parallelism = cfg.Config.parallelism })
+             parallelism = cfg.Config.parallelism;
+             parallelism_mode = cfg.Config.parallelism_mode;
+             chunk_words = cfg.Config.chunk_words })
     | Config.Generational ->
       Collectors.Collector.Generational
         (Collectors.Generational.create mem ~hooks ~stats
@@ -190,6 +192,8 @@ let create cfg =
              barrier = cfg.Config.barrier;
              tenure_threshold = cfg.Config.tenure_threshold;
              parallelism = cfg.Config.parallelism;
+             parallelism_mode = cfg.Config.parallelism_mode;
+             chunk_words = cfg.Config.chunk_words;
              census_period = cfg.Config.census_period;
              tenured_backend = cfg.Config.tenured_backend;
              los_backend = cfg.Config.los_backend })

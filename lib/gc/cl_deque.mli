@@ -1,0 +1,40 @@
+(** The concurrent Chase-Lev work-stealing deque (Chase & Lev,
+    SPAA 2005) used by {!Par_drain}'s real-domain engine.
+
+    Same discipline as the virtual-time {!Deque} — the owner pushes and
+    pops LIFO at the bottom, thieves steal FIFO from the top — but the
+    indices are OCaml [Atomic]s and [steal]/the last-element [pop] claim
+    elements with a real compare-and-swap, so the structure is safe
+    under true domain concurrency: every pushed element is taken exactly
+    once, whatever the interleaving.
+
+    Concurrency contract: {b one} owner may call {!push}/{!pop}; any
+    number of other domains may call {!steal} concurrently.  {!length}
+    and {!is_empty} are racy snapshots, fit only for heuristics (the
+    drain's termination detector re-checks through the claiming
+    operations). *)
+
+type 'a t
+
+(** An empty deque.  There is no [owner] id: ownership is by calling
+    convention (checked structurally by the stress tests rather than by
+    identity assertions, which a true concurrent steal cannot carry). *)
+val create : unit -> 'a t
+
+(** Racy size snapshot (never negative). *)
+val length : 'a t -> int
+
+(** Racy emptiness snapshot. *)
+val is_empty : 'a t -> bool
+
+(** Owner only: append at the bottom. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only: take the newest element, racing thieves for the last
+    one. *)
+val pop : 'a t -> 'a option
+
+(** Thieves: claim the oldest element via CAS on the top index.  [None]
+    means empty {e or} lost the race — callers treat both as "try
+    another victim". *)
+val steal : 'a t -> 'a option

@@ -11,11 +11,19 @@
    [checks] assertions so a protocol violation fails loudly instead of
    silently double-processing a packet. *)
 
-let checks =
-  ref
-    (match Sys.getenv_opt "GSC_DEQUE_CHECKS" with
-     | Some ("" | "0") | None -> false
-     | Some _ -> true)
+(* The [GSC_DEQUE_CHECKS] environment lookup happens exactly once, at
+   module initialisation: the flag guards assertions on the push / pop /
+   steal hot paths, and a [Sys.getenv_opt] per deque operation would be
+   a syscall-shaped cost inside the drain loop.  Tests that need the
+   checks for one scope flip the ref and restore it ([with_deque_checks]
+   in test_gc.ml); the cached environment value is only the startup
+   default. *)
+let checks_env =
+  match Sys.getenv_opt "GSC_DEQUE_CHECKS" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let checks = ref checks_env
 
 type 'a t = {
   owner : int;                    (* worker id allowed at the bottom end *)

@@ -21,6 +21,11 @@ type 'a t
     non-empty, non-"0" value (the debug-assert test alias sets it). *)
 val checks : bool ref
 
+(** The [GSC_DEQUE_CHECKS] environment value, read once at module
+    initialisation (never on the assertion hot path) — the startup
+    default of {!checks}.  {!Cl_deque} shares the same switch. *)
+val checks_env : bool
+
 (** [create ~owner] is an empty deque owned by worker id [owner]. *)
 val create : owner:int -> 'a t
 

@@ -1,0 +1,143 @@
+(* A persistent pool of worker domains for the real-mode parallel
+   drain.
+
+   Spawning a domain costs a runtime-lock handshake and a fresh minor
+   heap — far too much to pay per collection.  So the pool spawns each
+   worker domain once, on first demand, and parks it on a
+   Mutex/Condition barrier between drains.  A collection publishes a
+   job (a closure plus a lane count), broadcasts, runs lane 0 itself on
+   the calling domain, and waits for the workers to check back in; the
+   monitor's release/acquire pairs give the usual happens-before edges,
+   so everything the caller wrote before [run] is visible to the
+   workers, and everything the workers wrote is visible to the caller
+   after [run] returns.
+
+   Workers beyond the requested lane count skip the epoch without
+   running the job, so one pool serves p=2 and p=4 drains
+   interchangeably and only ever grows. *)
+
+type t = {
+  mu : Mutex.t;
+  work : Condition.t;            (* new epoch published, or quit *)
+  donec : Condition.t;           (* a worker finished its lane *)
+  mutable domains : unit Domain.t array;
+  mutable job : (int -> unit) option;
+  mutable job_lanes : int;       (* lanes participating in this epoch *)
+  mutable epoch : int;           (* bumped per published job *)
+  mutable pending : int;         (* workers still running the job *)
+  mutable quit : bool;
+  mutable exns : exn list;       (* worker-lane exceptions, this epoch *)
+}
+
+let create () = {
+  mu = Mutex.create ();
+  work = Condition.create ();
+  donec = Condition.create ();
+  domains = [||];
+  job = None;
+  job_lanes = 0;
+  epoch = 0;
+  pending = 0;
+  quit = false;
+  exns = [];
+}
+
+(* Each worker owns one lane id for life.  The loop waits for an epoch
+   it has not seen, runs the job if its lane participates, and reports
+   back through [pending]. *)
+let worker_loop pool lane =
+  let seen = ref 0 in
+  Mutex.lock pool.mu;
+  let rec go () =
+    if pool.quit then Mutex.unlock pool.mu
+    else if pool.epoch = !seen then begin
+      Condition.wait pool.work pool.mu;
+      go ()
+    end
+    else begin
+      seen := pool.epoch;
+      let job = pool.job and lanes = pool.job_lanes in
+      if lane < lanes then begin
+        Mutex.unlock pool.mu;
+        (try (Option.get job) lane
+         with e -> Mutex.lock pool.mu;
+                   pool.exns <- e :: pool.exns;
+                   Mutex.unlock pool.mu);
+        Mutex.lock pool.mu;
+        pool.pending <- pool.pending - 1;
+        if pool.pending = 0 then Condition.broadcast pool.donec
+      end;
+      go ()
+    end
+  in
+  go ()
+
+(* Spawn missing workers so lanes [1, lanes) exist.  Called under
+   [pool.mu]; a freshly spawned worker's [seen] starts at 0 and the
+   pool epoch only moves under the lock, so the worker cannot miss the
+   job about to be published. *)
+let ensure_locked pool lanes =
+  let have = Array.length pool.domains in
+  if lanes - 1 > have then begin
+    let fresh =
+      Array.init (lanes - 1 - have) (fun i ->
+          let lane = have + i + 1 in
+          Domain.spawn (fun () -> worker_loop pool lane))
+    in
+    pool.domains <- Array.append pool.domains fresh
+  end
+
+let run pool ~lanes f =
+  if lanes < 1 then invalid_arg "Domain_pool.run: lanes < 1";
+  if lanes = 1 then f 0
+  else begin
+    Mutex.lock pool.mu;
+    if Option.is_some pool.job then begin
+      Mutex.unlock pool.mu;
+      invalid_arg "Domain_pool.run: nested run"
+    end;
+    if pool.quit then begin
+      Mutex.unlock pool.mu;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    ensure_locked pool lanes;
+    pool.job <- Some f;
+    pool.job_lanes <- lanes;
+    pool.pending <- lanes - 1;
+    pool.exns <- [];
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mu;
+    (* lane 0 runs on the calling domain, concurrently with the rest *)
+    let main_exn = (try f 0; None with e -> Some e) in
+    Mutex.lock pool.mu;
+    while pool.pending > 0 do Condition.wait pool.donec pool.mu done;
+    pool.job <- None;
+    let worker_exns = pool.exns in
+    pool.exns <- [];
+    Mutex.unlock pool.mu;
+    match main_exn, worker_exns with
+    | Some e, _ -> raise e
+    | None, e :: _ -> raise e
+    | None, [] -> ()
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mu;
+  if not pool.quit then begin
+    pool.quit <- true;
+    Condition.broadcast pool.work
+  end;
+  let domains = pool.domains in
+  pool.domains <- [||];
+  Mutex.unlock pool.mu;
+  Array.iter Domain.join domains
+
+(* The shared pool: one per process, spawned lazily, torn down at exit
+   so the process does not hang on parked domains. *)
+let shared = lazy (
+  let pool = create () in
+  at_exit (fun () -> shutdown pool);
+  pool)
+
+let get () = Lazy.force shared

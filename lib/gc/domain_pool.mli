@@ -1,0 +1,35 @@
+(** A persistent pool of worker domains for {!Par_drain}'s real-mode
+    engine.
+
+    Domains are expensive to spawn (runtime-lock handshake, fresh minor
+    heap), so the pool creates each worker once — on the first drain
+    that needs it — and parks it on a Mutex/Condition barrier between
+    collections.  {!run} publishes a job, runs lane 0 on the calling
+    domain, and blocks until every participating worker has finished;
+    the monitor gives the happens-before edges in both directions, so
+    no extra fencing is needed around a drain. *)
+
+type t
+
+(** A fresh, empty pool (no domains spawned yet). *)
+val create : unit -> t
+
+(** [run pool ~lanes f] runs [f 0 .. f (lanes-1)] concurrently, one
+    lane per domain, and returns when all have finished.  Lane 0 runs
+    on the calling domain; lanes 1.. run on pooled worker domains,
+    spawned on first use and reused across calls.  [lanes = 1] calls
+    [f 0] directly without touching the pool.
+
+    If any lane raises, [run] re-raises after the barrier — the calling
+    lane's exception first, else an arbitrary worker's.  Nested [run]
+    on the same pool is an error ([Invalid_argument]): the drain is
+    single-level. *)
+val run : t -> lanes:int -> (int -> unit) -> unit
+
+(** Wake all workers, tell them to exit, and join them.  Subsequent
+    {!run} calls with [lanes > 1] fail.  Idempotent. *)
+val shutdown : t -> unit
+
+(** The process-wide shared pool, created on first use; an [at_exit]
+    hook shuts it down so parked domains never block process exit. *)
+val get : unit -> t

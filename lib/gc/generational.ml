@@ -11,6 +11,8 @@ type config = {
   barrier : barrier_kind;
   tenure_threshold : int;
   parallelism : int;
+  parallelism_mode : Par_drain.mode;
+  chunk_words : int;   (* 0 = the engine's default *)
   census_period : int;
   tenured_backend : Alloc.Backend.kind;
   los_backend : Alloc.Backend.kind;
@@ -24,6 +26,8 @@ let default_config ~budget_bytes =
     barrier = Barrier_ssb;
     tenure_threshold = 1;
     parallelism = 1;
+    parallelism_mode = Par_drain.Virtual;
+    chunk_words = 0;
     census_period = 0;
     tenured_backend = Alloc.Backend.Bump;
     los_backend = Alloc.Backend.Free_list }
@@ -83,6 +87,8 @@ let create mem ~hooks ~stats cfg =
     invalid_arg "Generational.create: bad parallelism";
   if cfg.census_period < 0 then
     invalid_arg "Generational.create: negative census period";
+  if cfg.chunk_words <> 0 && cfg.chunk_words < 2 * Mem.Header.header_words then
+    invalid_arg "Generational.create: chunk_words too small";
   let wpb = Mem.Memory.bytes_per_word in
   let budget_w = cfg.budget_bytes / wpb in
   let nursery_words = max 64 (min (cfg.nursery_bytes_max / wpb) (budget_w / 4)) in
@@ -92,8 +98,10 @@ let create mem ~hooks ~stats cfg =
      sizing so the copy reserve still cannot overflow *)
   let par_headroom =
     if cfg.parallelism > 1 then
-      Par_drain.space_headroom ~parallelism:cfg.parallelism
-        ~copy_bound:(tenured_cap + nursery_words)
+      Par_drain.space_headroom
+        ?chunk_words:(if cfg.chunk_words > 0 then Some cfg.chunk_words else None)
+        ~parallelism:cfg.parallelism
+        ~copy_bound:(tenured_cap + nursery_words) ()
     else 0
   in
   let tenured_phys = tenured_cap + nursery_words + 64 + par_headroom in
@@ -564,7 +572,10 @@ let minor_collection t =
               | B_cards (cards, _) ->
                 Some (fun visit card -> scan_card t ~visit cards card)
               | B_ssb _ | B_remset _ -> None)
-           ~parallelism:t.cfg.parallelism ())
+           ~parallelism:t.cfg.parallelism ~mode:t.cfg.parallelism_mode
+           ?chunk_words:
+             (if t.cfg.chunk_words > 0 then Some t.cfg.chunk_words else None)
+           ())
     else
       E_seq
         (Cheney.create ~mem:t.mem
@@ -682,7 +693,10 @@ let major_collection t =
            ~in_from:(Mem.Space.contains t.tenured)
            ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
            ~object_hooks:t.hooks.Hooks.object_hooks
-           ~parallelism:t.cfg.parallelism ())
+           ~parallelism:t.cfg.parallelism ~mode:t.cfg.parallelism_mode
+           ?chunk_words:
+             (if t.cfg.chunk_words > 0 then Some t.cfg.chunk_words else None)
+           ())
     else
       E_seq
         (Cheney.create ~mem:t.mem

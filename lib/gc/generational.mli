@@ -53,6 +53,16 @@ type config = {
           collections, falling back to the sequential engine under an
           aging nursery or the safe reference path.  At most
           {!Gc_stats.max_domains}. *)
+  parallelism_mode : Par_drain.mode;
+      (** how the drain domains execute: [Virtual] (the default) is the
+          deterministic discrete-event scheduler, [Real] runs true
+          OCaml 5 domains from the shared {!Domain_pool} for wall-clock
+          parallelism.  Ignored at [parallelism = 1]'s sequential
+          engine. *)
+  chunk_words : int;
+      (** private to-space copy-chunk size for the parallel drain, in
+          words; [0] (the default) uses the engine's built-in size.
+          Must otherwise be at least two headers. *)
   census_period : int;
       (** heap-census sampling: every [census_period]-th collection the
           collector walks the live heap and (when tracing is on) emits

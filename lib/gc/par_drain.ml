@@ -28,7 +28,20 @@
 
    parallelism = 1 runs the same packet machinery on one worker and is
    pinned by test_gc.ml to be observationally identical to the
-   sequential [Cheney] drain, which stays the oracle. *)
+   sequential [Cheney] drain, which stays the oracle.
+
+   [mode = Real] swaps the discrete-event scheduler for true OCaml 5
+   domains: a persistent [Domain_pool] runs one lane per worker, the
+   deques become genuinely concurrent [Cl_deque]s, to-space chunks are
+   carved with [Space.alloc_chunk_atomic]'s CAS frontier, and the
+   forwarding claim becomes a real critical section (OCaml exposes no
+   atomic operations on int-array cells, so the install is a striped
+   mutex over the source offset — see [fwd_locks]).  The packet set,
+   the chunk discipline and the counters are shared between the two
+   engines, so the virtual scheduler remains the determinism oracle
+   for the real one: the equivalence tests pin a Real drain's heap and
+   placement-independent counters against both the sequential Cheney
+   drain and the Virtual run. *)
 
 type packet =
   | Roots of Rstack.Root.t array
@@ -61,9 +74,29 @@ let default_chunk_words = 256
 let default_batch = 32
 let max_workers = 16
 
+type mode = Virtual | Real
+
+(* Forwarding installation in Real mode.  OCaml has no compare-and-swap
+   on int-array cells, so the claim is a short critical section under a
+   mutex striped by the *source* offset: contenders for one object
+   always hash to the same stripe, while unrelated objects almost never
+   share one.  The blit itself runs outside the lock (optimistic copy);
+   a loser rolls its private bump pointer back, so only the winner's
+   copy survives.  64 stripes keeps the false-sharing probability of
+   two simultaneous copies below 2% at p = 16. *)
+let fwd_locks = Array.init 64 (fun _ -> Mutex.create ())
+
+let fwd_lock_for soff = fwd_locks.(soff land 63)
+
 type worker = {
   id : int;
   deque : packet Deque.t;
+  rdeque : packet Cl_deque.t;   (* Real-mode twin of [deque] *)
+  prng_r : Support.Prng.t;      (* Real mode steals per-worker (no shared
+                                   scheduler to serialise a shared PRNG) *)
+  (* Real mode defers object-hook callbacks (profiler / census updates
+     are not domain-safe); replayed on the caller after the barrier *)
+  deferred : (Mem.Header.t * int * bool) Support.Vec.t;
   (* private copy chunk, as offsets into the to-space cell array;
      [c_base = -1] means no chunk is held *)
   mutable c_base : int;
@@ -91,6 +124,8 @@ type t = {
   promoting : bool;
   object_hooks : Hooks.object_hooks option;
   card_scan : ((Mem.Addr.t -> unit) -> int -> unit) option;
+  mode : mode;
+  los_mu : Mutex.t;   (* serialises [Los.mark]'s test-and-set in Real mode *)
   chunk_words : int;
   batch : int;
   prng : Support.Prng.t;
@@ -104,7 +139,8 @@ type t = {
 }
 
 let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ~object_hooks
-    ?card_scan ~parallelism ?(chunk_words = default_chunk_words)
+    ?card_scan ~parallelism ?(mode = Virtual)
+    ?(chunk_words = default_chunk_words)
     ?(batch = default_batch) ?(seed = 0x9e3779) () =
   if parallelism < 1 || parallelism > max_workers then
     invalid_arg "Par_drain.create: parallelism out of range";
@@ -124,6 +160,8 @@ let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ~object_hooks
     promoting;
     object_hooks;
     card_scan;
+    mode;
+    los_mu = Mutex.create ();
     chunk_words;
     batch;
     prng = Support.Prng.create ~seed;
@@ -131,6 +169,9 @@ let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ~object_hooks
       Array.init parallelism (fun id ->
         { id;
           deque = Deque.create ~owner:id;
+          rdeque = Cl_deque.create ();
+          prng_r = Support.Prng.create ~seed:(seed + id);
+          deferred = Support.Vec.create ();
           c_base = -1;
           c_scan = 0;
           c_alloc = 0;
@@ -397,6 +438,327 @@ let step t w =
          process_packet t w p
        | None -> w.idle <- true)
 
+(* --- the Real engine ---
+
+   The same packet machinery, run by true domains.  The functions below
+   mirror their virtual twins with four systematic differences: no
+   virtual-clock charges (wall time is measured around the whole
+   worker), [Cl_deque] instead of [Deque], [Space.alloc_chunk_atomic]
+   instead of [alloc_chunk], and the forwarding claim as a real
+   critical section instead of an atomic turn. *)
+
+let retire_chunk_r t w =
+  if w.c_base >= 0 then begin
+    if w.c_scan < w.c_alloc then begin
+      Cl_deque.push w.rdeque (Range { base = w.c_scan; words = w.c_alloc - w.c_scan });
+      w.c_scan <- w.c_alloc
+    end;
+    if w.c_alloc < w.c_limit then
+      Mem.Header.write_filler_c t.to_cells ~off:w.c_alloc
+        ~words:(w.c_limit - w.c_alloc);
+    w.c_base <- -1
+  end
+
+let grab_chunk_r t w ~min_words =
+  let pref = max t.chunk_words (min_words + Mem.Header.header_words) in
+  match Mem.Space.alloc_chunk_atomic t.to_space ~min_words ~pref_words:pref with
+  | None -> failwith "Par_drain: to-space overflow (collector sizing bug)"
+  | Some (a, grant) ->
+    let off = Mem.Addr.offset a in
+    w.c_base <- off;
+    w.c_scan <- off;
+    w.c_alloc <- off;
+    w.c_limit <- off + grant
+
+let alloc_copy_r t w words =
+  let fits =
+    w.c_base >= 0
+    &&
+    let rem = w.c_limit - (w.c_alloc + words) in
+    rem = 0 || rem >= Mem.Header.header_words
+  in
+  if not fits then begin
+    retire_chunk_r t w;
+    grab_chunk_r t w ~min_words:words
+  end;
+  let off = w.c_alloc in
+  w.c_alloc <- off + words;
+  off
+
+(* The claim.  The blit runs optimistically outside the lock; the
+   install is check-then-set under the source's stripe.  A loser rolls
+   the private bump pointer back ([w.c_alloc <- doff]), abandoning its
+   copy — the final filler over [c_alloc, c_limit) covers the garbage.
+   The winner's pre-lock blit is pristine: forwarding headers are only
+   ever written under the stripe lock, and the winner observed the
+   object unforwarded after acquiring it, so no writer touched the
+   source during the blit. *)
+let copy_object_r t w src soff =
+  let words = Mem.Header.object_words_c src ~off:soff in
+  let doff = alloc_copy_r t w words in
+  Array.blit src soff t.to_cells doff words;
+  let lk = fwd_lock_for soff in
+  Mutex.lock lk;
+  if Mem.Header.is_forwarded_c src ~off:soff then begin
+    let dst = Mem.Header.forward_target_c src ~off:soff in
+    Mutex.unlock lk;
+    w.c_alloc <- doff;
+    dst
+  end
+  else begin
+    let dst = addr_of t doff in
+    Mem.Header.set_forward_c src ~off:soff ~target:dst;
+    Mutex.unlock lk;
+    (* winner-only bookkeeping, off the private pristine copy (the
+       source header now holds the forwarding pointer) *)
+    let first_copy = not (Mem.Header.survivor_c t.to_cells ~off:doff) in
+    (match t.object_hooks with
+     | None -> ()
+     | Some _ ->
+       let hdr = Mem.Header.read_c t.to_cells ~off:doff in
+       Support.Vec.push w.deferred (hdr, words, first_copy));
+    Mem.Header.set_survivor_c t.to_cells ~off:doff;
+    if w.sites <> None then
+      note_site_copy w
+        ~site:(Mem.Header.site_c t.to_cells ~off:doff)
+        ~first:first_copy ~words;
+    w.copied <- w.copied + words;
+    dst
+  end
+
+let evacuate_r t w word =
+  if Mem.Value.encoded_is_int word || word = Mem.Value.encoded_null then word
+  else begin
+    let a = Mem.Value.encoded_to_addr word in
+    if t.in_from a then begin
+      let src = Mem.Memory.cells t.mem a in
+      let soff = Mem.Addr.offset a in
+      if Mem.Header.is_forwarded_c src ~off:soff then begin
+        (* the racy tag read above may run ahead of the target-word
+           store; re-read under the stripe for the happens-before edge *)
+        let lk = fwd_lock_for soff in
+        Mutex.lock lk;
+        let dst = Mem.Header.forward_target_c src ~off:soff in
+        Mutex.unlock lk;
+        Mem.Value.encode_addr dst
+      end
+      else Mem.Value.encode_addr (copy_object_r t w src soff)
+    end
+    else begin
+      (match t.los with
+       | Some los when t.trace_los && Los.contains los a ->
+         (* [contains] is a read-only lookup (no inserts during a
+            drain); [mark]'s test-and-set must be exclusive or a
+            double-mark would double-scan the object *)
+         let fresh =
+           Mutex.lock t.los_mu;
+           let f = Los.mark los a in
+           Mutex.unlock t.los_mu;
+           f
+         in
+         if fresh then Cl_deque.push w.rdeque (Scan_objs [| a |])
+       | Some _ | None -> ());
+      word
+    end
+  end
+
+let scan_fields_r t w cells off =
+  let tag = Mem.Header.tag_c cells ~off in
+  let len = Mem.Header.len_c cells ~off in
+  (if tag <> Mem.Header.tag_nonptr_array then begin
+     let visit foff =
+       let word = cells.(foff) in
+       let word' = evacuate_r t w word in
+       if word' <> word then cells.(foff) <- word'
+     in
+     let fbase = off + Mem.Header.header_words in
+     if tag = Mem.Header.tag_ptr_array then
+       for i = 0 to len - 1 do
+         visit (fbase + i)
+       done
+     else begin
+       let mask = Mem.Header.mask_c cells ~off in
+       for i = 0 to len - 1 do
+         if mask land (1 lsl i) <> 0 then visit (fbase + i)
+       done
+     end
+   end);
+  Mem.Header.header_words + len
+
+let scan_obj_r t w a ~count =
+  let cells = Mem.Memory.cells t.mem a in
+  let words = scan_fields_r t w cells (Mem.Addr.offset a) in
+  if count then w.scanned <- w.scanned + words
+
+(* Store-buffer duplicates mean two workers may visit one location
+   concurrently; both compute the same forwarded word and plain int
+   stores do not tear, so the race is benign. *)
+let visit_loc_r t w loc =
+  let cells = Mem.Memory.cells t.mem loc in
+  let off = Mem.Addr.offset loc in
+  let word = cells.(off) in
+  let word' = evacuate_r t w word in
+  if word' <> word then cells.(off) <- word'
+
+let visit_root_r t w root =
+  let v = Rstack.Root.get root in
+  match v with
+  | Mem.Value.Int _ -> ()
+  | Mem.Value.Ptr a ->
+    if not (Mem.Addr.is_null a) then begin
+      let word' = evacuate_r t w (Mem.Value.encode v) in
+      let v' = Mem.Value.Ptr (Mem.Value.encoded_to_addr word') in
+      if not (Mem.Value.equal v v') then Rstack.Root.set root v'
+    end
+
+let process_packet_r t w p =
+  w.packets <- w.packets + 1;
+  match p with
+  | Roots arr -> Array.iter (visit_root_r t w) arr
+  | Locs arr -> Array.iter (visit_loc_r t w) arr
+  | Visit_objs arr -> Array.iter (fun a -> scan_obj_r t w a ~count:false) arr
+  | Scan_objs arr -> Array.iter (fun a -> scan_obj_r t w a ~count:true) arr
+  | Cards arr ->
+    (match t.card_scan with
+     | None -> invalid_arg "Par_drain: card packet without a card scanner"
+     | Some scan -> Array.iter (fun card -> scan (visit_loc_r t w) card) arr)
+  | Range { base; words } ->
+    let limit = base + words in
+    let off = ref base in
+    while !off < limit do
+      let ws = Mem.Header.object_words_c t.to_cells ~off:!off in
+      ignore (scan_fields_r t w t.to_cells !off : int);
+      w.scanned <- w.scanned + ws;
+      off := !off + ws
+    done
+
+let scan_local_step_r t w =
+  let off = w.c_scan in
+  let ws = Mem.Header.object_words_c t.to_cells ~off in
+  w.c_scan <- off + ws;
+  ignore (scan_fields_r t w t.to_cells off : int);
+  w.scanned <- w.scanned + ws
+
+let try_steal_r t w =
+  let n = Array.length t.workers in
+  if n = 1 then None
+  else begin
+    let r = Support.Prng.int w.prng_r (n - 1) in
+    let found = ref None in
+    (try
+       for k = 0 to n - 2 do
+         let d = 1 + ((r + k) mod (n - 1)) in
+         let v = t.workers.((w.id + d) mod n) in
+         match Cl_deque.steal v.rdeque with
+         | Some p ->
+           found := Some p;
+           raise Exit
+         | None -> ()
+       done
+     with Exit -> ());
+    !found
+  end
+
+(* Distributed termination: an out-of-work worker checks in on [idlers]
+   and spins; when all [n] are simultaneously idle the fixpoint is
+   proven — an idle worker's deque is empty (only the owner pushes, and
+   only while active) and its grey region is exhausted (a precondition
+   of going idle) — and the first observer latches [finished].  A
+   spinner that glimpses a non-empty victim deque checks back out and
+   rejoins the drain.  On hosts with fewer cores than lanes a pure
+   cpu_relax spin would burn whole scheduler timeslices per handoff, so
+   after a bounded spin the waiter parks in a microsleep. *)
+let worker_real t w ~idlers ~finished =
+  let t0 = Support.Units.now_ns () in
+  let n = Array.length t.workers in
+  let work_visible () =
+    let found = ref false in
+    Array.iter
+      (fun v -> if v != w && not (Cl_deque.is_empty v.rdeque) then found := true)
+      t.workers;
+    !found
+  in
+  let rec work () =
+    if w.c_base >= 0 && w.c_scan < w.c_alloc then begin
+      scan_local_step_r t w;
+      work ()
+    end
+    else
+      match Cl_deque.pop w.rdeque with
+      | Some p ->
+        process_packet_r t w p;
+        work ()
+      | None ->
+        (match try_steal_r t w with
+         | Some p ->
+           w.steals <- w.steals + 1;
+           process_packet_r t w p;
+           work ()
+         | None ->
+           Atomic.incr idlers;
+           wait 0)
+  and wait spins =
+    if Atomic.get finished then Atomic.decr idlers
+    else if Atomic.get idlers = n then begin
+      Atomic.set finished true;
+      Atomic.decr idlers
+    end
+    else if work_visible () then begin
+      Atomic.decr idlers;
+      work ()
+    end
+    else if spins < 100 then begin
+      Domain.cpu_relax ();
+      wait (spins + 1)
+    end
+    else begin
+      Unix.sleepf 50e-6;
+      wait 0
+    end
+  in
+  work ();
+  (* per-worker wall time: [makespan_ns] and the collectors' [copy.dN]
+     spans read [clock], so Real drains report genuine nanoseconds *)
+  w.clock <- Support.Units.now_ns () - t0
+
+let run_real t =
+  let n = Array.length t.workers in
+  (* deal before the pool starts: single-domain plain pushes, published
+     to the workers by the pool monitor's happens-before edge *)
+  let k = ref 0 in
+  Support.Vec.iter
+    (fun p ->
+      let w = t.workers.(!k mod n) in
+      incr k;
+      Cl_deque.push w.rdeque p)
+    t.staged;
+  Support.Vec.clear t.staged;
+  Mem.Space.par_begin t.to_space;
+  let idlers = Atomic.make 0 in
+  let finished = Atomic.make false in
+  Domain_pool.run (Domain_pool.get ()) ~lanes:n (fun lane ->
+      worker_real t t.workers.(lane) ~idlers ~finished);
+  Array.iter
+    (fun w ->
+      assert (w.c_base < 0 || w.c_scan = w.c_alloc);
+      retire_chunk_r t w)
+    t.workers;
+  Mem.Space.par_end t.to_space;
+  (* replay the deferred hook events on the calling domain; the
+     profiler and census only ever sum, so worker order is immaterial *)
+  match t.object_hooks with
+  | None -> ()
+  | Some h ->
+    Array.iter
+      (fun w ->
+        Support.Vec.iter
+          (fun (hdr, words, first) ->
+            h.Hooks.on_copy hdr ~words;
+            if first then h.Hooks.on_first_survival hdr ~words)
+          w.deferred;
+        Support.Vec.clear w.deferred)
+      t.workers
+
 (* --- staging (before [run]) --- *)
 
 let check_staging t name = if t.ran then invalid_arg ("Par_drain." ^ name ^ ": already run")
@@ -438,12 +800,7 @@ let add_card t card =
 
 (* --- the drain --- *)
 
-let run t =
-  check_staging t "run";
-  t.ran <- true;
-  flush_pending t t.pend_locs (fun a -> Locs a);
-  flush_pending t t.pend_objs (fun a -> Visit_objs a);
-  flush_pending t t.pend_cards (fun a -> Cards a);
+let run_virtual t =
   (* deal the staged packets round-robin; this is the initial partition,
      load balance from here on is the thieves' business *)
   let n = Array.length t.workers in
@@ -478,6 +835,16 @@ let run t =
       assert (w.c_base < 0 || w.c_scan = w.c_alloc);
       retire_chunk t w)
     t.workers
+
+let run t =
+  check_staging t "run";
+  t.ran <- true;
+  flush_pending t t.pend_locs (fun a -> Locs a);
+  flush_pending t t.pend_objs (fun a -> Visit_objs a);
+  flush_pending t t.pend_cards (fun a -> Cards a);
+  match t.mode with
+  | Virtual -> run_virtual t
+  | Real -> run_real t
 
 (* --- results --- *)
 
@@ -545,6 +912,6 @@ let site_survivals t =
    each retire is triggered by an object that lands in the next chunk, so
    the cumulative tails are bounded by the copied words themselves.
    Collectors add this to their sequential to-space sizing. *)
-let space_headroom ~parallelism ~copy_bound =
-  copy_bound
-  + (parallelism * (default_chunk_words + (2 * Mem.Header.header_words)))
+let space_headroom ?(chunk_words = default_chunk_words) ~parallelism
+    ~copy_bound () =
+  copy_bound + (parallelism * (chunk_words + (2 * Mem.Header.header_words)))

@@ -29,9 +29,24 @@
     [parallelism = 1] runs the identical machinery on one worker and is
     pinned by the equivalence tests to match the sequential {!Cheney}
     drain — same heap contents, same counters, same per-site survival —
-    which keeps the sequential engine the oracle. *)
+    which keeps the sequential engine the oracle.
+
+    [mode = Real] replaces the discrete-event scheduler with true
+    OCaml 5 domains from the persistent {!Domain_pool}: concurrent
+    {!Cl_deque}s, CAS-carved to-space chunks
+    ({!Mem.Space.alloc_chunk_atomic}), a striped-mutex forwarding claim,
+    and per-worker wall-clock spans ({!makespan_ns} then reports real
+    nanoseconds).  Object hooks are deferred to the calling domain; the
+    packet machinery and all counters are shared with the virtual
+    engine, which stays the determinism oracle. *)
 
 type t
+
+(** How the [parallelism] workers execute: [Virtual] drives them from a
+    deterministic discrete-event scheduler on the calling domain (the
+    default, and the measurement-doctrine engine); [Real] runs one true
+    domain per worker for wall-clock parallelism. *)
+type mode = Virtual | Real
 
 (** Mirrors {!Cheney.create} minus aging/remember (the parallel drain
     only runs under immediate promotion; collectors fall back to the
@@ -51,6 +66,7 @@ val create :
   object_hooks:Hooks.object_hooks option ->
   ?card_scan:((Mem.Addr.t -> unit) -> int -> unit) ->
   parallelism:int ->
+  ?mode:mode ->
   ?chunk_words:int ->
   ?batch:int ->
   ?seed:int ->
@@ -104,8 +120,9 @@ val steals : t -> int
     per-domain {!Gc_stats} array). *)
 val per_worker_scanned : t -> int array
 
-(** The virtual-time makespan of the drain: the maximum worker clock, in
-    nanoseconds. *)
+(** The makespan of the drain: the maximum worker clock, in
+    nanoseconds — virtual time under [Virtual], wall time per worker
+    under [Real]. *)
 val makespan_ns : t -> int
 
 type worker_report = {
@@ -127,10 +144,12 @@ val report : t -> worker_report array
     gating and tuple shape as {!Cheney.site_survivals}). *)
 val site_survivals : t -> (int * int * int * int) list
 
-(** [space_headroom ~parallelism ~copy_bound] is the extra to-space a
+(** [space_headroom ~parallelism ~copy_bound ()] is the extra to-space a
     parallel drain may consume beyond the live data: one partly-used
     chunk per worker plus filler tails, whose cumulative size is bounded
     by the copied words ([copy_bound] = an upper bound on the words this
     collection can copy).  Collectors add it to their sequential
-    to-space sizing. *)
-val space_headroom : parallelism:int -> copy_bound:int -> int
+    to-space sizing.  [chunk_words] defaults to the engine's default
+    chunk size; pass the configured size when overriding it. *)
+val space_headroom :
+  ?chunk_words:int -> parallelism:int -> copy_bound:int -> unit -> int

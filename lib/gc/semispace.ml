@@ -3,13 +3,17 @@ type config = {
   budget_bytes : int;
   initial_bytes : int;
   parallelism : int;
+  parallelism_mode : Par_drain.mode;
+  chunk_words : int;   (* 0 = the engine's default *)
 }
 
 let default_config ~budget_bytes =
   { target_liveness = 0.10;
     budget_bytes;
     initial_bytes = budget_bytes / 4;
-    parallelism = 1 }
+    parallelism = 1;
+    parallelism_mode = Par_drain.Virtual;
+    chunk_words = 0 }
 
 type t = {
   mem : Mem.Memory.t;
@@ -31,6 +35,8 @@ let create mem ~hooks ~stats cfg =
   if cfg.budget_bytes <= 0 then invalid_arg "Semispace.create: empty budget";
   if cfg.parallelism < 1 || cfg.parallelism > Gc_stats.max_domains then
     invalid_arg "Semispace.create: bad parallelism";
+  if cfg.chunk_words <> 0 && cfg.chunk_words < 2 * Mem.Header.header_words then
+    invalid_arg "Semispace.create: chunk_words too small";
   let semi_words = max 64 (cfg.budget_bytes / Mem.Memory.bytes_per_word / 2) in
   let initial_words = cfg.initial_bytes / Mem.Memory.bytes_per_word in
   let soft_limit = min semi_words (max 64 initial_words) in
@@ -125,8 +131,11 @@ let collect_for t ~need =
   let to_words =
     if par then
       seq_words
-      + Par_drain.space_headroom ~parallelism:t.cfg.parallelism
-          ~copy_bound:(Mem.Space.used_words t.space)
+      + Par_drain.space_headroom
+          ?chunk_words:
+            (if t.cfg.chunk_words > 0 then Some t.cfg.chunk_words else None)
+          ~parallelism:t.cfg.parallelism
+          ~copy_bound:(Mem.Space.used_words t.space) ()
     else seq_words
   in
   let to_space = Mem.Space.create t.mem ~words:to_words in
@@ -137,7 +146,10 @@ let collect_for t ~need =
           ~in_from:(Mem.Space.contains t.space)
           ~to_space ~los:None ~trace_los:false ~promoting:false
           ~object_hooks:t.hooks.Hooks.object_hooks
-          ~parallelism:t.cfg.parallelism ()
+          ~parallelism:t.cfg.parallelism ~mode:t.cfg.parallelism_mode
+          ?chunk_words:
+            (if t.cfg.chunk_words > 0 then Some t.cfg.chunk_words else None)
+          ()
       in
       let batch =
         Rstack.Root.Batch.create ~capacity:32

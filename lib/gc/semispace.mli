@@ -21,6 +21,15 @@ type config = {
           the sequential {!Cheney} oracle, higher values run the
           {!Par_drain} engine (virtual-time logical domains) on the raw
           paths.  At most {!Gc_stats.max_domains}. *)
+  parallelism_mode : Par_drain.mode;
+      (** how the drain domains execute: [Virtual] (the default) is the
+          deterministic discrete-event scheduler, [Real] runs true
+          OCaml 5 domains from the shared {!Domain_pool} for wall-clock
+          parallelism. *)
+  chunk_words : int;
+      (** private to-space copy-chunk size for the parallel drain, in
+          words; [0] (the default) uses the engine's built-in size.
+          Must otherwise be at least two headers. *)
 }
 
 (** The paper's parameters under the given budget. *)

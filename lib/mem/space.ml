@@ -2,12 +2,18 @@ type t = {
   base : Addr.t;
   words : int;
   mutable next : Addr.t;
+  (* Used-words frontier for parallel chunk carving: only meaningful
+     between [par_begin] and [par_end], when real domains bump it with
+     CAS instead of racing on [next] (an [Addr.t] cannot live in an
+     [Atomic.t] cell usefully, and single-domain callers should not pay
+     an atomic on every [alloc]). *)
+  par_used : int Atomic.t;
 }
 
 let create mem ~words =
   if words <= 0 then invalid_arg "Space.create";
   let base = Memory.alloc_block mem ~words in
-  { base; words; next = base }
+  { base; words; next = base; par_used = Atomic.make 0 }
 
 let base t = t.base
 let frontier t = t.next
@@ -44,6 +50,33 @@ let alloc_chunk t ~min_words ~pref_words =
     t.next <- Addr.add t.next grant;
     Some (a, grant)
   end
+
+let par_begin t = Atomic.set t.par_used (used_words t)
+
+let alloc_chunk_atomic t ~min_words ~pref_words =
+  if min_words <= 0 || pref_words < min_words then
+    invalid_arg "Space.alloc_chunk_atomic";
+  (* Same grant rule as [alloc_chunk], replayed as a CAS loop on the
+     integer frontier so concurrent carvers never overlap. *)
+  let rec try_carve () =
+    let used = Atomic.get t.par_used in
+    let free = t.words - used in
+    if free < min_words then None
+    else begin
+      let grant =
+        if free >= pref_words then pref_words
+        else if free = min_words || free >= min_words + Header.header_words
+        then free
+        else min_words
+      in
+      if Atomic.compare_and_set t.par_used used (used + grant) then
+        Some (Addr.add t.base used, grant)
+      else try_carve ()
+    end
+  in
+  try_carve ()
+
+let par_end t = t.next <- Addr.add t.base (Atomic.get t.par_used)
 
 let contains t addr =
   (not (Addr.is_null addr)) && Addr.block addr = Addr.block t.base

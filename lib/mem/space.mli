@@ -37,6 +37,24 @@ val alloc : t -> int -> Addr.t option
 val alloc_chunk :
   t -> min_words:int -> pref_words:int -> (Addr.t * int) option
 
+(** [par_begin t] opens a parallel carving phase: the atomic frontier is
+    seeded from the current [used_words].  Until {!par_end}, carve only
+    with {!alloc_chunk_atomic} — plain {!alloc}/{!alloc_chunk} would
+    race the atomic frontier. *)
+val par_begin : t -> unit
+
+(** CAS-bumping variant of {!alloc_chunk} for concurrent carvers, valid
+    only between {!par_begin} and {!par_end}.  Same grant rule and
+    filler guarantee; distinct callers always receive disjoint
+    regions. *)
+val alloc_chunk_atomic :
+  t -> min_words:int -> pref_words:int -> (Addr.t * int) option
+
+(** [par_end t] closes the parallel phase, folding the atomic frontier
+    back into the space's ordinary frontier.  Call after all carvers
+    have quiesced (a barrier), never concurrently with carving. *)
+val par_end : t -> unit
+
 (** [contains t addr] tells whether [addr] lies in this space's block. *)
 val contains : t -> Addr.t -> bool
 

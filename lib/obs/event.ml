@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 
 type t =
   | Gc_begin of {
@@ -115,7 +115,7 @@ let field_counters b k pairs =
     pairs;
   Buffer.add_char b '}'
 
-let write b ~seq ~t_us ~gc e =
+let write b ~seq ~t_us ~gc ~dom e =
   Buffer.add_string b "{\"v\":";
   Buffer.add_string b (string_of_int version);
   Buffer.add_string b ",\"seq\":";
@@ -123,6 +123,7 @@ let write b ~seq ~t_us ~gc e =
   Buffer.add_string b ",\"t_us\":";
   Buffer.add_string b (Printf.sprintf "%.1f" t_us);
   field_int b "gc" gc;
+  field_int b "dom" dom;
   field_str b "ev" (name e);
   (match e with
    | Gc_begin { kind; nursery_w; tenured_w; los_w } ->

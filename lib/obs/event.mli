@@ -17,7 +17,8 @@
     number so a policy is always traceable to the format that produced
     it.  History: 1 = PR 2's eight-event schema (no version field);
     2 = adds ["v"], [site_alloc]/[site_edge]/[census] events and
-    [site_survival.first_objects]. *)
+    [site_survival.first_objects]; 3 = adds the ["dom"] envelope field
+    (id of the domain that emitted the record). *)
 val version : int
 
 type t =
@@ -105,7 +106,9 @@ type t =
 (** [name e] is the record's ["ev"] discriminator. *)
 val name : t -> string
 
-(** [write b ~seq ~t_us ~gc e] appends the full JSONL line (newline
+(** [write b ~seq ~t_us ~gc ~dom e] appends the full JSONL line (newline
     included) to [b].  [gc] is the ordinal of the most recently begun
-    collection, 0 before the first. *)
-val write : Buffer.t -> seq:int -> t_us:float -> gc:int -> t -> unit
+    collection, 0 before the first; [dom] is the id of the domain the
+    record was emitted from (0 for the initial domain). *)
+val write :
+  Buffer.t -> seq:int -> t_us:float -> gc:int -> dom:int -> t -> unit

@@ -58,9 +58,18 @@ type metric =
   | Gauge of int ref
   | Hist of Histogram.t
 
-type t = { tbl : (string, metric) Hashtbl.t }
+(* The registry is shared across domains when the real-mode parallel
+   drain (or the async trace writer) is running: every public entry
+   point takes [mu], so updates and reads are serialised.  [record]
+   deliberately stays lock-free itself and relies on the leaf ops it
+   calls — per-event atomicity is not promised, only per-metric. *)
+type t = { tbl : (string, metric) Hashtbl.t; mu : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; mu = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -80,30 +89,37 @@ let wrong_kind name m want =
     (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name m) want)
 
 let incr t name by =
+  locked t @@ fun () ->
   match find_or_add t name (fun () -> Counter (ref 0)) with
   | Counter r -> r := !r + by
   | m -> wrong_kind name m "counter"
 
 let set_gauge t name v =
+  locked t @@ fun () ->
   match find_or_add t name (fun () -> Gauge (ref 0)) with
   | Gauge r -> r := v
   | m -> wrong_kind name m "gauge"
 
 let observe t name v =
+  locked t @@ fun () ->
   match find_or_add t name (fun () -> Hist (Histogram.create ())) with
   | Hist h -> Histogram.observe h v
   | m -> wrong_kind name m "histogram"
 
 let get_counter t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl name with Some (Counter r) -> !r | _ -> 0
 
 let get_gauge t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl name with Some (Gauge r) -> Some !r | _ -> None
 
 let get_histogram t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl name with Some (Hist h) -> Some h | _ -> None
 
 let names_of t pred =
+  locked t @@ fun () ->
   Hashtbl.fold (fun k m acc -> if pred m then k :: acc else acc) t.tbl []
   |> List.sort compare
 

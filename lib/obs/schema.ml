@@ -5,7 +5,8 @@ type field_type =
   | Counters
 
 let envelope =
-  [ ("v", Int); ("seq", Int); ("t_us", Us); ("gc", Int); ("ev", Str) ]
+  [ ("v", Int); ("seq", Int); ("t_us", Us); ("gc", Int); ("dom", Int);
+    ("ev", Str) ]
 
 (* Keep in lockstep with Event.write and docs/TRACING.md; the golden
    test cross-checks emission against this table. *)

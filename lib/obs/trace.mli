@@ -18,11 +18,28 @@
     ordinal: {!gc_begin} increments it and every record carries it.
 
     {b Concurrent sink}: records emitted between a [gc_begin] and its
-    [gc_end] are stamped (seq / timestamp / ordinal) immediately but
-    serialised and written {e after} the pause — the matching [gc_end]
-    drains the buffer, so pauses pay only the stamp and a vector push
-    while the output stays byte-identical to immediate writing.
-    {!Metrics} folding happens at drain time, in emit order. *)
+    [gc_end] are stamped (seq / timestamp / ordinal / domain) immediately
+    but serialised and written {e after} the pause — the matching
+    [gc_end] drains the buffer, so pauses pay only the stamp and a
+    vector push while the output stays byte-identical to immediate
+    writing.  {!Metrics} folding happens at drain time, in emit order.
+
+    {b Thread safety}: every emitter (and {!flush}) takes the tracer's
+    single internal mutex, so records may be emitted from any domain —
+    the real-mode parallel drain's workers included — and each JSONL
+    line is written whole, never interleaved.  [seq] stays globally
+    monotonic across domains; the envelope's ["dom"] field records the
+    emitting domain.  {!enable} / {!disable} themselves are not
+    serialised against in-flight emitters: bring domains to a
+    quiescent point (e.g. outside a collection) before toggling.
+
+    {b Async writer}: with [~async:true] a dedicated writer domain
+    drains the record queue, so emitters pay only a stamp, a queue push
+    and a condition signal — serialisation and channel writes leave the
+    emitting domain entirely.  Output remains byte-identical (records
+    are stamped at emit time and written in emit order); {!flush} blocks
+    until the writer has drained, and {!disable} joins the writer after
+    it drains.  Default is synchronous. *)
 
 (** Where records go. *)
 type sink
@@ -30,37 +47,43 @@ type sink
 val channel : out_channel -> sink
 val buffer : Buffer.t -> sink
 
-(** [enable ?metrics ?clock sink] switches tracing on.  [clock] supplies
-    timestamps in seconds ([Unix.gettimeofday] by default; tests install
-    a deterministic counter).  Timestamps are reported as microseconds
-    since [enable].  Re-enabling replaces the previous sink.
-    Every enable restarts the [seq] and [gc] envelope counters. *)
-val enable : ?metrics:Metrics.t -> ?clock:(unit -> float) -> sink -> unit
+(** [enable ?metrics ?clock ?async sink] switches tracing on.  [clock]
+    supplies timestamps in seconds ([Unix.gettimeofday] by default;
+    tests install a deterministic counter).  Timestamps are reported as
+    microseconds since [enable].  Re-enabling replaces the previous
+    sink.  Every enable restarts the [seq] and [gc] envelope counters.
+    [~async:true] spawns the background writer domain (see the module
+    header); default [false]. *)
+val enable :
+  ?metrics:Metrics.t -> ?clock:(unit -> float) -> ?async:bool -> sink -> unit
 
 (** [disable ()] switches tracing off, drains any records still buffered
-    from the current collection window, and flushes channel sinks (the
-    caller owns closing them). *)
+    or queued (joining the async writer domain if one is running), and
+    flushes channel sinks (the caller owns closing them). *)
 val disable : unit -> unit
 
-(** [flush ()] drains any buffered in-pause records now.  Normally
-    unnecessary — the tracer drains at every [gc_end] and on
-    {!disable} — but useful when inspecting the sink mid-collection
-    (e.g. from a heap-verification failure handler). *)
+(** [flush ()] drains any buffered in-pause records now; under
+    [~async:true] it blocks until the writer domain has written every
+    queued record.  Normally unnecessary — the tracer drains at every
+    [gc_end] and on {!disable} — but useful when inspecting the sink
+    mid-collection (e.g. from a heap-verification failure handler). *)
 val flush : unit -> unit
 
 (** [enabled ()] is the guard instrumented code checks before computing
     event arguments. *)
 val enabled : unit -> bool
 
-(** [with_file ?metrics path f] traces [f ()] into a fresh file at
-    [path]; always drains buffered records, disables and closes — even
-    when [f] raises mid-collection, so a crashing workload still leaves
-    a complete, schema-valid trace. *)
-val with_file : ?metrics:Metrics.t -> string -> (unit -> 'a) -> 'a
+(** [with_file ?metrics ?async path f] traces [f ()] into a fresh file
+    at [path]; always drains buffered records, disables and closes —
+    even when [f] raises mid-collection, so a crashing workload still
+    leaves a complete, schema-valid trace. *)
+val with_file : ?metrics:Metrics.t -> ?async:bool -> string -> (unit -> 'a) -> 'a
 
-(** [with_buffer ?metrics ?clock buf f] traces [f ()] into [buf]. *)
+(** [with_buffer ?metrics ?clock ?async buf f] traces [f ()] into
+    [buf]. *)
 val with_buffer :
-  ?metrics:Metrics.t -> ?clock:(unit -> float) -> Buffer.t -> (unit -> 'a) -> 'a
+  ?metrics:Metrics.t -> ?clock:(unit -> float) -> ?async:bool -> Buffer.t ->
+  (unit -> 'a) -> 'a
 
 (** {1 Emitters}
 

@@ -12,3 +12,9 @@ let percent x = Printf.sprintf "%.2f%%" (100. *. x)
 let int_plain n = string_of_int n
 
 let ratio a b = if b = 0. then 0. else a /. b
+
+(* Wall clock, not CPU time: [Sys.time] sums the *process* CPU seconds,
+   which double-counts work spread across domains (a perfect 2-domain
+   parallelisation shows the same Sys.time as the serial run).  Bench
+   rows that compare multi-domain wall-clock must use this. *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

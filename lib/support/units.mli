@@ -18,3 +18,10 @@ val int_plain : int -> string
 
 (** [ratio a b] is [a /. b] guarding against a zero denominator. *)
 val ratio : float -> float -> float
+
+(** [now_ns ()] is the host wall clock in integer nanoseconds (backed by
+    [Unix.gettimeofday], {e not} [Sys.time]): per-process CPU time
+    double-counts concurrent domains, so wall-clock measurements of the
+    real-domain drain must subtract two [now_ns] readings.  Only
+    differences are meaningful; the epoch is unspecified. *)
+val now_ns : unit -> int

@@ -154,7 +154,8 @@ let semispace_budget_failure () =
 
 let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
     ?(barrier = Collectors.Generational.Barrier_ssb) ?(threshold = 1)
-    ?(parallelism = 1) ?(tenured_backend = Alloc.Backend.Bump)
+    ?(parallelism = 1) ?(mode = Collectors.Par_drain.Virtual)
+    ?(tenured_backend = Alloc.Backend.Bump)
     ?(los_backend = Alloc.Backend.Free_list) globals =
   let mem = Mem.Memory.create () in
   let stats = Collectors.Gc_stats.create () in
@@ -165,6 +166,7 @@ let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
         barrier;
         tenure_threshold = threshold;
         parallelism;
+        parallelism_mode = mode;
         tenured_backend;
         los_backend }
   in
@@ -466,15 +468,15 @@ let counters (s : Collectors.Gc_stats.t) =
    old->young stores, pretenured allocations holding young pointers, and
    an occasional large object.  Returns the stats counters plus a
    fingerprint of the surviving heap. *)
-let run_gen_workload ?(parallelism = 1) ?(budget = 256 * 1024)
+let run_gen_workload ?(parallelism = 1) ?mode ?(budget = 256 * 1024)
     ?tenured_backend ?los_backend ~raw ~barrier ~threshold () =
   Collectors.Cheney.use_raw := raw;
   Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
   @@ fun () ->
   let globals = Array.make 4 V.zero in
   let mem, g, stats =
-    gen ~budget ~barrier ~threshold ~parallelism ?tenured_backend ?los_backend
-      globals
+    gen ~budget ~barrier ~threshold ~parallelism ?mode ?tenured_backend
+      ?los_backend globals
   in
   let prng = Support.Prng.create ~seed:7 in
   for i = 1 to 2500 do
@@ -625,6 +627,79 @@ let par_seq_identical_semispace () =
         (Printf.sprintf "p=%d identical counters" p)
         cs cp;
       check_int (Printf.sprintf "p=%d identical live words" p) ls lp)
+    [ 2; 4 ]
+
+(* Real-domain equivalence: the same workload drained by true OCaml 5
+   domains must land on the same heap and the same
+   placement-independent counters as the sequential oracle AND the
+   virtual run — whatever interleaving the host scheduler produced.
+   Chunk-filler slop is scheduling-dependent in Real mode, so the card
+   barrier additionally drops the geometry-dependent entry counter,
+   exactly as the virtual equivalence run does. *)
+let real_seq_identical_stats () =
+  List.iter
+    (fun (name, barrier, drop) ->
+      let filter l = List.filter (fun (k, _) -> not (List.mem k drop)) l in
+      let stats_seq, heap_seq =
+        run_gen_workload ~budget:par_budget ~raw:true ~barrier ~threshold:1 ()
+      in
+      List.iter
+        (fun p ->
+          let stats_virt, heap_virt =
+            run_gen_workload ~parallelism:p ~budget:par_budget ~raw:true
+              ~barrier ~threshold:1 ()
+          in
+          let stats_real, heap_real =
+            run_gen_workload ~parallelism:p ~mode:Collectors.Par_drain.Real
+              ~budget:par_budget ~raw:true ~barrier ~threshold:1 ()
+          in
+          let label = Printf.sprintf "%s real p=%d" name p in
+          Alcotest.(check (list (pair string int)))
+            (label ^ ": identical counters vs sequential")
+            (filter stats_seq) (filter stats_real);
+          Alcotest.(check (list (pair string int)))
+            (label ^ ": identical counters vs virtual")
+            (filter stats_virt) (filter stats_real);
+          Alcotest.(check (list int))
+            (label ^ ": identical surviving heap vs sequential")
+            heap_seq heap_real;
+          Alcotest.(check (list int))
+            (label ^ ": identical surviving heap vs virtual")
+            heap_virt heap_real)
+        [ 2; 4 ])
+    [ ("ssb", Collectors.Generational.Barrier_ssb, []);
+      ("remset", Collectors.Generational.Barrier_remset, []);
+      ("cards", Collectors.Generational.Barrier_cards,
+       [ "barrier_entries_processed" ]) ]
+
+let real_seq_identical_semispace () =
+  let run parallelism mode =
+    let globals = Array.make 2 V.zero in
+    let mem = Mem.Memory.create () in
+    let stats = Collectors.Gc_stats.create () in
+    let s =
+      Collectors.Semispace.create mem ~hooks:(global_hooks globals) ~stats
+        { (Collectors.Semispace.default_config ~budget_bytes:(256 * 1024)) with
+          Collectors.Semispace.parallelism;
+          parallelism_mode = mode }
+    in
+    for i = 1 to 800 do
+      let a = Collectors.Semispace.alloc s (record_hdr ~mask:2 2) ~birth:i in
+      Mem.Memory.set mem (H.field_addr a 0) (V.Int i);
+      Mem.Memory.set mem (H.field_addr a 1) globals.(0);
+      if i mod 5 = 0 then globals.(0) <- V.Ptr a
+    done;
+    Collectors.Semispace.collect s;
+    (counters stats, Collectors.Semispace.live_words s)
+  in
+  let cs, ls = run 1 Collectors.Par_drain.Virtual in
+  List.iter
+    (fun p ->
+      let cp, lp = run p Collectors.Par_drain.Real in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "real p=%d identical counters" p)
+        cs cp;
+      check_int (Printf.sprintf "real p=%d identical live words" p) ls lp)
     [ 2; 4 ]
 
 (* trace-level equivalence: per-site survival tallies must not depend on
@@ -1054,13 +1129,8 @@ let deque_checks_catch_misuse () =
    packets of random grain and drained at random parallelism under a
    random steal schedule; copied words must equal the reachable words
    (a second copy of any object would overshoot). *)
-let par_drain_no_double_copy_prop =
-  QCheck.Test.make ~name:"parallel drain never double-copies" ~count:60
-    QCheck.(
-      quad (int_range 1 80) (int_range 0 1000000) (int_range 1 4)
-        (int_range 1 8))
-    (fun (n, seed, parallelism, grain) ->
-      with_deque_checks @@ fun () ->
+let par_drain_no_double_copy ~mode (n, seed, parallelism, grain) =
+  with_deque_checks @@ fun () ->
       let mem = Mem.Memory.create () in
       let from = Mem.Space.create mem ~words:(n * 6 + 8) in
       let prng = Support.Prng.create ~seed in
@@ -1106,13 +1176,13 @@ let par_drain_no_double_copy_prop =
           ~words:
             (reachable_words
             + Collectors.Par_drain.space_headroom ~parallelism
-                ~copy_bound:reachable_words)
+                ~copy_bound:reachable_words ())
       in
       let p =
         Collectors.Par_drain.create ~mem
           ~in_from:(Mem.Space.contains from)
           ~to_space ~los:None ~trace_los:false ~promoting:false
-          ~object_hooks:None ~parallelism ~seed ()
+          ~object_hooks:None ~parallelism ~mode ~seed ()
       in
       let batch =
         Rstack.Root.Batch.create ~capacity:grain
@@ -1130,7 +1200,84 @@ let par_drain_no_double_copy_prop =
       Rstack.Root.Batch.flush batch;
       Collectors.Par_drain.run p;
       let _, after = snapshot () in
-      Collectors.Par_drain.words_copied p = reachable_words && before = after)
+      Collectors.Par_drain.words_copied p = reachable_words
+      && Collectors.Par_drain.words_scanned p = reachable_words
+      && before = after
+
+let par_drain_no_double_copy_prop =
+  QCheck.Test.make ~name:"parallel drain never double-copies" ~count:60
+    QCheck.(
+      quad (int_range 1 80) (int_range 0 1000000) (int_range 1 4)
+        (int_range 1 8))
+    (par_drain_no_double_copy ~mode:Collectors.Par_drain.Virtual)
+
+(* The same property on true domains: random graphs, duplicated roots,
+   random packet grain, p in {2, 4} real workers racing the forwarding
+   claim under whatever schedule the host produces.  Copied words equal
+   reachable words (a lost CAS that still kept its copy would
+   overshoot), scanned words equal copied words (a double-scan would
+   overshoot), and the graph survives intact. *)
+let real_drain_no_double_copy_prop =
+  QCheck.Test.make ~name:"real-domain drain never double-copies" ~count:30
+    QCheck.(
+      quad (int_range 1 80) (int_range 0 1000000) (int_range 1 2)
+        (int_range 1 8))
+    (fun (n, seed, phalf, grain) ->
+      par_drain_no_double_copy ~mode:Collectors.Par_drain.Real
+        (n, seed, 2 * phalf, grain))
+
+(* The concurrent deque itself, under genuine contention: one owner
+   domain pushing and popping, three thief domains stealing, every item
+   must be claimed exactly once.  (The drain tests exercise the deque
+   too, but through packets whose loss shows up only indirectly.) *)
+let cl_deque_concurrent_stress () =
+  let n_items = 20000 in
+  let d = Collectors.Cl_deque.create () in
+  let taken = Array.init n_items (fun _ -> Atomic.make 0) in
+  let stop = Atomic.make false in
+  let thieves =
+    Array.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Collectors.Cl_deque.steal d with
+              | Some i ->
+                Atomic.incr taken.(i);
+                loop ()
+              | None ->
+                if not (Atomic.get stop) then begin
+                  Domain.cpu_relax ();
+                  loop ()
+                end
+            in
+            loop ()))
+  in
+  let prng = Support.Prng.create ~seed:42 in
+  for i = 0 to n_items - 1 do
+    Collectors.Cl_deque.push d i;
+    if Support.Prng.int prng 3 = 0 then
+      match Collectors.Cl_deque.pop d with
+      | Some j -> Atomic.incr taken.(j)
+      | None -> ()
+  done;
+  let rec drain () =
+    match Collectors.Cl_deque.pop d with
+    | Some j ->
+      Atomic.incr taken.(j);
+      drain ()
+    | None ->
+      (* [None] is empty *or* a lost last-element race; only stop once
+         the deque is visibly drained *)
+      if not (Collectors.Cl_deque.is_empty d) then drain ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  Array.iteri
+    (fun i c ->
+      let c = Atomic.get c in
+      if c <> 1 then
+        Alcotest.failf "item %d claimed %d times (want exactly once)" i c)
+    taken
 
 (* property: random object graphs survive a semispace collection intact *)
 let graph_roundtrip_prop =
@@ -1230,6 +1377,14 @@ let () =
           Alcotest.test_case "deque checks catch misuse" `Quick
             deque_checks_catch_misuse;
           QCheck_alcotest.to_alcotest par_drain_no_double_copy_prop ] );
+      ( "real-domain-drain",
+        [ Alcotest.test_case "identical stats (generational)" `Quick
+            real_seq_identical_stats;
+          Alcotest.test_case "identical stats (semispace)" `Quick
+            real_seq_identical_semispace;
+          Alcotest.test_case "concurrent deque exactly-once" `Quick
+            cl_deque_concurrent_stress;
+          QCheck_alcotest.to_alcotest real_drain_no_double_copy_prop ] );
       ( "alloc-backends",
         [ Alcotest.test_case "los backends reuse swept holes" `Quick
             los_backend_reuse;

@@ -164,17 +164,17 @@ let schema_rejects () =
   let bad =
     [ ("not an object", "[1]");
       ("missing envelope", "{\"ev\":\"unwind\",\"target_depth\":1}");
-      ("missing version", "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1}");
+      ("missing version", "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1}");
       ("missing field",
-       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\"}");
+       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\"}");
       ("unknown kind",
-       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"mystery\"}");
+       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"mystery\"}");
       ("wrong type",
-       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
+       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
       ("unknown field",
-       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
+       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
       ("negative int",
-       "{\"v\":2,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
+       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
       ("unparsable", "{") ]
   in
   List.iter
@@ -188,10 +188,10 @@ let schema_rejects () =
 let schema_version_gate () =
   let mk v =
     Printf.sprintf
-      "{\"v\":%d,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"ev\":\"unwind\",\"target_depth\":1}"
+      "{\"v\":%d,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1}"
       v
   in
-  (match Obs.Schema.validate_line (mk 2) with
+  (match Obs.Schema.validate_line (mk 3) with
    | Ok () -> ()
    | Error msg -> Alcotest.failf "current version rejected: %s" msg);
   List.iter
@@ -202,8 +202,8 @@ let schema_version_gate () =
         check_bool "names the foreign version" true
           (contains ~needle:(Printf.sprintf "version %d" v) msg);
         check_bool "names the supported version" true
-          (contains ~needle:"version 2" msg))
-    [ 1; 3 ]
+          (contains ~needle:"version 3" msg))
+    [ 2; 4 ]
 
 (* --- Golden emitter output --- *)
 
@@ -218,17 +218,17 @@ let ticking_clock () =
 
 let golden =
   String.concat "\n"
-    [ {|{"v":2,"seq":0,"t_us":1.0,"gc":1,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
-      {|{"v":2,"seq":1,"t_us":2.0,"gc":1,"ev":"site_alloc","site":1,"objects":10,"words":30}|};
-      {|{"v":2,"seq":2,"t_us":3.0,"gc":1,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
-      {|{"v":2,"seq":3,"t_us":4.0,"gc":1,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
-      {|{"v":2,"seq":4,"t_us":5.0,"gc":1,"ev":"site_survival","site":1,"objects":4,"first_objects":3,"words":12}|};
-      {|{"v":2,"seq":5,"t_us":6.0,"gc":1,"ev":"census","site":1,"objects":4,"words":12,"ages":{"0":1,"2-3":3}}|};
-      {|{"v":2,"seq":6,"t_us":7.0,"gc":1,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
-      {|{"v":2,"seq":7,"t_us":8.0,"gc":1,"ev":"pretenure","site":2,"words":8}|};
-      {|{"v":2,"seq":8,"t_us":9.0,"gc":1,"ev":"site_edge","from_site":2,"to_site":1}|};
-      {|{"v":2,"seq":9,"t_us":10.0,"gc":1,"ev":"marker_place","installed":3,"depth":9}|};
-      {|{"v":2,"seq":10,"t_us":11.0,"gc":1,"ev":"unwind","target_depth":4}|};
+    [ {|{"v":3,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
+      {|{"v":3,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"site_alloc","site":1,"objects":10,"words":30}|};
+      {|{"v":3,"seq":2,"t_us":3.0,"gc":1,"dom":0,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
+      {|{"v":3,"seq":3,"t_us":4.0,"gc":1,"dom":0,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
+      {|{"v":3,"seq":4,"t_us":5.0,"gc":1,"dom":0,"ev":"site_survival","site":1,"objects":4,"first_objects":3,"words":12}|};
+      {|{"v":3,"seq":5,"t_us":6.0,"gc":1,"dom":0,"ev":"census","site":1,"objects":4,"words":12,"ages":{"0":1,"2-3":3}}|};
+      {|{"v":3,"seq":6,"t_us":7.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
+      {|{"v":3,"seq":7,"t_us":8.0,"gc":1,"dom":0,"ev":"pretenure","site":2,"words":8}|};
+      {|{"v":3,"seq":8,"t_us":9.0,"gc":1,"dom":0,"ev":"site_edge","from_site":2,"to_site":1}|};
+      {|{"v":3,"seq":9,"t_us":10.0,"gc":1,"dom":0,"ev":"marker_place","installed":3,"depth":9}|};
+      {|{"v":3,"seq":10,"t_us":11.0,"gc":1,"dom":0,"ev":"unwind","target_depth":4}|};
       "" ]
 
 let golden_emitter () =
@@ -255,6 +255,67 @@ let golden_emitter () =
         match Obs.Schema.validate_line line with
         | Ok () -> ()
         | Error msg -> Alcotest.failf "golden line rejected: %s" msg)
+
+(* The async writer domain must reproduce the sync output byte for byte:
+   records are stamped at emit time and written in emit order, so moving
+   serialisation to another domain is unobservable in the sink. *)
+let async_writer_golden () =
+  let buf = Buffer.create 1024 in
+  Obs.Trace.with_buffer ~clock:(ticking_clock ()) ~async:true buf (fun () ->
+      Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:100 ~tenured_w:200 ~los_w:0;
+      Obs.Trace.site_alloc ~site:1 ~objects:10 ~words:30;
+      Obs.Trace.phase ~name:"roots" ~dur_us:12.5 ~counters:[ ("roots", 3) ];
+      Obs.Trace.stack_scan ~mode:"minor" ~valid_prefix:2 ~depth:5 ~decoded:3
+        ~reused:2 ~slots:7 ~roots:4;
+      Obs.Trace.site_survival ~site:1 ~objects:4 ~first_objects:3 ~words:12;
+      Obs.Trace.census ~site:1 ~objects:4 ~words:12
+        ~ages:[ ("0", 1); ("2-3", 3) ];
+      Obs.Trace.gc_end ~kind:"minor" ~pause_us:250.0 ~copied_w:12
+        ~promoted_w:12 ~live_w:212;
+      Obs.Trace.pretenure ~site:2 ~words:8;
+      Obs.Trace.site_edge ~from_site:2 ~to_site:1;
+      Obs.Trace.marker_place ~installed:3 ~depth:9;
+      Obs.Trace.unwind ~target_depth:4);
+  check_str "async emitted lines" golden (Buffer.contents buf)
+
+(* Emitters hold the tracer's lock, so domains may interleave freely:
+   every line must still be whole and schema-valid, seq must stay a
+   permutation of 0..n-1, and each record must carry its emitter's
+   domain id. *)
+let multi_domain_emission () =
+  let per_domain = 200 in
+  let buf = Buffer.create (1 lsl 16) in
+  Obs.Trace.with_buffer ~async:true buf (fun () ->
+      let emit_some () =
+        for i = 0 to per_domain - 1 do
+          Obs.Trace.unwind ~target_depth:i
+        done
+      in
+      let d = Domain.spawn emit_some in
+      emit_some ();
+      Domain.join d);
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  check_int "all records written" (2 * per_domain) (List.length lines);
+  let seqs = Hashtbl.create 64 in
+  let doms = Hashtbl.create 4 in
+  List.iter
+    (fun line ->
+      (match Obs.Schema.validate_line line with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "concurrent line rejected: %s" msg);
+      let j = Obs.Json.parse line in
+      (match Obs.Json.member "seq" j with
+       | Some (Obs.Json.Num f) -> Hashtbl.replace seqs (int_of_float f) ()
+       | _ -> Alcotest.fail "seq missing");
+      match Obs.Json.member "dom" j with
+      | Some (Obs.Json.Num f) -> Hashtbl.replace doms (int_of_float f) ()
+      | _ -> Alcotest.fail "dom missing")
+    lines;
+  check_int "seq is a permutation" (2 * per_domain) (Hashtbl.length seqs);
+  check_int "both domains stamped" 2 (Hashtbl.length doms)
 
 let disabled_is_silent () =
   check_bool "off by default" false (Obs.Trace.enabled ());
@@ -366,8 +427,8 @@ let with_file_flushes_on_raise () =
 (* --- the offline analyzer --- *)
 
 let env ~seq ~t_us ~gc rest =
-  Printf.sprintf "{\"v\":2,\"seq\":%d,\"t_us\":%.1f,\"gc\":%d,%s}" seq t_us gc
-    rest
+  Printf.sprintf "{\"v\":3,\"seq\":%d,\"t_us\":%.1f,\"gc\":%d,\"dom\":0,%s}"
+    seq t_us gc rest
 
 let analyzed_exn lines =
   match Obs.Profile.of_lines lines with
@@ -660,13 +721,13 @@ let policy_file_rejects () =
     {|{"v":99,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
     "version 99";
   check_err "wrong kind"
-    {|{"v":2,"kind":"mystery","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
+    {|{"v":3,"kind":"mystery","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
     "kind";
   check_err "no_scan not a subset"
-    {|{"v":2,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[1],"no_scan":[2]}|}
+    {|{"v":3,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[1],"no_scan":[2]}|}
     "subset";
   check_err "missing field"
-    {|{"v":2,"kind":"pretenure_policy","cutoff":0.8,"sites":[],"no_scan":[]}|}
+    {|{"v":3,"kind":"pretenure_policy","cutoff":0.8,"sites":[],"no_scan":[]}|}
     "min_objects"
 
 let () =
@@ -691,6 +752,8 @@ let () =
          Alcotest.test_case "version gate" `Quick schema_version_gate ]);
       ("trace",
        [ Alcotest.test_case "golden emitter" `Quick golden_emitter;
+         Alcotest.test_case "async writer golden" `Quick async_writer_golden;
+         Alcotest.test_case "multi-domain emission" `Quick multi_domain_emission;
          Alcotest.test_case "disabled is silent" `Quick disabled_is_silent;
          Alcotest.test_case "workload trace stable" `Quick workload_trace_stable;
          Alcotest.test_case "tracing preserves stats" `Quick
