@@ -442,6 +442,71 @@ let print_frag_rows rows =
     rows;
   print_newline ()
 
+(* --- major: copying vs mark-sweep tenured collection ---
+
+   The same churn workload (life under the pretenure technique at a
+   tight budget, free-list tenured backend) once per --major-kind.  The
+   timed rows compare the end-to-end cost of the two strategies; the
+   deterministic rows pin the reclaim story — how many majors each
+   needed, the words the copying major evacuated vs the words the
+   mark-sweep major marked in place and swept back into the backend as
+   holes. *)
+
+let major_cfg kind =
+  let w = Workloads.Registry.find "life" in
+  let scale = bench_scale "life" in
+  let cfg =
+    Harness.Runs.config_for ~workload:w ~scale
+      ~technique:Harness.Runs.Pretenure ~k:1.5
+  in
+  ( w,
+    scale,
+    { cfg with
+      Gsc.Config.tenured_backend = Alloc.Backend.Free_list;
+      major_kind = kind } )
+
+let major_run kind () =
+  let w, scale, cfg = major_cfg kind in
+  let rt = R.create cfg in
+  Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+  w.Workloads.Spec.run rt ~scale;
+  R.stats rt
+
+let major_kinds =
+  [ ("copying", Collectors.Generational.Copying);
+    ("mark_sweep", Collectors.Generational.Mark_sweep) ]
+
+let major_tests =
+  List.map
+    (fun (name, kind) ->
+      Test.make ~name:("major." ^ name)
+        (Staged.stage (fun () -> Sys.opaque_identity (major_run kind ()))))
+    major_kinds
+
+let major_rows () =
+  List.concat_map
+    (fun (name, kind) ->
+      let s = major_run kind () in
+      [ (Printf.sprintf "major.%s.major_gcs" name,
+         float_of_int s.Collectors.Gc_stats.major_gcs);
+        (Printf.sprintf "major.%s.copied_w" name,
+         float_of_int s.Collectors.Gc_stats.words_copied);
+        (Printf.sprintf "major.%s.marked_w" name,
+         float_of_int s.Collectors.Gc_stats.words_marked);
+        (Printf.sprintf "major.%s.swept_free_w" name,
+         float_of_int s.Collectors.Gc_stats.words_swept_free) ])
+    major_kinds
+
+let print_major_rows rows =
+  print_endline
+    "Major strategies after identical churn (deterministic; see \
+     EXPERIMENTS.md):";
+  List.iter
+    (fun (name, v) ->
+      Printf.printf "  %-44s %12.0f words\n" ("major/" ^ name) v)
+    rows;
+  print_newline ()
+
 (* --- parallel_drain: the work-stealing drain at 1/2/4 domains ---
 
    Two row families measure the same seeded graph:
@@ -828,10 +893,19 @@ let () =
     if not (free_of "free_list" < free_of "bump") then
       failwith "bench-smoke: free_list strands no less than bump";
     print_frag_rows frag;
+    let major = major_rows () in
+    (* the reclaim invariants the rows exist to pin: the mark-sweep
+       major must actually sweep, and the copying major never does *)
+    if List.assoc "major.mark_sweep.swept_free_w" major <= 0. then
+      failwith "bench-smoke: mark-sweep major swept nothing";
+    if List.assoc "major.copying.swept_free_w" major <> 0. then
+      failwith "bench-smoke: copying major reported swept words";
+    print_major_rows major;
     emit_json
       (rows @ be_rows
       @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall)
-      @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag);
+      @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag
+      @ List.map (fun (n, v) -> ("major/" ^ n, v)) major);
     print_endline "bench-smoke: OK"
   end
   else begin
@@ -889,10 +963,17 @@ let () =
     print_rows "Allocation backends (identical churn per row):" be_rows;
     let frag = backend_frag_rows () in
     print_frag_rows frag;
+    let major_timed =
+      run_group ~group_name:"major" ~quota:0.5 ~limit:50 major_tests
+    in
+    print_rows "Major strategies, end-to-end churn (timed):" major_timed;
+    let major = major_rows () in
+    print_major_rows major;
     emit_json
-      (table_rows @ hot_rows @ be_rows
+      (table_rows @ hot_rows @ be_rows @ major_timed
       @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall @ tune)
-      @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag);
+      @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag
+      @ List.map (fun (n, v) -> ("major/" ^ n, v)) major);
     print_endline
       "Full reproduction (simulated-clock figures; see EXPERIMENTS.md):";
     print_newline ();

@@ -320,8 +320,31 @@ let gc_trace_cmd =
     Arg.(value & opt backend_conv Alloc.Backend.Free_list
          & info [ "los-backend" ] ~docv:"BACKEND" ~doc)
   in
+  let major_kind_conv =
+    let parse s =
+      match Collectors.Generational.major_kind_of_string s with
+      | Some k -> Ok k
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown major kind %S (copying, mark_sweep)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt k ->
+          Format.pp_print_string fmt
+            (Collectors.Generational.major_kind_name k) )
+  in
+  let major_kind_arg =
+    let doc = "Tenured collection strategy: $(b,copying) (evacuating \
+               compaction, the default) or $(b,mark_sweep) (mark in \
+               place, sweep dead objects back into --tenured-backend as \
+               reusable holes; requires --parallelism 1)." in
+    Arg.(value & opt major_kind_conv Collectors.Generational.Copying
+         & info [ "major-kind" ] ~docv:"KIND" ~doc)
+  in
   let run factor name technique k out parallelism parallelism_mode chunk_words
-      census_period tenured_backend los_backend =
+      census_period tenured_backend los_backend major_kind =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
@@ -331,7 +354,7 @@ let gc_trace_cmd =
       let cfg =
         { (Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k) with
           Gsc.Config.parallelism; parallelism_mode; chunk_words; census_period;
-          tenured_backend; los_backend }
+          tenured_backend; los_backend; major_kind }
       in
       let path =
         match out with Some p -> p | None -> name ^ ".trace.jsonl"
@@ -373,7 +396,7 @@ let gc_trace_cmd =
     Term.(
       const run $ factor_arg $ workload_arg $ technique $ k_arg $ out
       $ parallelism_arg $ mode_arg $ chunk_words_arg $ census_arg
-      $ tenured_backend_arg $ los_backend_arg)
+      $ tenured_backend_arg $ los_backend_arg $ major_kind_arg)
 
 (* --- gc-profile --- *)
 

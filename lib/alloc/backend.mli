@@ -12,7 +12,12 @@
     {!Mem.Space.alloc_chunk}: a request for [w] words is served from a
     hole only when the remainder would be [0] or at least
     [Mem.Header.header_words] — a 1-2 word tail could not hold a filler
-    and would break the walk. *)
+    and would break the walk.  Grants are exact: [alloc t w] hands out
+    precisely [w] words (first-fit keeps the remainder listed, the
+    bucket search re-frees it, the frontier bumps by the request), so
+    [live_words = granted - freed] holds to the word — the accounting
+    the mark-sweep major's post-sweep cross-check relies on
+    (docs/ALLOCATORS.md, "The free path"). *)
 
 type kind =
   | Bump        (** frontier-only; [free] marks words dead but never
@@ -47,12 +52,21 @@ module type S = sig
 
   val kind : kind
 
-  (** [alloc t words] grants [words] contiguous words, or [None] when a
-      fixed arena is full (growable arenas never refuse). *)
+  (** [alloc t words] grants exactly [words] contiguous words, or
+      [None] when a fixed arena is full (growable arenas never refuse).
+      A reused grant carries the previous occupant's bits: the caller
+      writes the header and initialises the payload. *)
   val alloc : t -> int -> Mem.Addr.t option
 
-  (** [free t addr ~words] returns the grant at [addr]; the backend
-      covers it with a filler so the region stays walkable. *)
+  (** [free t addr ~words] returns [words] words at [addr]; the backend
+      covers the extent with one filler so the region stays walkable.
+      The caller's side of the contract: [words] is at least
+      [Mem.Header.header_words], the extent lies inside one segment and
+      is currently covered by whole dead objects and/or fillers — a
+      maximal run of adjacent corpses (plus abutting earlier holes) may
+      be flushed as a single call, which is how the mark-sweep major's
+      sweep hands corpses back.
+      @raise Invalid_argument when [words < Mem.Header.header_words]. *)
   val free : t -> Mem.Addr.t -> words:int -> unit
 
   val contains : t -> Mem.Addr.t -> bool

@@ -1,11 +1,15 @@
 (** Kind-indexed constructors, for callers configured with a
-    {!Backend.kind} knob rather than a concrete module. *)
+    {!Backend.kind} knob rather than a concrete module — how the
+    generational collector builds its tenured backend
+    ([Config.tenured_backend]) and the LOS its arena backend
+    ([Config.los_backend]). *)
 
 (** Wrap one externally-owned space (fixed size, never released by the
-    backend). *)
+    backend) — the tenured side, rebuilt over the surviving space after
+    each copying compaction. *)
 val of_space : Backend.kind -> Mem.Memory.t -> Mem.Space.t -> Backend.packed
 
-(** Own a growable segment list.  [classes] only affects
+(** Own a growable segment list — the LOS side.  [classes] only affects
     {!Backend.Size_class}. *)
 val growable :
   ?classes:int list ->

@@ -22,6 +22,7 @@ type t = {
   census_period : int;
   tenured_backend : Alloc.Backend.kind;
   los_backend : Alloc.Backend.kind;
+  major_kind : Collectors.Generational.major_kind;
   stack_markers : bool;
   marker_spacing : int;
   exception_strategy : exception_strategy;
@@ -47,6 +48,7 @@ let default ~budget_bytes =
     census_period = 0;
     tenured_backend = Alloc.Backend.Bump;
     los_backend = Alloc.Backend.Free_list;
+    major_kind = Collectors.Generational.Copying;
     stack_markers = false;
     marker_spacing = 25;
     exception_strategy = Eager_watermark;

@@ -65,6 +65,15 @@ type t = {
   los_backend : Alloc.Backend.kind;   (** placement policy for the
                                           large-object space (default
                                           [Free_list]) *)
+  major_kind : Collectors.Generational.major_kind;
+                                      (** generational only: how the
+                                          tenured space is collected.
+                                          [Copying] (default) evacuates;
+                                          [Mark_sweep] marks in place and
+                                          sweeps dead objects back into
+                                          [tenured_backend] as reusable
+                                          holes (requires
+                                          [parallelism = 1]) *)
   (* generational stack collection *)
   stack_markers : bool;
   marker_spacing : int;               (** paper: n = 25 *)

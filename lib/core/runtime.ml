@@ -196,7 +196,8 @@ let create cfg =
              chunk_words = cfg.Config.chunk_words;
              census_period = cfg.Config.census_period;
              tenured_backend = cfg.Config.tenured_backend;
-             los_backend = cfg.Config.los_backend })
+             los_backend = cfg.Config.los_backend;
+             major_kind = cfg.Config.major_kind })
   in
   t.collector <- Some col;
   t

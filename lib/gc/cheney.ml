@@ -27,10 +27,17 @@ type t = {
   los : Los.t option;
   trace_los : bool;
   promoting : bool;
+  promote_alloc : (int -> Mem.Addr.t option) option;
+      (* when set, promotions are placed by this allocator (a backend
+         over [to_space]'s block) instead of bumping the to-space
+         frontier, and each copy is queued on [gray_promoted]: grants
+         may land in holes below the frontier, so the contiguous
+         scan-pointer walk cannot find them *)
   object_hooks : Hooks.object_hooks option;
   mutable scan : Mem.Addr.t;        (* to-space scan pointer *)
   mutable scan_young : Mem.Addr.t;  (* young to-space scan pointer *)
   gray_large : Mem.Addr.t Support.Vec.t;
+  gray_promoted : Mem.Addr.t Support.Vec.t;
   mutable copied : int;
   mutable promoted : int;
   mutable scanned : int;            (* words walked by the drain loops *)
@@ -40,8 +47,8 @@ type t = {
          otherwise *)
 }
 
-let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
-    ~promoting ~object_hooks () =
+let create ~mem ~in_from ~to_space ?aging ?remember ?promote_alloc ~los
+    ~trace_los ~promoting ~object_hooks () =
   { mem;
     in_from;
     to_space;
@@ -55,6 +62,7 @@ let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
     los;
     trace_los;
     promoting;
+    promote_alloc;
     object_hooks;
     scan = Mem.Space.frontier to_space;
     scan_young =
@@ -62,6 +70,7 @@ let create ~mem ~in_from ~to_space ?aging ?remember ~los ~trace_los
        | Some a -> Mem.Space.frontier a.young_to
        | None -> Mem.Addr.null);
     gray_large = Support.Vec.create ();
+    gray_promoted = Support.Vec.create ();
     copied = 0;
     promoted = 0;
     scanned = 0;
@@ -80,6 +89,22 @@ let note_site_copy t ~site ~first ~words =
     Hashtbl.replace tab site
       (objects + 1, (if first then firsts + 1 else firsts), w + words)
 
+(* destination grant for one promotion: the backend placement policy
+   when [promote_alloc] is set (grants stay inside [to_space]'s block,
+   so the resolved cell handles remain valid), the to-space frontier
+   otherwise *)
+let promote_dst t words =
+  match t.promote_alloc with
+  | Some alloc ->
+    (match alloc words with
+     | Some dst -> dst
+     | None ->
+       failwith "Cheney: tenured backend exhausted during promotion")
+  | None ->
+    (match Mem.Space.alloc t.to_space words with
+     | Some dst -> dst
+     | None -> failwith "Cheney: to-space overflow (collector sizing bug)")
+
 (* --- raw path --- *)
 
 (* [src]/[soff] locate the object being copied in its already-resolved
@@ -89,16 +114,13 @@ let copy_object_raw t src soff =
   (* destination: under an aging nursery, survivors below the tenure
      threshold are copied back young with their age bumped *)
   let age = Mem.Header.age_c src ~off:soff in
-  let dest, dcells, promote =
+  let dst, dcells, promote =
     match t.aging with
     | Some { young_to; threshold } when age + 1 < threshold ->
-      (young_to, t.young_cells, false)
-    | Some _ | None -> (t.to_space, t.to_cells, true)
-  in
-  let dst =
-    match Mem.Space.alloc dest words with
-    | Some dst -> dst
-    | None -> failwith "Cheney: to-space overflow (collector sizing bug)"
+      (match Mem.Space.alloc young_to words with
+       | Some dst -> (dst, t.young_cells, false)
+       | None -> failwith "Cheney: to-space overflow (collector sizing bug)")
+    | Some _ | None -> (promote_dst t words, t.to_cells, true)
   in
   let doff = Mem.Addr.offset dst in
   let first_copy = not (Mem.Header.survivor_c src ~off:soff) in
@@ -118,7 +140,10 @@ let copy_object_raw t src soff =
       ~first:first_copy ~words;
   Mem.Header.set_forward_c src ~off:soff ~target:dst;
   t.copied <- t.copied + words;
-  if promote then t.promoted <- t.promoted + words;
+  if promote then begin
+    t.promoted <- t.promoted + words;
+    if t.promote_alloc <> None then Support.Vec.push t.gray_promoted dst
+  end;
   dst
 
 (* forward one encoded word; returns the (possibly rewritten) word *)
@@ -198,15 +223,13 @@ let visit_loc_raw t loc =
 let copy_object_safe t a =
   let words = Mem.Header.object_words_at t.mem a in
   let age = Mem.Header.age t.mem a in
-  let dest, promote =
+  let dst, promote =
     match t.aging with
-    | Some { young_to; threshold } when age + 1 < threshold -> (young_to, false)
-    | Some _ | None -> (t.to_space, true)
-  in
-  let dst =
-    match Mem.Space.alloc dest words with
-    | Some dst -> dst
-    | None -> failwith "Cheney: to-space overflow (collector sizing bug)"
+    | Some { young_to; threshold } when age + 1 < threshold ->
+      (match Mem.Space.alloc young_to words with
+       | Some dst -> (dst, false)
+       | None -> failwith "Cheney: to-space overflow (collector sizing bug)")
+    | Some _ | None -> (promote_dst t words, true)
   in
   let hdr = Mem.Header.read t.mem a in
   let first_copy = not (Mem.Header.survivor t.mem a) in
@@ -223,7 +246,10 @@ let copy_object_safe t a =
     note_site_copy t ~site:hdr.Mem.Header.site ~first:first_copy ~words;
   Mem.Header.set_forward t.mem a ~target:dst;
   t.copied <- t.copied + words;
-  if promote then t.promoted <- t.promoted + words;
+  if promote then begin
+    t.promoted <- t.promoted + words;
+    if t.promote_alloc <> None then Support.Vec.push t.gray_promoted dst
+  end;
   dst
 
 let evacuate_safe t v =
@@ -302,13 +328,27 @@ let drain t =
   let progress = ref true in
   while !progress do
     progress := false;
-    (* to-space scan pointer *)
-    while Mem.Addr.diff (Mem.Space.frontier t.to_space) t.scan > 0 do
-      progress := true;
-      let words = scan_object t t.scan in
-      t.scanned <- t.scanned + words;
-      t.scan <- Mem.Addr.unsafe_add t.scan words
-    done;
+    (match t.promote_alloc with
+     | None ->
+       (* to-space scan pointer *)
+       while Mem.Addr.diff (Mem.Space.frontier t.to_space) t.scan > 0 do
+         progress := true;
+         let words = scan_object t t.scan in
+         t.scanned <- t.scanned + words;
+         t.scan <- Mem.Addr.unsafe_add t.scan words
+       done
+     | Some _ ->
+       (* backend-placed promotions may land in holes below the
+          frontier, invisible to the scan pointer; the gray queue
+          carries them instead.  The frontier still moves (backend
+          fallback bumps it), so the scan-pointer loop must not run —
+          it would re-scan frontier grants already queued here. *)
+       while not (Support.Vec.is_empty t.gray_promoted) do
+         progress := true;
+         let base = Support.Vec.pop t.gray_promoted in
+         let words = scan_object t base in
+         t.scanned <- t.scanned + words
+       done);
     (* young to-space scan pointer (aging nurseries) *)
     (match t.aging with
      | None -> ()

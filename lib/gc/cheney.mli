@@ -39,6 +39,7 @@ val create :
   to_space:Mem.Space.t ->
   ?aging:aging ->
   ?remember:(loc:Mem.Addr.t -> owner:Mem.Addr.t option -> unit) ->
+  ?promote_alloc:(int -> Mem.Addr.t option) ->
   los:Los.t option ->
   trace_los:bool ->
   promoting:bool ->
@@ -51,6 +52,13 @@ val create :
     remembered set or the next minor collection would miss them.
     [owner] is the base of the containing object when the engine knows
     it (object scans), [None] for raw locations (store-buffer entries).
+    [promote_alloc], when given, places every promotion through it (an
+    {!Alloc.Backend} allocator over [to_space]'s block) instead of
+    bumping the to-space frontier — the mark-sweep major's minors, where
+    promotions reuse swept holes.  Grants may then land below the
+    frontier where the contiguous scan pointer cannot see them, so the
+    engine drains promoted copies from an explicit gray queue instead;
+    an exhausted allocator is a collector sizing bug and raises.
     [promoting] tags the engine's copies into [to_space] as promotions
     out of the nursery (statistics only). *)
 

@@ -25,7 +25,9 @@ val alloc_pretenured : t -> Mem.Header.t -> birth:int -> Mem.Addr.t
     so Table 2's pointer-update column is collector-independent. *)
 val record_update : t -> obj:Mem.Addr.t -> loc:Mem.Addr.t -> unit
 
-(** Force a full collection. *)
+(** Force a full collection — under the generational collector, a major
+    of the configured [major_kind] (copying by default, mark-in-place
+    with [Mark_sweep] — see {!Generational.major_kind}). *)
 val collect_now : t -> unit
 
 (** The statistics record the collector mutates in place. *)

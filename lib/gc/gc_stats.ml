@@ -14,6 +14,9 @@ type t = {
   mutable words_region_scanned : int;
   mutable words_region_skipped : int;
   mutable words_los_freed : int;
+  mutable words_marked : int;
+  mutable words_swept_free : int;
+  mutable major_kind : string;
   words_scanned_dom : int array;
   mutable max_live_words : int;
   mutable live_words_after_gc : int;
@@ -55,6 +58,9 @@ let create () = {
   words_region_scanned = 0;
   words_region_skipped = 0;
   words_los_freed = 0;
+  words_marked = 0;
+  words_swept_free = 0;
+  major_kind = "copying";
   words_scanned_dom = Array.make max_domains 0;
   max_live_words = 0;
   live_words_after_gc = 0;

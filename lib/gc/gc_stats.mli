@@ -25,6 +25,16 @@ type t = {
   mutable words_region_scanned : int; (** pretenured-region scan work *)
   mutable words_region_skipped : int; (** scan elision savings (Section 7.2) *)
   mutable words_los_freed : int;      (** returned to the LOS backend by sweeps *)
+  mutable words_marked : int;
+      (** live words marked in place by mark-sweep majors (tenured +
+          LOS); stays [0] under the copying major *)
+  mutable words_swept_free : int;
+      (** dead tenured words returned to the allocation backend by
+          mark-sweep majors ([Alloc.Backend.free]); the large-object
+          share is counted separately in {!words_los_freed} *)
+  mutable major_kind : string;
+      (** which major collector mutates this record: ["copying"]
+          (default) or ["mark_sweep"]; a label, not a counter *)
   words_scanned_dom : int array;
       (** drain scan work, one slot per drain domain ({!max_domains}
           slots; the sequential engine uses slot 0).  Kept per-domain so

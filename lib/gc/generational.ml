@@ -3,6 +3,19 @@ type barrier_kind =
   | Barrier_remset
   | Barrier_cards
 
+type major_kind =
+  | Copying
+  | Mark_sweep
+
+let major_kind_name = function
+  | Copying -> "copying"
+  | Mark_sweep -> "mark_sweep"
+
+let major_kind_of_string = function
+  | "copying" -> Some Copying
+  | "mark_sweep" | "mark-sweep" -> Some Mark_sweep
+  | _ -> None
+
 type config = {
   nursery_bytes_max : int;
   tenured_target_liveness : float;
@@ -16,6 +29,7 @@ type config = {
   census_period : int;
   tenured_backend : Alloc.Backend.kind;
   los_backend : Alloc.Backend.kind;
+  major_kind : major_kind;
 }
 
 let default_config ~budget_bytes =
@@ -30,7 +44,8 @@ let default_config ~budget_bytes =
     chunk_words = 0;
     census_period = 0;
     tenured_backend = Alloc.Backend.Bump;
-    los_backend = Alloc.Backend.Free_list }
+    los_backend = Alloc.Backend.Free_list;
+    major_kind = Copying }
 
 type barrier =
   | B_ssb of Ssb.t
@@ -61,7 +76,13 @@ type t = {
       (* tenured prefix whose objects are in the card crossing map *)
   mutable pretenure_from : Mem.Addr.t;
       (* start of the tenured region allocated into directly since the
-         last collection; scanned for young pointers at the next one *)
+         last collection; scanned for young pointers at the next one.
+         Copying majors only — under the mark-sweep major pretenured
+         grants can land in reclaimed holes anywhere in the space, so
+         [new_pretenured] records them individually instead *)
+  new_pretenured : Mem.Addr.t Support.Vec.t;
+      (* pretenured object bases since the last collection
+         ([major_kind = Mark_sweep] only; stays empty otherwise) *)
   mutable live : int;          (* live words after the last major *)
   mutable in_gc : bool;
   mutable collections : int;   (* collection ordinal (minors + majors) *)
@@ -89,6 +110,13 @@ let create mem ~hooks ~stats cfg =
     invalid_arg "Generational.create: negative census period";
   if cfg.chunk_words <> 0 && cfg.chunk_words < 2 * Mem.Header.header_words then
     invalid_arg "Generational.create: chunk_words too small";
+  (* the parallel drain carves copy chunks off the space frontier, which
+     is incompatible with backend-placed promotion (chunk tails would
+     not be registered as backend grants and the live-word accounting
+     would drift); the mark-sweep major therefore requires the
+     sequential engine *)
+  if cfg.major_kind = Mark_sweep && cfg.parallelism > 1 then
+    invalid_arg "Generational.create: mark_sweep major requires parallelism = 1";
   let wpb = Mem.Memory.bytes_per_word in
   let budget_w = cfg.budget_bytes / wpb in
   let nursery_words = max 64 (min (cfg.nursery_bytes_max / wpb) (budget_w / 4)) in
@@ -106,6 +134,7 @@ let create mem ~hooks ~stats cfg =
   in
   let tenured_phys = tenured_cap + nursery_words + 64 + par_headroom in
   let tenured = Mem.Space.create mem ~words:tenured_phys in
+  stats.Gc_stats.major_kind <- major_kind_name cfg.major_kind;
   { mem;
     hooks;
     cfg;
@@ -126,6 +155,7 @@ let create mem ~hooks ~stats cfg =
          B_cards (Card_table.create ~space_words:tenured_phys, Ssb.create ()));
     cards_covered_to = Mem.Space.base tenured;
     pretenure_from = Mem.Space.frontier tenured;
+    new_pretenured = Support.Vec.create ();
     live = 0;
     in_gc = false;
     collections = 0;
@@ -156,6 +186,14 @@ let cover_new_tenured t =
   match t.barrier with
   | B_ssb _ | B_remset _ -> ()
   | B_cards (cards, _) ->
+    (* the incremental cover assumes objects only appear at the
+       frontier.  Under the mark-sweep major, hole reuse places objects
+       below [cards_covered_to] and sweeps merge corpses into fillers
+       (changing object starts), so the crossing map is rebuilt from the
+       base: the full walk overwrites every covered card's entry, and
+       fillers decode as ordinary pseudo-objects *)
+    if t.cfg.major_kind = Mark_sweep then
+      t.cards_covered_to <- Mem.Space.base t.tenured;
     let base = Mem.Space.base t.tenured in
     let cells = Mem.Memory.cells t.mem base in
     let base_off = Mem.Addr.offset base in
@@ -239,6 +277,30 @@ let scan_pretenured_region t ~visit_fields ~until =
   in
   walk t.pretenure_from
 
+(* The mark-sweep counterpart of [scan_pretenured_region]: pretenured
+   grants may sit in reclaimed holes anywhere in the space, so the
+   collector scans exactly the bases recorded since the last collection,
+   with the same site-elision filter and region counters.  Entries are
+   consumed: once scanned, any surviving old-to-young edge is re-covered
+   by the write barrier (or, under aging, by the engine's [remember]). *)
+let scan_pretenured_list t ~visit_fields =
+  let cells = Mem.Memory.cells t.mem (Mem.Space.base t.tenured) in
+  Support.Vec.iter
+    (fun a ->
+      let off = Mem.Addr.offset a in
+      let words = Mem.Header.object_words_c cells ~off in
+      if t.hooks.Hooks.site_needs_scan (Mem.Header.site_c cells ~off)
+      then begin
+        visit_fields a;
+        t.stats.Gc_stats.words_region_scanned <-
+          t.stats.Gc_stats.words_region_scanned + words
+      end
+      else
+        t.stats.Gc_stats.words_region_skipped <-
+          t.stats.Gc_stats.words_region_skipped + words)
+    t.new_pretenured;
+  Support.Vec.clear t.new_pretenured
+
 (* [visit_loc]/[visit_fields]/[card] abstract over the engine: the
    sequential path rewrites in place, the parallel path stages packets.
    The [processed] counter is bumped at enumeration time, so both paths
@@ -281,6 +343,9 @@ type engine =
 
 let use_par t =
   t.cfg.parallelism > 1 && t.cfg.tenure_threshold = 1 && !Cheney.use_raw
+  (* redundant with the [create] validation, but keeps the gate honest
+     if that ever loosens: chunk carving and backend placement clash *)
+  && t.cfg.major_kind = Copying
 
 let eng_visit_loc = function
   | E_seq e -> Cheney.visit_loc e
@@ -354,7 +419,16 @@ let steal_counters engine =
   | E_seq _ -> []
   | E_par p -> [ ("steals", Par_drain.steals p) ]
 
-let occupancy t = Mem.Space.used_words t.tenured + Los.live_words t.los
+(* Major-trigger gauge.  The copying major reclaims only by evacuating
+   the whole space, so any word below the frontier is occupied until
+   then.  The mark-sweep major returns dead words to the backend in
+   place: granted-minus-freed ([Alloc.Backend.live_words]) is the honest
+   gauge — frontier position alone would ratchet up and fire a major on
+   every collection once holes start serving grants. *)
+let occupancy t =
+  match t.cfg.major_kind with
+  | Copying -> Mem.Space.used_words t.tenured + Los.live_words t.los
+  | Mark_sweep -> Alloc.Backend.live_words t.tenured_be + Los.live_words t.los
 
 (* --- per-site allocation accounting (tracing only) --- *)
 
@@ -580,8 +654,15 @@ let minor_collection t =
       E_seq
         (Cheney.create ~mem:t.mem
            ~in_from:(Mem.Space.contains t.nursery)
-           ~to_space:t.tenured ?aging ~remember ~los:(Some t.los)
-           ~trace_los:false ~promoting:true
+           ~to_space:t.tenured ?aging ~remember
+           ?promote_alloc:
+             (* under the mark-sweep major promotions go through the
+                placement policy so they can land in swept holes *)
+             (match t.cfg.major_kind with
+              | Copying -> None
+              | Mark_sweep ->
+                Some (fun words -> Alloc.Backend.alloc t.tenured_be words))
+           ~los:(Some t.los) ~trace_los:false ~promoting:true
            ~object_hooks:t.hooks.Hooks.object_hooks ())
   in
   let entries0 = t.stats.Gc_stats.barrier_entries_processed in
@@ -595,8 +676,14 @@ let minor_collection t =
        | E_seq e -> fun cards c -> scan_card t ~visit:(Cheney.visit_loc e) cards c
        | E_par p -> fun _cards c -> Par_drain.add_card p c);
   let t_mid = if traced then now () else t_barrier0 in
-  scan_pretenured_region t ~visit_fields:(eng_visit_fields engine)
-    ~until:tenured_frontier_at_start;
+  (match t.cfg.major_kind with
+   | Copying ->
+     scan_pretenured_region t ~visit_fields:(eng_visit_fields engine)
+       ~until:tenured_frontier_at_start
+   | Mark_sweep ->
+     (* pretenured grants are not contiguous above [pretenure_from] when
+        holes serve them; scan the recorded bases instead *)
+     scan_pretenured_list t ~visit_fields:(eng_visit_fields engine));
   let t_barrier1 = now () in
   t.stats.Gc_stats.barrier_seconds <-
     t.stats.Gc_stats.barrier_seconds +. (t_barrier1 -. t_barrier0);
@@ -797,12 +884,145 @@ let major_collection t =
       ~pause_us:((now () -. t0) *. 1e6)
       ~copied_w:copied ~promoted_w:0 ~live_w:live_total
 
+(* The mark-sweep major: mark tenured + LOS in place, sweep dead tenured
+   objects back into the backend as holes, sweep the LOS as usual.
+   Nothing moves, so — unlike [major_collection] — the tenured space,
+   backend, barrier state and age table all survive untouched; the only
+   card-table consequence is the crossing rebuild in [cover_new_tenured]
+   (sweeps merge corpses into fillers, changing object starts). *)
+let major_mark_sweep t =
+  assert (Mem.Space.used_words t.nursery = 0);
+  t.collections <- t.collections + 1;
+  let traced = Obs.Trace.enabled () in
+  if traced then begin
+    Obs.Trace.gc_begin ~kind:"major"
+      ~nursery_w:(Mem.Space.used_words t.nursery)
+      ~tenured_w:(Mem.Space.used_words t.tenured)
+      ~los_w:(Los.live_words t.los);
+    flush_site_allocs t
+  end;
+  let t0 = now () in
+  let roots = Support.Vec.create () in
+  let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
+  t.hooks.Hooks.visit_globals (Support.Vec.push roots);
+  Gc_stats.add_scan t.stats res;
+  let t1 = now () in
+  t.stats.Gc_stats.stack_seconds <- t.stats.Gc_stats.stack_seconds +. (t1 -. t0);
+  if traced then
+    Obs.Trace.phase ~name:"roots"
+      ~dur_us:((t1 -. t0) *. 1e6)
+      ~counters:[ ("roots", Support.Vec.length roots) ];
+  let eng = Mark_sweep.create ~mem:t.mem ~tenured:t.tenured ~los:t.los () in
+  Support.Vec.iter (Mark_sweep.visit_root eng) roots;
+  Mark_sweep.drain eng;
+  Gc_stats.add_scanned t.stats ~domain:0 (Mark_sweep.words_scanned eng);
+  t.stats.Gc_stats.words_marked <-
+    t.stats.Gc_stats.words_marked + Mark_sweep.words_marked eng;
+  let t_mark = now () in
+  if traced then begin
+    Obs.Trace.phase ~name:"mark"
+      ~dur_us:((t_mark -. t1) *. 1e6)
+      ~counters:
+        [ ("marked_w", Mark_sweep.words_marked eng);
+          ("marked_objects", Mark_sweep.objects_marked eng);
+          ("scanned_w", Mark_sweep.words_scanned eng) ];
+    List.iter
+      (fun (site, objects, first_objects, words) ->
+        Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
+      (Mark_sweep.site_survivals eng)
+  end;
+  let on_die =
+    match t.hooks.Hooks.object_hooks with
+    | None -> fun _ ~birth:_ ~words:_ -> ()
+    | Some h -> h.Hooks.on_die
+  in
+  let swept_w = Mark_sweep.sweep eng ~backend:t.tenured_be ~on_die in
+  t.stats.Gc_stats.words_swept_free <-
+    t.stats.Gc_stats.words_swept_free + swept_w;
+  let t_sweep = now () in
+  if traced then
+    Obs.Trace.phase ~name:"sweep"
+      ~dur_us:((t_sweep -. t_mark) *. 1e6)
+      ~counters:
+        [ ("freed_w", swept_w);
+          ("live_w", Mark_sweep.words_marked_tenured eng) ];
+  let los_freed_w = Los.sweep t.los ~on_die in
+  t.stats.Gc_stats.words_los_freed <-
+    t.stats.Gc_stats.words_los_freed + los_freed_w;
+  let t2 = now () in
+  t.stats.Gc_stats.copy_seconds <- t.stats.Gc_stats.copy_seconds +. (t2 -. t1);
+  if traced then
+    Obs.Trace.phase ~name:"los_sweep"
+      ~dur_us:((t2 -. t_sweep) *. 1e6)
+      ~counters:[ ("live_w", Los.live_words t.los); ("freed_w", los_freed_w) ];
+  t.live <- Mark_sweep.words_marked_tenured eng;
+  (* accounting cross-check: granted minus freed must equal the marked
+     words once every corpse is back in the backend *)
+  assert (Alloc.Backend.live_words t.tenured_be = t.live);
+  t.stats.Gc_stats.major_gcs <- t.stats.Gc_stats.major_gcs + 1;
+  let live_total = live_words t in
+  t.stats.Gc_stats.live_words_after_gc <- live_total;
+  t.stats.Gc_stats.max_live_words <-
+    max t.stats.Gc_stats.max_live_words live_total;
+  let target =
+    int_of_float (float_of_int live_total /. t.cfg.tenured_target_liveness)
+  in
+  t.major_trigger <- min t.tenured_cap (max (live_total + (live_total / 2) + 64) target);
+  t.pretenure_from <- Mem.Space.frontier t.tenured;
+  (* the list is consumed by the preceding minors and nothing allocates
+     during the major; keep the invariant explicit *)
+  Support.Vec.clear t.new_pretenured;
+  cover_new_tenured t;
+  if t.cfg.census_period > 0 then begin
+    (* addresses are stable so tenured age regions stay exact; only
+       swept large objects need their birth records dropped *)
+    match t.los_births with
+    | None -> ()
+    | Some tbl ->
+      let dead =
+        Hashtbl.fold
+          (fun a _ acc -> if Los.contains t.los a then acc else a :: acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) dead
+  end;
+  census_after_collection t ~traced;
+  sample_backend_stats t ~traced;
+  t.hooks.Hooks.after_collection ~full:true;
+  if traced then
+    Obs.Trace.gc_end ~kind:"major"
+      ~pause_us:((now () -. t0) *. 1e6)
+      ~copied_w:0 ~promoted_w:0 ~live_w:live_total
+
+(* Fragmentation fallback gauge: can the tenured area absorb another
+   nursery's worth of promotion?  Frontier headroom always counts.
+   Holes are counted conservatively — an exhausted backend during
+   promotion is fatal (the engine cannot trigger a compaction
+   mid-collection), so only capacity that can serve *any* request size
+   may count.  For {!Free_list} that is the largest coalesced hole, at
+   half value (first-fit splits leave remainders a large request can no
+   longer use); {!Size_class} holes are bucketed by size and reliably
+   serve only same-class requests, and {!Bump} frees are unreusable by
+   design, so both count zero — under [Bump] the mark-sweep
+   configuration degenerates to mark-compact, with every reclamation
+   deferred to the copying fallback. *)
+let needs_compaction t =
+  let frontier_room = t.tenured_phys - Mem.Space.used_words t.tenured in
+  let reusable =
+    match t.cfg.tenured_backend with
+    | Alloc.Backend.Bump | Alloc.Backend.Size_class -> 0
+    | Alloc.Backend.Free_list ->
+      (Alloc.Backend.frag t.tenured_be).Alloc.Backend.largest_hole / 2
+  in
+  frontier_room + reusable < t.nursery_words
+
 let collect t ~major =
   if t.in_gc then failwith "Generational: re-entrant collection";
   t.in_gc <- true;
   Fun.protect ~finally:(fun () -> t.in_gc <- false) (fun () ->
     minor_collection t;
-    if major || occupancy t >= t.major_trigger then begin
+    let pressure = t.cfg.major_kind = Mark_sweep && needs_compaction t in
+    if major || occupancy t >= t.major_trigger || pressure then begin
       (* under an aging nursery survivors may remain young; repeated
          minors age them out so the major sees an empty nursery (bounded
          by the maximum age) *)
@@ -813,7 +1033,14 @@ let collect t ~major =
         incr guard;
         minor_collection t
       done;
-      major_collection t
+      match t.cfg.major_kind with
+      | Copying -> major_collection t
+      | Mark_sweep ->
+        major_mark_sweep t;
+        (* in-place reclamation was not enough room (fragmentation, or a
+           bump backend that cannot reuse): compact with the copying
+           major, which rebuilds the backend over a fresh space *)
+        if needs_compaction t then major_collection t
     end)
 
 let minor t = collect t ~major:false
@@ -908,6 +1135,8 @@ let alloc_pretenured t hdr ~birth =
     (* the object has already survived its "first collection" by fiat;
        mark it so the profiler does not double-count a later copy *)
     Mem.Header.set_survivor t.mem base;
+    if t.cfg.major_kind = Mark_sweep then
+      Support.Vec.push t.new_pretenured base;
     base
   | None -> failwith "Generational: tenured area exhausted (pretenuring)"
 

@@ -32,6 +32,32 @@ type barrier_kind =
                         crossing map (Sobalvarro 1988); large-object
                         locations fall back to a store buffer *)
 
+(** How the tenured generation is collected at a major collection. *)
+type major_kind =
+  | Copying
+      (** evacuate every survivor into a fresh space (the default; the
+          paper's system).  Compaction for free, but the whole live set
+          is copied every major. *)
+  | Mark_sweep
+      (** mark tenured + large objects in place ({!Mark_sweep}), then
+          sweep dead tenured objects back into the configured
+          {!Alloc.Backend} as reusable holes.  Addresses are stable;
+          promotions and pretenured allocations are then served through
+          the backend, so holes become load-bearing.  When reclaimed
+          holes cannot absorb another nursery's worth of promotion
+          (fragmentation, or the [Bump] backend's unreusable frees), the
+          collector falls back to one copying major to compact.
+          Requires [parallelism = 1]: the parallel drain carves private
+          copy chunks off the space frontier, which is incompatible with
+          backend placement. *)
+
+(** Lowercase label, as reported in {!Gc_stats.major_kind} and accepted
+    on the CLI: ["copying"] / ["mark_sweep"]. *)
+val major_kind_name : major_kind -> string
+
+(** Inverse of {!major_kind_name} (also accepts ["mark-sweep"]). *)
+val major_kind_of_string : string -> major_kind option
+
 type config = {
   nursery_bytes_max : int;         (** 512 KB in the paper *)
   tenured_target_liveness : float; (** 0.3 in the paper *)
@@ -76,21 +102,26 @@ type config = {
           [0] (the default) disables the census and all its
           bookkeeping. *)
   tenured_backend : Alloc.Backend.kind;
-      (** placement policy for pretenured allocations into the tenured
+      (** placement policy for pretenured allocations — and, under
+          [major_kind = Mark_sweep], for promotions — into the tenured
           space.  Default {!Alloc.Backend.Bump} — byte-identical to the
-          pre-backend collector.  The copy engines always bump the space
-          frontier directly (their Cheney scan pointer requires
-          contiguous to-space), and tenured objects are only reclaimed
-          by whole-space compaction, so every backend degenerates to
-          frontier allocation here; the knob exists so the equivalence
-          is testable and future in-place tenured reclamation has a
-          policy seam. *)
+          pre-backend collector.  Under the copying major the copy
+          engines always bump the space frontier directly (their Cheney
+          scan pointer requires contiguous to-space) and tenured objects
+          are only reclaimed by whole-space compaction, so every backend
+          degenerates to frontier allocation; under the mark-sweep major
+          sweeps return dead words to this backend and subsequent
+          placement reuses them ([Bump] excepted — its frees are
+          terminal, making that pairing a mark-compact). *)
   los_backend : Alloc.Backend.kind;
       (** placement policy for the large-object space.  Default
           {!Alloc.Backend.Free_list}: holes opened by sweeps are reused
           first-fit.  [Bump] never reuses swept words (measures the
           fragmentation the free list recovers); [Size_class] trades
           coalescing for segregated per-class lists. *)
+  major_kind : major_kind;
+      (** tenured collection strategy; default {!Copying}, bit-for-bit
+          the pre-[Mark_sweep] collector. *)
 }
 
 (** The paper's parameters under the given budget. *)

@@ -5,9 +5,10 @@
     delegated to a pluggable {!Alloc.Backend} over a growable segment
     arena (default: first-fit free list, so swept holes are reused);
     membership testing is a base-address lookup.  Marking happens while
-    the copying collector traces (a traced pointer that lands here marks
-    the object and queues it for field scanning); sweeping happens at full
-    collections. *)
+    a major traces — the copying drain and the mark-sweep mark drain
+    both call {!mark} on traced pointers that land here and queue the
+    object for field scanning; sweeping happens at full collections
+    under either major kind. *)
 
 type t
 
@@ -30,10 +31,12 @@ val mark : t -> Mem.Addr.t -> bool
 
 (** [sweep t ~on_die] frees unmarked objects and clears surviving marks.
     [on_die hdr ~birth ~words] fires for each corpse.  Returns the words
-    returned to the backend. *)
+    returned to the backend (surfaced as [Gc_stats.words_los_freed] and
+    the [los_sweep] phase's [freed_w] counter). *)
 val sweep : t -> on_die:(Mem.Header.t -> birth:int -> words:int -> unit) -> int
 
-(** Words across live (currently allocated) large objects. *)
+(** Words across live (currently allocated) large objects.  Feeds the
+    generational collector's occupancy under both major kinds. *)
 val live_words : t -> int
 
 (** Number of live large objects. *)

@@ -22,6 +22,8 @@ let counters (s : Collectors.Gc_stats.t) =
     ("words_region_scanned", s.Collectors.Gc_stats.words_region_scanned);
     ("words_region_skipped", s.Collectors.Gc_stats.words_region_skipped);
     ("words_los_freed", s.Collectors.Gc_stats.words_los_freed);
+    ("words_marked", s.Collectors.Gc_stats.words_marked);
+    ("words_swept_free", s.Collectors.Gc_stats.words_swept_free);
     ("max_live_words", s.Collectors.Gc_stats.max_live_words);
     ("live_words_after_gc", s.Collectors.Gc_stats.live_words_after_gc);
     ("mutator_ops", s.Collectors.Gc_stats.mutator_ops);
@@ -40,11 +42,13 @@ let frag_line label (s : Collectors.Gc_stats.t) =
     s.Collectors.Gc_stats.los_free_blocks
     s.Collectors.Gc_stats.los_largest_hole
 
-let run_one (w : Workloads.Spec.t) ~scale base kind =
+let run_one ?(major_kind = Collectors.Generational.Copying)
+    (w : Workloads.Spec.t) ~scale base kind =
   let cfg =
     { base with
       Gsc.Config.tenured_backend = kind;
-      los_backend = kind }
+      los_backend = kind;
+      major_kind }
   in
   let rt = Gsc.Runtime.create cfg in
   Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
@@ -100,4 +104,72 @@ let () =
   in
   if not ok then exit 1;
   Printf.printf "alloc-smoke: heap shape identical across %d backends\n"
+    (List.length Alloc.Backend.all_kinds);
+  (* Second axis: the mark-sweep major across all three backends, on a
+     workload that actually majors (nqueen's live set never reaches the
+     trigger; life churns tenured data at a tight budget).  Under
+     mark-sweep the backend is *allowed* to change the collection
+     schedule — reclaimed holes defer majors, and the fragmentation
+     fallback compacts bump (which cannot reuse) and size_class (whose
+     buckets cannot serve arbitrary sizes) earlier than free_list — so
+     schedule counters are printed, not diffed.  What must still hold on
+     every backend: the mutator-driven counters are identical (the
+     workload, not the collector, decides every allocation and store),
+     and each run's sweeps freed words (reclamation exercised). *)
+  let w = Workloads.Registry.find "life" in
+  let scale = Harness.Runs.scale ~factor:0.5 w in
+  let base =
+    Harness.Runs.config_for ~workload:w ~scale
+      ~technique:Harness.Runs.Pretenure ~k:1.5
+  in
+  Printf.printf
+    "\nalloc-smoke: %s at scale %d under --major-kind mark_sweep\n"
+    w.Workloads.Spec.name scale;
+  let ms = Collectors.Generational.Mark_sweep in
+  let mutator_side = function
+    | "words_allocated" | "words_alloc_records" | "words_alloc_arrays"
+    | "objects_allocated" | "words_pretenured" | "mutator_ops"
+    | "pointer_updates" ->
+      true
+    | _ -> false
+  in
+  let runs =
+    List.map
+      (fun kind ->
+        let cs = run_one ~major_kind:ms w ~scale base kind in
+        Printf.printf
+          "  %-10s swept %d w over %d majors (marked %d w, copied %d w)\n"
+          (Alloc.Backend.kind_name kind)
+          (List.assoc "words_swept_free" cs)
+          (List.assoc "major_gcs" cs)
+          (List.assoc "words_marked" cs)
+          (List.assoc "words_copied" cs);
+        (kind, cs))
+      Alloc.Backend.all_kinds
+  in
+  let swept_ok =
+    List.for_all
+      (fun (kind, cs) ->
+        if List.assoc "words_swept_free" cs > 0 then true
+        else begin
+          Printf.printf "FAIL: %s never swept, reclamation unexercised\n"
+            (Alloc.Backend.kind_name kind);
+          false
+        end)
+      runs
+  in
+  let reference =
+    List.filter (fun (k, _) -> mutator_side k) (List.assoc Alloc.Backend.Bump runs)
+  in
+  let mutator_ok =
+    List.for_all
+      (fun (kind, cs) ->
+        kind = Alloc.Backend.Bump
+        || diff (Alloc.Backend.kind_name kind) reference
+             (List.filter (fun (k, _) -> mutator_side k) cs))
+      runs
+  in
+  if not (swept_ok && mutator_ok) then exit 1;
+  Printf.printf "alloc-smoke: mark-sweep mutator-side counters identical \
+                 across %d backends, all sweeps reclaimed\n"
     (List.length Alloc.Backend.all_kinds)

@@ -156,7 +156,8 @@ let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
     ?(barrier = Collectors.Generational.Barrier_ssb) ?(threshold = 1)
     ?(parallelism = 1) ?(mode = Collectors.Par_drain.Virtual)
     ?(tenured_backend = Alloc.Backend.Bump)
-    ?(los_backend = Alloc.Backend.Free_list) globals =
+    ?(los_backend = Alloc.Backend.Free_list)
+    ?(major_kind = Collectors.Generational.Copying) globals =
   let mem = Mem.Memory.create () in
   let stats = Collectors.Gc_stats.create () in
   let g =
@@ -168,7 +169,8 @@ let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
         parallelism;
         parallelism_mode = mode;
         tenured_backend;
-        los_backend }
+        los_backend;
+        major_kind }
   in
   (mem, g, stats)
 
@@ -469,14 +471,14 @@ let counters (s : Collectors.Gc_stats.t) =
    an occasional large object.  Returns the stats counters plus a
    fingerprint of the surviving heap. *)
 let run_gen_workload ?(parallelism = 1) ?mode ?(budget = 256 * 1024)
-    ?tenured_backend ?los_backend ~raw ~barrier ~threshold () =
+    ?tenured_backend ?los_backend ?major_kind ~raw ~barrier ~threshold () =
   Collectors.Cheney.use_raw := raw;
   Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
   @@ fun () ->
   let globals = Array.make 4 V.zero in
   let mem, g, stats =
     gen ~budget ~barrier ~threshold ~parallelism ?mode ?tenured_backend
-      ?los_backend globals
+      ?los_backend ?major_kind globals
   in
   let prng = Support.Prng.create ~seed:7 in
   for i = 1 to 2500 do
@@ -1069,6 +1071,191 @@ let backend_walkable_prop =
       && List.for_all (fun (b, _) -> Hashtbl.mem seen b) !live
       && Hashtbl.length seen = List.length !live)
 
+(* --- the mark-sweep major --- *)
+
+(* Counters driven purely by the mutator: identical whatever the major
+   strategy does, because the workload (not the collector) decides every
+   allocation and pointer store.  Schedule-dependent counters
+   (words_copied, gc counts, ...) legitimately differ between the
+   copying and mark-sweep majors and are excluded. *)
+let mutator_side = function
+  | "words_allocated" | "objects_allocated" | "words_alloc_records"
+  | "words_alloc_arrays" | "words_pretenured" | "pointer_updates" ->
+    true
+  | _ -> false
+
+let ms_equivalent_live_set () =
+  List.iter
+    (fun (name, barrier, threshold, backend, raw) ->
+      let stats_c, heap_c =
+        run_gen_workload ~raw ~barrier ~threshold ~tenured_backend:backend ()
+      in
+      let stats_m, heap_m =
+        run_gen_workload ~raw ~barrier ~threshold ~tenured_backend:backend
+          ~major_kind:Collectors.Generational.Mark_sweep ()
+      in
+      Alcotest.(check (list int))
+        (name ^ ": identical surviving heap")
+        heap_c heap_m;
+      let pick = List.filter (fun (k, _) -> mutator_side k) in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": identical mutator-side counters")
+        (pick stats_c) (pick stats_m))
+    [ ("ssb/bump", Collectors.Generational.Barrier_ssb, 1,
+       Alloc.Backend.Bump, true);
+      ("ssb/free_list", Collectors.Generational.Barrier_ssb, 1,
+       Alloc.Backend.Free_list, true);
+      ("ssb/size_class", Collectors.Generational.Barrier_ssb, 1,
+       Alloc.Backend.Size_class, true);
+      ("remset/free_list", Collectors.Generational.Barrier_remset, 1,
+       Alloc.Backend.Free_list, true);
+      ("cards/free_list", Collectors.Generational.Barrier_cards, 1,
+       Alloc.Backend.Free_list, true);
+      ("cards+aging/free_list", Collectors.Generational.Barrier_cards, 3,
+       Alloc.Backend.Free_list, true);
+      ("ssb+aging/free_list", Collectors.Generational.Barrier_ssb, 3,
+       Alloc.Backend.Free_list, true);
+      ("ssb/free_list/safe", Collectors.Generational.Barrier_ssb, 1,
+       Alloc.Backend.Free_list, false) ]
+
+(* marking reads through the same Memory API switch as copying: the safe
+   and raw paths must agree bit-for-bit under the mark-sweep major too *)
+let ms_safe_raw_identical () =
+  List.iter
+    (fun (name, barrier, threshold) ->
+      let run raw =
+        run_gen_workload ~raw ~barrier ~threshold
+          ~tenured_backend:Alloc.Backend.Free_list
+          ~major_kind:Collectors.Generational.Mark_sweep ()
+      in
+      let stats_safe, heap_safe = run false in
+      let stats_raw, heap_raw = run true in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": identical Gc_stats counters")
+        stats_safe stats_raw;
+      Alcotest.(check (list int))
+        (name ^ ": identical surviving heap")
+        heap_safe heap_raw)
+    [ ("ssb", Collectors.Generational.Barrier_ssb, 1);
+      ("cards", Collectors.Generational.Barrier_cards, 1);
+      ("ssb+aging", Collectors.Generational.Barrier_ssb, 3) ]
+
+(* the acceptance path end to end: a mark-sweep major frees dead tenured
+   words into the backend, the gauges see the holes, and subsequent
+   pretenured allocations are served from them (free words fall with no
+   sweep in between) *)
+let ms_reclaims_and_reuses_holes () =
+  let globals = Array.make 2 V.zero in
+  let mem, g, stats =
+    gen ~tenured_backend:Alloc.Backend.Free_list
+      ~major_kind:Collectors.Generational.Mark_sweep globals
+  in
+  Alcotest.(check string)
+    "stats label" "mark_sweep" stats.Collectors.Gc_stats.major_kind;
+  let keep =
+    Collectors.Generational.alloc_pretenured g (record_hdr ~mask:0 1) ~birth:0
+  in
+  Mem.Memory.set mem (H.field_addr keep 0) (V.Int 77);
+  globals.(0) <- V.Ptr keep;
+  (* a batch of doomed pretenured records: never rooted, they die at the
+     first major and must come back as holes *)
+  for i = 1 to 60 do
+    ignore
+      (Collectors.Generational.alloc_pretenured g
+         (record_hdr ~site:1 ~mask:0 2) ~birth:i)
+  done;
+  Collectors.Generational.full g;
+  check_bool "sweep freed words" true
+    (stats.Collectors.Gc_stats.words_swept_free > 0);
+  check_bool "words marked" true (stats.Collectors.Gc_stats.words_marked > 0);
+  check_bool "holes visible in the gauges" true
+    (stats.Collectors.Gc_stats.tenured_free_words > 0);
+  check_bool "survivor address stable" true
+    (V.equal globals.(0) (V.Ptr keep));
+  check_int "survivor intact" 77
+    (V.to_int (Mem.Memory.get mem (H.field_addr keep 0)));
+  let free_before = stats.Collectors.Gc_stats.tenured_free_words in
+  (* fresh pretenured grants: first-fit serves them from the reclaimed
+     holes (address-ordered, below the frontier) *)
+  for i = 1 to 10 do
+    let p =
+      Collectors.Generational.alloc_pretenured g
+        (record_hdr ~site:2 ~mask:0 2) ~birth:(100 + i)
+    in
+    globals.(1) <- V.Ptr p
+  done;
+  (* an empty-nursery minor only resamples the gauges *)
+  Collectors.Generational.minor g;
+  check_bool "grants served from reclaimed holes" true
+    (stats.Collectors.Gc_stats.tenured_free_words < free_before);
+  check_int "survivor still intact" 77
+    (V.to_int (Mem.Memory.get mem (H.field_addr keep 0)))
+
+(* property: sweeping never frees a marked (reachable) object, frees
+   exactly the reported corpses, and every freed word lands in the
+   backend's fragmentation gauges *)
+let ms_sweep_safety_prop =
+  QCheck.Test.make
+    ~name:"mark-sweep sweep frees exactly the unmarked words" ~count:80
+    QCheck.(pair (int_range 1 60) (int_range 0 1000000))
+    (fun (n, seed) ->
+      let mem = Mem.Memory.create () in
+      let space = Mem.Space.create mem ~words:4096 in
+      let be = Alloc.Registry.of_space Alloc.Backend.Free_list mem space in
+      let los = Collectors.Los.create mem in
+      let prng = Support.Prng.create ~seed in
+      let objs = Array.make n Mem.Addr.null in
+      for i = 0 to n - 1 do
+        match Alloc.Backend.alloc be (H.header_words + 3) with
+        | None -> QCheck.assume_fail ()
+        | Some a ->
+          H.write mem a (record_hdr ~mask:0b110 3) ~birth:0;
+          Mem.Memory.set mem (H.field_addr a 0) (V.Int (i * 31));
+          let pick () =
+            if i = 0 || Support.Prng.bool prng then V.null
+            else V.Ptr objs.(Support.Prng.int prng i)
+          in
+          Mem.Memory.set mem (H.field_addr a 1) (pick ());
+          Mem.Memory.set mem (H.field_addr a 2) (pick ());
+          objs.(i) <- a
+      done;
+      let roots = Array.init 4 (fun _ -> V.Ptr objs.(Support.Prng.int prng n)) in
+      let snapshot () =
+        let seen = Hashtbl.create 64 in
+        let words = ref 0 and acc = ref [] in
+        let rec go v =
+          match v with
+          | V.Int _ -> ()
+          | V.Ptr a ->
+            if (not (Mem.Addr.is_null a)) && not (Hashtbl.mem seen a) then begin
+              Hashtbl.replace seen a ();
+              words := !words + H.header_words + 3;
+              acc := V.to_int (Mem.Memory.get mem (H.field_addr a 0)) :: !acc;
+              go (Mem.Memory.get mem (H.field_addr a 1));
+              go (Mem.Memory.get mem (H.field_addr a 2))
+            end
+        in
+        Array.iter go roots;
+        (!words, List.sort compare !acc)
+      in
+      let reachable_words, before = snapshot () in
+      let eng = Collectors.Mark_sweep.create ~mem ~tenured:space ~los () in
+      Array.iter (Collectors.Mark_sweep.mark_value eng) roots;
+      Collectors.Mark_sweep.drain eng;
+      let free0 = (Alloc.Backend.frag be).Alloc.Backend.free_words in
+      let died = ref 0 in
+      let swept =
+        Collectors.Mark_sweep.sweep eng ~backend:be
+          ~on_die:(fun _ ~birth:_ ~words -> died := !died + words)
+      in
+      let free1 = (Alloc.Backend.frag be).Alloc.Backend.free_words in
+      let _, after = snapshot () in
+      before = after
+      && Collectors.Mark_sweep.words_marked_tenured eng = reachable_words
+      && swept = !died
+      && free1 - free0 = swept
+      && Alloc.Backend.live_words be = reachable_words)
+
 (* --- Deque --- *)
 
 let with_deque_checks f =
@@ -1385,6 +1572,14 @@ let () =
           Alcotest.test_case "concurrent deque exactly-once" `Quick
             cl_deque_concurrent_stress;
           QCheck_alcotest.to_alcotest real_drain_no_double_copy_prop ] );
+      ( "mark-sweep",
+        [ Alcotest.test_case "copying-equivalent live set" `Quick
+            ms_equivalent_live_set;
+          Alcotest.test_case "safe vs raw identical" `Quick
+            ms_safe_raw_identical;
+          Alcotest.test_case "reclaims and reuses holes" `Quick
+            ms_reclaims_and_reuses_holes;
+          QCheck_alcotest.to_alcotest ms_sweep_safety_prop ] );
       ( "alloc-backends",
         [ Alcotest.test_case "los backends reuse swept holes" `Quick
             los_backend_reuse;
