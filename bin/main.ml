@@ -343,8 +343,25 @@ let gc_trace_cmd =
     Arg.(value & opt major_kind_conv Collectors.Generational.Copying
          & info [ "major-kind" ] ~docv:"KIND" ~doc)
   in
+  let header_layout_arg =
+    let layouts =
+      [ ("classic", Mem.Header.Classic); ("packed", Mem.Header.Packed) ]
+    in
+    let doc = "Object-header layout: $(b,classic) (three words, the \
+               default) or $(b,packed) (one meta word, plus a birth \
+               word only while tracing/profiling; docs/LAYOUT.md)." in
+    Arg.(value & opt (enum layouts) Mem.Header.Classic
+         & info [ "header-layout" ] ~docv:"LAYOUT" ~doc)
+  in
+  let eager_evac_arg =
+    let doc = "Hierarchical (eager-child) evacuation: copy an object's \
+               children depth-first right behind it for cache locality \
+               (placement only; statistics unchanged)." in
+    Arg.(value & flag & info [ "eager-evac" ] ~doc)
+  in
   let run factor name technique k out parallelism parallelism_mode chunk_words
-      census_period tenured_backend los_backend major_kind =
+      census_period tenured_backend los_backend major_kind header_layout
+      eager_evac =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
@@ -354,7 +371,7 @@ let gc_trace_cmd =
       let cfg =
         { (Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k) with
           Gsc.Config.parallelism; parallelism_mode; chunk_words; census_period;
-          tenured_backend; los_backend; major_kind }
+          tenured_backend; los_backend; major_kind; header_layout; eager_evac }
       in
       let path =
         match out with Some p -> p | None -> name ^ ".trace.jsonl"
@@ -396,7 +413,8 @@ let gc_trace_cmd =
     Term.(
       const run $ factor_arg $ workload_arg $ technique $ k_arg $ out
       $ parallelism_arg $ mode_arg $ chunk_words_arg $ census_arg
-      $ tenured_backend_arg $ los_backend_arg $ major_kind_arg)
+      $ tenured_backend_arg $ los_backend_arg $ major_kind_arg
+      $ header_layout_arg $ eager_evac_arg)
 
 (* --- gc-profile --- *)
 

@@ -15,7 +15,7 @@ let alloc t words = Arena.alloc t.arena words
    filler (keeping the walk intact) and counted as dead.  This is the
    fragmentation baseline the reusing backends are measured against. *)
 let free t addr ~words =
-  if words < Mem.Header.header_words then invalid_arg "Bump.free";
+  if words < (Mem.Header.header_words ()) then invalid_arg "Bump.free";
   let cells = Mem.Memory.cells (Arena.mem t.arena) addr in
   Mem.Header.write_filler_c cells ~off:(Mem.Addr.offset addr) ~words;
   t.dead_words <- t.dead_words + words;

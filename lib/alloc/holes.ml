@@ -29,7 +29,7 @@ let cover t h =
    by one fresh filler so a linear walk sees exactly one pseudo-object
    per hole. *)
 let insert t base ~words =
-  if words < Mem.Header.header_words then invalid_arg "Holes.insert";
+  if words < (Mem.Header.header_words ()) then invalid_arg "Holes.insert";
   let h = { base; words } in
   let rec place = function
     | [] -> [ h ]
@@ -66,7 +66,7 @@ let insert t base ~words =
 let take_first_fit t words =
   if words <= 0 then invalid_arg "Holes.take_first_fit";
   let fits h =
-    h.words = words || h.words >= words + Mem.Header.header_words
+    h.words = words || h.words >= words + (Mem.Header.header_words ())
   in
   let rec go = function
     | [] -> None

@@ -19,7 +19,7 @@ let make ?(classes = default_classes) arena =
   if Array.length classes = 0 then invalid_arg "Size_class: empty ladder";
   Array.iteri
     (fun i c ->
-      if c < Mem.Header.header_words then
+      if c < (Mem.Header.header_words ()) then
         invalid_arg "Size_class: class below header_words";
       if i > 0 && c <= classes.(i - 1) then
         invalid_arg "Size_class: ladder not ascending")
@@ -54,7 +54,7 @@ let push_bucket t base words =
   t.bucket_words <- t.bucket_words + words
 
 let free t addr ~words =
-  if words < Mem.Header.header_words then invalid_arg "Size_class.free";
+  if words < (Mem.Header.header_words ()) then invalid_arg "Size_class.free";
   if words > top_class t then Holes.insert t.oversize addr ~words
   else push_bucket t addr words
 
@@ -62,7 +62,7 @@ let free t addr ~words =
    remainder rule; the remainder is re-freed (possibly into a smaller
    bucket). *)
 let take_bucketed t words =
-  let fits w = w = words || w >= words + Mem.Header.header_words in
+  let fits w = w = words || w >= words + (Mem.Header.header_words ()) in
   let start = bucket_of t words in
   let found = ref None in
   let i = ref start in

@@ -23,6 +23,8 @@ type t = {
   tenured_backend : Alloc.Backend.kind;
   los_backend : Alloc.Backend.kind;
   major_kind : Collectors.Generational.major_kind;
+  header_layout : Mem.Header.layout;
+  eager_evac : bool;
   stack_markers : bool;
   marker_spacing : int;
   exception_strategy : exception_strategy;
@@ -49,6 +51,8 @@ let default ~budget_bytes =
     tenured_backend = Alloc.Backend.Bump;
     los_backend = Alloc.Backend.Free_list;
     major_kind = Collectors.Generational.Copying;
+    header_layout = Mem.Header.Classic;
+    eager_evac = false;
     stack_markers = false;
     marker_spacing = 25;
     exception_strategy = Eager_watermark;

@@ -74,6 +74,17 @@ type t = {
                                           [tenured_backend] as reusable
                                           holes (requires
                                           [parallelism = 1]) *)
+  header_layout : Mem.Header.layout;  (** [Classic] (default) keeps the
+                                          three-word header bit-for-bit;
+                                          [Packed] folds the metadata into
+                                          one word, plus a birth word only
+                                          when profiling/tracing is on
+                                          (docs/LAYOUT.md) *)
+  eager_evac : bool;                  (** copying engines evacuate a
+                                          record's children depth-first
+                                          next to their parent (bounded;
+                                          docs/LAYOUT.md) instead of
+                                          breadth-first *)
   (* generational stack collection *)
   stack_markers : bool;
   marker_spacing : int;               (** paper: n = 25 *)

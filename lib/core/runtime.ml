@@ -129,6 +129,13 @@ let after_collection_hook t ~full:_ =
   end
 
 let create cfg =
+  (* Install the header layout before the first object exists.  The
+     packed layout drops the per-object birth word unless someone will
+     read births: the live profiler or the trace stream (docs/LAYOUT.md,
+     docs/TRACING.md). *)
+  Header.set_layout
+    ~birth:(cfg.Config.profiling || Obs.Trace.enabled ())
+    cfg.Config.header_layout;
   let mem = Memory.create () in
   let table = Rstack.Trace_table.create () in
   let stats = Collectors.Gc_stats.create () in
@@ -180,7 +187,8 @@ let create cfg =
              initial_bytes = cfg.Config.semispace_initial_bytes;
              parallelism = cfg.Config.parallelism;
              parallelism_mode = cfg.Config.parallelism_mode;
-             chunk_words = cfg.Config.chunk_words })
+             chunk_words = cfg.Config.chunk_words;
+             eager_evac = cfg.Config.eager_evac })
     | Config.Generational ->
       Collectors.Collector.Generational
         (Collectors.Generational.create mem ~hooks ~stats
@@ -194,6 +202,7 @@ let create cfg =
              parallelism = cfg.Config.parallelism;
              parallelism_mode = cfg.Config.parallelism_mode;
              chunk_words = cfg.Config.chunk_words;
+             eager_evac = cfg.Config.eager_evac;
              census_period = cfg.Config.census_period;
              tenured_backend = cfg.Config.tenured_backend;
              los_backend = cfg.Config.los_backend;
@@ -539,7 +548,8 @@ let observe_exit_deaths t =
     while not (Queue.is_empty queue) do
       let base = Queue.pop queue in
       let hdr = Header.read t.mem base in
-      hooks.Collectors.Hooks.on_die hdr ~birth:(Header.birth t.mem base)
+      hooks.Collectors.Hooks.on_die ~site:hdr.Header.site
+        ~birth:(Header.birth t.mem base)
         ~words:(Header.object_words hdr);
       for i = 0 to hdr.Header.len - 1 do
         if Header.is_pointer_field hdr i then

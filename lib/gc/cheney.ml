@@ -34,6 +34,8 @@ type t = {
          may land in holes below the frontier, so the contiguous
          scan-pointer walk cannot find them *)
   object_hooks : Hooks.object_hooks option;
+  eager : bool;                     (* hierarchical (eager-child) evacuation *)
+  mutable eager_budget : int;       (* words left under the current root *)
   mutable scan : Mem.Addr.t;        (* to-space scan pointer *)
   mutable scan_young : Mem.Addr.t;  (* young to-space scan pointer *)
   gray_large : Mem.Addr.t Support.Vec.t;
@@ -47,8 +49,8 @@ type t = {
          otherwise *)
 }
 
-let create ~mem ~in_from ~to_space ?aging ?remember ?promote_alloc ~los
-    ~trace_los ~promoting ~object_hooks () =
+let create ~mem ~in_from ~to_space ?aging ?remember ?promote_alloc ?(eager = false)
+    ~los ~trace_los ~promoting ~object_hooks () =
   { mem;
     in_from;
     to_space;
@@ -64,6 +66,8 @@ let create ~mem ~in_from ~to_space ?aging ?remember ?promote_alloc ~los
     promoting;
     promote_alloc;
     object_hooks;
+    eager;
+    eager_budget = 0;
     scan = Mem.Space.frontier to_space;
     scan_young =
       (match aging with
@@ -127,9 +131,9 @@ let copy_object_raw t src soff =
   (match t.object_hooks with
    | None -> ()
    | Some h ->
-     let hdr = Mem.Header.read_c src ~off:soff in
-     h.Hooks.on_copy hdr ~words;
-     if first_copy then h.Hooks.on_first_survival hdr ~words);
+     let site = Mem.Header.site_c src ~off:soff in
+     h.Hooks.on_copy ~site ~words;
+     if first_copy then h.Hooks.on_first_survival ~site ~words);
   Array.blit src soff dcells doff words;
   Mem.Header.set_survivor_c dcells ~off:doff;
   if not promote then
@@ -146,6 +150,56 @@ let copy_object_raw t src soff =
   end;
   dst
 
+(* --- hierarchical (eager-child) evacuation ---
+
+   After copying a parent, pull its not-yet-forwarded children
+   depth-first into the same to-space run, so parent and children sit
+   cache-adjacent instead of breadth-first-scattered (ROADMAP: lhc's
+   "evacuate children eagerly when safe").  Placement only: the parent's
+   fields are NOT rewritten here — the normal scan pass visits them
+   later and finds the children already forwarded.  The walk reads the
+   children out of the fresh copy (the source header now holds the
+   forwarding word).  Both a depth bound and a per-root word budget cap
+   the recursion so the parallel drain's per-domain chunks stay small;
+   past either bound the children fall back to the ordinary
+   scan-pointer/gray-queue order. *)
+
+let eager_depth_bound = 4
+let eager_words_bound = 64
+
+let rec eager_children_raw t dst ~depth =
+  let dcells = Mem.Memory.cells t.mem dst in
+  let doff = Mem.Addr.offset dst in
+  let tag = Mem.Header.tag_c dcells ~off:doff in
+  if tag <> Mem.Header.tag_nonptr_array then begin
+    let len = Mem.Header.len_c dcells ~off:doff in
+    let masked = tag = Mem.Header.tag_record in
+    let mask = if masked then Mem.Header.mask_c dcells ~off:doff else 0 in
+    let hw = Mem.Header.header_words () in
+    let i = ref 0 in
+    while !i < len && t.eager_budget > 0 do
+      if (not masked) || mask land (1 lsl !i) <> 0 then begin
+        let w = dcells.(doff + hw + !i) in
+        if (not (Mem.Value.encoded_is_int w)) && w <> Mem.Value.encoded_null
+        then begin
+          let a = Mem.Value.encoded_to_addr w in
+          if t.in_from a then begin
+            let src = Mem.Memory.cells t.mem a in
+            let soff = Mem.Addr.offset a in
+            if not (Mem.Header.is_forwarded_c src ~off:soff) then begin
+              t.eager_budget <-
+                t.eager_budget - Mem.Header.object_words_c src ~off:soff;
+              let cdst = copy_object_raw t src soff in
+              if depth + 1 < eager_depth_bound && t.eager_budget > 0 then
+                eager_children_raw t cdst ~depth:(depth + 1)
+            end
+          end
+        end
+      end;
+      incr i
+    done
+  end
+
 (* forward one encoded word; returns the (possibly rewritten) word *)
 let evacuate_raw t w =
   if Mem.Value.encoded_is_int w || w = Mem.Value.encoded_null then w
@@ -156,7 +210,14 @@ let evacuate_raw t w =
       let soff = Mem.Addr.offset a in
       if Mem.Header.is_forwarded_c src ~off:soff then
         Mem.Value.encode_addr (Mem.Header.forward_target_c src ~off:soff)
-      else Mem.Value.encode_addr (copy_object_raw t src soff)
+      else begin
+        let dst = copy_object_raw t src soff in
+        if t.eager then begin
+          t.eager_budget <- eager_words_bound;
+          eager_children_raw t dst ~depth:0
+        end;
+        Mem.Value.encode_addr dst
+      end
     end
     else begin
       (match t.los with
@@ -187,13 +248,13 @@ let scan_object_raw t base =
   (if tag <> Mem.Header.tag_nonptr_array then begin
      let aging_edges = t.remember <> None && t.aging <> None in
      let visit i =
-       let foff = off + Mem.Header.header_words + i in
+       let foff = off + (Mem.Header.header_words ()) + i in
        let w = cells.(foff) in
        let w' = evacuate_raw t w in
        if w' <> w then cells.(foff) <- w';
        if aging_edges then
          remember_check t
-           ~loc:(Mem.Addr.unsafe_add base (Mem.Header.header_words + i))
+           ~loc:(Mem.Addr.unsafe_add base ((Mem.Header.header_words ()) + i))
            ~owner:(Some base) w'
      in
      if tag = Mem.Header.tag_ptr_array then
@@ -207,7 +268,7 @@ let scan_object_raw t base =
        done
      end
    end);
-  Mem.Header.header_words + len
+  (Mem.Header.header_words ()) + len
 
 let visit_loc_raw t loc =
   let cells = Mem.Memory.cells t.mem loc in
@@ -240,8 +301,8 @@ let copy_object_safe t a =
   (match t.object_hooks with
    | None -> ()
    | Some h ->
-     h.Hooks.on_copy hdr ~words;
-     if first_copy then h.Hooks.on_first_survival hdr ~words);
+     h.Hooks.on_copy ~site:hdr.Mem.Header.site ~words;
+     if first_copy then h.Hooks.on_first_survival ~site:hdr.Mem.Header.site ~words);
   if t.sites <> None then
     note_site_copy t ~site:hdr.Mem.Header.site ~first:first_copy ~words;
   Mem.Header.set_forward t.mem a ~target:dst;
@@ -252,6 +313,30 @@ let copy_object_safe t a =
   end;
   dst
 
+(* safe twin of [eager_children_raw]; identical traversal order so the
+   two paths place (and account) objects identically *)
+let rec eager_children_safe t dst ~depth =
+  let hdr = Mem.Header.read t.mem dst in
+  match hdr.Mem.Header.kind with
+  | Mem.Header.Nonptr_array -> ()
+  | Mem.Header.Ptr_array | Mem.Header.Record _ ->
+    let i = ref 0 in
+    while !i < hdr.Mem.Header.len && t.eager_budget > 0 do
+      if Mem.Header.is_pointer_field hdr !i then begin
+        match Mem.Memory.get t.mem (Mem.Header.field_addr dst !i) with
+        | Mem.Value.Ptr a
+          when (not (Mem.Addr.is_null a))
+               && t.in_from a
+               && Mem.Header.forwarded t.mem a = None ->
+          t.eager_budget <- t.eager_budget - Mem.Header.object_words_at t.mem a;
+          let cdst = copy_object_safe t a in
+          if depth + 1 < eager_depth_bound && t.eager_budget > 0 then
+            eager_children_safe t cdst ~depth:(depth + 1)
+        | Mem.Value.Ptr _ | Mem.Value.Int _ -> ()
+      end;
+      incr i
+    done
+
 let evacuate_safe t v =
   match v with
   | Mem.Value.Int _ -> v
@@ -260,7 +345,13 @@ let evacuate_safe t v =
     else if t.in_from a then begin
       match Mem.Header.forwarded t.mem a with
       | Some target -> Mem.Value.Ptr target
-      | None -> Mem.Value.Ptr (copy_object_safe t a)
+      | None ->
+        let dst = copy_object_safe t a in
+        if t.eager then begin
+          t.eager_budget <- eager_words_bound;
+          eager_children_safe t dst ~depth:0
+        end;
+        Mem.Value.Ptr dst
     end
     else begin
       (match t.los with
@@ -398,11 +489,11 @@ let sweep_dead ~mem ~space ~on_die =
         (* chunk-tail fillers left by the parallel drain are not mutator
            objects; their "death" must not reach the profiler *)
         && not (Mem.Header.is_filler_c cells ~off)
-      then begin
-        let hdr = Mem.Header.read_c cells ~off in
-        let birth = Mem.Header.birth_c cells ~off in
-        on_die hdr ~birth ~words
-      end;
+      then
+        on_die
+          ~site:(Mem.Header.site_c cells ~off)
+          ~birth:(Mem.Header.birth_c cells ~off)
+          ~words;
       walk (off + words)
     end
   in

@@ -40,6 +40,7 @@ val create :
   ?aging:aging ->
   ?remember:(loc:Mem.Addr.t -> owner:Mem.Addr.t option -> unit) ->
   ?promote_alloc:(int -> Mem.Addr.t option) ->
+  ?eager:bool ->
   los:Los.t option ->
   trace_los:bool ->
   promoting:bool ->
@@ -59,6 +60,13 @@ val create :
     frontier where the contiguous scan pointer cannot see them, so the
     engine drains promoted copies from an explicit gray queue instead;
     an exhausted allocator is a collector sizing bug and raises.
+    [eager] (default false) switches the engine to hierarchical
+    evacuation: after each copy, the object's not-yet-forwarded children
+    are copied depth-first right behind it (bounded in depth and words;
+    docs/LAYOUT.md), so related objects land cache-adjacent.  Placement
+    only — field rewriting still happens on the normal scan pass, and
+    every [Gc_stats] total is order-insensitive, so eager and
+    breadth-first runs are counter-identical.
     [promoting] tags the engine's copies into [to_space] as promotions
     out of the nursery (statistics only). *)
 
@@ -108,5 +116,5 @@ val site_survivals : t -> (int * int * int * int) list
 val sweep_dead :
   mem:Mem.Memory.t ->
   space:Mem.Space.t ->
-  on_die:(Mem.Header.t -> birth:int -> words:int -> unit) ->
+  on_die:(site:int -> birth:int -> words:int -> unit) ->
   unit

@@ -26,6 +26,7 @@ type config = {
   parallelism : int;
   parallelism_mode : Par_drain.mode;
   chunk_words : int;   (* 0 = the engine's default *)
+  eager_evac : bool;   (* hierarchical (eager-child) evacuation *)
   census_period : int;
   tenured_backend : Alloc.Backend.kind;
   los_backend : Alloc.Backend.kind;
@@ -42,6 +43,7 @@ let default_config ~budget_bytes =
     parallelism = 1;
     parallelism_mode = Par_drain.Virtual;
     chunk_words = 0;
+    eager_evac = false;
     census_period = 0;
     tenured_backend = Alloc.Backend.Bump;
     los_backend = Alloc.Backend.Free_list;
@@ -108,7 +110,7 @@ let create mem ~hooks ~stats cfg =
     invalid_arg "Generational.create: bad parallelism";
   if cfg.census_period < 0 then
     invalid_arg "Generational.create: negative census period";
-  if cfg.chunk_words <> 0 && cfg.chunk_words < 2 * Mem.Header.header_words then
+  if cfg.chunk_words <> 0 && cfg.chunk_words < 2 * (Mem.Header.header_words ()) then
     invalid_arg "Generational.create: chunk_words too small";
   (* the parallel drain carves copy chunks off the space frontier, which
      is incompatible with backend-placed promotion (chunk tails would
@@ -229,12 +231,12 @@ let scan_card t ~visit cards card =
           let len = Mem.Header.len_c cells ~off:aoff in
           let visit_window is_ptr_field =
             (* clip the field loop to the card window *)
-            let i_lo = max 0 (lo - (off + Mem.Header.header_words)) in
-            let i_hi = min (len - 1) (hi - 1 - (off + Mem.Header.header_words)) in
+            let i_lo = max 0 (lo - (off + (Mem.Header.header_words ()))) in
+            let i_hi = min (len - 1) (hi - 1 - (off + (Mem.Header.header_words ()))) in
             for i = i_lo to i_hi do
               if is_ptr_field i then
                 visit
-                  (Mem.Addr.unsafe_add base (off + Mem.Header.header_words + i))
+                  (Mem.Addr.unsafe_add base (off + (Mem.Header.header_words ()) + i))
             done
           in
           if tag = Mem.Header.tag_ptr_array then visit_window (fun _ -> true)
@@ -242,7 +244,7 @@ let scan_card t ~visit cards card =
             let mask = Mem.Header.mask_c cells ~off:aoff in
             visit_window (fun i -> mask land (1 lsl i) <> 0)
           end;
-          walk (off + Mem.Header.header_words + len)
+          walk (off + (Mem.Header.header_words ()) + len)
         end
       in
       walk start
@@ -516,15 +518,16 @@ let emit_census t =
     walk_space t.nursery (fun ~off:_ ~aoff cells ->
       Mem.Header.age_c cells ~off:aoff);
   Los.iter t.los (fun a ->
-    let hdr = Mem.Header.read t.mem a in
+    let cells = Mem.Memory.cells t.mem a in
+    let off = Mem.Addr.offset a in
     let born =
       match t.los_births with
       | Some tbl ->
         (match Hashtbl.find_opt tbl a with Some b -> b | None -> now_ord)
       | None -> now_ord
     in
-    note ~site:hdr.Mem.Header.site
-      ~words:(Mem.Header.object_words hdr)
+    note ~site:(Mem.Header.site_c cells ~off)
+      ~words:(Mem.Header.object_words_c cells ~off)
       ~age:(max 0 (now_ord - born)));
   let rows =
     Hashtbl.fold
@@ -640,7 +643,7 @@ let minor_collection t =
         (Par_drain.create ~mem:t.mem
            ~in_from:(Mem.Space.contains t.nursery)
            ~to_space:t.tenured ~los:(Some t.los) ~trace_los:false
-           ~promoting:true ~object_hooks:t.hooks.Hooks.object_hooks
+           ~promoting:true ~eager:t.cfg.eager_evac ~object_hooks:t.hooks.Hooks.object_hooks
            ?card_scan:
              (match t.barrier with
               | B_cards (cards, _) ->
@@ -655,6 +658,7 @@ let minor_collection t =
         (Cheney.create ~mem:t.mem
            ~in_from:(Mem.Space.contains t.nursery)
            ~to_space:t.tenured ?aging ~remember
+           ~eager:t.cfg.eager_evac
            ?promote_alloc:
              (* under the mark-sweep major promotions go through the
                 placement policy so they can land in swept holes *)
@@ -779,6 +783,7 @@ let major_collection t =
         (Par_drain.create ~mem:t.mem
            ~in_from:(Mem.Space.contains t.tenured)
            ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
+           ~eager:t.cfg.eager_evac
            ~object_hooks:t.hooks.Hooks.object_hooks
            ~parallelism:t.cfg.parallelism ~mode:t.cfg.parallelism_mode
            ?chunk_words:
@@ -789,6 +794,7 @@ let major_collection t =
         (Cheney.create ~mem:t.mem
            ~in_from:(Mem.Space.contains t.tenured)
            ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
+           ~eager:t.cfg.eager_evac
            ~object_hooks:t.hooks.Hooks.object_hooks ())
   in
   eng_drain engine roots;
@@ -796,7 +802,7 @@ let major_collection t =
   let t_drain = if traced then now () else t1 in
   let on_die =
     match t.hooks.Hooks.object_hooks with
-    | None -> fun _ ~birth:_ ~words:_ -> ()
+    | None -> fun ~site:_ ~birth:_ ~words:_ -> ()
     | Some h -> h.Hooks.on_die
   in
   let los_freed_w = Los.sweep t.los ~on_die in
@@ -933,7 +939,7 @@ let major_mark_sweep t =
   end;
   let on_die =
     match t.hooks.Hooks.object_hooks with
-    | None -> fun _ ~birth:_ ~words:_ -> ()
+    | None -> fun ~site:_ ~birth:_ ~words:_ -> ()
     | Some h -> h.Hooks.on_die
   in
   let swept_w = Mark_sweep.sweep eng ~backend:t.tenured_be ~on_die in

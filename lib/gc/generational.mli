@@ -89,6 +89,14 @@ type config = {
       (** private to-space copy-chunk size for the parallel drain, in
           words; [0] (the default) uses the engine's built-in size.
           Must otherwise be at least two headers. *)
+  eager_evac : bool;
+      (** hierarchical (eager-child) evacuation in every copy engine
+          (minor and copying-major, sequential and parallel): each
+          copied object's not-yet-forwarded children are copied
+          depth-first right behind it, bounded in depth and words
+          (docs/LAYOUT.md), so parent and children land cache-adjacent.
+          Placement-only — [Gc_stats] is identical to breadth-first.
+          Default [false]. *)
   census_period : int;
       (** heap-census sampling: every [census_period]-th collection the
           collector walks the live heap and (when tracing is on) emits

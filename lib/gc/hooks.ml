@@ -1,7 +1,7 @@
 type object_hooks = {
-  on_first_survival : Mem.Header.t -> words:int -> unit;
-  on_copy : Mem.Header.t -> words:int -> unit;
-  on_die : Mem.Header.t -> birth:int -> words:int -> unit;
+  on_first_survival : site:int -> words:int -> unit;
+  on_copy : site:int -> words:int -> unit;
+  on_die : site:int -> birth:int -> words:int -> unit;
 }
 
 type t = {

@@ -5,14 +5,18 @@
     profiling arrive as closures. *)
 
 (** Per-object lifecycle events, consumed by the heap profiler.  [None]
-    disables the (costly) death sweeps. *)
+    disables the (costly) death sweeps.  The hooks are scalar-argument
+    on purpose: they fire once per surviving/dying object inside the
+    collector hot loops, and passing the allocation site as an [int]
+    (read via [Header.site_c]) instead of a decoded [Header.t] keeps
+    those loops allocation-free while profiling is on. *)
 type object_hooks = {
-  on_first_survival : Mem.Header.t -> words:int -> unit;
+  on_first_survival : site:int -> words:int -> unit;
       (** object copied for the first time (promotion / first semispace
           evacuation) *)
-  on_copy : Mem.Header.t -> words:int -> unit;
+  on_copy : site:int -> words:int -> unit;
       (** every copy, first or not *)
-  on_die : Mem.Header.t -> birth:int -> words:int -> unit;
+  on_die : site:int -> birth:int -> words:int -> unit;
       (** object found dead during a from-space or large-object sweep *)
 }
 

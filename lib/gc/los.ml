@@ -59,9 +59,11 @@ let sweep t ~on_die =
     t.objects;
   List.fold_left
     (fun freed e ->
-      let hdr = Mem.Header.read t.mem e.base in
-      let birth = Mem.Header.birth t.mem e.base in
-      on_die hdr ~birth ~words:e.words;
+      let cells = Mem.Memory.cells t.mem e.base in
+      let off = Mem.Addr.offset e.base in
+      let site = Mem.Header.site_c cells ~off in
+      let birth = Mem.Header.birth_c cells ~off in
+      on_die ~site ~birth ~words:e.words;
       Alloc.Backend.free t.backend e.base ~words:e.words;
       Hashtbl.remove t.objects e.base;
       t.live_words <- t.live_words - e.words;

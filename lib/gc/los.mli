@@ -30,10 +30,12 @@ val contains : t -> Mem.Addr.t -> bool
 val mark : t -> Mem.Addr.t -> bool
 
 (** [sweep t ~on_die] frees unmarked objects and clears surviving marks.
-    [on_die hdr ~birth ~words] fires for each corpse.  Returns the words
-    returned to the backend (surfaced as [Gc_stats.words_los_freed] and
-    the [los_sweep] phase's [freed_w] counter). *)
-val sweep : t -> on_die:(Mem.Header.t -> birth:int -> words:int -> unit) -> int
+    [on_die ~site ~birth ~words] fires for each corpse (scalars, like
+    the collector hot-loop hooks — no header decode allocation).
+    Returns the words returned to the backend (surfaced as
+    [Gc_stats.words_los_freed] and the [los_sweep] phase's [freed_w]
+    counter). *)
+val sweep : t -> on_die:(site:int -> birth:int -> words:int -> unit) -> int
 
 (** Words across live (currently allocated) large objects.  Feeds the
     generational collector's occupancy under both major kinds. *)

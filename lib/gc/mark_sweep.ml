@@ -100,7 +100,7 @@ let scan_object t base =
   let tag = Mem.Header.tag_c cells ~off in
   let len = Mem.Header.len_c cells ~off in
   (if tag <> Mem.Header.tag_nonptr_array then begin
-     let visit i = mark_encoded t cells.(off + Mem.Header.header_words + i) in
+     let visit i = mark_encoded t cells.(off + (Mem.Header.header_words ()) + i) in
      if tag = Mem.Header.tag_ptr_array then
        for i = 0 to len - 1 do
          visit i
@@ -112,7 +112,7 @@ let scan_object t base =
        done
      end
    end);
-  Mem.Header.header_words + len
+  (Mem.Header.header_words ()) + len
 
 let drain t =
   let rec loop () =
@@ -153,8 +153,7 @@ let sweep t ~backend ~on_die =
         || Bytes.unsafe_get t.marks off = '\001'
       then flush_run ()
       else begin
-        on_die
-          (Mem.Header.read_c cells ~off:aoff)
+        on_die ~site:(Mem.Header.site_c cells ~off:aoff)
           ~birth:(Mem.Header.birth_c cells ~off:aoff)
           ~words;
         if !run_words = 0 then run_start := off;

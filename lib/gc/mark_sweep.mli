@@ -37,13 +37,14 @@ val drain : t -> unit
 (** [sweep t ~backend ~on_die] walks the tenured space linearly and
     returns every unmarked, non-filler object to [backend] via [free];
     adjacent corpses are merged into one hole first.  [on_die] fires
-    per corpse before its words are freed (profiler death accounting).
+    per corpse before its words are freed (profiler death accounting;
+    scalar arguments keep the sweep loop allocation-free).
     Returns the words freed.  Large objects are swept separately by
     {!Los.sweep}, which already reclaims into the LOS backend. *)
 val sweep :
   t ->
   backend:Alloc.Backend.packed ->
-  on_die:(Mem.Header.t -> birth:int -> words:int -> unit) ->
+  on_die:(site:int -> birth:int -> words:int -> unit) ->
   int
 
 (** Marked words, tenured + large objects. *)

@@ -95,8 +95,10 @@ type worker = {
   prng_r : Support.Prng.t;      (* Real mode steals per-worker (no shared
                                    scheduler to serialise a shared PRNG) *)
   (* Real mode defers object-hook callbacks (profiler / census updates
-     are not domain-safe); replayed on the caller after the barrier *)
-  deferred : (Mem.Header.t * int * bool) Support.Vec.t;
+     are not domain-safe); (site, words, first-copy) triples replayed on
+     the caller after the barrier — scalars, so deferring stays
+     allocation-light *)
+  deferred : (int * int * bool) Support.Vec.t;
   (* private copy chunk, as offsets into the to-space cell array;
      [c_base = -1] means no chunk is held *)
   mutable c_base : int;
@@ -109,6 +111,8 @@ type worker = {
   mutable steals : int;
   mutable clock : int;    (* virtual ns consumed by this worker *)
   mutable idle : bool;
+  mutable eager_depth : int;   (* hierarchical-evacuation recursion depth *)
+  mutable eager_budget : int;  (* words left under the current eager root *)
   sites : (int, int * int * int) Hashtbl.t option;
 }
 
@@ -122,6 +126,7 @@ type t = {
   los : Los.t option;
   trace_los : bool;
   promoting : bool;
+  eager : bool;
   object_hooks : Hooks.object_hooks option;
   card_scan : ((Mem.Addr.t -> unit) -> int -> unit) option;
   mode : mode;
@@ -138,13 +143,13 @@ type t = {
   mutable ran : bool;
 }
 
-let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ~object_hooks
-    ?card_scan ~parallelism ?(mode = Virtual)
+let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ?(eager = false)
+    ~object_hooks ?card_scan ~parallelism ?(mode = Virtual)
     ?(chunk_words = default_chunk_words)
     ?(batch = default_batch) ?(seed = 0x9e3779) () =
   if parallelism < 1 || parallelism > max_workers then
     invalid_arg "Par_drain.create: parallelism out of range";
-  if chunk_words < 2 * Mem.Header.header_words then
+  if chunk_words < 2 * (Mem.Header.header_words ()) then
     invalid_arg "Par_drain.create: chunk too small";
   if batch < 1 then invalid_arg "Par_drain.create: empty batch";
   let tracing = Obs.Trace.enabled () in
@@ -158,6 +163,7 @@ let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ~object_hooks
     los;
     trace_los;
     promoting;
+    eager;
     object_hooks;
     card_scan;
     mode;
@@ -182,6 +188,8 @@ let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ~object_hooks
           steals = 0;
           clock = 0;
           idle = false;
+          eager_depth = 0;
+          eager_budget = 0;
           sites = (if tracing then Some (Hashtbl.create 32) else None) });
     staged = Support.Vec.create ();
     pend_locs = Support.Vec.create ();
@@ -227,7 +235,7 @@ let retire_chunk t w =
 
 let grab_chunk t w ~min_words =
   w.clock <- w.clock + cost_chunk;
-  let pref = max t.chunk_words (min_words + Mem.Header.header_words) in
+  let pref = max t.chunk_words (min_words + (Mem.Header.header_words ())) in
   match Mem.Space.alloc_chunk t.to_space ~min_words ~pref_words:pref with
   | None -> failwith "Par_drain: to-space overflow (collector sizing bug)"
   | Some (a, grant) ->
@@ -242,7 +250,7 @@ let alloc_copy t w words =
     w.c_base >= 0
     &&
     let rem = w.c_limit - (w.c_alloc + words) in
-    rem = 0 || rem >= Mem.Header.header_words
+    rem = 0 || rem >= (Mem.Header.header_words ())
   in
   if not fits then begin
     retire_chunk t w;
@@ -266,7 +274,14 @@ let note_site_copy w ~site ~first ~words =
     Hashtbl.replace tab site
       (objects + 1, (if first then firsts + 1 else firsts), ws + words)
 
-let copy_object t w src soff =
+(* Hierarchical (eager-child) evacuation bounds, matching the Cheney
+   engine: each top-level copy may pull at most [eager_words_bound]
+   words of descendants behind it, never deeper than
+   [eager_depth_bound] (docs/LAYOUT.md). *)
+let eager_depth_bound = 4
+let eager_words_bound = 64
+
+let rec copy_object t w src soff =
   (* claim = the forwarding CAS: under the virtual-time scheduler the
      check-and-install below is one atomic turn, so it cannot lose a
      race; the assertion keeps a broken claim discipline loud *)
@@ -278,9 +293,9 @@ let copy_object t w src soff =
   (match t.object_hooks with
    | None -> ()
    | Some h ->
-     let hdr = Mem.Header.read_c src ~off:soff in
-     h.Hooks.on_copy hdr ~words;
-     if first_copy then h.Hooks.on_first_survival hdr ~words);
+     let site = Mem.Header.site_c src ~off:soff in
+     h.Hooks.on_copy ~site ~words;
+     if first_copy then h.Hooks.on_first_survival ~site ~words);
   Array.blit src soff t.to_cells doff words;
   Mem.Header.set_survivor_c t.to_cells ~off:doff;
   if w.sites <> None then
@@ -291,7 +306,50 @@ let copy_object t w src soff =
   Mem.Header.set_forward_c src ~off:soff ~target:dst;
   w.copied <- w.copied + words;
   w.clock <- w.clock + (words * cost_copy_word);
+  if t.eager && w.eager_depth < eager_depth_bound then begin
+    if w.eager_depth = 0 then w.eager_budget <- eager_words_bound;
+    if w.eager_budget > 0 then begin
+      w.eager_depth <- w.eager_depth + 1;
+      eager_children t w doff;
+      w.eager_depth <- w.eager_depth - 1
+    end
+  end;
   dst
+
+(* Placement only: copy the not-yet-forwarded children of the fresh copy
+   at [doff] right behind it (depth-first, bounded).  Fields are NOT
+   rewritten here — the normal chunk scan finds the children already
+   forwarded and just installs the pointers. *)
+and eager_children t w doff =
+  let cells = t.to_cells in
+  let tag = Mem.Header.tag_c cells ~off:doff in
+  if tag <> Mem.Header.tag_nonptr_array then begin
+    let len = Mem.Header.len_c cells ~off:doff in
+    let masked = tag = Mem.Header.tag_record in
+    let mask = if masked then Mem.Header.mask_c cells ~off:doff else 0 in
+    let fbase = doff + (Mem.Header.header_words ()) in
+    let i = ref 0 in
+    while !i < len && w.eager_budget > 0 do
+      (if (not masked) || mask land (1 lsl !i) <> 0 then begin
+         let word = cells.(fbase + !i) in
+         if not (Mem.Value.encoded_is_int word)
+            && word <> Mem.Value.encoded_null
+         then begin
+           let a = Mem.Value.encoded_to_addr word in
+           if t.in_from a then begin
+             let src = Mem.Memory.cells t.mem a in
+             let soff = Mem.Addr.offset a in
+             if not (Mem.Header.is_forwarded_c src ~off:soff) then begin
+               w.eager_budget <-
+                 w.eager_budget - Mem.Header.object_words_c src ~off:soff;
+               ignore (copy_object t w src soff)
+             end
+           end
+         end
+       end);
+      incr i
+    done
+  end
 
 let evacuate t w word =
   if Mem.Value.encoded_is_int word || word = Mem.Value.encoded_null then word
@@ -324,7 +382,7 @@ let scan_fields t w cells off =
        let word' = evacuate t w word in
        if word' <> word then cells.(foff) <- word'
      in
-     let fbase = off + Mem.Header.header_words in
+     let fbase = off + (Mem.Header.header_words ()) in
      if tag = Mem.Header.tag_ptr_array then
        for i = 0 to len - 1 do
          visit (fbase + i)
@@ -336,7 +394,7 @@ let scan_fields t w cells off =
        done
      end
    end);
-  let words = Mem.Header.header_words + len in
+  let words = (Mem.Header.header_words ()) + len in
   w.clock <- w.clock + (words * cost_scan_word);
   words
 
@@ -460,7 +518,7 @@ let retire_chunk_r t w =
   end
 
 let grab_chunk_r t w ~min_words =
-  let pref = max t.chunk_words (min_words + Mem.Header.header_words) in
+  let pref = max t.chunk_words (min_words + (Mem.Header.header_words ())) in
   match Mem.Space.alloc_chunk_atomic t.to_space ~min_words ~pref_words:pref with
   | None -> failwith "Par_drain: to-space overflow (collector sizing bug)"
   | Some (a, grant) ->
@@ -475,7 +533,7 @@ let alloc_copy_r t w words =
     w.c_base >= 0
     &&
     let rem = w.c_limit - (w.c_alloc + words) in
-    rem = 0 || rem >= Mem.Header.header_words
+    rem = 0 || rem >= (Mem.Header.header_words ())
   in
   if not fits then begin
     retire_chunk_r t w;
@@ -493,7 +551,7 @@ let alloc_copy_r t w words =
    ever written under the stripe lock, and the winner observed the
    object unforwarded after acquiring it, so no writer touched the
    source during the blit. *)
-let copy_object_r t w src soff =
+let rec copy_object_r t w src soff =
   let words = Mem.Header.object_words_c src ~off:soff in
   let doff = alloc_copy_r t w words in
   Array.blit src soff t.to_cells doff words;
@@ -515,15 +573,60 @@ let copy_object_r t w src soff =
     (match t.object_hooks with
      | None -> ()
      | Some _ ->
-       let hdr = Mem.Header.read_c t.to_cells ~off:doff in
-       Support.Vec.push w.deferred (hdr, words, first_copy));
+       Support.Vec.push w.deferred
+         (Mem.Header.site_c t.to_cells ~off:doff, words, first_copy));
     Mem.Header.set_survivor_c t.to_cells ~off:doff;
     if w.sites <> None then
       note_site_copy w
         ~site:(Mem.Header.site_c t.to_cells ~off:doff)
         ~first:first_copy ~words;
     w.copied <- w.copied + words;
+    (* winner-only eager evacuation: losers abandoned their copy, so
+       only the winner pulls children behind the installed one *)
+    if t.eager && w.eager_depth < eager_depth_bound then begin
+      if w.eager_depth = 0 then w.eager_budget <- eager_words_bound;
+      if w.eager_budget > 0 then begin
+        w.eager_depth <- w.eager_depth + 1;
+        eager_children_r t w doff;
+        w.eager_depth <- w.eager_depth - 1
+      end
+    end;
     dst
+  end
+
+(* Real-domain twin of [eager_children].  The unforwarded check on the
+   child is racy — another domain may claim it first — but that is
+   fine: [copy_object_r]'s check-then-set under the stripe lock makes
+   the loser roll back, exactly as on the normal evacuation path. *)
+and eager_children_r t w doff =
+  let cells = t.to_cells in
+  let tag = Mem.Header.tag_c cells ~off:doff in
+  if tag <> Mem.Header.tag_nonptr_array then begin
+    let len = Mem.Header.len_c cells ~off:doff in
+    let masked = tag = Mem.Header.tag_record in
+    let mask = if masked then Mem.Header.mask_c cells ~off:doff else 0 in
+    let fbase = doff + (Mem.Header.header_words ()) in
+    let i = ref 0 in
+    while !i < len && w.eager_budget > 0 do
+      (if (not masked) || mask land (1 lsl !i) <> 0 then begin
+         let word = cells.(fbase + !i) in
+         if not (Mem.Value.encoded_is_int word)
+            && word <> Mem.Value.encoded_null
+         then begin
+           let a = Mem.Value.encoded_to_addr word in
+           if t.in_from a then begin
+             let src = Mem.Memory.cells t.mem a in
+             let soff = Mem.Addr.offset a in
+             if not (Mem.Header.is_forwarded_c src ~off:soff) then begin
+               w.eager_budget <-
+                 w.eager_budget - Mem.Header.object_words_c src ~off:soff;
+               ignore (copy_object_r t w src soff)
+             end
+           end
+         end
+       end);
+      incr i
+    done
   end
 
 let evacuate_r t w word =
@@ -571,7 +674,7 @@ let scan_fields_r t w cells off =
        let word' = evacuate_r t w word in
        if word' <> word then cells.(foff) <- word'
      in
-     let fbase = off + Mem.Header.header_words in
+     let fbase = off + (Mem.Header.header_words ()) in
      if tag = Mem.Header.tag_ptr_array then
        for i = 0 to len - 1 do
          visit (fbase + i)
@@ -583,7 +686,7 @@ let scan_fields_r t w cells off =
        done
      end
    end);
-  Mem.Header.header_words + len
+  (Mem.Header.header_words ()) + len
 
 let scan_obj_r t w a ~count =
   let cells = Mem.Memory.cells t.mem a in
@@ -752,9 +855,9 @@ let run_real t =
     Array.iter
       (fun w ->
         Support.Vec.iter
-          (fun (hdr, words, first) ->
-            h.Hooks.on_copy hdr ~words;
-            if first then h.Hooks.on_first_survival hdr ~words)
+          (fun (site, words, first) ->
+            h.Hooks.on_copy ~site ~words;
+            if first then h.Hooks.on_first_survival ~site ~words)
           w.deferred;
         Support.Vec.clear w.deferred)
       t.workers
@@ -914,4 +1017,4 @@ let site_survivals t =
    Collectors add this to their sequential to-space sizing. *)
 let space_headroom ?(chunk_words = default_chunk_words) ~parallelism
     ~copy_bound () =
-  copy_bound + (parallelism * (chunk_words + (2 * Mem.Header.header_words)))
+  copy_bound + (parallelism * (chunk_words + (2 * (Mem.Header.header_words ()))))

@@ -50,7 +50,11 @@ type mode = Virtual | Real
 
 (** Mirrors {!Cheney.create} minus aging/remember (the parallel drain
     only runs under immediate promotion; collectors fall back to the
-    sequential engine otherwise).  [card_scan visit card] must rewrite
+    sequential engine otherwise).  [eager] (default false) enables
+    hierarchical evacuation: after each winning copy, the worker pulls
+    the copy's not-yet-forwarded children depth-first into its own
+    chunk (same depth/word bounds as the Cheney engine; placement only,
+    so statistics are unchanged).  [card_scan visit card] must rewrite
     every pointer location of [card] through [visit]; required only when
     card packets are staged.  [chunk_words] sizes the private copy
     chunks, [batch] the location/object/card packets, and [seed] the
@@ -63,6 +67,7 @@ val create :
   los:Los.t option ->
   trace_los:bool ->
   promoting:bool ->
+  ?eager:bool ->
   object_hooks:Hooks.object_hooks option ->
   ?card_scan:((Mem.Addr.t -> unit) -> int -> unit) ->
   parallelism:int ->

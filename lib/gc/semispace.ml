@@ -5,6 +5,7 @@ type config = {
   parallelism : int;
   parallelism_mode : Par_drain.mode;
   chunk_words : int;   (* 0 = the engine's default *)
+  eager_evac : bool;   (* hierarchical (eager-child) evacuation *)
 }
 
 let default_config ~budget_bytes =
@@ -13,7 +14,8 @@ let default_config ~budget_bytes =
     initial_bytes = budget_bytes / 4;
     parallelism = 1;
     parallelism_mode = Par_drain.Virtual;
-    chunk_words = 0 }
+    chunk_words = 0;
+    eager_evac = false }
 
 type t = {
   mem : Mem.Memory.t;
@@ -35,7 +37,7 @@ let create mem ~hooks ~stats cfg =
   if cfg.budget_bytes <= 0 then invalid_arg "Semispace.create: empty budget";
   if cfg.parallelism < 1 || cfg.parallelism > Gc_stats.max_domains then
     invalid_arg "Semispace.create: bad parallelism";
-  if cfg.chunk_words <> 0 && cfg.chunk_words < 2 * Mem.Header.header_words then
+  if cfg.chunk_words <> 0 && cfg.chunk_words < 2 * (Mem.Header.header_words ()) then
     invalid_arg "Semispace.create: chunk_words too small";
   let semi_words = max 64 (cfg.budget_bytes / Mem.Memory.bytes_per_word / 2) in
   let initial_words = cfg.initial_bytes / Mem.Memory.bytes_per_word in
@@ -145,6 +147,7 @@ let collect_for t ~need =
         Par_drain.create ~mem:t.mem
           ~in_from:(Mem.Space.contains t.space)
           ~to_space ~los:None ~trace_los:false ~promoting:false
+          ~eager:t.cfg.eager_evac
           ~object_hooks:t.hooks.Hooks.object_hooks
           ~parallelism:t.cfg.parallelism ~mode:t.cfg.parallelism_mode
           ?chunk_words:
@@ -173,6 +176,7 @@ let collect_for t ~need =
         Cheney.create ~mem:t.mem
           ~in_from:(Mem.Space.contains t.space)
           ~to_space ~los:None ~trace_los:false ~promoting:false
+          ~eager:t.cfg.eager_evac
           ~object_hooks:t.hooks.Hooks.object_hooks ()
       in
       Support.Vec.iter (Cheney.visit_root engine) roots;

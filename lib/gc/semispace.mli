@@ -30,6 +30,11 @@ type config = {
       (** private to-space copy-chunk size for the parallel drain, in
           words; [0] (the default) uses the engine's built-in size.
           Must otherwise be at least two headers. *)
+  eager_evac : bool;
+      (** hierarchical (eager-child) evacuation: copy each object's
+          not-yet-forwarded children depth-first right behind it
+          (bounded; docs/LAYOUT.md).  Placement-only — statistics are
+          identical to breadth-first.  Default [false]. *)
 }
 
 (** The paper's parameters under the given budget. *)

@@ -3,16 +3,25 @@
     TIL represents heap objects as records (with a compile-time pointer
     mask), pointer arrays and non-pointer arrays; the profiling build also
     prepends an allocation-site identifier to every object (Section 6 of
-    the paper).  We fold both into a fixed three-word header:
+    the paper).  Two layouts fold both into a fixed-size header
+    ({!set_layout}; see docs/LAYOUT.md for the bit-field maps):
 
-    - word 0: kind and payload length (or the forwarding tag),
-    - word 1: allocation-site id and, for records, the pointer mask
-      (or the forwarding target),
-    - word 2: birth clock — the value of the allocation byte counter when
-      the object was created; the profiler uses it to compute ages.
+    - {b Classic} (the default, three words):
+      word 0 holds kind and payload length (or the forwarding tag),
+      word 1 the allocation-site id and, for records, the pointer mask
+      (or the forwarding target), and word 2 the birth clock — the value
+      of the allocation byte counter when the object was created; the
+      profiler uses it to compute ages.
+
+    - {b Packed} (one meta word, plus an optional birth word): tag, len,
+      site, mask, age and survivor share a single word with fixed bit
+      fields, so every collector visit decodes one memory read instead of
+      up to three.  Forwarding reuses the same word (tag + length +
+      target).  The birth word is present only when tracing/profiling
+      needs per-object ages.
 
     Records carry at most {!max_record_fields} fields so that the mask
-    fits in one word next to the site id. *)
+    fits next to the other fields (40 classic, 30 packed). *)
 
 type kind =
   | Record of { mask : int }  (** bit [i] set iff field [i] is a pointer *)
@@ -25,10 +34,32 @@ type t = {
   site : int;  (** allocation-site identifier *)
 }
 
-(** Words of header preceding the payload (always 3). *)
-val header_words : int
+(** The process-global header layout (see the module comment). *)
+type layout = Classic | Packed
 
-val max_record_fields : int
+(** [set_layout ?birth l] installs layout [l] for all subsequently
+    created objects.  [birth] (default [true]) controls whether Packed
+    headers carry the birth-clock word; Classic always does.  Must be
+    called before any object exists — runtimes set it in
+    [Runtime.create], before the first allocation; it is only read
+    afterwards (including by Real-engine worker domains, which spawn
+    after the set). *)
+val set_layout : ?birth:bool -> layout -> unit
+
+val current_layout : unit -> layout
+
+(** Whether the current layout stores a per-object birth word.  When
+    [false], {!birth} and [birth_c] return 0. *)
+val has_birth_word : unit -> bool
+
+(** Words of header preceding the payload: 3 (Classic), 2 (Packed with
+    birth) or 1 (Packed without). *)
+val header_words : unit -> int
+
+(** Layout-dependent: 40 (Classic), 30 (Packed — the mask shares the
+    meta word). *)
+val max_record_fields : unit -> int
+
 val max_site : int
 
 (** Total footprint of an object with this header, in words. *)
@@ -48,7 +79,8 @@ val write : Memory.t -> Addr.t -> t -> birth:int -> unit
     @raise Invalid_argument if [base] holds a forwarding pointer. *)
 val read : Memory.t -> Addr.t -> t
 
-(** [birth mem base] reads the birth clock of a (non-forwarded) object. *)
+(** [birth mem base] reads the birth clock of a (non-forwarded) object
+    (0 when the layout drops the birth word). *)
 val birth : Memory.t -> Addr.t -> int
 
 (** The survivor bit records that the object has already been copied once
@@ -74,7 +106,12 @@ val set_age : Memory.t -> Addr.t -> int -> unit
 val forwarded : Memory.t -> Addr.t -> Addr.t option
 
 (** [set_forward mem base ~target] overwrites the header with a forwarding
-    pointer to [target]. *)
+    pointer to [target].
+    @raise Invalid_argument under the Packed layout if the object's
+    length or [target] exceeds the forwarding word's field widths
+    (lengths up to 2^20-1 words and targets up to 2^40-1 raw; block ids
+    are reused by {!Memory}, so real targets stay far below the cap —
+    the check makes an overflow loud instead of corrupting). *)
 val set_forward : Memory.t -> Addr.t -> target:Addr.t -> unit
 
 (** [field_addr base i] is the address of payload slot [i] of the object at
@@ -94,7 +131,8 @@ val pp : Format.formatter -> t -> unit
     ({!Memory.cells}) and then decode header words straight from the
     cell array; [off] is the object base's {!Addr.offset}.  Each
     function mirrors its safe counterpart above; none allocates except
-    {!read_c} (which builds the [t] record for profiling hooks). *)
+    {!read_c} (which builds the [t] record — hot per-object paths use
+    the scalar accessors instead). *)
 
 (** Header word-0 tags, exposed so scans can branch on [tag_c] without
     building a [kind]. *)
@@ -105,14 +143,18 @@ val tag_nonptr_array : int
 val tag_forwarded : int
 
 val tag_c : int array -> off:int -> int
+
+(** [len_c] is valid on forwarded objects too (both layouts keep the
+    length readable so corpses stay walkable). *)
 val len_c : int array -> off:int -> int
 
-(** [object_words_c] is valid on forwarded objects too (word 0 keeps the
-    length), like {!object_words_at}. *)
+(** [object_words_c] is valid on forwarded objects too, like
+    {!object_words_at}. *)
 val object_words_c : int array -> off:int -> int
 
 (** [mask_c]/[site_c]/[birth_c] are meaningful only on non-forwarded
-    objects ([mask_c] additionally only on records). *)
+    objects ([mask_c] additionally only on records; [birth_c] is 0 when
+    the layout drops the birth word). *)
 val mask_c : int array -> off:int -> int
 
 val site_c : int array -> off:int -> int
@@ -130,6 +172,10 @@ val set_age_c : int array -> off:int -> int -> unit
 
 val survivor_c : int array -> off:int -> bool
 val set_survivor_c : int array -> off:int -> unit
+
+(** [write_c cells ~off h ~birth] stores the header through a resolved
+    block handle (the cell twin of {!write}). *)
+val write_c : int array -> off:int -> t -> birth:int -> unit
 
 (** [read_c cells ~off] decodes a full header record.
     @raise Invalid_argument if the object is forwarded. *)
@@ -151,5 +197,6 @@ val filler_site : int
 val is_filler_c : int array -> off:int -> bool
 
 (** [write_filler_c cells ~off ~words] writes a filler spanning exactly
-    [words] cells ([words >= header_words]). *)
+    [words] cells ([words >= header_words ()] — under the birth-less
+    Packed layout a filler can be a single word). *)
 val write_filler_c : int array -> off:int -> words:int -> unit

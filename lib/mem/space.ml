@@ -37,7 +37,7 @@ let alloc_chunk t ~min_words ~pref_words =
   else begin
     let grant =
       if free >= pref_words then pref_words
-      else if free = min_words || free >= min_words + Header.header_words then
+      else if free = min_words || free >= min_words + (Header.header_words ()) then
         free
       else
         (* granting [free] would leave the caller a tail remainder of 1-2
@@ -65,7 +65,7 @@ let alloc_chunk_atomic t ~min_words ~pref_words =
     else begin
       let grant =
         if free >= pref_words then pref_words
-        else if free = min_words || free >= min_words + Header.header_words
+        else if free = min_words || free >= min_words + (Header.header_words ())
         then free
         else min_words
       in

@@ -35,18 +35,18 @@ let note_edge t ~from_site ~to_site =
 let object_hooks t =
   let bytes_of words = words * Mem.Memory.bytes_per_word in
   { Collectors.Hooks.on_first_survival =
-      (fun hdr ~words ->
-        let s = site_stats t ~site:hdr.Mem.Header.site in
+      (fun ~site ~words ->
+        let s = site_stats t ~site in
         s.Site_stats.survived_count <- s.Site_stats.survived_count + 1;
         s.Site_stats.survived_bytes <- s.Site_stats.survived_bytes + bytes_of words);
     on_copy =
-      (fun hdr ~words ->
-        let s = site_stats t ~site:hdr.Mem.Header.site in
+      (fun ~site ~words ->
+        let s = site_stats t ~site in
         s.Site_stats.copied_bytes <- s.Site_stats.copied_bytes + bytes_of words;
         t.total_copied <- t.total_copied + bytes_of words);
     on_die =
-      (fun hdr ~birth ~words:_ ->
-        let s = site_stats t ~site:hdr.Mem.Header.site in
+      (fun ~site ~birth ~words:_ ->
+        let s = site_stats t ~site in
         let age_kb = float_of_int (t.now_bytes () - birth) /. 1024. in
         s.Site_stats.death_count <- s.Site_stats.death_count + 1;
         s.Site_stats.death_age_sum_kb <- s.Site_stats.death_age_sum_kb +. age_kb) }

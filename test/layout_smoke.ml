@@ -1,0 +1,128 @@
+(* layout-smoke: end-to-end check that the packed one-word header layout
+   and hierarchical (eager-child) evacuation are invisible to the
+   mutator.
+
+   Runs one real workload under the pretenuring technique four ways —
+   {classic, packed} x {breadth-first, eager} — through the full
+   runtime facade (Gsc.Runtime.create installs the layout).  Within a
+   layout, eager evacuation is placement-only, so EVERY deterministic
+   Gc_stats counter must match the breadth-first run bit-for-bit.
+   Across layouts the header footprint changes (3 words vs 1), which
+   legitimately moves word totals and the collection schedule; what
+   must stay bit-for-bit identical is everything the mutator decides:
+   object counts, mutator ops, pointer stores, and the payload words
+   allocated once per-object header overhead is removed. *)
+
+let counters (s : Collectors.Gc_stats.t) =
+  [ ("minor_gcs", s.Collectors.Gc_stats.minor_gcs);
+    ("major_gcs", s.Collectors.Gc_stats.major_gcs);
+    ("words_allocated", s.Collectors.Gc_stats.words_allocated);
+    ("words_alloc_records", s.Collectors.Gc_stats.words_alloc_records);
+    ("words_alloc_arrays", s.Collectors.Gc_stats.words_alloc_arrays);
+    ("objects_allocated", s.Collectors.Gc_stats.objects_allocated);
+    ("words_copied", s.Collectors.Gc_stats.words_copied);
+    ("words_promoted", s.Collectors.Gc_stats.words_promoted);
+    ("words_pretenured", s.Collectors.Gc_stats.words_pretenured);
+    ("words_region_scanned", s.Collectors.Gc_stats.words_region_scanned);
+    ("words_region_skipped", s.Collectors.Gc_stats.words_region_skipped);
+    ("words_los_freed", s.Collectors.Gc_stats.words_los_freed);
+    ("max_live_words", s.Collectors.Gc_stats.max_live_words);
+    ("live_words_after_gc", s.Collectors.Gc_stats.live_words_after_gc);
+    ("mutator_ops", s.Collectors.Gc_stats.mutator_ops);
+    ("pointer_updates", s.Collectors.Gc_stats.pointer_updates);
+    ("barrier_entries", s.Collectors.Gc_stats.barrier_entries_processed);
+    ("roots_visited", s.Collectors.Gc_stats.roots_visited) ]
+
+(* what the mutator alone determines, identical whatever the header
+   layout does to object footprints *)
+let mutator_side = function
+  | "objects_allocated" | "mutator_ops" | "pointer_updates" -> true
+  | _ -> false
+
+let layout_hw = function
+  | Mem.Header.Classic -> 3
+  | Mem.Header.Packed -> 1 (* tracing/profiling off: no birth word *)
+
+let run_one (w : Workloads.Spec.t) ~scale base ~layout ~eager =
+  let cfg =
+    { base with Gsc.Config.header_layout = layout; eager_evac = eager }
+  in
+  let rt = Gsc.Runtime.create cfg in
+  Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
+  w.Workloads.Spec.run rt ~scale;
+  counters (Gsc.Runtime.stats rt)
+
+let diff name ref_counters got =
+  let bad = ref [] in
+  List.iter2
+    (fun (k, a) (k', b) ->
+      assert (k = k');
+      if a <> b then bad := (k, a, b) :: !bad)
+    ref_counters got;
+  match !bad with
+  | [] -> true
+  | bad ->
+    Printf.printf "FAIL: %s diverges from the reference heap shape:\n" name;
+    List.iter
+      (fun (k, a, b) -> Printf.printf "  %-22s ref=%d %s=%d\n" k a name b)
+      (List.rev bad);
+    false
+
+let payload cs layout =
+  List.assoc "words_allocated" cs
+  - (layout_hw layout * List.assoc "objects_allocated" cs)
+
+let () =
+  let w = Workloads.Registry.find "nqueen" in
+  let scale = Harness.Runs.scale ~factor:0.5 w in
+  let base =
+    Harness.Runs.config_for ~workload:w ~scale
+      ~technique:Harness.Runs.Pretenure ~k:3.0
+  in
+  Printf.printf "layout-smoke: %s at scale %d under both header layouts\n"
+    w.Workloads.Spec.name scale;
+  let classic = run_one w ~scale base ~layout:Mem.Header.Classic ~eager:false in
+  Printf.printf "  classic: %d objects, %d minor / %d major gcs, %d w alloc\n"
+    (List.assoc "objects_allocated" classic)
+    (List.assoc "minor_gcs" classic)
+    (List.assoc "major_gcs" classic)
+    (List.assoc "words_allocated" classic);
+  if List.assoc "objects_allocated" classic = 0 then begin
+    Printf.printf "FAIL: workload allocated nothing, layouts unexercised\n";
+    exit 1
+  end;
+  (* eager evacuation under the same layout: placement only, every
+     counter bit-for-bit *)
+  let classic_eager =
+    run_one w ~scale base ~layout:Mem.Header.Classic ~eager:true
+  in
+  let ok_ce = diff "classic+eager" classic classic_eager in
+  (* packed layout: mutator-side counters and payload words bit-for-bit *)
+  let packed = run_one w ~scale base ~layout:Mem.Header.Packed ~eager:false in
+  Printf.printf "  packed:  %d objects, %d minor / %d major gcs, %d w alloc\n"
+    (List.assoc "objects_allocated" packed)
+    (List.assoc "minor_gcs" packed)
+    (List.assoc "major_gcs" packed)
+    (List.assoc "words_allocated" packed);
+  let pick = List.filter (fun (k, _) -> mutator_side k) in
+  let ok_p = diff "packed" (pick classic) (pick packed) in
+  let ok_pw =
+    if payload classic Mem.Header.Classic = payload packed Mem.Header.Packed
+    then true
+    else begin
+      Printf.printf "FAIL: payload words differ across layouts: %d vs %d\n"
+        (payload classic Mem.Header.Classic)
+        (payload packed Mem.Header.Packed);
+      false
+    end
+  in
+  (* and the packed layout with eager evacuation on top, against the
+     packed breadth-first run: full bit-for-bit again *)
+  let packed_eager =
+    run_one w ~scale base ~layout:Mem.Header.Packed ~eager:true
+  in
+  let ok_pe = diff "packed+eager" packed packed_eager in
+  if not (ok_ce && ok_p && ok_pw && ok_pe) then exit 1;
+  Printf.printf
+    "layout-smoke: mutator-visible counters identical across layouts, \
+     eager evacuation bit-for-bit within each\n"

@@ -32,15 +32,15 @@ let los_mark_sweep () =
   check_bool "second mark is idempotent" false (Collectors.Los.mark los a);
   let died = ref [] in
   let freed =
-    Collectors.Los.sweep los ~on_die:(fun hdr ~birth:_ ~words:_ ->
-      died := hdr.H.site :: !died)
+    Collectors.Los.sweep los ~on_die:(fun ~site ~birth:_ ~words:_ ->
+      died := site :: !died)
   in
   Alcotest.(check (list int)) "b died" [ 2 ] !died;
   check_int "sweep reports freed words" 703 freed;
   check_bool "a survives" true (Collectors.Los.contains los a);
   check_bool "b freed" false (Collectors.Los.contains los b);
   (* marks cleared: an unmarked second sweep kills a *)
-  let freed2 = Collectors.Los.sweep los ~on_die:(fun _ ~birth:_ ~words:_ -> ()) in
+  let freed2 = Collectors.Los.sweep los ~on_die:(fun ~site:_ ~birth:_ ~words:_ -> ()) in
   check_int "second sweep frees a" 603 freed2;
   check_int "empty" 0 (Collectors.Los.live_words los)
 
@@ -157,7 +157,7 @@ let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
     ?(parallelism = 1) ?(mode = Collectors.Par_drain.Virtual)
     ?(tenured_backend = Alloc.Backend.Bump)
     ?(los_backend = Alloc.Backend.Free_list)
-    ?(major_kind = Collectors.Generational.Copying) globals =
+    ?(major_kind = Collectors.Generational.Copying) ?(eager = false) globals =
   let mem = Mem.Memory.create () in
   let stats = Collectors.Gc_stats.create () in
   let g =
@@ -170,7 +170,8 @@ let gen ?(budget = 256 * 1024) ?(nursery = 8 * 1024)
         parallelism_mode = mode;
         tenured_backend;
         los_backend;
-        major_kind }
+        major_kind;
+        eager_evac = eager }
   in
   (mem, g, stats)
 
@@ -471,14 +472,15 @@ let counters (s : Collectors.Gc_stats.t) =
    an occasional large object.  Returns the stats counters plus a
    fingerprint of the surviving heap. *)
 let run_gen_workload ?(parallelism = 1) ?mode ?(budget = 256 * 1024)
-    ?tenured_backend ?los_backend ?major_kind ~raw ~barrier ~threshold () =
+    ?tenured_backend ?los_backend ?major_kind ?eager ~raw ~barrier ~threshold
+    () =
   Collectors.Cheney.use_raw := raw;
   Fun.protect ~finally:(fun () -> Collectors.Cheney.use_raw := true)
   @@ fun () ->
   let globals = Array.make 4 V.zero in
   let mem, g, stats =
     gen ~budget ~barrier ~threshold ~parallelism ?mode ?tenured_backend
-      ?los_backend ?major_kind globals
+      ?los_backend ?major_kind ?eager globals
   in
   let prng = Support.Prng.create ~seed:7 in
   for i = 1 to 2500 do
@@ -806,7 +808,7 @@ let los_backend_reuse () =
     let a = Collectors.Los.alloc los hdr ~birth:0 in
     let b = Collectors.Los.alloc los hdr ~birth:0 in
     ignore (Collectors.Los.mark los a);
-    let freed = Collectors.Los.sweep los ~on_die:(fun _ ~birth:_ ~words:_ -> ()) in
+    let freed = Collectors.Los.sweep los ~on_die:(fun ~site:_ ~birth:_ ~words:_ -> ()) in
     check_int "sweep freed b" 603 freed;
     let c = Collectors.Los.alloc los hdr ~birth:0 in
     let frag = Collectors.Los.frag los in
@@ -1042,12 +1044,12 @@ let backend_walkable_prop =
       let prng = Support.Prng.create ~seed in
       let live = ref [] in
       for i = 1 to 60 do
-        let words = H.header_words + Support.Prng.int prng 12 in
+        let words = (H.header_words ()) + Support.Prng.int prng 12 in
         (match Alloc.Backend.alloc be words with
          | None -> ()
          | Some base ->
            H.write mem base
-             { H.kind = H.Nonptr_array; len = words - H.header_words;
+             { H.kind = H.Nonptr_array; len = words - (H.header_words ());
                site = i }
              ~birth:0;
            live := (base, words) :: !live);
@@ -1140,6 +1142,107 @@ let ms_safe_raw_identical () =
       ("cards", Collectors.Generational.Barrier_cards, 1);
       ("ssb+aging", Collectors.Generational.Barrier_ssb, 3) ]
 
+(* --- hierarchical (eager-child) evacuation --- *)
+
+(* Eager evacuation is placement-only: same survivors, same copy
+   totals, same collection schedule — every Gc_stats counter and the
+   surviving heap must match the breadth-first run bit-for-bit.  The
+   one exception is the card barrier's entry counter: card geometry
+   depends on tenured addresses, which eager placement shifts. *)
+let eager_identical_stats () =
+  List.iter
+    (fun (name, barrier, threshold, parallelism, mode, drop) ->
+      let filter l = List.filter (fun (k, _) -> not (List.mem k drop)) l in
+      let run eager =
+        run_gen_workload ~parallelism ?mode ~budget:par_budget ~raw:true
+          ~barrier ~threshold ~eager ()
+      in
+      let stats_b, heap_b = run false in
+      let stats_e, heap_e = run true in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": identical Gc_stats counters")
+        (filter stats_b) (filter stats_e);
+      Alcotest.(check (list int))
+        (name ^ ": identical surviving heap")
+        heap_b heap_e)
+    [ ("ssb", Collectors.Generational.Barrier_ssb, 1, 1, None, []);
+      ("remset", Collectors.Generational.Barrier_remset, 1, 1, None, []);
+      ("cards", Collectors.Generational.Barrier_cards, 1, 1, None,
+       [ "barrier_entries_processed" ]);
+      ("ssb+aging", Collectors.Generational.Barrier_ssb, 3, 1, None, []);
+      ("ssb p=2", Collectors.Generational.Barrier_ssb, 1, 2, None, []);
+      ("cards p=2", Collectors.Generational.Barrier_cards, 1, 2, None,
+       [ "barrier_entries_processed" ]);
+      ("ssb p=2 real", Collectors.Generational.Barrier_ssb, 1, 2,
+       Some Collectors.Par_drain.Real, []) ]
+
+(* --- packed header layout --- *)
+
+let with_layout layout f =
+  Mem.Header.set_layout ~birth:false layout;
+  Fun.protect ~finally:(fun () -> Mem.Header.set_layout Mem.Header.Classic) f
+
+(* Counters a header-layout change may never move: the workload decides
+   every object and pointer store, independent of header size.  Word
+   counters include header words, so they legitimately shrink under the
+   packed layout; the payload check below removes exactly that. *)
+let layout_independent = function
+  | "objects_allocated" | "pointer_updates" -> true
+  | _ -> false
+
+(* The ISSUE's equivalence matrix: 3 barriers x {copying p=1, copying
+   p=2, mark_sweep p=1} (mark_sweep rejects p>1 by construction), each
+   cell run under both layouts.  The mutator-visible world — surviving
+   heap values, object counts, payload words — must be identical; only
+   header overhead may differ. *)
+let packed_classic_equivalence () =
+  List.iter
+    (fun (name, barrier, parallelism, major_kind) ->
+      let tenured_backend =
+        match major_kind with
+        | Collectors.Generational.Copying -> Alloc.Backend.Bump
+        | Collectors.Generational.Mark_sweep -> Alloc.Backend.Free_list
+      in
+      let run layout =
+        with_layout layout @@ fun () ->
+        run_gen_workload ~parallelism ~budget:par_budget ~raw:true ~barrier
+          ~threshold:1 ~major_kind ~tenured_backend ()
+      in
+      let stats_c, heap_c = run Mem.Header.Classic in
+      let stats_p, heap_p = run Mem.Header.Packed in
+      Alcotest.(check (list int))
+        (name ^ ": identical surviving heap")
+        heap_c heap_p;
+      let pick = List.filter (fun (k, _) -> layout_independent k) in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": identical mutator-side counts")
+        (pick stats_c) (pick stats_p);
+      let payload stats hw =
+        List.assoc "words_allocated" stats
+        - (hw * List.assoc "objects_allocated" stats)
+      in
+      Alcotest.(check int)
+        (name ^ ": identical payload words allocated")
+        (payload stats_c 3) (payload stats_p 1))
+    [ ("ssb", Collectors.Generational.Barrier_ssb, 1,
+       Collectors.Generational.Copying);
+      ("remset", Collectors.Generational.Barrier_remset, 1,
+       Collectors.Generational.Copying);
+      ("cards", Collectors.Generational.Barrier_cards, 1,
+       Collectors.Generational.Copying);
+      ("ssb p=2", Collectors.Generational.Barrier_ssb, 2,
+       Collectors.Generational.Copying);
+      ("remset p=2", Collectors.Generational.Barrier_remset, 2,
+       Collectors.Generational.Copying);
+      ("cards p=2", Collectors.Generational.Barrier_cards, 2,
+       Collectors.Generational.Copying);
+      ("ssb ms", Collectors.Generational.Barrier_ssb, 1,
+       Collectors.Generational.Mark_sweep);
+      ("remset ms", Collectors.Generational.Barrier_remset, 1,
+       Collectors.Generational.Mark_sweep);
+      ("cards ms", Collectors.Generational.Barrier_cards, 1,
+       Collectors.Generational.Mark_sweep) ]
+
 (* the acceptance path end to end: a mark-sweep major frees dead tenured
    words into the backend, the gauges see the holes, and subsequent
    pretenured allocations are served from them (free words fall with no
@@ -1206,7 +1309,7 @@ let ms_sweep_safety_prop =
       let prng = Support.Prng.create ~seed in
       let objs = Array.make n Mem.Addr.null in
       for i = 0 to n - 1 do
-        match Alloc.Backend.alloc be (H.header_words + 3) with
+        match Alloc.Backend.alloc be ((H.header_words ()) + 3) with
         | None -> QCheck.assume_fail ()
         | Some a ->
           H.write mem a (record_hdr ~mask:0b110 3) ~birth:0;
@@ -1229,7 +1332,7 @@ let ms_sweep_safety_prop =
           | V.Ptr a ->
             if (not (Mem.Addr.is_null a)) && not (Hashtbl.mem seen a) then begin
               Hashtbl.replace seen a ();
-              words := !words + H.header_words + 3;
+              words := !words + (H.header_words ()) + 3;
               acc := V.to_int (Mem.Memory.get mem (H.field_addr a 0)) :: !acc;
               go (Mem.Memory.get mem (H.field_addr a 1));
               go (Mem.Memory.get mem (H.field_addr a 2))
@@ -1246,7 +1349,7 @@ let ms_sweep_safety_prop =
       let died = ref 0 in
       let swept =
         Collectors.Mark_sweep.sweep eng ~backend:be
-          ~on_die:(fun _ ~birth:_ ~words -> died := !died + words)
+          ~on_die:(fun ~site:_ ~birth:_ ~words -> died := !died + words)
       in
       let free1 = (Alloc.Backend.frag be).Alloc.Backend.free_words in
       let _, after = snapshot () in
@@ -1324,7 +1427,7 @@ let par_drain_no_double_copy ~mode (n, seed, parallelism, grain) =
       let objs = Array.make n Mem.Addr.null in
       for i = 0 to n - 1 do
         let a =
-          match Mem.Space.alloc from (H.header_words + 3) with
+          match Mem.Space.alloc from ((H.header_words ()) + 3) with
           | Some a -> a
           | None -> QCheck.assume_fail ()
         in
@@ -1348,7 +1451,7 @@ let par_drain_no_double_copy ~mode (n, seed, parallelism, grain) =
           | V.Ptr a ->
             if (not (Mem.Addr.is_null a)) && not (Hashtbl.mem seen a) then begin
               Hashtbl.replace seen a ();
-              words := !words + H.header_words + 3;
+              words := !words + (H.header_words ()) + 3;
               acc := V.to_int (Mem.Memory.get mem (H.field_addr a 0)) :: !acc;
               go (Mem.Memory.get mem (H.field_addr a 1));
               go (Mem.Memory.get mem (H.field_addr a 2))
@@ -1572,6 +1675,12 @@ let () =
           Alcotest.test_case "concurrent deque exactly-once" `Quick
             cl_deque_concurrent_stress;
           QCheck_alcotest.to_alcotest real_drain_no_double_copy_prop ] );
+      ( "eager-evac",
+        [ Alcotest.test_case "placement-only equivalence" `Quick
+            eager_identical_stats ] );
+      ( "header-layout",
+        [ Alcotest.test_case "packed/classic equivalence matrix" `Quick
+            packed_classic_equivalence ] );
       ( "mark-sweep",
         [ Alcotest.test_case "copying-equivalent live set" `Quick
             ms_equivalent_live_set;

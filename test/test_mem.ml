@@ -257,7 +257,7 @@ let header_validation () =
 let header_prop =
   QCheck.Test.make ~name:"header roundtrip (random)" ~count:300
     QCheck.(
-      triple (int_range 0 Mem.Header.max_record_fields) (int_range 0 100000)
+      triple (int_range 0 (Mem.Header.max_record_fields ())) (int_range 0 100000)
         (int_range 0 10))
     (fun (len, site, kind_sel) ->
       let mem, a = mem_with_block 64 in
@@ -277,7 +277,7 @@ let header_cells_prop =
   QCheck.Test.make ~name:"header cell accessors agree with safe reads"
     ~count:300
     QCheck.(
-      triple (int_range 0 Mem.Header.max_record_fields) (int_range 0 100000)
+      triple (int_range 0 (Mem.Header.max_record_fields ())) (int_range 0 100000)
         (int_range 0 10))
     (fun (len, site, kind_sel) ->
       let mem, a = mem_with_block 64 in
@@ -311,6 +311,105 @@ let header_cells_prop =
         && Mem.Header.object_words_c cells ~off = Mem.Header.object_words hdr
       end)
 
+(* --- packed layout --- *)
+
+let with_packed ?(birth = false) f =
+  Mem.Header.set_layout ~birth Mem.Header.Packed;
+  Fun.protect ~finally:(fun () -> Mem.Header.set_layout Mem.Header.Classic) f
+
+(* Exhaustive-range encode/decode over the packed single-word layout:
+   every field at its extremes, the forwarding overwrite, and a
+   snapshot-restore (rollback) of the meta word, which must bring the
+   whole header back bit-for-bit. *)
+let packed_roundtrip_prop =
+  QCheck.Test.make ~name:"packed layout roundtrip (full ranges)" ~count:500
+    QCheck.(
+      quad (int_range 0 10)
+        (int_range 0 Mem.Header.max_site)
+        (int_range 0 ((1 lsl 36) - 1))
+        (int_range 0 Mem.Header.max_age))
+    (fun (kind_sel, site, big_len, age) ->
+      with_packed @@ fun () ->
+      let mem, a = mem_with_block 64 in
+      let kind, len =
+        if kind_sel < 4 then
+          let len = big_len mod (Mem.Header.max_record_fields () + 1) in
+          (Mem.Header.Record { mask = (1 lsl len) - 1 }, len)
+        else if kind_sel < 7 then (Mem.Header.Ptr_array, big_len)
+        else (Mem.Header.Nonptr_array, big_len)
+      in
+      let hdr = { Mem.Header.kind; len; site } in
+      (* header only: the (possibly huge) payload is never touched *)
+      Mem.Header.write mem a hdr ~birth:9999;
+      let cells = Mem.Memory.cells mem a in
+      let off = Mem.Addr.offset a in
+      Mem.Header.set_age mem a age;
+      Mem.Header.set_survivor_c cells ~off;
+      let decoded_ok () =
+        Mem.Header.read_c cells ~off = hdr
+        && Mem.Header.len_c cells ~off = len
+        && Mem.Header.site_c cells ~off = site
+        && Mem.Header.age_c cells ~off = age
+        && Mem.Header.survivor_c cells ~off
+        && Mem.Header.birth_c cells ~off = 0 (* no birth word in this mode *)
+        && Mem.Header.object_words_c cells ~off
+           = (Mem.Header.header_words ()) + len
+        && not (Mem.Header.is_forwarded_c cells ~off)
+      in
+      let before = decoded_ok () in
+      (* forwarding overwrites the single meta word but keeps the
+         corpse walkable; a snapshot-restore must roll everything
+         back, survivor and age included *)
+      let fits_fwd = len < 1 lsl 20 in
+      let after_fwd, after_rollback =
+        if not fits_fwd then (true, true)
+        else begin
+          let snapshot = cells.(off) in
+          let target = Mem.Addr.add a 32 in
+          Mem.Header.set_forward_c cells ~off ~target;
+          let f =
+            Mem.Header.is_forwarded_c cells ~off
+            && Mem.Header.forward_target_c cells ~off = target
+            && Mem.Header.len_c cells ~off = len
+            && Mem.Header.object_words_c cells ~off
+               = (Mem.Header.header_words ()) + len
+          in
+          cells.(off) <- snapshot;
+          (f, decoded_ok ())
+        end
+      in
+      before && after_fwd && after_rollback)
+
+(* The optional second word: present only when the layout is installed
+   with [birth:true] (tracing/profiling on). *)
+let packed_birth_word () =
+  with_packed ~birth:true @@ fun () ->
+  check_int "two header words" 2 (Mem.Header.header_words ());
+  check_bool "birth word present" true (Mem.Header.has_birth_word ());
+  let mem, a = mem_with_block 64 in
+  let hdr =
+    { Mem.Header.kind = Mem.Header.Record { mask = 0b10 }; len = 2; site = 5 }
+  in
+  Mem.Header.write mem a hdr ~birth:4321;
+  check_int "birth survives" 4321 (Mem.Header.birth mem a);
+  check_bool "decode intact" true (Mem.Header.read mem a = hdr);
+  (* forwarding only claims the meta word; birth survives for sweeps *)
+  Mem.Header.set_forward mem a ~target:(Mem.Addr.add a 32);
+  let cells = Mem.Memory.cells mem a in
+  check_int "birth survives forwarding" 4321
+    (Mem.Header.birth_c cells ~off:(Mem.Addr.offset a))
+
+let packed_caps () =
+  with_packed @@ fun () ->
+  check_int "one header word" 1 (Mem.Header.header_words ());
+  check_int "record cap" 30 (Mem.Header.max_record_fields ());
+  let mem, a = mem_with_block 64 in
+  Alcotest.check_raises "record wider than packed cap"
+    (Invalid_argument "Header: record too large") (fun () ->
+      Mem.Header.write mem a
+        { Mem.Header.kind = Mem.Header.Record { mask = 0 }; len = 31; site = 0 }
+        ~birth:0)
+
 (* --- Space --- *)
 
 let space_bump () =
@@ -332,7 +431,7 @@ let space_iter_objects () =
   let mem = Mem.Memory.create () in
   let sp = Mem.Space.create mem ~words:64 in
   let alloc_obj len =
-    match Mem.Space.alloc sp (Mem.Header.header_words + len) with
+    match Mem.Space.alloc sp ((Mem.Header.header_words ()) + len) with
     | Some a ->
       Mem.Header.write mem a
         { Mem.Header.kind = Mem.Header.Nonptr_array; len; site = 0 } ~birth:0;
@@ -365,6 +464,10 @@ let () =
           Alcotest.test_case "blit" `Quick memory_blit;
           Alcotest.test_case "cells handle" `Quick memory_cells_handle;
           QCheck_alcotest.to_alcotest raw_safe_agreement_prop ] );
+      ( "packed",
+        [ QCheck_alcotest.to_alcotest packed_roundtrip_prop;
+          Alcotest.test_case "birth word presence" `Quick packed_birth_word;
+          Alcotest.test_case "caps" `Quick packed_caps ] );
       ( "header",
         [ Alcotest.test_case "roundtrip" `Quick header_roundtrip;
           Alcotest.test_case "arrays" `Quick header_arrays;
