@@ -344,6 +344,45 @@ let minor_gc_census () =
   Obs.Trace.with_buffer trace_buf (fun () ->
     minor_gc_run ~census_period:8 true ())
 
+(* flight-recorder overhead: the same loop again with the ring sink —
+   the always-on production mode.  A ring sink leaves [detailed] false,
+   so the collectors keep the control-plane events (gc_begin/gc_end/
+   phase) but skip the per-site data-plane accounting; [flight] vs
+   [untraced] is the documented <=2% bar (docs/SLO.md).  The ring is
+   preallocated once and overwritten in place, so steady-state
+   iterations are allocation-free. *)
+let flight_ring = Obs.Flight.create ~capacity:256 ()
+
+let minor_gc_flight () =
+  Obs.Trace.with_ring flight_ring (fun () -> minor_gc_run true ())
+
+(* The overhead family re-asserted under the packed one-word layout.
+   Detailed tracing needs the birth word for age accounting, so the
+   traced/census rows run with it ([~birth:true]: a two-word header vs
+   Classic's three); the untraced and flight rows keep the bare
+   one-word header — exactly the configurations docs/LAYOUT.md says
+   each mode pays for. *)
+let with_packed_birth f =
+  H.set_layout ~birth:true H.Packed;
+  Fun.protect ~finally:(fun () -> H.set_layout H.Classic) f
+
+let minor_gc_untraced_packed () = with_packed (fun () -> minor_gc_run true ())
+
+let minor_gc_traced_packed () =
+  Buffer.clear trace_buf;
+  with_packed_birth (fun () ->
+    Obs.Trace.with_buffer trace_buf (fun () -> minor_gc_run true ()))
+
+let minor_gc_census_packed () =
+  Buffer.clear trace_buf;
+  with_packed_birth (fun () ->
+    Obs.Trace.with_buffer trace_buf (fun () ->
+      minor_gc_run ~census_period:8 true ()))
+
+let minor_gc_flight_packed () =
+  with_packed (fun () ->
+    Obs.Trace.with_ring flight_ring (fun () -> minor_gc_run true ()))
+
 (* analyzer throughput: fold a representative trace (captured once, with
    the census on) through Obs.Profile.of_lines.  events/s is derived from
    this row at print time. *)
@@ -406,6 +445,15 @@ let hotpath_tests =
     Test.make ~name:"hotpath.minor_gc.untraced" (Staged.stage minor_gc_untraced);
     Test.make ~name:"hotpath.minor_gc.traced" (Staged.stage minor_gc_traced);
     Test.make ~name:"hotpath.minor_gc.census" (Staged.stage minor_gc_census);
+    Test.make ~name:"hotpath.minor_gc.flight" (Staged.stage minor_gc_flight);
+    Test.make ~name:"hotpath.minor_gc.untraced.packed"
+      (Staged.stage minor_gc_untraced_packed);
+    Test.make ~name:"hotpath.minor_gc.traced.packed"
+      (Staged.stage minor_gc_traced_packed);
+    Test.make ~name:"hotpath.minor_gc.census.packed"
+      (Staged.stage minor_gc_census_packed);
+    Test.make ~name:"hotpath.minor_gc.flight.packed"
+      (Staged.stage minor_gc_flight_packed);
     Test.make ~name:"hotpath.alloc_loop" (Staged.stage alloc_loop);
     Test.make ~name:"profile.analyze_trace" (Staged.stage profile_analyze)
   ]
@@ -553,6 +601,113 @@ let print_major_rows rows =
   List.iter
     (fun (name, v) ->
       Printf.printf "  %-44s %12.0f words\n" ("major/" ^ name) v)
+    rows;
+  print_newline ()
+
+(* --- serve: the open-loop server workload per collector config ---
+
+   The same deterministic request stream (seed 42) through the
+   {copying, mark_sweep} x {default, pretenure} grid, each run in the
+   production shape gc-serve uses: online SLO monitor attached, flight
+   ring as the sink.  The rows pin what an operator reads off the SLO
+   report — sustained throughput, online pause percentiles, breach
+   count — per configuration.  The pretenure column derives its policy
+   from a profiled run of the same stream, the full gc-serve pipeline
+   in miniature.
+
+   The checksum row is a pure function of the seed (it folds only
+   simulated-heap reads), so the guard below asserts every config
+   produced the same one: a collector/backend/policy change must never
+   change what the program computes. *)
+
+let serve_tenants = 3
+let serve_sessions = 64
+let serve_budget = 4 * 1024 * 1024
+
+let serve_base () =
+  let base = Gsc.Config.generational ~budget_bytes:serve_budget in
+  { base with
+    Gsc.Config.nursery_bytes_max = 32 * 1024;
+    tenured_backend = Alloc.Backend.Free_list;
+    global_slots = max base.Gsc.Config.global_slots serve_tenants }
+
+let serve_run rt ?slo ~requests () =
+  Workloads.Serve.run rt ?slo ~tenants:serve_tenants ~sessions:serve_sessions
+    ~requests ~rate_rps:4000. ~seed:42 ()
+
+(* one profiled run of the identical stream feeds the pretenure column *)
+let serve_policy ~requests =
+  let cfg = { (serve_base ()) with Gsc.Config.profiling = true } in
+  let rt = R.create cfg in
+  Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+  ignore (serve_run rt ~requests ());
+  Gsc.Pretenure.of_profile
+    (Option.get (R.profile rt))
+    ~cutoff:0.8 ~min_objects:32 ~scan_elision:false
+
+let serve_configs =
+  [ ("copying.default", Collectors.Generational.Copying, false);
+    ("copying.pretenure", Collectors.Generational.Copying, true);
+    ("mark_sweep.default", Collectors.Generational.Mark_sweep, false);
+    ("mark_sweep.pretenure", Collectors.Generational.Mark_sweep, true) ]
+
+let serve_rows ~requests =
+  let policy = lazy (serve_policy ~requests) in
+  List.concat_map
+    (fun (label, kind, pretenured) ->
+      let cfg =
+        { (serve_base ()) with
+          Gsc.Config.major_kind = kind;
+          pretenure =
+            (if pretenured then Lazy.force policy else Gsc.Pretenure.none) }
+      in
+      let slo =
+        Obs.Slo.create
+          { Obs.Slo.no_target with Obs.Slo.max_pause_us = Some 200. }
+      in
+      let fl = Obs.Flight.create ~capacity:256 () in
+      let rt = R.create cfg in
+      let rep =
+        Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+        Obs.Trace.with_ring ~slo fl (fun () -> serve_run rt ~slo ~requests ())
+      in
+      [ (Printf.sprintf "serve.%s.sustained_rps" label,
+         rep.Workloads.Serve.sustained_rps);
+        (Printf.sprintf "serve.%s.p99_pause_us" label,
+         Obs.Slo.percentile slo 0.99);
+        (Printf.sprintf "serve.%s.p999_pause_us" label,
+         Obs.Slo.percentile slo 0.999);
+        (Printf.sprintf "serve.%s.breaches" label,
+         float_of_int (Obs.Slo.breach_total slo));
+        (Printf.sprintf "serve.%s.checksum" label,
+         float_of_int rep.Workloads.Serve.checksum) ])
+    serve_configs
+
+let serve_guard rows =
+  let checksums =
+    List.filter_map
+      (fun (n, v) ->
+        if Filename.check_suffix n ".checksum" then Some (n, v) else None)
+      rows
+  in
+  match checksums with
+  | [] -> failwith "bench: serve rows carried no checksums"
+  | (_, c0) :: rest ->
+    List.iter
+      (fun (n, c) ->
+        if c <> c0 then
+          failwith
+            (Printf.sprintf
+               "bench: %s = %.0f diverged from %.0f — the collector changed \
+                the program's result"
+               n c c0))
+      rest
+
+let print_serve_rows rows =
+  print_endline
+    "Open-loop server workload (gc-serve shape: SLO monitor + flight ring):";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-44s %12.1f\n" name v)
     rows;
   print_newline ()
 
@@ -917,6 +1072,32 @@ let print_profiling_rows rows =
      Printf.printf "  %-44s %+11.1f%% vs traced (bar: <=10%%)\n"
        "census overhead (k=8)" overhead
    | _ -> ());
+  (match
+     (find_row rows "minor_gc.traced.packed",
+      find_row rows "minor_gc.census.packed")
+   with
+   | Some traced, Some census when traced > 0. ->
+     let overhead = (census -. traced) /. traced *. 100. in
+     Printf.printf "  %-44s %+11.1f%% vs traced (bar: <=10%%)\n"
+       "census overhead (k=8, packed)" overhead
+   | _ -> ());
+  (match
+     (find_row rows "minor_gc.untraced", find_row rows "minor_gc.flight")
+   with
+   | Some untraced, Some flight when untraced > 0. ->
+     let overhead = (flight -. untraced) /. untraced *. 100. in
+     Printf.printf "  %-44s %+11.1f%% vs untraced (bar: <=2%%)\n"
+       "flight-ring overhead" overhead
+   | _ -> ());
+  (match
+     (find_row rows "minor_gc.untraced.packed",
+      find_row rows "minor_gc.flight.packed")
+   with
+   | Some untraced, Some flight when untraced > 0. ->
+     let overhead = (flight -. untraced) /. untraced *. 100. in
+     Printf.printf "  %-44s %+11.1f%% vs untraced (bar: <=2%%)\n"
+       "flight-ring overhead (packed)" overhead
+   | _ -> ());
   (match find_row rows "profile.analyze_trace" with
    | Some ns when ns > 0. ->
      let _, n_events = Lazy.force analyzer_input in
@@ -1102,8 +1283,14 @@ let () =
     if List.assoc "major.copying.swept_free_w" major <> 0. then
       failwith "bench-smoke: copying major reported swept words";
     print_major_rows major;
+    (* the serve grid is cheap enough to run whole even at smoke scale,
+       and the checksum guard only means anything run across every
+       config *)
+    let serve = serve_rows ~requests:2000 in
+    serve_guard serve;
+    print_serve_rows serve;
     emit_json
-      (rows @ be_rows @ lay
+      (rows @ be_rows @ lay @ serve
       @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall)
       @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag
       @ List.map (fun (n, v) -> ("major/" ^ n, v)) major);
@@ -1170,10 +1357,13 @@ let () =
     print_rows "Major strategies, end-to-end churn (timed):" major_timed;
     let major = major_rows () in
     print_major_rows major;
+    let serve = serve_rows ~requests:20000 in
+    serve_guard serve;
+    print_serve_rows serve;
     let lay = layout_rows hot_rows in
     print_layout_rows lay;
     emit_json
-      (table_rows @ hot_rows @ be_rows @ major_timed @ lay
+      (table_rows @ hot_rows @ be_rows @ major_timed @ lay @ serve
       @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall @ tune)
       @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag
       @ List.map (fun (n, v) -> ("major/" ^ n, v)) major);

@@ -46,7 +46,7 @@ let tables_cmd =
        | s -> print_string s
        | exception Not_found ->
          prerr_endline ("unknown item: " ^ id);
-         exit 1)
+         exit 2)
   in
   Cmd.v
     (Cmd.info "tables"
@@ -81,7 +81,7 @@ let profile_cmd =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
-      exit 1
+      exit 2
     | w ->
       let sc = Harness.Runs.scale ~factor w in
       let data = Harness.Runs.profile_of ~workload:w ~scale:sc in
@@ -176,7 +176,7 @@ let run_cmd =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
-      exit 1
+      exit 2
     | w ->
       let sc = Harness.Runs.scale ~factor w in
       let m =
@@ -365,7 +365,7 @@ let gc_trace_cmd =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
-      exit 1
+      exit 2
     | w ->
       let sc = Harness.Runs.scale ~factor w in
       let cfg =
@@ -446,10 +446,22 @@ let gc_profile_cmd =
                  reporting on it alone." in
       Arg.(value & opt (some file) None & info [ "diff" ] ~docv:"TRACE2" ~doc)
     in
-    let run path diff top windows_us =
+    let json_arg =
+      let doc = "Emit the report as one JSON object instead of tables \
+                 (header numbers, per-kind pause percentiles, the MMU \
+                 curve, SLO breach tallies, per-site survival)." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run path diff json top windows_us =
+      if json && diff <> None then begin
+        prerr_endline "gc-profile report: --json and --diff cannot be combined";
+        exit 2
+      end;
       let a = analyze path in
       match diff with
-      | None -> print_string (Obs.Summary.profile_report ~top ~windows_us a)
+      | None ->
+        if json then print_string (Obs.Summary.profile_json ~windows_us a)
+        else print_string (Obs.Summary.profile_report ~top ~windows_us a)
       | Some path2 ->
         let b = analyze path2 in
         print_string (Obs.Summary.profile_diff ~top ~a ~b ())
@@ -459,8 +471,10 @@ let gc_profile_cmd =
          ~doc:
            "Analyze a trace offline (no collector running) and print the \
             survival, pause-percentile, MMU, census and stack-scan tables; \
-            with $(b,--diff), compare two traces")
-      Term.(const run $ trace_arg $ diff_arg $ top_arg $ windows_arg)
+            with $(b,--diff), compare two traces; with $(b,--json), print \
+            the machine-readable report")
+      Term.(const run $ trace_arg $ diff_arg $ json_arg $ top_arg
+            $ windows_arg)
   in
   let emit_policy_cmd =
     let out_arg =
@@ -526,6 +540,279 @@ let gc_profile_cmd =
           heap census — and policy emission that closes the pretenure loop")
     [ report_cmd; emit_policy_cmd ]
 
+(* --- gc-serve --- *)
+
+let gc_serve_cmd =
+  let tenants_arg =
+    let doc = "Number of tenants (profiles cycle arena, cache, archive)." in
+    Arg.(value & opt int 6 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let sessions_arg =
+    let doc = "Sessions per tenant." in
+    Arg.(value & opt int 256 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Total requests to serve." in
+    Arg.(value & opt int 20_000 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Open-loop arrival rate in requests per second (virtual \
+               schedule; see docs/SLO.md)." in
+    Arg.(value & opt float 2_000. & info [ "rate" ] ~docv:"RPS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Request-stream seed (the checksum is a pure function of \
+               it)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let budget_arg =
+    let doc = "Memory budget in bytes." in
+    Arg.(value & opt int (32 * 1024 * 1024)
+         & info [ "budget" ] ~docv:"BYTES" ~doc)
+  in
+  let nursery_kb_arg =
+    let doc = "Nursery cap in KB." in
+    Arg.(value & opt int 512 & info [ "nursery-kb" ] ~docv:"KB" ~doc)
+  in
+  let policy_arg =
+    let doc = "Pretenure from this policy file (see `repro gc-profile \
+               emit-policy`)." in
+    Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"FILE" ~doc)
+  in
+  let major_kind_arg =
+    let mk_conv =
+      let parse s =
+        match Collectors.Generational.major_kind_of_string s with
+        | Some k -> Ok k
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown major kind %S (copying, mark_sweep)"
+                  s))
+      in
+      Arg.conv
+        ( parse,
+          fun fmt k ->
+            Format.pp_print_string fmt
+              (Collectors.Generational.major_kind_name k) )
+    in
+    let doc = "Tenured collection strategy: copying or mark_sweep." in
+    Arg.(value & opt mk_conv Collectors.Generational.Copying
+         & info [ "major-kind" ] ~docv:"KIND" ~doc)
+  in
+  let header_layout_arg =
+    let layouts =
+      [ ("classic", Mem.Header.Classic); ("packed", Mem.Header.Packed) ]
+    in
+    let doc = "Object-header layout: classic or packed." in
+    Arg.(value & opt (enum layouts) Mem.Header.Classic
+         & info [ "header-layout" ] ~docv:"LAYOUT" ~doc)
+  in
+  let max_pause_arg =
+    let doc = "SLO: every pause must stay within $(docv) microseconds." in
+    Arg.(value & opt (some float) None
+         & info [ "max-pause-us" ] ~docv:"US" ~doc)
+  in
+  let p99_arg =
+    let doc = "SLO: running p99 pause bound in microseconds." in
+    Arg.(value & opt (some float) None & info [ "p99-us" ] ~docv:"US" ~doc)
+  in
+  let p999_arg =
+    let doc = "SLO: running p99.9 pause bound in microseconds." in
+    Arg.(value & opt (some float) None & info [ "p999-us" ] ~docv:"US" ~doc)
+  in
+  let min_mmu_arg =
+    let doc = "SLO: minimum mutator utilisation over trailing \
+               --mmu-window-us windows, in [0,1]." in
+    Arg.(value & opt (some float) None & info [ "min-mmu" ] ~docv:"FRAC" ~doc)
+  in
+  let mmu_window_arg =
+    let doc = "The MMU window for --min-mmu and the report." in
+    Arg.(value & opt float 10_000. & info [ "mmu-window-us" ] ~docv:"US" ~doc)
+  in
+  let flight_arg =
+    let doc = "Flight-recorder ring capacity in events." in
+    Arg.(value & opt int 256 & info [ "flight" ] ~docv:"N" ~doc)
+  in
+  let flight_dump_arg =
+    let doc = "Dump the ring (schema-valid JSONL) here on the first SLO \
+               breach." in
+    Arg.(value & opt string "flight.dump.jsonl"
+         & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+  in
+  let trace_file_arg =
+    let doc = "Write a full JSONL trace to $(docv) instead of flight-only \
+               recording (full data-plane accounting; slower)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  (* The dump must be schema-valid and must contain the breaching
+     collection: an slo_breach record and, riding just before it in the
+     ring, the gc_end it was stamped behind (same collection ordinal). *)
+  let validate_dump path =
+    match Obs.Schema.validate_file path with
+    | Error msg -> Error msg
+    | Ok _ ->
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let gcs_of ev =
+        List.filter_map
+          (fun line ->
+            match Obs.Json.parse_opt line with
+            | Some j ->
+              (match Obs.Json.member "ev" j, Obs.Json.member "gc" j with
+               | Some (Obs.Json.Str e), Some (Obs.Json.Num g) when e = ev ->
+                 Some (int_of_float g)
+               | _ -> None)
+            | None -> None)
+          !lines
+      in
+      let breach_gcs = gcs_of "slo_breach" in
+      let end_gcs = gcs_of "gc_end" in
+      if breach_gcs = [] then Error "dump contains no slo_breach record"
+      else if List.exists (fun g -> List.mem g end_gcs) breach_gcs then Ok ()
+      else Error "dump's slo_breach has no matching gc_end"
+  in
+  let run tenants sessions requests rate seed budget nursery_kb policy
+      major_kind header_layout max_pause p99 p999 min_mmu mmu_window
+      flight_cap flight_dump trace_file =
+    if tenants < 1 || sessions < 1 || requests < 1 || rate <= 0.
+       || flight_cap < 1 then begin
+      prerr_endline
+        "gc-serve: --tenants, --sessions, --requests, --rate and --flight \
+         must be positive";
+      exit 2
+    end;
+    let base =
+      match policy with
+      | None -> Gsc.Config.generational ~budget_bytes:budget
+      | Some path ->
+        (match Gsc.Config.with_policy_file ~budget_bytes:budget path with
+         | Ok cfg -> cfg
+         | Error msg ->
+           prerr_endline ("policy " ^ path ^ ": " ^ msg);
+           exit 1)
+    in
+    let target =
+      { Obs.Slo.max_pause_us = max_pause; p99_us = p99; p999_us = p999;
+        min_mmu; mmu_window_us = mmu_window }
+    in
+    let cfg =
+      { base with
+        Gsc.Config.nursery_bytes_max = nursery_kb * 1024;
+        major_kind; header_layout; slo = target;
+        global_slots = max base.Gsc.Config.global_slots tenants }
+    in
+    let metrics = Obs.Metrics.create () in
+    let fl = Obs.Flight.create ~capacity:flight_cap () in
+    let flight_mode = trace_file = None in
+    let dumped = ref None in
+    let slo =
+      Obs.Slo.create
+        ~on_breach:(fun br ->
+          if flight_mode && !dumped = None then
+            dumped := Some (br, Obs.Flight.dump_to_file fl flight_dump))
+        cfg.Gsc.Config.slo
+    in
+    let serve () =
+      let rt = Gsc.Runtime.create cfg in
+      Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
+      Workloads.Serve.run rt ~slo ~tenants ~sessions ~requests
+        ~rate_rps:rate ~seed ()
+    in
+    let rep =
+      match trace_file with
+      | Some path -> Obs.Trace.with_file ~metrics ~slo path serve
+      | None -> Obs.Trace.with_ring ~metrics ~slo fl serve
+    in
+    Printf.printf
+      "gc-serve: %d tenants x %d sessions, %d requests @ %.0f req/s \
+       (seed %d)\n"
+      tenants sessions requests rate seed;
+    Printf.printf
+      "config: %s, major=%s, layout=%s, nursery=%dKB, budget=%s\n\n"
+      (Gsc.Config.name cfg)
+      (Collectors.Generational.major_kind_name major_kind)
+      (match header_layout with
+       | Mem.Header.Classic -> "classic"
+       | Mem.Header.Packed -> "packed")
+      nursery_kb
+      (Support.Units.bytes budget);
+    Printf.printf
+      "sustained %.0f req/s (offered %.0f); horizon %.1f ms; checksum \
+       %08x\n\n"
+      rep.Workloads.Serve.sustained_rps rep.Workloads.Serve.offered_rps
+      (rep.Workloads.Serve.horizon_us /. 1e3)
+      rep.Workloads.Serve.checksum;
+    Printf.printf "%-7s %-8s %9s %11s %11s %13s %8s %9s %12s\n" "tenant"
+      "kind" "requests" "p99_lat_us" "p999_lat_us" "max_lat_us" "pauses"
+      "pause_us" "p99_pause_us";
+    List.iter
+      (fun (t : Workloads.Serve.tenant_report) ->
+        Printf.printf "%-7d %-8s %9d %11.1f %11.1f %13.1f %8d %9.0f %12.1f\n"
+          t.Workloads.Serve.tenant t.Workloads.Serve.kind
+          t.Workloads.Serve.requests t.Workloads.Serve.p99_lat_us
+          t.Workloads.Serve.p999_lat_us t.Workloads.Serve.max_lat_us
+          t.Workloads.Serve.pauses t.Workloads.Serve.pause_us
+          t.Workloads.Serve.p99_pause_us)
+      rep.Workloads.Serve.tenants;
+    print_newline ();
+    let pauses = Obs.Slo.pause_count slo in
+    Printf.printf
+      "pauses: %d; online p99 %.1f us, p99.9 %.1f us; MMU@%.0fus %.1f%%\n"
+      pauses
+      (Obs.Slo.percentile slo 0.99)
+      (Obs.Slo.percentile slo 0.999)
+      mmu_window
+      (100. *. Obs.Slo.mmu slo ~window_us:mmu_window);
+    (match Obs.Slo.breaches slo with
+     | [] -> print_endline "slo: no breaches"
+     | per_rule ->
+       Printf.printf "slo: %d breach(es) (%s)\n"
+         (Obs.Slo.breach_total slo)
+         (String.concat ", "
+            (List.map
+               (fun (r, n) -> Printf.sprintf "%s:%d" r n)
+               per_rule)));
+    (match !dumped with
+     | None ->
+       if flight_mode then
+         Printf.printf "flight: no dump (ring holds %d of %d events)\n"
+           (Obs.Flight.length fl) (Obs.Flight.capacity fl)
+     | Some ((br : Obs.Slo.breach), n) ->
+       Printf.printf "flight: %d events dumped to %s on first breach (%s)\n"
+         n flight_dump br.Obs.Slo.rule;
+       (match validate_dump flight_dump with
+        | Ok () -> ()
+        | Error msg ->
+          Printf.eprintf "flight dump %s invalid: %s\n" flight_dump msg;
+          exit 1));
+    match trace_file with
+    | None -> ()
+    | Some path ->
+      (match Obs.Schema.validate_file path with
+       | Ok n -> Printf.printf "trace: %d records in %s (schema-valid)\n" n path
+       | Error msg ->
+         Printf.eprintf "trace %s failed schema validation: %s\n" path msg;
+         exit 1)
+  in
+  Cmd.v
+    (Cmd.info "gc-serve"
+       ~doc:
+         "Run the open-loop multi-tenant server workload with the online \
+          SLO monitor and flight recorder attached, and print the SLO \
+          report (per-tenant latency and pause percentiles, online MMU, \
+          breach counts, sustained request rate)")
+    Term.(
+      const run $ tenants_arg $ sessions_arg $ requests_arg $ rate_arg
+      $ seed_arg $ budget_arg $ nursery_kb_arg $ policy_arg $ major_kind_arg
+      $ header_layout_arg $ max_pause_arg $ p99_arg $ p999_arg $ min_mmu_arg
+      $ mmu_window_arg $ flight_arg $ flight_dump_arg $ trace_file_arg)
+
 let () =
   let info =
     Cmd.info "repro" ~version:"1.0"
@@ -533,9 +820,14 @@ let () =
         "Reproduction of Cheng, Harper & Lee, \"Generational Stack \
          Collection and Profile-Driven Pretenuring\" (PLDI 1998)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; tables_cmd; figure2_cmd; ablation_cmd; profile_cmd;
-            calibrate_cmd; check_cmd; run_cmd; gc_trace_cmd;
-            gc_profile_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ list_cmd; tables_cmd; figure2_cmd; ablation_cmd; profile_cmd;
+           calibrate_cmd; check_cmd; run_cmd; gc_trace_cmd; gc_profile_cmd;
+           gc_serve_cmd ])
+  in
+  (* Unified exit conventions (docs/SLO.md): 0 = success, 1 = invalid
+     data (schema-invalid trace, failing claim, bad policy), 2 = usage
+     error.  Cmdliner reports CLI errors as 124; fold them into 2. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

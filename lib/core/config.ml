@@ -30,6 +30,7 @@ type t = {
   exception_strategy : exception_strategy;
   profiling : bool;
   pretenure : Pretenure.t;
+  slo : Obs.Slo.target;
   global_slots : int;
   verify_heap : bool;
 }
@@ -58,6 +59,7 @@ let default ~budget_bytes =
     exception_strategy = Eager_watermark;
     profiling = false;
     pretenure = Pretenure.none;
+    slo = Obs.Slo.no_target;
     global_slots = 64;
     verify_heap = false }
 

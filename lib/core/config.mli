@@ -92,6 +92,15 @@ type t = {
   (* profiling and pretenuring *)
   profiling : bool;                   (** gather heap profiles (slow) *)
   pretenure : Pretenure.t;
+  (* latency objectives *)
+  slo : Obs.Slo.target;               (** declarative latency targets the
+                                          online monitor enforces when one
+                                          is attached ([Obs.Slo.no_target]
+                                          by default: every rule off).
+                                          The config only carries the
+                                          targets; attaching the monitor
+                                          is the harness's call
+                                          ([gc-serve], docs/SLO.md) *)
   (* runtime *)
   global_slots : int;                 (** size of the global root table *)
   verify_heap : bool;                 (** walk and check the whole heap

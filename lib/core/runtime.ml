@@ -134,7 +134,7 @@ let create cfg =
      read births: the live profiler or the trace stream (docs/LAYOUT.md,
      docs/TRACING.md). *)
   Header.set_layout
-    ~birth:(cfg.Config.profiling || Obs.Trace.enabled ())
+    ~birth:(cfg.Config.profiling || Obs.Trace.detailed ())
     cfg.Config.header_layout;
   let mem = Memory.create () in
   let table = Rstack.Trace_table.create () in
@@ -160,7 +160,7 @@ let create cfg =
                              * Memory.bytes_per_word))
          else None);
       trace_edges =
-        (if Obs.Trace.enabled () then Some (Hashtbl.create 64) else None);
+        (if Obs.Trace.detailed () then Some (Hashtbl.create 64) else None);
       handlers = Support.Vec.create ();
       next_handler_id = 0;
       last_scan_serial = -1;

@@ -78,7 +78,7 @@ let create ~mem ~in_from ~to_space ?aging ?remember ?promote_alloc ?(eager = fal
     copied = 0;
     promoted = 0;
     scanned = 0;
-    sites = (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
+    sites = (if Obs.Trace.detailed () then Some (Hashtbl.create 32) else None) }
 
 (* per-site survival accounting; engines only pay for it while tracing *)
 let note_site_copy t ~site ~first ~words =

@@ -105,7 +105,7 @@ val words_scanned : t -> int
     [(site, objects, first_objects, words)] sorted by site id, where
     [first_objects] counts the objects surviving their first collection
     (no survivor bit yet).  Populated only when the engine was created
-    while tracing ([Obs.Trace.enabled]); empty otherwise. *)
+    while fully tracing ([Obs.Trace.detailed]); empty otherwise. *)
 val site_survivals : t -> (int * int * int * int) list
 
 (** [sweep_dead ~mem ~space ~on_die] walks a collected from-space and

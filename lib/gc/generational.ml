@@ -164,7 +164,7 @@ let create mem ~hooks ~stats cfg =
     age_table = Age_table.create ();
     los_births = (if cfg.census_period > 0 then Some (Hashtbl.create 16) else None);
     alloc_sites =
-      (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
+      (if Obs.Trace.detailed () then Some (Hashtbl.create 32) else None) }
 
 let in_nursery t a = Mem.Space.contains t.nursery a
 let in_tenured t a = Mem.Space.contains t.tenured a
@@ -552,7 +552,9 @@ let census_after_collection t ~traced =
     Age_table.extend t.age_table
       ~upto:(Mem.Space.used_words t.tenured)
       ~born:t.collections;
-    if traced && t.collections mod t.cfg.census_period = 0 then emit_census t
+    if traced && Obs.Trace.detailed ()
+       && t.collections mod t.cfg.census_period = 0
+    then emit_census t
   end
 
 (* fragmentation snapshot at the end of a collection: gauges into

@@ -43,7 +43,7 @@ let create ~mem ~tenured ~los () =
     marked_los = 0;
     marked_objects = 0;
     scanned = 0;
-    sites = (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
+    sites = (if Obs.Trace.detailed () then Some (Hashtbl.create 32) else None) }
 
 let note_site_mark t ~site ~first ~words =
   match t.sites with

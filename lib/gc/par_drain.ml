@@ -152,7 +152,7 @@ let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ?(eager = false)
   if chunk_words < 2 * (Mem.Header.header_words ()) then
     invalid_arg "Par_drain.create: chunk too small";
   if batch < 1 then invalid_arg "Par_drain.create: empty batch";
-  let tracing = Obs.Trace.enabled () in
+  let tracing = Obs.Trace.detailed () in
   let to_base = Mem.Space.base to_space in
   { mem;
     in_from;

@@ -51,7 +51,7 @@ let create mem ~hooks ~stats cfg =
     soft_limit;
     live = 0;
     alloc_sites =
-      (if Obs.Trace.enabled () then Some (Hashtbl.create 32) else None) }
+      (if Obs.Trace.detailed () then Some (Hashtbl.create 32) else None) }
 
 let note_alloc_site t ~site ~words =
   match t.alloc_sites with

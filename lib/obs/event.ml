@@ -1,4 +1,4 @@
-let version = 3
+let version = 4
 
 type t =
   | Gc_begin of {
@@ -66,6 +66,12 @@ type t =
       free_blocks : int;
       largest_hole : int;
     }
+  | Slo_breach of {
+      rule : string;
+      observed_us : float;
+      limit_us : float;
+      window_us : float;
+    }
 
 let name = function
   | Gc_begin _ -> "gc_begin"
@@ -80,6 +86,7 @@ let name = function
   | Marker_place _ -> "marker_place"
   | Unwind _ -> "unwind"
   | Backend_stats _ -> "backend_stats"
+  | Slo_breach _ -> "slo_breach"
 
 (* Serialisation is a straight-line Buffer write: emission runs inside
    GC pauses, so no intermediate [Json.t] is built. *)
@@ -179,5 +186,10 @@ let write b ~seq ~t_us ~gc ~dom e =
      field_int b "live_w" live_w;
      field_int b "free_w" free_w;
      field_int b "free_blocks" free_blocks;
-     field_int b "largest_hole" largest_hole);
+     field_int b "largest_hole" largest_hole
+   | Slo_breach { rule; observed_us; limit_us; window_us } ->
+     field_str b "rule" rule;
+     field_us b "observed_us" observed_us;
+     field_us b "limit_us" limit_us;
+     field_us b "window_us" window_us);
   Buffer.add_string b "}\n"

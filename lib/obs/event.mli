@@ -18,7 +18,8 @@
     it.  History: 1 = PR 2's eight-event schema (no version field);
     2 = adds ["v"], [site_alloc]/[site_edge]/[census] events and
     [site_survival.first_objects]; 3 = adds the ["dom"] envelope field
-    (id of the domain that emitted the record). *)
+    (id of the domain that emitted the record); 4 = adds the
+    [slo_breach] event (the online {!Slo} monitor's verdicts). *)
 val version : int
 
 type t =
@@ -102,6 +103,20 @@ type t =
       largest_hole : int;    (** widest single hole, words *)
     }  (** allocation-backend fragmentation snapshot, one per managed
            region, sampled at the end of each collection *)
+  | Slo_breach of {
+      rule : string;         (** "max_pause" | "p99" | "p99_9" | "mmu" *)
+      observed_us : float;   (** the violating quantity: the pause (or
+                                 percentile) length for pause rules,
+                                 busy time inside the trailing window
+                                 for the "mmu" rule *)
+      limit_us : float;      (** the target expressed in the same unit:
+                                 the pause bound, or [(1 - min_mmu) *
+                                 window_us] of allowed busy time *)
+      window_us : float;     (** the MMU window; 0 for pause rules *)
+    }  (** the online {!Slo} monitor found a target violated at a
+           [gc_end]; stamped with the breaching collection's ordinal,
+           immediately after its [gc_end] record.  Uniformly,
+           [observed_us > limit_us]. *)
 
 (** [name e] is the record's ["ev"] discriminator. *)
 val name : t -> string

@@ -1,0 +1,61 @@
+(* The ring is four preallocated columns plus an event column: storing
+   overwrites slots in place, so steady-state recording allocates
+   nothing beyond the event value the emitter already built. *)
+type t = {
+  mu : Mutex.t;
+      (* stores arrive under the tracer's lock (or from its writer
+         domain); dump may run from an [on_breach] callback after that
+         lock is released, so the ring needs its own *)
+  cap : int;
+  seqs : int array;
+  ts : float array;
+  gcs : int array;
+  doms : int array;
+  evs : Event.t array;
+  mutable stored : int;
+}
+
+let create ?(capacity = 512) () =
+  let cap = max 1 capacity in
+  { mu = Mutex.create ();
+    cap;
+    seqs = Array.make cap 0;
+    ts = Array.make cap 0.;
+    gcs = Array.make cap 0;
+    doms = Array.make cap 0;
+    evs = Array.make cap (Event.Unwind { target_depth = 0 });
+    stored = 0 }
+
+let capacity t = t.cap
+let stored t = t.stored
+let length t = min t.stored t.cap
+
+let store t ~seq ~t_us ~gc ~dom e =
+  Mutex.lock t.mu;
+  let i = t.stored mod t.cap in
+  t.seqs.(i) <- seq;
+  t.ts.(i) <- t_us;
+  t.gcs.(i) <- gc;
+  t.doms.(i) <- dom;
+  t.evs.(i) <- e;
+  t.stored <- t.stored + 1;
+  Mutex.unlock t.mu
+
+let dump_to_buffer t b =
+  Mutex.lock t.mu;
+  let n = min t.stored t.cap in
+  for k = t.stored - n to t.stored - 1 do
+    let i = k mod t.cap in
+    Event.write b ~seq:t.seqs.(i) ~t_us:t.ts.(i) ~gc:t.gcs.(i)
+      ~dom:t.doms.(i) t.evs.(i)
+  done;
+  Mutex.unlock t.mu;
+  n
+
+let dump_to_file t path =
+  let b = Buffer.create 4096 in
+  let n = dump_to_buffer t b in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  Buffer.output_buffer oc b;
+  n

@@ -1,0 +1,42 @@
+(** The flight recorder: a bounded ring holding the last N stamped
+    trace events, cheap enough to leave on in production.
+
+    Use it as a tracer sink ([Trace.ring] / [Trace.with_ring]): the
+    tracer stores each stamped envelope into the ring instead of
+    serialising it, and the expensive per-site data-plane accounting
+    stays off (see [Trace.detailed]).  The ring's columns are
+    preallocated, so steady-state recording is allocation-free — the
+    [hotpath.minor_gc.flight] BENCH row pins the cost against the ≤2%
+    disabled-overhead bar (docs/SLO.md).
+
+    On an SLO breach (or whenever asked) {!dump_to_file} serialises the
+    ring oldest-first as schema-valid JSONL: a post-mortem window around
+    the bad pause, readable by [gc-profile], without full-trace
+    overhead.  A dump of a mid-run ring starts mid-stream; the analyzer
+    handles the truncated head. *)
+
+type t
+
+(** [create ~capacity ()] — ring of the last [capacity] events
+    (default 512, minimum 1). *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Total events ever stored (not capped). *)
+val stored : t -> int
+
+(** Events currently held: [min (stored t) (capacity t)]. *)
+val length : t -> int
+
+(** [store t ~seq ~t_us ~gc ~dom e] records one stamped envelope,
+    overwriting the oldest when full.  Thread-safe; allocation-free. *)
+val store : t -> seq:int -> t_us:float -> gc:int -> dom:int -> Event.t -> unit
+
+(** [dump_to_buffer t b] appends the ring contents, oldest first, as
+    JSONL; returns the record count.  The ring is left intact. *)
+val dump_to_buffer : t -> Buffer.t -> int
+
+(** [dump_to_file t path] writes (truncating) the ring as a JSONL file;
+    returns the record count. *)
+val dump_to_file : t -> string -> int

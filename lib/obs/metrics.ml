@@ -178,6 +178,9 @@ let record t e =
     set_gauge t (Printf.sprintf "backend.%s.free_w" region) free_w;
     set_gauge t (Printf.sprintf "backend.%s.free_blocks" region) free_blocks;
     set_gauge t (Printf.sprintf "backend.%s.largest_hole" region) largest_hole
+  | Event.Slo_breach { rule; _ } ->
+    incr t "slo.breach" 1;
+    incr t ("slo.breach." ^ rule) 1
 
 (* --- snapshot --- *)
 

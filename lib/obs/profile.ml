@@ -60,6 +60,7 @@ type t = {
   backends : backend_row list;
   copied_w : int;
   promoted_w : int;
+  slo_breaches : (string * int) list;
   span_us : float;
 }
 
@@ -138,6 +139,7 @@ let of_lines lines =
   let region_skipped_w = ref 0 in
   (* last snapshot per region: backend_stats records are gauges *)
   let backends : (string, backend_row) Hashtbl.t = Hashtbl.create 4 in
+  let slo_breaches : (string, int) Hashtbl.t = Hashtbl.create 4 in
   (* the pending collection: (gc ordinal, kind, begin timestamp) —
      collections never nest, so one slot suffices *)
   let open_gc = ref None in
@@ -221,6 +223,10 @@ let of_lines lines =
           b_free_w = mem_int members "free_w";
           b_free_blocks = mem_int members "free_blocks";
           b_largest_hole = mem_int members "largest_hole" }
+    | "slo_breach" ->
+      let rule = mem_str members "rule" in
+      Hashtbl.replace slo_breaches rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt slo_breaches rule))
     | "marker_place" | "unwind" -> ()
     | _ -> ()
   in
@@ -288,6 +294,9 @@ let of_lines lines =
             (Hashtbl.fold (fun _ row rest -> row :: rest) backends []);
         copied_w = !copied_w;
         promoted_w = !promoted_w;
+        slo_breaches =
+          List.sort compare
+            (Hashtbl.fold (fun k v rest -> (k, v) :: rest) slo_breaches []);
         span_us = !span_us }
 
 let of_file path =
@@ -324,6 +333,7 @@ type percentiles = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   max_us : float;
   total_us : float;
 }
@@ -344,6 +354,7 @@ let percentiles_of durs =
         p50 = percentile_of sorted n 0.50;
         p90 = percentile_of sorted n 0.90;
         p99 = percentile_of sorted n 0.99;
+        p999 = percentile_of sorted n 0.999;
         max_us = sorted.(n - 1);
         total_us = Array.fold_left ( +. ) 0. sorted }
   end
@@ -369,23 +380,26 @@ let pause_percentiles t =
 
 (* --- MMU --- *)
 
-(* Pause time overlapping the window [lo, lo + w). *)
+(* Pause time overlapping the window [lo, lo + w); pauses are
+   (start, dur) pairs. *)
 let busy_in pauses ~lo ~w =
   let hi = lo +. w in
   List.fold_left
-    (fun acc p ->
-      let s = p.start_us and e = p.start_us +. p.dur_us in
+    (fun acc (s, d) ->
+      let e = s +. d in
       acc +. Float.max 0. (Float.min e hi -. Float.max s lo))
     0. pauses
 
-let mmu t ~window_us =
-  let span = t.span_us in
-  if window_us <= 0. || span <= 0. then 1.
-  else if t.pauses = [] then 1.
-  else if window_us >= span then begin
+(* The shared kernel: the online monitor ({!Slo}) calls this on the
+   pauses it collected live, so its end-of-run MMU is bit-identical to
+   the offline analysis of the same trace. *)
+let mmu_of ~pauses ~span_us ~window_us =
+  if window_us <= 0. || span_us <= 0. then 1.
+  else if pauses = [] then 1.
+  else if window_us >= span_us then begin
     (* degenerate: the only "window" is the run itself *)
-    let total = List.fold_left (fun acc p -> acc +. p.dur_us) 0. t.pauses in
-    Float.max 0. (1. -. (total /. span))
+    let total = List.fold_left (fun acc (_, d) -> acc +. d) 0. pauses in
+    Float.max 0. (1. -. (total /. span_us))
   end
   else begin
     (* the minimum is reached with a window edge on a pause boundary:
@@ -393,22 +407,24 @@ let mmu t ~window_us =
        linearly, so an endpoint of the slide is at least as bad *)
     let candidates =
       List.concat_map
-        (fun p ->
-          [ p.start_us;
-            p.start_us +. p.dur_us -. window_us;
-            p.start_us +. p.dur_us;
-            p.start_us -. window_us ])
-        t.pauses
+        (fun (s, d) ->
+          [ s; s +. d -. window_us; s +. d; s -. window_us ])
+        pauses
     in
     let worst =
       List.fold_left
         (fun acc lo ->
-          let lo = Float.max 0. (Float.min lo (span -. window_us)) in
-          Float.max acc (busy_in t.pauses ~lo ~w:window_us))
+          let lo = Float.max 0. (Float.min lo (span_us -. window_us)) in
+          Float.max acc (busy_in pauses ~lo ~w:window_us))
         0. candidates
     in
     Float.max 0. (1. -. (worst /. window_us))
   end
+
+let mmu t ~window_us =
+  mmu_of
+    ~pauses:(List.map (fun p -> (p.start_us, p.dur_us)) t.pauses)
+    ~span_us:t.span_us ~window_us
 
 let mmu_curve t ~windows_us =
   List.map (fun w -> (w, mmu t ~window_us:w)) windows_us

@@ -90,6 +90,8 @@ type t = {
   backends : backend_row list;  (** one row per region, sorted *)
   copied_w : int;
   promoted_w : int;
+  slo_breaches : (string * int) list;
+      (** [slo_breach] records tallied per rule, sorted *)
   span_us : float;            (** run span: the largest timestamp seen,
                                   pause ends included *)
 }
@@ -124,9 +126,16 @@ type percentiles = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   max_us : float;
   total_us : float;
 }
+
+(** [percentiles_of durs] summarises a raw duration sample (order
+    irrelevant); [None] when empty.  Exposed so the online monitor
+    ({!Slo}) and per-tenant reports share the exact nearest-rank
+    arithmetic with the offline analyzer. *)
+val percentiles_of : float array -> percentiles option
 
 (** [pause_percentiles t] is one entry per collection kind plus ["all"],
     sorted by kind; empty when the trace has no pauses. *)
@@ -141,6 +150,12 @@ val pause_percentiles : t -> (string * percentiles) list
     Candidate windows need only be examined at pause boundaries, so the
     cost is O(pauses²). *)
 val mmu : t -> window_us:float -> float
+
+(** [mmu_of ~pauses ~span_us ~window_us] is {!mmu} over raw
+    [(start_us, dur_us)] pauses — the shared kernel {!Slo} evaluates on
+    its live-collected pauses, guaranteeing online = offline exactly. *)
+val mmu_of :
+  pauses:(float * float) list -> span_us:float -> window_us:float -> float
 
 (** [mmu_curve t ~windows_us] evaluates {!mmu} at each window size,
     returning [(window_us, mmu)] pairs in the given order. *)

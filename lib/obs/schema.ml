@@ -32,7 +32,10 @@ let tables =
     ("unwind", [ ("target_depth", Int) ]);
     ("backend_stats",
      [ ("region", Str); ("backend", Str); ("live_w", Int); ("free_w", Int);
-       ("free_blocks", Int); ("largest_hole", Int) ]) ]
+       ("free_blocks", Int); ("largest_hole", Int) ]);
+    ("slo_breach",
+     [ ("rule", Str); ("observed_us", Us); ("limit_us", Us);
+       ("window_us", Us) ]) ]
 
 let kinds = List.map fst tables
 

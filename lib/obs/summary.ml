@@ -224,10 +224,13 @@ let pause_table (p : Profile.t) =
   | entries ->
     let grid =
       Support.Textgrid.create
-        ~columns:Support.Textgrid.[ Left; Right; Right; Right; Right; Right; Right ]
+        ~columns:
+          Support.Textgrid.[ Left; Right; Right; Right; Right; Right; Right;
+                             Right ]
     in
     Support.Textgrid.add_row grid
-      [ "pause"; "count"; "p50_us"; "p90_us"; "p99_us"; "max_us"; "total_us" ];
+      [ "pause"; "count"; "p50_us"; "p90_us"; "p99_us"; "p99.9_us"; "max_us";
+        "total_us" ];
     Support.Textgrid.add_rule grid;
     List.iter
       (fun (kind, (pc : Profile.percentiles)) ->
@@ -237,6 +240,7 @@ let pause_table (p : Profile.t) =
             Printf.sprintf "%.1f" pc.Profile.p50;
             Printf.sprintf "%.1f" pc.Profile.p90;
             Printf.sprintf "%.1f" pc.Profile.p99;
+            Printf.sprintf "%.1f" pc.Profile.p999;
             Printf.sprintf "%.1f" pc.Profile.max_us;
             Printf.sprintf "%.1f" pc.Profile.total_us ])
       entries;
@@ -386,9 +390,21 @@ let profile_header (p : Profile.t) =
     (List.length p.Profile.sites) p.Profile.span_us p.Profile.copied_w
     p.Profile.promoted_w
 
+(* one line per run: SLO breaches recorded in the trace, per rule *)
+let breach_line (p : Profile.t) =
+  if p.Profile.slo_breaches = [] then ""
+  else
+    Printf.sprintf "slo_breaches: %d (%s)"
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 p.Profile.slo_breaches)
+      (String.concat ", "
+         (List.map
+            (fun (rule, n) -> Printf.sprintf "%s:%d" rule n)
+            p.Profile.slo_breaches))
+
 let profile_report ?site_name ?top ~windows_us (p : Profile.t) =
   let sections =
     [ profile_header p;
+      breach_line p;
       region_scan_line p;
       survival_table ?site_name ?top p;
       pause_table p;
@@ -487,3 +503,84 @@ let profile_diff ?(site_name = default_site_name) ?top ~a ~b () =
   in
   String.concat "\n"
     (List.filter (fun s -> s <> "") [ header; site_section; pause_section ])
+
+(* --- machine-readable profile report --- *)
+
+let profile_json ~windows_us (p : Profile.t) =
+  let b = Buffer.create 2048 in
+  let sep = ref false in
+  let field k writer =
+    if !sep then Buffer.add_char b ',';
+    sep := true;
+    Buffer.add_string b (Json.escape k);
+    Buffer.add_char b ':';
+    writer ()
+  in
+  let num f =
+    (* JSON has no infinities/NaN; the analyzer never produces them but
+       clamp defensively rather than emit an unparseable document *)
+    if Float.is_finite f then Printf.sprintf "%.17g" f else "0"
+  in
+  let obj_of pairs writer =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i kv ->
+        if i > 0 then Buffer.add_char b ',';
+        writer kv)
+      pairs;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_char b '{';
+  field "events" (fun () -> Buffer.add_string b (string_of_int p.Profile.events));
+  field "collections" (fun () ->
+      Buffer.add_string b (string_of_int p.Profile.collections));
+  field "span_us" (fun () -> Buffer.add_string b (num p.Profile.span_us));
+  field "copied_w" (fun () ->
+      Buffer.add_string b (string_of_int p.Profile.copied_w));
+  field "promoted_w" (fun () ->
+      Buffer.add_string b (string_of_int p.Profile.promoted_w));
+  field "gc_kinds" (fun () ->
+      obj_of p.Profile.gc_kinds (fun (k, n) ->
+          Buffer.add_string b (Json.escape k);
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int n)));
+  field "pauses" (fun () ->
+      obj_of (Profile.pause_percentiles p)
+        (fun (kind, (pc : Profile.percentiles)) ->
+          Buffer.add_string b (Json.escape kind);
+          Buffer.add_char b ':';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"count\":%d,\"p50_us\":%s,\"p90_us\":%s,\"p99_us\":%s,\
+                \"p99_9_us\":%s,\"max_us\":%s,\"total_us\":%s}"
+               pc.Profile.count (num pc.Profile.p50) (num pc.Profile.p90)
+               (num pc.Profile.p99) (num pc.Profile.p999)
+               (num pc.Profile.max_us) (num pc.Profile.total_us))));
+  field "mmu" (fun () ->
+      obj_of (Profile.mmu_curve p ~windows_us) (fun (w, u) ->
+          Buffer.add_string b (Json.escape (Printf.sprintf "%.0f" w));
+          Buffer.add_char b ':';
+          Buffer.add_string b (num u)));
+  field "slo_breaches" (fun () ->
+      obj_of p.Profile.slo_breaches (fun (rule, n) ->
+          Buffer.add_string b (Json.escape rule);
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int n)));
+  field "sites" (fun () ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i (s : Profile.site) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"site\":%d,\"alloc_objects\":%d,\"alloc_words\":%d,\
+                \"survived_words\":%d,\"pretenured_words\":%d,\
+                \"old_fraction\":%s}"
+               s.Profile.site s.Profile.alloc_objects s.Profile.alloc_words
+               s.Profile.survived_words s.Profile.pretenured_words
+               (num (Profile.old_fraction s))))
+        p.Profile.sites;
+      Buffer.add_char b ']');
+  Buffer.add_char b '}';
+  Buffer.add_char b '\n';
+  Buffer.contents b

@@ -67,6 +67,17 @@ val profile_report :
   ?site_name:(int -> string) -> ?top:int -> windows_us:float list ->
   Profile.t -> string
 
+(** [breach_line p] is one line tallying the [slo_breach] records in the
+    trace per rule; empty when the run recorded none. *)
+val breach_line : Profile.t -> string
+
+(** [profile_json ~windows_us p] is the machine-readable report
+    ([gc-profile report --json]): one JSON object (newline-terminated)
+    with the run header numbers, per-kind pause percentiles, the MMU
+    curve at [windows_us], SLO breach tallies and per-site survival
+    totals.  Parses with {!Json.parse}. *)
+val profile_json : windows_us:float list -> Profile.t -> string
+
 (** [profile_diff ?site_name ?top ~a ~b ()] compares two analyzed
     traces: per-site survived words and old% side by side (largest
     movement first), and pause percentiles per kind. *)

@@ -1,9 +1,11 @@
 type sink =
   | Channel of out_channel
   | Sink_buffer of Buffer.t
+  | Ring of Flight.t
 
 let channel oc = Channel oc
 let buffer b = Sink_buffer b
+let ring fl = Ring fl
 
 (* A record captured during a pause, serialised after it.  The envelope
    (seq / timestamp / collection ordinal / emitting domain) is stamped
@@ -32,6 +34,7 @@ type writer = {
 type state = {
   sink : sink;
   metrics : Metrics.t option;
+  slo : Slo.t option;
   clock : unit -> float;
   t0 : float;
   mu : Mutex.t;
@@ -58,16 +61,35 @@ let state : state option ref = ref None
 
 let enabled () = match !state with None -> false | Some _ -> true
 
+(* Full tracing vs flight recording: a ring sink keeps the control-plane
+   events (gc_begin/gc_end, phases, scans, breaches...) but the per-site
+   data-plane accounting — survival tables, alloc deltas, censuses —
+   gates on [detailed], so an always-on flight recorder stays inside the
+   ≤2% overhead bar instead of paying full-trace cost. *)
+let detailed () =
+  match !state with
+  | Some { sink = Channel _ | Sink_buffer _; _ } -> true
+  | Some { sink = Ring _; _ } | None -> false
+
 let write_one st p =
-  Buffer.clear st.scratch;
-  Event.write st.scratch ~seq:p.p_seq ~t_us:p.p_t_us ~gc:p.p_gc ~dom:p.p_dom
-    p.p_ev;
-  (match st.sink with
-   | Channel oc -> Buffer.output_buffer oc st.scratch
-   | Sink_buffer b -> Buffer.add_buffer b st.scratch);
-  match st.metrics with
-  | None -> ()
-  | Some m -> Metrics.record m p.p_ev
+  match st.sink with
+  | Ring fl ->
+    Flight.store fl ~seq:p.p_seq ~t_us:p.p_t_us ~gc:p.p_gc ~dom:p.p_dom
+      p.p_ev;
+    (match st.metrics with
+     | None -> ()
+     | Some m -> Metrics.record m p.p_ev)
+  | Channel _ | Sink_buffer _ ->
+    Buffer.clear st.scratch;
+    Event.write st.scratch ~seq:p.p_seq ~t_us:p.p_t_us ~gc:p.p_gc
+      ~dom:p.p_dom p.p_ev;
+    (match st.sink with
+     | Channel oc -> Buffer.output_buffer oc st.scratch
+     | Sink_buffer b -> Buffer.add_buffer b st.scratch
+     | Ring _ -> ());
+    (match st.metrics with
+     | None -> ()
+     | Some m -> Metrics.record m p.p_ev)
 
 (* Pops under the lock, writes outside it (the scratch buffer and the
    sink are the writer's alone in async mode), and signals [idle] when
@@ -93,10 +115,11 @@ let writer_loop st wr =
   in
   loop ()
 
-let enable ?metrics ?(clock = Unix.gettimeofday) ?(async = false) sink =
+let enable ?metrics ?slo ?(clock = Unix.gettimeofday) ?(async = false) sink =
   let st =
     { sink;
       metrics;
+      slo;
       clock;
       t0 = clock ();
       mu = Mutex.create ();
@@ -158,15 +181,15 @@ let disable () =
         Mutex.unlock st.mu);
      (match st.sink with
       | Channel oc -> Stdlib.flush oc
-      | Sink_buffer _ -> ())
+      | Sink_buffer _ | Ring _ -> ())
    | None -> ());
   state := None
 
-let with_sink ?metrics ?clock ?async sink f =
-  enable ?metrics ?clock ?async sink;
+let with_sink ?metrics ?slo ?clock ?async sink f =
+  enable ?metrics ?slo ?clock ?async sink;
   Fun.protect ~finally:disable f
 
-let with_file ?metrics ?async path f =
+let with_file ?metrics ?slo ?async path f =
   let oc = open_out path in
   (* [with_sink]'s [disable] already drains the pending queue, but be
      defensive about ordering: flush whatever the tracer still buffers
@@ -176,10 +199,13 @@ let with_file ?metrics ?async path f =
     ~finally:(fun () ->
       flush ();
       close_out oc)
-  @@ fun () -> with_sink ?metrics ?async (Channel oc) f
+  @@ fun () -> with_sink ?metrics ?slo ?async (Channel oc) f
 
-let with_buffer ?metrics ?clock ?async buf f =
-  with_sink ?metrics ?clock ?async (Sink_buffer buf) f
+let with_buffer ?metrics ?slo ?clock ?async buf f =
+  with_sink ?metrics ?slo ?clock ?async (Sink_buffer buf) f
+
+let with_ring ?metrics ?slo ?clock fl f =
+  with_sink ?metrics ?slo ?clock (Ring fl) f
 
 (* Emit = stamp the envelope and queue the record, all under the
    tracer's lock, so emitters are safe from any domain.  With the async
@@ -196,23 +222,51 @@ let emit st e =
      st.in_pause <- true
    | _ -> ());
   let t_us = (st.clock () -. st.t0) *. 1e6 in
-  let p =
-    { p_seq = st.seq;
-      p_t_us = t_us;
-      p_gc = st.gc;
-      p_dom = (Domain.self () :> int);
-      p_ev = e }
+  let push_ev ev =
+    let p =
+      { p_seq = st.seq;
+        p_t_us = t_us;
+        p_gc = st.gc;
+        p_dom = (Domain.self () :> int);
+        p_ev = ev }
+    in
+    st.seq <- st.seq + 1;
+    match st.writer with
+    | Some wr ->
+      Queue.push p wr.wq;
+      Condition.signal st.work
+    | None -> Support.Vec.push st.pending p
   in
-  st.seq <- st.seq + 1;
+  push_ev e;
   (match e with Event.Gc_end _ -> st.in_pause <- false | _ -> ());
+  (* The attached SLO monitor folds the stamped event; a breach becomes
+     an [slo_breach] record right behind the breaching [gc_end], sharing
+     its timestamp and collection ordinal.  Stamping under the lock we
+     already hold keeps [seq] monotone; the user callback runs after the
+     unlock (it may dump a flight ring or write files). *)
+  let breaches =
+    match st.slo with
+    | None -> []
+    | Some slo ->
+      let brs = Slo.observe slo ~gc:st.gc ~t_us e in
+      List.iter
+        (fun (br : Slo.breach) ->
+          push_ev
+            (Event.Slo_breach
+               { rule = br.rule;
+                 observed_us = br.observed_us;
+                 limit_us = br.limit_us;
+                 window_us = br.window_us }))
+        brs;
+      brs
+  in
   (match st.writer with
-   | Some wr ->
-     Queue.push p wr.wq;
-     Condition.signal st.work
-   | None ->
-     Support.Vec.push st.pending p;
-     if not st.in_pause then flush_pending st);
-  Mutex.unlock st.mu
+   | Some _ -> ()
+   | None -> if not st.in_pause then flush_pending st);
+  Mutex.unlock st.mu;
+  match st.slo with
+  | None -> ()
+  | Some slo -> List.iter (Slo.notify slo) breaches
 
 (* Every emitter reads [!state] exactly once and returns immediately
    when tracing is off: the disabled cost is one load and one branch. *)
@@ -284,3 +338,9 @@ let backend_stats ~region ~backend ~live_w ~free_w ~free_blocks ~largest_hole =
     emit st
       (Event.Backend_stats
          { region; backend; live_w; free_w; free_blocks; largest_hole })
+
+let slo_breach ~rule ~observed_us ~limit_us ~window_us =
+  match !state with
+  | None -> ()
+  | Some st ->
+    emit st (Event.Slo_breach { rule; observed_us; limit_us; window_us })

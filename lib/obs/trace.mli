@@ -47,15 +47,28 @@ type sink
 val channel : out_channel -> sink
 val buffer : Buffer.t -> sink
 
-(** [enable ?metrics ?clock ?async sink] switches tracing on.  [clock]
-    supplies timestamps in seconds ([Unix.gettimeofday] by default;
-    tests install a deterministic counter).  Timestamps are reported as
-    microseconds since [enable].  Re-enabling replaces the previous
-    sink.  Every enable restarts the [seq] and [gc] envelope counters.
-    [~async:true] spawns the background writer domain (see the module
-    header); default [false]. *)
+(** [ring fl] stores stamped envelopes into the flight-recorder ring
+    instead of serialising them — the always-on production mode.  With
+    a ring sink {!detailed} is [false]: collectors keep the
+    control-plane events but skip the per-site data-plane accounting
+    (survival tables, alloc deltas, censuses), keeping the recorder
+    inside the ≤2% overhead bar ([hotpath.minor_gc.flight]). *)
+val ring : Flight.t -> sink
+
+(** [enable ?metrics ?slo ?clock ?async sink] switches tracing on.
+    [clock] supplies timestamps in seconds ([Unix.gettimeofday] by
+    default; tests install a deterministic counter).  Timestamps are
+    reported as microseconds since [enable].  Re-enabling replaces the
+    previous sink.  Every enable restarts the [seq] and [gc] envelope
+    counters.  [~async:true] spawns the background writer domain (see
+    the module header); default [false].  [?slo] attaches the online
+    SLO monitor: every stamped event is folded into it, and breaches
+    are emitted as [slo_breach] records right after the breaching
+    [gc_end] (sharing its timestamp and ordinal); breach callbacks run
+    outside the tracer's lock. *)
 val enable :
-  ?metrics:Metrics.t -> ?clock:(unit -> float) -> ?async:bool -> sink -> unit
+  ?metrics:Metrics.t -> ?slo:Slo.t -> ?clock:(unit -> float) ->
+  ?async:bool -> sink -> unit
 
 (** [disable ()] switches tracing off, drains any records still buffered
     or queued (joining the async writer domain if one is running), and
@@ -73,17 +86,33 @@ val flush : unit -> unit
     event arguments. *)
 val enabled : unit -> bool
 
-(** [with_file ?metrics ?async path f] traces [f ()] into a fresh file
-    at [path]; always drains buffered records, disables and closes —
-    even when [f] raises mid-collection, so a crashing workload still
-    leaves a complete, schema-valid trace. *)
-val with_file : ?metrics:Metrics.t -> ?async:bool -> string -> (unit -> 'a) -> 'a
+(** [detailed ()] is [enabled] minus flight-only mode: true only when
+    the sink is a channel or buffer (full tracing).  Per-site
+    data-plane accounting — survival tables, alloc-delta tracking,
+    censuses, the birth word — gates on this, so a ring sink records
+    cheaply. *)
+val detailed : unit -> bool
 
-(** [with_buffer ?metrics ?clock ?async buf f] traces [f ()] into
+(** [with_file ?metrics ?slo ?async path f] traces [f ()] into a fresh
+    file at [path]; always drains buffered records, disables and closes
+    — even when [f] raises mid-collection, so a crashing workload still
+    leaves a complete, schema-valid trace. *)
+val with_file :
+  ?metrics:Metrics.t -> ?slo:Slo.t -> ?async:bool -> string ->
+  (unit -> 'a) -> 'a
+
+(** [with_buffer ?metrics ?slo ?clock ?async buf f] traces [f ()] into
     [buf]. *)
 val with_buffer :
-  ?metrics:Metrics.t -> ?clock:(unit -> float) -> ?async:bool -> Buffer.t ->
-  (unit -> 'a) -> 'a
+  ?metrics:Metrics.t -> ?slo:Slo.t -> ?clock:(unit -> float) ->
+  ?async:bool -> Buffer.t -> (unit -> 'a) -> 'a
+
+(** [with_ring ?metrics ?slo ?clock fl f] runs [f ()] with the flight
+    recorder [fl] as the sink (never async — stores are cheaper than a
+    queue hand-off). *)
+val with_ring :
+  ?metrics:Metrics.t -> ?slo:Slo.t -> ?clock:(unit -> float) ->
+  Flight.t -> (unit -> 'a) -> 'a
 
 (** {1 Emitters}
 
@@ -117,3 +146,9 @@ val unwind : target_depth:int -> unit
 val backend_stats :
   region:string -> backend:string -> live_w:int -> free_w:int ->
   free_blocks:int -> largest_hole:int -> unit
+
+(** Normally synthesised by the attached {!Slo} monitor; public so
+    external monitors (and the golden test) can stamp one. *)
+val slo_breach :
+  rule:string -> observed_us:float -> limit_us:float -> window_us:float ->
+  unit

@@ -1,0 +1,209 @@
+(* The open-loop server workload: a multi-tenant request simulator with
+   per-tenant allocation-lifetime profiles, driving the runtime the way a
+   latency-sensitive server would.
+
+   Tenants cycle through three lifetime profiles:
+
+   - arena: every request builds scratch lists that die when the request
+     returns — the per-request-arena shape (pure nursery churn);
+   - cache: requests prepend entries to per-session cache lists that
+     survive many requests and are evicted wholesale — the medium-lived
+     session-cache shape that exercises promotion;
+   - archive: mostly request-local scratch plus a slow, permanent cold
+     append — the hot/cold mix whose cold tail is what pretenuring wants
+     to place old.
+
+   Arrivals follow a fixed open-loop schedule: request [i] arrives at
+   virtual time [i / rate] regardless of how long earlier requests took.
+   Requests are executed back-to-back in real time; each one's service
+   time is measured on the wall clock (so it includes any GC pause it
+   triggered) and folded into the virtual timeline as
+
+     completion(i) = max(arrival(i), completion(i-1)) + service(i)
+     latency(i)    = completion(i) - arrival(i)
+
+   so queueing delay behind a long pause is charged to every queued
+   request — the coordinated-omission-safe construction (a closed loop
+   that measures only service time would hide exactly the pauses this
+   workload exists to expose).
+
+   Pause attribution: with an online monitor attached, the pause-count
+   delta across a request body assigns each collection (count and
+   duration) to the tenant whose request was in flight.
+
+   The request stream is a pure function of [seed], and the checksum
+   folds only simulated-heap reads, so runs under different collectors,
+   backends or layouts must produce identical checksums — the bench
+   suite asserts this across its serve.* configurations. *)
+
+module R = Gsc.Runtime
+
+type tenant_kind = Arena | Cache | Archive
+
+let kind_name = function
+  | Arena -> "arena"
+  | Cache -> "cache"
+  | Archive -> "archive"
+
+let kind_of_tenant t =
+  match t mod 3 with 0 -> Arena | 1 -> Cache | _ -> Archive
+
+type tenant_report = {
+  tenant : int;
+  kind : string;
+  requests : int;
+  p50_lat_us : float;
+  p99_lat_us : float;
+  p999_lat_us : float;
+  max_lat_us : float;
+  pauses : int;
+  pause_us : float;
+  p99_pause_us : float;
+  p999_pause_us : float;
+}
+
+type report = {
+  tenants : tenant_report list;
+  requests : int;
+  horizon_us : float;
+  sustained_rps : float;
+  offered_rps : float;
+  checksum : int;
+}
+
+let run rt ?slo ~tenants ~sessions ~requests ~rate_rps ~seed () =
+  if tenants < 1 then invalid_arg "Serve.run: tenants < 1";
+  if sessions < 1 then invalid_arg "Serve.run: sessions < 1";
+  if rate_rps <= 0. then invalid_arg "Serve.run: rate_rps <= 0";
+  let s_sess = R.register_site rt ~name:"serve.sessions" in
+  let s_arena = R.register_site rt ~name:"serve.arena.scratch" in
+  let s_cache = R.register_site rt ~name:"serve.cache.entry" in
+  let s_tmp = R.register_site rt ~name:"serve.archive.scratch" in
+  let s_cold = R.register_site rt ~name:"serve.archive.cold" in
+  (* request frame: 0 = session table (arg), 1 = working list, 2 = cursor *)
+  let k_req = R.register_frame rt ~name:"serve.request" ~slots:(Dsl.slots "ppp") in
+  (* Per-tenant session tables are the workload's permanent roots; they
+     live in the global root table (gc-serve sizes [global_slots] to the
+     tenant count). *)
+  for t = 0 to tenants - 1 do
+    R.alloc_ptr_array rt ~site:s_sess ~dst:(R.To_global t) ~len:sessions
+  done;
+  (* 48-bit LCG (java.util.Random's constants): deterministic and
+     host-independent, so the request stream is identical under every
+     collector configuration. *)
+  let rng = ref (seed land 0xFFFF_FFFF_FFFF) in
+  let next () =
+    rng := ((!rng * 0x5DEECE66D) + 0xB) land 0xFFFF_FFFF_FFFF;
+    !rng lsr 16
+  in
+  let checksum = ref 0 in
+  let fold v = checksum := (!checksum * 31 + v) land 0x3FFF_FFFF in
+  let handle_arena () =
+    R.call rt ~key:k_req ~args:[ Mem.Value.null ] (fun () ->
+      let n = 8 + (next () mod 24) in
+      R.set_slot rt 1 Mem.Value.null;
+      for j = 1 to n do
+        Dsl.cons_int rt ~site:s_arena ~list:1 (j * 3)
+      done;
+      fold (Dsl.list_length rt ~list:1 ~cursor:2))
+  in
+  let handle_cache ~tenant ~session =
+    R.call rt ~key:k_req ~args:[ R.get_global rt tenant ] (fun () ->
+      R.load_field rt ~obj:(R.Slot 0) ~idx:session ~dst:(R.To_slot 1);
+      let adds = 2 + (next () mod 6) in
+      for _ = 1 to adds do
+        Dsl.cons_int rt ~site:s_cache ~list:1 (next () land 0xFF)
+      done;
+      fold (adds + Dsl.list_head_int rt ~list:1);
+      (* wholesale eviction keeps caches bounded: roughly every 32nd
+         update drops the session's whole list *)
+      if next () mod 32 = 0 then R.set_slot rt 1 Mem.Value.null;
+      R.store_field rt ~obj:(R.Slot 0) ~idx:session (R.P (R.Slot 1)))
+  in
+  let handle_archive ~tenant ~session =
+    R.call rt ~key:k_req ~args:[ R.get_global rt tenant ] (fun () ->
+      R.set_slot rt 1 Mem.Value.null;
+      let n = 4 + (next () mod 12) in
+      for j = 1 to n do
+        Dsl.cons_int rt ~site:s_tmp ~list:1 j
+      done;
+      fold (Dsl.list_length rt ~list:1 ~cursor:2);
+      (* the cold tail: roughly every 16th request archives one record
+         permanently *)
+      if next () mod 16 = 0 then begin
+        R.load_field rt ~obj:(R.Slot 0) ~idx:session ~dst:(R.To_slot 1);
+        Dsl.cons_int rt ~site:s_cold ~list:1 (next () land 0xFFFF);
+        R.store_field rt ~obj:(R.Slot 0) ~idx:session (R.P (R.Slot 1))
+      end)
+  in
+  let lat = Array.init tenants (fun _ -> Support.Vec.create ()) in
+  let req_n = Array.make tenants 0 in
+  let pause_durs = Array.init tenants (fun _ -> Support.Vec.create ()) in
+  let tick_us = 1e6 /. rate_rps in
+  let completion = ref 0. in
+  for i = 0 to requests - 1 do
+    let tenant = next () mod tenants in
+    let session = next () mod sessions in
+    let before =
+      match slo with Some s -> Obs.Slo.pause_count s | None -> 0
+    in
+    let t0 = Support.Units.now_ns () in
+    (match kind_of_tenant tenant with
+     | Arena -> handle_arena ()
+     | Cache -> handle_cache ~tenant ~session
+     | Archive -> handle_archive ~tenant ~session);
+    let service_us = float_of_int (Support.Units.now_ns () - t0) /. 1e3 in
+    (match slo with
+     | Some s ->
+       let after = Obs.Slo.pause_count s in
+       for p = before to after - 1 do
+         Support.Vec.push pause_durs.(tenant) (Obs.Slo.pause_dur s p)
+       done
+     | None -> ());
+    let arrival = float_of_int i *. tick_us in
+    let c = Float.max arrival !completion +. service_us in
+    completion := c;
+    req_n.(tenant) <- req_n.(tenant) + 1;
+    Support.Vec.push lat.(tenant) (c -. arrival)
+  done;
+  let horizon_us =
+    Float.max !completion (float_of_int (max 0 (requests - 1)) *. tick_us)
+  in
+  let array_of vec =
+    let a = Array.make (Support.Vec.length vec) 0. in
+    Support.Vec.iteri (fun i v -> a.(i) <- v) vec;
+    a
+  in
+  let tenant_reports =
+    List.init tenants (fun t ->
+      let p50, p99, p999, mx =
+        match Obs.Profile.percentiles_of (array_of lat.(t)) with
+        | None -> (0., 0., 0., 0.)
+        | Some pc -> Obs.Profile.(pc.p50, pc.p99, pc.p999, pc.max_us)
+      in
+      let pauses, pause_us, p99_p, p999_p =
+        match Obs.Profile.percentiles_of (array_of pause_durs.(t)) with
+        | None -> (0, 0., 0., 0.)
+        | Some pc ->
+          Obs.Profile.(pc.count, pc.total_us, pc.p99, pc.p999)
+      in
+      { tenant = t;
+        kind = kind_name (kind_of_tenant t);
+        requests = req_n.(t);
+        p50_lat_us = p50;
+        p99_lat_us = p99;
+        p999_lat_us = p999;
+        max_lat_us = mx;
+        pauses;
+        pause_us;
+        p99_pause_us = p99_p;
+        p999_pause_us = p999_p })
+  in
+  { tenants = tenant_reports;
+    requests;
+    horizon_us;
+    sustained_rps =
+      (if horizon_us <= 0. then 0.
+       else float_of_int requests /. (horizon_us /. 1e6));
+    offered_rps = rate_rps;
+    checksum = !checksum }

@@ -166,15 +166,15 @@ let schema_rejects () =
       ("missing envelope", "{\"ev\":\"unwind\",\"target_depth\":1}");
       ("missing version", "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1}");
       ("missing field",
-       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\"}");
+       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\"}");
       ("unknown kind",
-       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"mystery\"}");
+       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"mystery\"}");
       ("wrong type",
-       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
+       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
       ("unknown field",
-       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
+       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
       ("negative int",
-       "{\"v\":3,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
+       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
       ("unparsable", "{") ]
   in
   List.iter
@@ -191,7 +191,7 @@ let schema_version_gate () =
       "{\"v\":%d,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1}"
       v
   in
-  (match Obs.Schema.validate_line (mk 3) with
+  (match Obs.Schema.validate_line (mk 4) with
    | Ok () -> ()
    | Error msg -> Alcotest.failf "current version rejected: %s" msg);
   List.iter
@@ -202,8 +202,8 @@ let schema_version_gate () =
         check_bool "names the foreign version" true
           (contains ~needle:(Printf.sprintf "version %d" v) msg);
         check_bool "names the supported version" true
-          (contains ~needle:"version 3" msg))
-    [ 2; 4 ]
+          (contains ~needle:"version 4" msg))
+    [ 2; 3; 5 ]
 
 (* --- Golden emitter output --- *)
 
@@ -218,17 +218,18 @@ let ticking_clock () =
 
 let golden =
   String.concat "\n"
-    [ {|{"v":3,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
-      {|{"v":3,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"site_alloc","site":1,"objects":10,"words":30}|};
-      {|{"v":3,"seq":2,"t_us":3.0,"gc":1,"dom":0,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
-      {|{"v":3,"seq":3,"t_us":4.0,"gc":1,"dom":0,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
-      {|{"v":3,"seq":4,"t_us":5.0,"gc":1,"dom":0,"ev":"site_survival","site":1,"objects":4,"first_objects":3,"words":12}|};
-      {|{"v":3,"seq":5,"t_us":6.0,"gc":1,"dom":0,"ev":"census","site":1,"objects":4,"words":12,"ages":{"0":1,"2-3":3}}|};
-      {|{"v":3,"seq":6,"t_us":7.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
-      {|{"v":3,"seq":7,"t_us":8.0,"gc":1,"dom":0,"ev":"pretenure","site":2,"words":8}|};
-      {|{"v":3,"seq":8,"t_us":9.0,"gc":1,"dom":0,"ev":"site_edge","from_site":2,"to_site":1}|};
-      {|{"v":3,"seq":9,"t_us":10.0,"gc":1,"dom":0,"ev":"marker_place","installed":3,"depth":9}|};
-      {|{"v":3,"seq":10,"t_us":11.0,"gc":1,"dom":0,"ev":"unwind","target_depth":4}|};
+    [ {|{"v":4,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
+      {|{"v":4,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"site_alloc","site":1,"objects":10,"words":30}|};
+      {|{"v":4,"seq":2,"t_us":3.0,"gc":1,"dom":0,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
+      {|{"v":4,"seq":3,"t_us":4.0,"gc":1,"dom":0,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
+      {|{"v":4,"seq":4,"t_us":5.0,"gc":1,"dom":0,"ev":"site_survival","site":1,"objects":4,"first_objects":3,"words":12}|};
+      {|{"v":4,"seq":5,"t_us":6.0,"gc":1,"dom":0,"ev":"census","site":1,"objects":4,"words":12,"ages":{"0":1,"2-3":3}}|};
+      {|{"v":4,"seq":6,"t_us":7.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
+      {|{"v":4,"seq":7,"t_us":8.0,"gc":1,"dom":0,"ev":"pretenure","site":2,"words":8}|};
+      {|{"v":4,"seq":8,"t_us":9.0,"gc":1,"dom":0,"ev":"site_edge","from_site":2,"to_site":1}|};
+      {|{"v":4,"seq":9,"t_us":10.0,"gc":1,"dom":0,"ev":"marker_place","installed":3,"depth":9}|};
+      {|{"v":4,"seq":10,"t_us":11.0,"gc":1,"dom":0,"ev":"unwind","target_depth":4}|};
+      {|{"v":4,"seq":11,"t_us":12.0,"gc":1,"dom":0,"ev":"slo_breach","rule":"max_pause","observed_us":250.0,"limit_us":100.0,"window_us":0.0}|};
       "" ]
 
 let golden_emitter () =
@@ -247,7 +248,9 @@ let golden_emitter () =
       Obs.Trace.pretenure ~site:2 ~words:8;
       Obs.Trace.site_edge ~from_site:2 ~to_site:1;
       Obs.Trace.marker_place ~installed:3 ~depth:9;
-      Obs.Trace.unwind ~target_depth:4);
+      Obs.Trace.unwind ~target_depth:4;
+      Obs.Trace.slo_breach ~rule:"max_pause" ~observed_us:250.0
+        ~limit_us:100.0 ~window_us:0.0);
   check_str "emitted lines" golden (Buffer.contents buf);
   String.split_on_char '\n' (Buffer.contents buf)
   |> List.iter (fun line ->
@@ -275,7 +278,9 @@ let async_writer_golden () =
       Obs.Trace.pretenure ~site:2 ~words:8;
       Obs.Trace.site_edge ~from_site:2 ~to_site:1;
       Obs.Trace.marker_place ~installed:3 ~depth:9;
-      Obs.Trace.unwind ~target_depth:4);
+      Obs.Trace.unwind ~target_depth:4;
+      Obs.Trace.slo_breach ~rule:"max_pause" ~observed_us:250.0
+        ~limit_us:100.0 ~window_us:0.0);
   check_str "async emitted lines" golden (Buffer.contents buf)
 
 (* Emitters hold the tracer's lock, so domains may interleave freely:
@@ -427,7 +432,7 @@ let with_file_flushes_on_raise () =
 (* --- the offline analyzer --- *)
 
 let env ~seq ~t_us ~gc rest =
-  Printf.sprintf "{\"v\":3,\"seq\":%d,\"t_us\":%.1f,\"gc\":%d,\"dom\":0,%s}"
+  Printf.sprintf "{\"v\":4,\"seq\":%d,\"t_us\":%.1f,\"gc\":%d,\"dom\":0,%s}"
     seq t_us gc rest
 
 let analyzed_exn lines =
@@ -721,14 +726,271 @@ let policy_file_rejects () =
     {|{"v":99,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
     "version 99";
   check_err "wrong kind"
-    {|{"v":3,"kind":"mystery","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
+    {|{"v":4,"kind":"mystery","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
     "kind";
   check_err "no_scan not a subset"
-    {|{"v":3,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[1],"no_scan":[2]}|}
+    {|{"v":4,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[1],"no_scan":[2]}|}
     "subset";
   check_err "missing field"
-    {|{"v":3,"kind":"pretenure_policy","cutoff":0.8,"sites":[],"no_scan":[]}|}
+    {|{"v":4,"kind":"pretenure_policy","cutoff":0.8,"sites":[],"no_scan":[]}|}
     "min_objects"
+
+(* --- the online SLO monitor --- *)
+
+(* The tracer stamps a breach record immediately after the breaching
+   gc_end, sharing its timestamp and collection ordinal. *)
+let slo_breach_inline () =
+  let buf = Buffer.create 512 in
+  let slo =
+    Obs.Slo.create { Obs.Slo.no_target with Obs.Slo.max_pause_us = Some 50. }
+  in
+  let m = Obs.Metrics.create () in
+  Obs.Trace.with_buffer ~metrics:m ~slo ~clock:(ticking_clock ()) buf
+    (fun () ->
+      Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:1 ~tenured_w:0 ~los_w:0;
+      Obs.Trace.gc_end ~kind:"minor" ~pause_us:100.0 ~copied_w:0
+        ~promoted_w:0 ~live_w:0);
+  let expected =
+    String.concat "\n"
+      [ {|{"v":4,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":1,"tenured_w":0,"los_w":0}|};
+        {|{"v":4,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":100.0,"copied_w":0,"promoted_w":0,"live_w":0}|};
+        {|{"v":4,"seq":2,"t_us":2.0,"gc":1,"dom":0,"ev":"slo_breach","rule":"max_pause","observed_us":100.0,"limit_us":50.0,"window_us":0.0}|};
+        "" ]
+  in
+  check_str "breach rides behind its gc_end" expected (Buffer.contents buf);
+  check_int "breach counted" 1 (Obs.Slo.breach_total slo);
+  check_bool "per-rule count" true
+    (Obs.Slo.breaches slo = [ ("max_pause", 1) ]);
+  check_int "metrics total" 1 (Obs.Metrics.get_counter m "slo.breach");
+  check_int "metrics per rule" 1
+    (Obs.Metrics.get_counter m "slo.breach.max_pause")
+
+(* The acceptance fixed point: end-of-run online percentiles and MMU
+   equal the offline analyzer on the identical trace — exactly, because
+   both sides evaluate the same kernels on the same quantised values. *)
+let slo_equals_profile () =
+  let slo =
+    Obs.Slo.create
+      { Obs.Slo.max_pause_us = Some 1.0;   (* absurdly tight: breaches *)
+        p99_us = Some 1.0;
+        p999_us = Some 1.0;
+        min_mmu = Some 0.999;
+        mmu_window_us = 500. }
+  in
+  let buf = Buffer.create (1 lsl 16) in
+  Obs.Trace.with_buffer ~slo buf (fun () -> ignore (measure_life ()));
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let t = analyzed_exn lines in
+  check_bool "collections happened" true (t.Obs.Profile.pauses <> []);
+  check_bool "breaches forced" true (Obs.Slo.breach_total slo > 0);
+  check_bool "span exact" true (Obs.Slo.span_us slo = t.Obs.Profile.span_us);
+  check_bool "pause count exact" true
+    (Obs.Slo.pause_count slo = List.length t.Obs.Profile.pauses);
+  check_bool "percentiles exact (all kinds, p50/p90/p99/p99.9/max/total)"
+    true
+    (Obs.Slo.percentiles slo = Obs.Profile.pause_percentiles t);
+  List.iter
+    (fun w ->
+      check_bool (Printf.sprintf "mmu@%.0fus exact" w) true
+        (Obs.Slo.mmu slo ~window_us:w = Obs.Profile.mmu t ~window_us:w))
+    [ 10.; 100.; 1000.; 10_000.; 1e7 ];
+  check_bool "offline counts the online breach records" true
+    (Obs.Slo.breaches slo = t.Obs.Profile.slo_breaches)
+
+(* The trailing-window "mmu" rule: a pause consuming a whole window
+   breaches a 99.9% floor; the run's first window is grace. *)
+let slo_mmu_rule () =
+  let clock =
+    let c = ref 0. in
+    fun () -> let v = !c in c := v +. 1e-3; v  (* 1000us per record *)
+  in
+  let slo =
+    Obs.Slo.create
+      { Obs.Slo.no_target with
+        Obs.Slo.min_mmu = Some 0.5;
+        mmu_window_us = 2000. }
+  in
+  Obs.Trace.with_buffer ~slo ~clock (Buffer.create 512) (fun () ->
+      (* gc 1: begin t=1000, end t=2000, pause 1500 of the trailing 2000
+         window -> utilisation 0.25 < 0.5: breach *)
+      Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:1 ~tenured_w:0 ~los_w:0;
+      Obs.Trace.gc_end ~kind:"minor" ~pause_us:1500.0 ~copied_w:0
+        ~promoted_w:0 ~live_w:0);
+  check_bool "busy window breaches" true
+    (Obs.Slo.breaches slo = [ ("mmu", 1) ])
+
+(* Streaming percentile reads match a sequential fold of the same
+   samples: the online sorted-insert + nearest-rank equals sorting the
+   whole sample and applying the offline formula. *)
+let slo_percentile_prop =
+  QCheck.Test.make ~name:"online percentile = sequential fold" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 60) (int_bound 10_000))
+    (fun samples ->
+      let samples = if samples = [] then [ 1 ] else samples in
+      let slo = Obs.Slo.create Obs.Slo.no_target in
+      List.iteri
+        (fun i v ->
+          let gc = i + 1 in
+          let t0 = float_of_int (i * 100_000) in
+          ignore
+            (Obs.Slo.observe slo ~gc ~t_us:t0
+               (Obs.Event.Gc_begin
+                  { kind = "minor"; nursery_w = 0; tenured_w = 0; los_w = 0 }));
+          ignore
+            (Obs.Slo.observe slo ~gc ~t_us:(t0 +. float_of_int v)
+               (Obs.Event.Gc_end
+                  { kind = "minor";
+                    pause_us = float_of_int v;
+                    copied_w = 0;
+                    promoted_w = 0;
+                    live_w = 0 })))
+        samples;
+      let arr = Array.of_list (List.map float_of_int samples) in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let fold q =
+        let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+        arr.(max 0 (min (n - 1) (rank - 1)))
+      in
+      List.for_all
+        (fun q -> Obs.Slo.percentile slo q = fold q)
+        [ 0.5; 0.9; 0.99; 0.999 ])
+
+(* --- the flight recorder --- *)
+
+let flight_ring_bounded () =
+  let fl = Obs.Flight.create ~capacity:8 () in
+  Obs.Trace.with_ring ~clock:(ticking_clock ()) fl (fun () ->
+      for i = 0 to 19 do
+        Obs.Trace.unwind ~target_depth:i
+      done);
+  check_int "length capped" 8 (Obs.Flight.length fl);
+  check_int "stored counts everything" 20 (Obs.Flight.stored fl);
+  let b = Buffer.create 1024 in
+  check_int "dump count" 8 (Obs.Flight.dump_to_buffer fl b);
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents b))
+  in
+  check_int "dump lines" 8 (List.length lines);
+  List.iteri
+    (fun i line ->
+      (match Obs.Schema.validate_line line with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "dump line rejected: %s" msg);
+      match Obs.Json.member "seq" (Obs.Json.parse line) with
+      | Some (Obs.Json.Num f) ->
+        check_int "last N, oldest first" (12 + i) (int_of_float f)
+      | _ -> Alcotest.fail "seq missing")
+    lines
+
+(* Breach-triggered dump: the ring already holds the breaching gc_end
+   and its slo_breach when the callback fires (the callback runs outside
+   the tracer's lock, after the records flushed). *)
+let flight_breach_dump () =
+  let fl = Obs.Flight.create ~capacity:32 () in
+  let dumped = Buffer.create 1024 in
+  let dumps = ref 0 in
+  let slo =
+    Obs.Slo.create
+      ~on_breach:(fun _ ->
+        incr dumps;
+        if !dumps = 1 then ignore (Obs.Flight.dump_to_buffer fl dumped : int))
+      { Obs.Slo.no_target with Obs.Slo.max_pause_us = Some 50. }
+  in
+  Obs.Trace.with_ring ~slo ~clock:(ticking_clock ()) fl (fun () ->
+      Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:1 ~tenured_w:0 ~los_w:0;
+      Obs.Trace.gc_end ~kind:"minor" ~pause_us:10.0 ~copied_w:0 ~promoted_w:0
+        ~live_w:0;
+      Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:1 ~tenured_w:0 ~los_w:0;
+      Obs.Trace.gc_end ~kind:"minor" ~pause_us:99.0 ~copied_w:0 ~promoted_w:0
+        ~live_w:0);
+  check_int "one breach, one dump" 1 !dumps;
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents dumped))
+  in
+  check_int "ring contents dumped" 5 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Schema.validate_line line with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "breach dump rejected: %s" msg)
+    lines;
+  check_bool "dump holds the breaching gc_end" true
+    (List.exists
+       (fun l ->
+         contains ~needle:{|"ev":"gc_end"|} l
+         && contains ~needle:{|"pause_us":99.0|} l)
+       lines);
+  check_bool "dump holds the breach verdict" true
+    (List.exists (fun l -> contains ~needle:{|"ev":"slo_breach"|} l) lines)
+
+(* A ring dump starts mid-stream; the offline analyzer accepts it and
+   anchors the truncated head's pause at its end. *)
+let flight_dump_analyzable () =
+  let fl = Obs.Flight.create ~capacity:2 () in
+  Obs.Trace.with_ring ~clock:(ticking_clock ()) fl (fun () ->
+      Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:1 ~tenured_w:0 ~los_w:0;
+      Obs.Trace.phase ~name:"roots" ~dur_us:1.0 ~counters:[];
+      Obs.Trace.gc_end ~kind:"minor" ~pause_us:5.0 ~copied_w:0 ~promoted_w:0
+        ~live_w:0);
+  let b = Buffer.create 256 in
+  ignore (Obs.Flight.dump_to_buffer fl b : int);
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents b))
+  in
+  let t = analyzed_exn lines in
+  check_int "truncated head still folds" 1 (List.length t.Obs.Profile.pauses)
+
+(* --- metrics under concurrent emitters --- *)
+
+let metrics_parallel_exact () =
+  let m = Obs.Metrics.create () in
+  let domains = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let per = 5_000 in
+  let worker () =
+    for i = 1 to per do
+      Obs.Metrics.incr m "c" 1;
+      Obs.Metrics.observe m "h" (i land 1023)
+    done
+  in
+  let ds = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  check_int "counter sum exact" (domains * per) (Obs.Metrics.get_counter m "c");
+  (match Obs.Metrics.get_histogram m "h" with
+   | None -> Alcotest.fail "histogram missing"
+   | Some h ->
+     check_int "histogram count exact" (domains * per) (H.count h);
+     let one = ref 0 in
+     for i = 1 to per do
+       one := !one + (i land 1023)
+     done;
+     check_int "histogram total exact" (domains * !one) (H.total h));
+  check_int "p >= 2 exercised" domains (max domains 2)
+
+(* Concurrent emitters through the full tracer (metrics attached as the
+   trace tap) after a parallel drain-style burst: totals stay exact. *)
+let metrics_parallel_tap_exact () =
+  let m = Obs.Metrics.create () in
+  let per = 500 in
+  Obs.Trace.with_buffer ~metrics:m ~async:true (Buffer.create (1 lsl 16))
+    (fun () ->
+      let emit_some () =
+        for _ = 1 to per do
+          Obs.Trace.unwind ~target_depth:1
+        done
+      in
+      let d = Domain.spawn emit_some in
+      emit_some ();
+      Domain.join d);
+  check_int "tap counters exact after parallel emission" (2 * per)
+    (Obs.Metrics.get_counter m "unwinds")
 
 let () =
   Alcotest.run "obs"
@@ -746,7 +1008,10 @@ let () =
       ("metrics",
        [ Alcotest.test_case "basics" `Quick metrics_basics;
          Alcotest.test_case "trace tap" `Quick metrics_tap;
-         Alcotest.test_case "snapshot parses" `Quick metrics_snapshot_parses ]);
+         Alcotest.test_case "snapshot parses" `Quick metrics_snapshot_parses;
+         Alcotest.test_case "parallel exact" `Quick metrics_parallel_exact;
+         Alcotest.test_case "parallel tap exact" `Quick
+           metrics_parallel_tap_exact ]);
       ("schema",
        [ Alcotest.test_case "rejects" `Quick schema_rejects;
          Alcotest.test_case "version gate" `Quick schema_version_gate ]);
@@ -767,6 +1032,15 @@ let () =
            analyzer_rejects_bad_lines;
          Alcotest.test_case "pause percentiles" `Quick pause_percentiles_exact;
          Alcotest.test_case "mmu conventions" `Quick mmu_conventions ]);
+      ("slo",
+       [ Alcotest.test_case "breach inline" `Quick slo_breach_inline;
+         Alcotest.test_case "online equals offline" `Quick slo_equals_profile;
+         Alcotest.test_case "mmu rule" `Quick slo_mmu_rule;
+         QCheck_alcotest.to_alcotest slo_percentile_prop ]);
+      ("flight",
+       [ Alcotest.test_case "ring bounded" `Quick flight_ring_bounded;
+         Alcotest.test_case "breach dump" `Quick flight_breach_dump;
+         Alcotest.test_case "dump analyzable" `Quick flight_dump_analyzable ]);
       ("census",
        [ Alcotest.test_case "workload census valid" `Quick
            census_workload_valid;
