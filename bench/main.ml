@@ -631,9 +631,9 @@ let serve_base () =
     tenured_backend = Alloc.Backend.Free_list;
     global_slots = max base.Gsc.Config.global_slots serve_tenants }
 
-let serve_run rt ?slo ~requests () =
-  Workloads.Serve.run rt ?slo ~tenants:serve_tenants ~sessions:serve_sessions
-    ~requests ~rate_rps:4000. ~seed:42 ()
+let serve_run rt ?slo ?phase_shift ~requests () =
+  Workloads.Serve.run rt ?slo ?phase_shift ~tenants:serve_tenants
+    ~sessions:serve_sessions ~requests ~rate_rps:4000. ~seed:42 ()
 
 (* one profiled run of the identical stream feeds the pretenure column *)
 let serve_policy ~requests =
@@ -706,6 +706,80 @@ let serve_guard rows =
 let print_serve_rows rows =
   print_endline
     "Open-loop server workload (gc-serve shape: SLO monitor + flight ring):";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-44s %12.1f\n" name v)
+    rows;
+  print_newline ()
+
+(* --- serve.adaptive: the phase-shift scenario ---
+
+   Halfway through the run every tenant rotates to the next lifetime
+   profile, so the allocation behaviour the run opened with stops being
+   the right one to tune for.  Three configs see the identical shifted
+   stream: a small static nursery, a large static nursery, and the
+   adaptive control plane starting from the large one with the same p99
+   target attached — the operator's question being whether online
+   tuning matches the better static choice on both halves without
+   knowing the shift is coming.  The policy_updates row counts the
+   decisions the plane took (statics pin it at 0); the checksum guard
+   applies within this group (the shift changes which handlers run, so
+   these checksums differ from the phase-0 grid above by design). *)
+
+let serve_adaptive_configs =
+  [ ("static.small", false, 32 * 1024);
+    ("static.large", false, 128 * 1024);
+    ("adaptive", true, 128 * 1024) ]
+
+let serve_adaptive_rows ~requests =
+  let phase_shift = requests / 2 in
+  List.concat_map
+    (fun (label, adaptive, nursery_bytes) ->
+      let cfg =
+        { (serve_base ()) with
+          Gsc.Config.nursery_bytes_max = nursery_bytes;
+          adaptive;
+          slo = { Obs.Slo.no_target with Obs.Slo.p99_us = Some 300. } }
+      in
+      let slo = Obs.Slo.create cfg.Gsc.Config.slo in
+      let metrics = Obs.Metrics.create () in
+      let fl = Obs.Flight.create ~capacity:256 () in
+      let rt = R.create cfg in
+      let rep =
+        Fun.protect ~finally:(fun () -> R.destroy rt) @@ fun () ->
+        Obs.Trace.with_ring ~metrics ~slo fl (fun () ->
+            serve_run rt ~slo ~phase_shift ~requests ())
+      in
+      [ (Printf.sprintf "serve.adaptive.%s.sustained_rps" label,
+         rep.Workloads.Serve.sustained_rps);
+        (Printf.sprintf "serve.adaptive.%s.p99_pause_us" label,
+         Obs.Slo.percentile slo 0.99);
+        (Printf.sprintf "serve.adaptive.%s.p999_pause_us" label,
+         Obs.Slo.percentile slo 0.999);
+        (Printf.sprintf "serve.adaptive.%s.breaches" label,
+         float_of_int (Obs.Slo.breach_total slo));
+        (Printf.sprintf "serve.adaptive.%s.policy_updates" label,
+         float_of_int (Obs.Metrics.get_counter metrics "policy.update"));
+        (Printf.sprintf "serve.adaptive.%s.checksum" label,
+         float_of_int rep.Workloads.Serve.checksum) ])
+    serve_adaptive_configs
+
+let serve_adaptive_guard rows =
+  serve_guard rows;
+  (* the statics must not have taken decisions; the plane must have *)
+  List.iter
+    (fun (n, v) ->
+      if Filename.check_suffix n "static.small.policy_updates"
+         || Filename.check_suffix n "static.large.policy_updates"
+      then
+        if v <> 0. then
+          failwith
+            (Printf.sprintf
+               "bench: %s = %.0f — a static config emitted policy updates" n v))
+    rows
+
+let print_serve_adaptive_rows rows =
+  print_endline
+    "Adaptive control plane under a mid-run phase shift (gc-serve shape):";
   List.iter
     (fun (name, v) -> Printf.printf "  %-44s %12.1f\n" name v)
     rows;
@@ -1289,8 +1363,11 @@ let () =
     let serve = serve_rows ~requests:2000 in
     serve_guard serve;
     print_serve_rows serve;
+    let serve_adaptive = serve_adaptive_rows ~requests:2000 in
+    serve_adaptive_guard serve_adaptive;
+    print_serve_adaptive_rows serve_adaptive;
     emit_json
-      (rows @ be_rows @ lay @ serve
+      (rows @ be_rows @ lay @ serve @ serve_adaptive
       @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall)
       @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag
       @ List.map (fun (n, v) -> ("major/" ^ n, v)) major);
@@ -1360,10 +1437,14 @@ let () =
     let serve = serve_rows ~requests:20000 in
     serve_guard serve;
     print_serve_rows serve;
+    let serve_adaptive = serve_adaptive_rows ~requests:20000 in
+    serve_adaptive_guard serve_adaptive;
+    print_serve_adaptive_rows serve_adaptive;
     let lay = layout_rows hot_rows in
     print_layout_rows lay;
     emit_json
       (table_rows @ hot_rows @ be_rows @ major_timed @ lay @ serve
+      @ serve_adaptive
       @ List.map (fun (n, v) -> ("parallel_drain/" ^ n, v)) (drain @ wall @ tune)
       @ List.map (fun (n, v) -> ("alloc_backend/" ^ n, v)) frag
       @ List.map (fun (n, v) -> ("major/" ^ n, v)) major);

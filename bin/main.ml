@@ -245,6 +245,36 @@ let run_cmd =
       const run $ factor_arg $ workload_arg $ technique $ k_arg
       $ pretenure_from $ policy_arg $ verify)
 
+(* Shared Arg converters for collector knobs (gc-trace and gc-serve). *)
+
+let backend_conv =
+  let parse s =
+    match Alloc.Backend.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown backend %S (bump, free_list, size_class)"
+              s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt k -> Format.pp_print_string fmt (Alloc.Backend.kind_name k) )
+
+let major_kind_conv =
+  let parse s =
+    match Collectors.Generational.major_kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg (Printf.sprintf "unknown major kind %S (copying, mark_sweep)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt k ->
+        Format.pp_print_string fmt
+          (Collectors.Generational.major_kind_name k) )
+
 (* --- gc-trace --- *)
 
 let gc_trace_cmd =
@@ -296,18 +326,6 @@ let gc_trace_cmd =
                census." in
     Arg.(value & opt int 0 & info [ "census" ] ~docv:"K" ~doc)
   in
-  let backend_conv =
-    let parse s =
-      match Alloc.Backend.kind_of_string s with
-      | Some k -> Ok k
-      | None ->
-        Error
-          (`Msg
-             (Printf.sprintf "unknown backend %S (bump, free_list, size_class)"
-                s))
-    in
-    Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Alloc.Backend.kind_name k))
-  in
   let tenured_backend_arg =
     let doc = "Placement policy for pretenured allocations: bump, \
                free_list or size_class." in
@@ -319,21 +337,6 @@ let gc_trace_cmd =
                free_list or size_class." in
     Arg.(value & opt backend_conv Alloc.Backend.Free_list
          & info [ "los-backend" ] ~docv:"BACKEND" ~doc)
-  in
-  let major_kind_conv =
-    let parse s =
-      match Collectors.Generational.major_kind_of_string s with
-      | Some k -> Ok k
-      | None ->
-        Error
-          (`Msg
-             (Printf.sprintf "unknown major kind %S (copying, mark_sweep)" s))
-    in
-    Arg.conv
-      ( parse,
-        fun fmt k ->
-          Format.pp_print_string fmt
-            (Collectors.Generational.major_kind_name k) )
   in
   let major_kind_arg =
     let doc = "Tenured collection strategy: $(b,copying) (evacuating \
@@ -359,9 +362,17 @@ let gc_trace_cmd =
                (placement only; statistics unchanged)." in
     Arg.(value & flag & info [ "eager-evac" ] ~doc)
   in
+  let adaptive_arg =
+    let doc = "Run the adaptive control plane at collection boundaries: \
+               online nursery resizing, tenure-threshold tuning, dynamic \
+               pretenuring and (mark_sweep) compaction scheduling, each \
+               decision traced as a $(b,policy_update) record \
+               (docs/ADAPTIVE.md)." in
+    Arg.(value & flag & info [ "adaptive" ] ~doc)
+  in
   let run factor name technique k out parallelism parallelism_mode chunk_words
       census_period tenured_backend los_backend major_kind header_layout
-      eager_evac =
+      eager_evac adaptive =
     match Workloads.Registry.find name with
     | exception Not_found ->
       prerr_endline ("unknown workload: " ^ name);
@@ -371,7 +382,8 @@ let gc_trace_cmd =
       let cfg =
         { (Harness.Runs.config_for ~workload:w ~scale:sc ~technique ~k) with
           Gsc.Config.parallelism; parallelism_mode; chunk_words; census_period;
-          tenured_backend; los_backend; major_kind; header_layout; eager_evac }
+          tenured_backend; los_backend; major_kind; header_layout; eager_evac;
+          adaptive }
       in
       let path =
         match out with Some p -> p | None -> name ^ ".trace.jsonl"
@@ -414,7 +426,7 @@ let gc_trace_cmd =
       const run $ factor_arg $ workload_arg $ technique $ k_arg $ out
       $ parallelism_arg $ mode_arg $ chunk_words_arg $ census_arg
       $ tenured_backend_arg $ los_backend_arg $ major_kind_arg
-      $ header_layout_arg $ eager_evac_arg)
+      $ header_layout_arg $ eager_evac_arg $ adaptive_arg)
 
 (* --- gc-profile --- *)
 
@@ -497,8 +509,20 @@ let gc_profile_cmd =
                  traced points-into graph." in
       Arg.(value & flag & info [ "no-elide" ] ~doc)
     in
-    let run path out cutoff min_objects no_elide =
-      let p = analyze path in
+    let merge_arg =
+      let doc = "Merge this trace into $(i,TRACE) before deriving the \
+                 policy (repeatable).  Per-site survival and allocation \
+                 tallies sum, so the cutoff applies to the \
+                 allocation-weighted union of the runs — one policy \
+                 serving several profiled workload mixes." in
+      Arg.(value & opt_all file [] & info [ "merge" ] ~docv:"TRACE2" ~doc)
+    in
+    let run path out cutoff min_objects no_elide merges =
+      let p =
+        List.fold_left
+          (fun acc path2 -> Obs.Profile.merge acc (analyze path2))
+          (analyze path) merges
+      in
       let policy =
         Gsc.Policy_file.of_profile p ~cutoff ~min_objects
           ~scan_elision:(not no_elide)
@@ -518,20 +542,24 @@ let gc_profile_cmd =
          exit 1);
       Printf.printf
         "%s: %d pretenured site(s), %d scan-free (cutoff %.2f, min %d \
-         objects)\n"
+         objects%s)\n"
         out
         (List.length policy.Gsc.Policy_file.sites)
         (List.length policy.Gsc.Policy_file.no_scan)
         cutoff min_objects
+        (match merges with
+         | [] -> ""
+         | _ -> Printf.sprintf ", %d traces merged" (1 + List.length merges))
     in
     Cmd.v
       (Cmd.info "emit-policy"
          ~doc:
-           "Derive a pretenuring policy from a trace and write it as a \
-            versioned policy.json for $(b,run --policy)")
+           "Derive a pretenuring policy from one or more traces \
+            ($(b,--merge)) and write it as a versioned policy.json for \
+            $(b,run --policy)")
       Term.(
         const run $ trace_arg $ out_arg $ cutoff_arg $ min_objects_arg
-        $ no_elide_arg)
+        $ no_elide_arg $ merge_arg)
   in
   Cmd.group
     (Cmd.info "gc-profile"
@@ -580,25 +608,67 @@ let gc_serve_cmd =
     Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"FILE" ~doc)
   in
   let major_kind_arg =
-    let mk_conv =
-      let parse s =
-        match Collectors.Generational.major_kind_of_string s with
-        | Some k -> Ok k
-        | None ->
-          Error
-            (`Msg
-               (Printf.sprintf "unknown major kind %S (copying, mark_sweep)"
-                  s))
-      in
-      Arg.conv
-        ( parse,
-          fun fmt k ->
-            Format.pp_print_string fmt
-              (Collectors.Generational.major_kind_name k) )
-    in
-    let doc = "Tenured collection strategy: copying or mark_sweep." in
-    Arg.(value & opt mk_conv Collectors.Generational.Copying
+    let doc = "Tenured collection strategy: copying or mark_sweep \
+               (mark_sweep requires --parallelism 1)." in
+    Arg.(value & opt major_kind_conv Collectors.Generational.Copying
          & info [ "major-kind" ] ~docv:"KIND" ~doc)
+  in
+  let tenured_backend_arg =
+    let doc = "Placement policy for pretenured allocations (and, under \
+               mark_sweep, promotions): bump, free_list or size_class." in
+    Arg.(value & opt backend_conv Alloc.Backend.Bump
+         & info [ "tenured-backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let los_backend_arg =
+    let doc = "Placement policy for the large-object space: bump, \
+               free_list or size_class." in
+    Arg.(value & opt backend_conv Alloc.Backend.Free_list
+         & info [ "los-backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let eager_evac_arg =
+    let doc = "Hierarchical (eager-child) evacuation in the copy engines \
+               (placement only; statistics unchanged)." in
+    Arg.(value & flag & info [ "eager-evac" ] ~doc)
+  in
+  let parallelism_arg =
+    let doc = "Drain domains for the copying fixpoint (1 = sequential \
+               engine).  Incompatible with --major-kind mark_sweep." in
+    Arg.(value & opt int 1 & info [ "parallelism"; "p" ] ~docv:"N" ~doc)
+  in
+  let mode_arg =
+    let modes =
+      [ ("virtual", Collectors.Par_drain.Virtual);
+        ("real", Collectors.Par_drain.Real) ]
+    in
+    let doc = "Parallel-drain execution engine: $(b,virtual) \
+               (deterministic scheduler, simulated clocks) or $(b,real) \
+               (OCaml domains).  Only meaningful with --parallelism > 1." in
+    Arg.(value & opt (enum modes) Collectors.Par_drain.Virtual
+         & info [ "parallelism-mode" ] ~docv:"MODE" ~doc)
+  in
+  let adaptive_arg =
+    let doc = "Run the adaptive control plane: online nursery resizing, \
+               tenure-threshold tuning, dynamic pretenuring and \
+               (mark_sweep) compaction scheduling, each decision traced \
+               as a $(b,policy_update) record (docs/ADAPTIVE.md).  With \
+               $(b,--trace), the run ends with an offline replay that \
+               must re-derive every decision bit-for-bit (exit 1 \
+               otherwise)." in
+    Arg.(value & flag & info [ "adaptive" ] ~doc)
+  in
+  let phase_shift_arg =
+    let doc = "Rotate every tenant to the next lifetime profile from \
+               request $(docv) on (0 = never) — the behaviour change the \
+               adaptive plane is measured against.  The request stream \
+               stays a pure function of the seed, so checksums compare \
+               across configurations at equal shift." in
+    Arg.(value & opt int 0 & info [ "phase-shift" ] ~docv:"REQ" ~doc)
+  in
+  let min_policy_updates_arg =
+    let doc = "Exit 1 unless the adaptive replay matched at least \
+               $(docv) policy updates (smoke-test hook).  Needs \
+               $(b,--adaptive) and $(b,--trace)." in
+    Arg.(value & opt int 0 & info [ "min-policy-updates" ] ~docv:"N" ~doc)
   in
   let header_layout_arg =
     let layouts =
@@ -678,13 +748,38 @@ let gc_serve_cmd =
       else Error "dump's slo_breach has no matching gc_end"
   in
   let run tenants sessions requests rate seed budget nursery_kb policy
-      major_kind header_layout max_pause p99 p999 min_mmu mmu_window
-      flight_cap flight_dump trace_file =
+      major_kind header_layout tenured_backend los_backend eager_evac
+      parallelism parallelism_mode adaptive phase_shift min_policy_updates
+      max_pause p99 p999 min_mmu mmu_window flight_cap flight_dump
+      trace_file =
     if tenants < 1 || sessions < 1 || requests < 1 || rate <= 0.
        || flight_cap < 1 then begin
       prerr_endline
         "gc-serve: --tenants, --sessions, --requests, --rate and --flight \
          must be positive";
+      exit 2
+    end;
+    if phase_shift < 0 then begin
+      prerr_endline "gc-serve: --phase-shift must be non-negative";
+      exit 2
+    end;
+    if parallelism < 1 || parallelism > Collectors.Gc_stats.max_domains
+    then begin
+      Printf.eprintf "gc-serve: --parallelism must be in [1, %d]\n"
+        Collectors.Gc_stats.max_domains;
+      exit 2
+    end;
+    if major_kind = Collectors.Generational.Mark_sweep && parallelism > 1
+    then begin
+      prerr_endline
+        "gc-serve: --major-kind mark_sweep requires --parallelism 1 (the \
+         parallel drain carves copy chunks off the space frontier)";
+      exit 2
+    end;
+    if min_policy_updates > 0 && (not adaptive || trace_file = None)
+    then begin
+      prerr_endline
+        "gc-serve: --min-policy-updates needs --adaptive and --trace FILE";
       exit 2
     end;
     let base =
@@ -705,6 +800,8 @@ let gc_serve_cmd =
       { base with
         Gsc.Config.nursery_bytes_max = nursery_kb * 1024;
         major_kind; header_layout; slo = target;
+        tenured_backend; los_backend; eager_evac; parallelism;
+        parallelism_mode; adaptive;
         global_slots = max base.Gsc.Config.global_slots tenants }
     in
     let metrics = Obs.Metrics.create () in
@@ -721,7 +818,7 @@ let gc_serve_cmd =
     let serve () =
       let rt = Gsc.Runtime.create cfg in
       Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt) @@ fun () ->
-      Workloads.Serve.run rt ~slo ~tenants ~sessions ~requests
+      Workloads.Serve.run rt ~slo ~phase_shift ~tenants ~sessions ~requests
         ~rate_rps:rate ~seed ()
     in
     let rep =
@@ -731,17 +828,21 @@ let gc_serve_cmd =
     in
     Printf.printf
       "gc-serve: %d tenants x %d sessions, %d requests @ %.0f req/s \
-       (seed %d)\n"
-      tenants sessions requests rate seed;
+       (seed %d%s)\n"
+      tenants sessions requests rate seed
+      (if phase_shift > 0 then
+         Printf.sprintf ", phase shift @%d" phase_shift
+       else "");
     Printf.printf
-      "config: %s, major=%s, layout=%s, nursery=%dKB, budget=%s\n\n"
+      "config: %s, major=%s, layout=%s, nursery=%dKB, budget=%s%s\n\n"
       (Gsc.Config.name cfg)
       (Collectors.Generational.major_kind_name major_kind)
       (match header_layout with
        | Mem.Header.Classic -> "classic"
        | Mem.Header.Packed -> "packed")
       nursery_kb
-      (Support.Units.bytes budget);
+      (Support.Units.bytes budget)
+      (if adaptive then ", adaptive" else "");
     Printf.printf
       "sustained %.0f req/s (offered %.0f); horizon %.1f ms; checksum \
        %08x\n\n"
@@ -791,14 +892,56 @@ let gc_serve_cmd =
         | Error msg ->
           Printf.eprintf "flight dump %s invalid: %s\n" flight_dump msg;
           exit 1));
+    (match trace_file with
+     | None -> ()
+     | Some path ->
+       (match Obs.Schema.validate_file path with
+        | Ok n ->
+          Printf.printf "trace: %d records in %s (schema-valid)\n" n path
+        | Error msg ->
+          Printf.eprintf "trace %s failed schema validation: %s\n" path msg;
+          exit 1));
+    (* Adaptive self-check: the trace must replay to the decisions the
+       online controller took — same seeding as the collector's own
+       controller ([Generational.adaptive_setup] on the exact config the
+       runtime resolved), so any divergence is a real determinism bug,
+       not a harness mismatch. *)
     match trace_file with
-    | None -> ()
-    | Some path ->
-      (match Obs.Schema.validate_file path with
-       | Ok n -> Printf.printf "trace: %d records in %s (schema-valid)\n" n path
+    | Some path when adaptive ->
+      let gcfg = Gsc.Config.generational_config cfg in
+      let params, nursery_w = Collectors.Generational.adaptive_setup gcfg in
+      (match
+         Control.Replay.of_file params ~nursery_limit_w:nursery_w
+           ~tenure_threshold:gcfg.Collectors.Generational.tenure_threshold
+           ~pretenured:gcfg.Collectors.Generational.pretenured_init path
+       with
        | Error msg ->
-         Printf.eprintf "trace %s failed schema validation: %s\n" path msg;
-         exit 1)
+         Printf.eprintf "adaptive replay of %s failed: %s\n" path msg;
+         exit 1
+       | Ok derived ->
+         let traced =
+           match Obs.Profile.of_file path with
+           | Ok p -> p.Obs.Profile.policy_updates
+           | Error msg ->
+             Printf.eprintf "%s: %s\n" path msg;
+             exit 1
+         in
+         (match Control.Replay.verify ~derived ~traced with
+          | Error msg ->
+            Printf.eprintf "adaptive replay diverged: %s\n" msg;
+            exit 1
+          | Ok n ->
+            Printf.printf
+              "adaptive: %d policy update(s); offline replay re-derives \
+               every decision\n"
+              n;
+            if n < min_policy_updates then begin
+              Printf.eprintf
+                "adaptive: expected at least %d policy update(s), got %d\n"
+                min_policy_updates n;
+              exit 1
+            end))
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "gc-serve"
@@ -810,8 +953,11 @@ let gc_serve_cmd =
     Term.(
       const run $ tenants_arg $ sessions_arg $ requests_arg $ rate_arg
       $ seed_arg $ budget_arg $ nursery_kb_arg $ policy_arg $ major_kind_arg
-      $ header_layout_arg $ max_pause_arg $ p99_arg $ p999_arg $ min_mmu_arg
-      $ mmu_window_arg $ flight_arg $ flight_dump_arg $ trace_file_arg)
+      $ header_layout_arg $ tenured_backend_arg $ los_backend_arg
+      $ eager_evac_arg $ parallelism_arg $ mode_arg $ adaptive_arg
+      $ phase_shift_arg $ min_policy_updates_arg $ max_pause_arg $ p99_arg
+      $ p999_arg $ min_mmu_arg $ mmu_window_arg $ flight_arg
+      $ flight_dump_arg $ trace_file_arg)
 
 let () =
   let info =

@@ -30,6 +30,7 @@ type t = {
   exception_strategy : exception_strategy;
   profiling : bool;
   pretenure : Pretenure.t;
+  adaptive : bool;
   slo : Obs.Slo.target;
   global_slots : int;
   verify_heap : bool;
@@ -59,6 +60,7 @@ let default ~budget_bytes =
     exception_strategy = Eager_watermark;
     profiling = false;
     pretenure = Pretenure.none;
+    adaptive = false;
     slo = Obs.Slo.no_target;
     global_slots = 64;
     verify_heap = false }
@@ -76,6 +78,25 @@ let with_policy_file ~budget_bytes path =
   Result.map
     (fun p -> with_pretenuring ~budget_bytes (Pretenure.of_policy p))
     (Policy_file.load path)
+
+let generational_config t =
+  { Collectors.Generational.nursery_bytes_max = t.nursery_bytes_max;
+    tenured_target_liveness = t.tenured_target_liveness;
+    budget_bytes = t.budget_bytes;
+    los_threshold_words = t.los_threshold_words;
+    barrier = t.barrier;
+    tenure_threshold = t.tenure_threshold;
+    parallelism = t.parallelism;
+    parallelism_mode = t.parallelism_mode;
+    chunk_words = t.chunk_words;
+    eager_evac = t.eager_evac;
+    census_period = t.census_period;
+    tenured_backend = t.tenured_backend;
+    los_backend = t.los_backend;
+    major_kind = t.major_kind;
+    adaptive = t.adaptive;
+    adaptive_target_p99_us = Option.value ~default:0. t.slo.Obs.Slo.p99_us;
+    pretenured_init = Pretenure.pretenured_sites t.pretenure }
 
 let name t =
   match t.collector with

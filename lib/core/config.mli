@@ -92,6 +92,19 @@ type t = {
   (* profiling and pretenuring *)
   profiling : bool;                   (** gather heap profiles (slow) *)
   pretenure : Pretenure.t;
+  adaptive : bool;                    (** generational only: run the
+                                          {!Control} plane at collection
+                                          boundaries — online nursery
+                                          resizing, tenure-threshold
+                                          tuning, dynamic pretenure
+                                          enable/disable and (mark-sweep)
+                                          compaction scheduling, each
+                                          decision emitted as a
+                                          [policy_update] trace event
+                                          (docs/ADAPTIVE.md).  Off by
+                                          default: behaviour is then
+                                          bit-for-bit the static
+                                          configuration. *)
   (* latency objectives *)
   slo : Obs.Slo.target;               (** declarative latency targets the
                                           online monitor enforces when one
@@ -128,3 +141,11 @@ val with_policy_file : budget_bytes:int -> string -> (t, string) result
 (** [name t] is a short label for tables: ["semi"], ["gen"],
     ["gen+marker"], ["gen+marker+pretenure"]. *)
 val name : t -> string
+
+(** The generational-collector configuration [t] resolves to — exactly
+    what {!Runtime.create} hands to [Collectors.Generational.create]
+    under [collector = Generational].  Exposed so tooling (gc-serve's
+    adaptive replay check) can rebuild the collector's controller
+    seeding via [Collectors.Generational.adaptive_setup] without
+    duplicating the field mapping. *)
+val generational_config : t -> Collectors.Generational.config

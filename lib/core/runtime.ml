@@ -25,6 +25,11 @@ type t = {
   trace_edges : (int * int, unit) Hashtbl.t option;
       (* site pairs already emitted as [site_edge] trace records;
          [Some] only when created while tracing *)
+  pretenure_dyn : (int, bool) Hashtbl.t;
+      (* the adaptive control plane's per-site pretenure overrides,
+         written through [Hooks.set_pretenure] at collection boundaries;
+         a present binding wins over the static policy.  Stays empty
+         when [cfg.adaptive] is off. *)
   handlers : handler_entry Support.Vec.t;
   mutable next_handler_id : int;
   mutable last_scan_serial : int;
@@ -161,6 +166,7 @@ let create cfg =
          else None);
       trace_edges =
         (if Obs.Trace.detailed () then Some (Hashtbl.create 64) else None);
+      pretenure_dyn = Hashtbl.create 16;
       handlers = Support.Vec.create ();
       next_handler_id = 0;
       last_scan_serial = -1;
@@ -174,7 +180,9 @@ let create cfg =
       object_hooks =
         Option.map Heap_profile.Profiler.object_hooks t.profiler;
       site_needs_scan =
-        (fun site -> Pretenure.needs_scan cfg.Config.pretenure ~site) }
+        (fun site -> Pretenure.needs_scan cfg.Config.pretenure ~site);
+      set_pretenure =
+        (fun ~site ~enabled -> Hashtbl.replace t.pretenure_dyn site enabled) }
   in
   let col =
     match cfg.Config.collector with
@@ -192,21 +200,7 @@ let create cfg =
     | Config.Generational ->
       Collectors.Collector.Generational
         (Collectors.Generational.create mem ~hooks ~stats
-           { Collectors.Generational.nursery_bytes_max =
-               cfg.Config.nursery_bytes_max;
-             tenured_target_liveness = cfg.Config.tenured_target_liveness;
-             budget_bytes = cfg.Config.budget_bytes;
-             los_threshold_words = cfg.Config.los_threshold_words;
-             barrier = cfg.Config.barrier;
-             tenure_threshold = cfg.Config.tenure_threshold;
-             parallelism = cfg.Config.parallelism;
-             parallelism_mode = cfg.Config.parallelism_mode;
-             chunk_words = cfg.Config.chunk_words;
-             eager_evac = cfg.Config.eager_evac;
-             census_period = cfg.Config.census_period;
-             tenured_backend = cfg.Config.tenured_backend;
-             los_backend = cfg.Config.los_backend;
-             major_kind = cfg.Config.major_kind })
+           (Config.generational_config cfg))
   in
   t.collector <- Some col;
   t
@@ -343,8 +337,15 @@ let alloc_object t hdr =
   let birth = birth_bytes t in
   let site = hdr.Header.site in
   let col = collector t in
+  let pretenure =
+    (* the adaptive override (set at collection boundaries) wins over
+       the static policy; absent a binding the static decision stands *)
+    match Hashtbl.find_opt t.pretenure_dyn site with
+    | Some b -> b
+    | None -> Pretenure.should_pretenure t.cfg.Config.pretenure ~site
+  in
   let base =
-    if Pretenure.should_pretenure t.cfg.Config.pretenure ~site then begin
+    if pretenure then begin
       if Obs.Trace.enabled () then
         Obs.Trace.pretenure ~site ~words:(Header.object_words hdr);
       Collectors.Collector.alloc_pretenured col hdr ~birth

@@ -50,7 +50,12 @@ type t = {
 }
 
 let create ~mem ~in_from ~to_space ?aging ?remember ?promote_alloc ?(eager = false)
-    ~los ~trace_los ~promoting ~object_hooks () =
+    ?site_tallies ~los ~trace_los ~promoting ~object_hooks () =
+  let site_tallies =
+    match site_tallies with
+    | Some b -> b
+    | None -> Obs.Trace.detailed ()
+  in
   { mem;
     in_from;
     to_space;
@@ -78,7 +83,7 @@ let create ~mem ~in_from ~to_space ?aging ?remember ?promote_alloc ?(eager = fal
     copied = 0;
     promoted = 0;
     scanned = 0;
-    sites = (if Obs.Trace.detailed () then Some (Hashtbl.create 32) else None) }
+    sites = (if site_tallies then Some (Hashtbl.create 32) else None) }
 
 (* per-site survival accounting; engines only pay for it while tracing *)
 let note_site_copy t ~site ~first ~words =

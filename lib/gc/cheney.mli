@@ -41,6 +41,7 @@ val create :
   ?remember:(loc:Mem.Addr.t -> owner:Mem.Addr.t option -> unit) ->
   ?promote_alloc:(int -> Mem.Addr.t option) ->
   ?eager:bool ->
+  ?site_tallies:bool ->
   los:Los.t option ->
   trace_los:bool ->
   promoting:bool ->

@@ -31,6 +31,14 @@ type config = {
   tenured_backend : Alloc.Backend.kind;
   los_backend : Alloc.Backend.kind;
   major_kind : major_kind;
+  adaptive : bool;             (* run the control plane at collection
+                                  boundaries (docs/ADAPTIVE.md) *)
+  adaptive_target_p99_us : float;
+      (* p99 pause target feeding the controller's pause rules;
+         0 disables them (the SLO target when one is attached) *)
+  pretenured_init : int list;  (* sites the static pretenure policy
+                                  already routes old, seeding the
+                                  controller's knob state *)
 }
 
 let default_config ~budget_bytes =
@@ -47,7 +55,10 @@ let default_config ~budget_bytes =
     census_period = 0;
     tenured_backend = Alloc.Backend.Bump;
     los_backend = Alloc.Backend.Free_list;
-    major_kind = Copying }
+    major_kind = Copying;
+    adaptive = false;
+    adaptive_target_p99_us = 0.;
+    pretenured_init = [] }
 
 type barrier =
   | B_ssb of Ssb.t
@@ -95,12 +106,45 @@ type t = {
       (* large-object birth ordinals; [Some] iff [census_period > 0] *)
   alloc_sites : (int, int * int) Hashtbl.t option;
       (* per-site (objects, words) allocated since the last [site_alloc]
-         flush — only allocated when the trace layer is recording at
-         collector creation, same gating as the engines' survival
-         tables *)
+         flush — allocated when the trace layer is recording in detail at
+         collector creation (same gating as the engines' survival
+         tables), or when the control plane needs the rows *)
+  mutable tenure_dyn : int;
+      (* the live tenure threshold: starts at [cfg.tenure_threshold],
+         moved by the controller's tenure actuator; every policy read
+         (scan mode, aging, retry bound, parallel gate) goes through
+         this field *)
+  controller : Control.Controller.t option;  (* [Some] iff [cfg.adaptive] *)
+  mutable compact_pending : bool;
+      (* a "compact" decision waiting for [collect] to honour it
+         (mark-sweep major only) *)
+  pret_tally : (int, int) Hashtbl.t option;
+      (* per-site pretenured-allocation counts since the last
+         collection, feeding the controller's demotion rule; [Some] iff
+         [cfg.adaptive] *)
 }
 
 let now () = Unix.gettimeofday ()
+
+let nursery_words_of cfg =
+  let wpb = Mem.Memory.bytes_per_word in
+  let budget_w = cfg.budget_bytes / wpb in
+  max 64 (min (cfg.nursery_bytes_max / wpb) (budget_w / 4))
+
+(* Single source of truth for the controller's parameters and seed, so
+   the offline replay (gc-serve's self-check, the fixed-point tests) can
+   rebuild exactly the controller [create] wires up. *)
+let adaptive_setup cfg =
+  let nursery_w = nursery_words_of cfg in
+  ( Control.Params.default
+      ?target_p99_us:
+        (if cfg.adaptive_target_p99_us > 0. then
+           Some cfg.adaptive_target_p99_us
+         else None)
+      ~tenure_max:(min 4 Mem.Header.max_age)
+      ~can_compact:(cfg.major_kind = Mark_sweep)
+      ~nursery_w (),
+    nursery_w )
 
 let create mem ~hooks ~stats cfg =
   if cfg.budget_bytes <= 0 then invalid_arg "Generational.create: empty budget";
@@ -121,7 +165,7 @@ let create mem ~hooks ~stats cfg =
     invalid_arg "Generational.create: mark_sweep major requires parallelism = 1";
   let wpb = Mem.Memory.bytes_per_word in
   let budget_w = cfg.budget_bytes / wpb in
-  let nursery_words = max 64 (min (cfg.nursery_bytes_max / wpb) (budget_w / 4)) in
+  let nursery_words = nursery_words_of cfg in
   let tenured_cap = max 128 ((budget_w - nursery_words) / 2) in
   (* a parallel drain wastes to-space on chunk tails and fillers; grant
      the physical block the worst-case slop on top of the sequential
@@ -137,6 +181,16 @@ let create mem ~hooks ~stats cfg =
   let tenured_phys = tenured_cap + nursery_words + 64 + par_headroom in
   let tenured = Mem.Space.create mem ~words:tenured_phys in
   stats.Gc_stats.major_kind <- major_kind_name cfg.major_kind;
+  let controller =
+    if cfg.adaptive then begin
+      let params, _ = adaptive_setup cfg in
+      Some
+        (Control.Controller.create params ~nursery_limit_w:nursery_words
+           ~tenure_threshold:cfg.tenure_threshold
+           ~pretenured:cfg.pretenured_init)
+    end
+    else None
+  in
   { mem;
     hooks;
     cfg;
@@ -164,11 +218,18 @@ let create mem ~hooks ~stats cfg =
     age_table = Age_table.create ();
     los_births = (if cfg.census_period > 0 then Some (Hashtbl.create 16) else None);
     alloc_sites =
-      (if Obs.Trace.detailed () then Some (Hashtbl.create 32) else None) }
+      (if Obs.Trace.detailed () || cfg.adaptive then Some (Hashtbl.create 32)
+       else None);
+    tenure_dyn = cfg.tenure_threshold;
+    controller;
+    compact_pending = false;
+    pret_tally = (if cfg.adaptive then Some (Hashtbl.create 16) else None) }
 
 let in_nursery t a = Mem.Space.contains t.nursery a
 let in_tenured t a = Mem.Space.contains t.tenured a
 let nursery_bytes t = t.nursery_words * Mem.Memory.bytes_per_word
+let nursery_limit_words t = Mem.Space.limit_words t.nursery
+let tenure_threshold_now t = t.tenure_dyn
 let live_words t = t.live + Los.live_words t.los
 let stats t = t.stats
 
@@ -344,7 +405,7 @@ type engine =
   | E_par of Par_drain.t
 
 let use_par t =
-  t.cfg.parallelism > 1 && t.cfg.tenure_threshold = 1 && !Cheney.use_raw
+  t.cfg.parallelism > 1 && t.tenure_dyn = 1 && !Cheney.use_raw
   (* redundant with the [create] validation, but keeps the gate honest
      if that ever loosens: chunk carving and backend placement clash *)
   && t.cfg.major_kind = Copying
@@ -445,23 +506,32 @@ let note_alloc_site t ~site ~words =
     in
     Hashtbl.replace tab site (objects + 1, w + words)
 
-(* flushed at every collection start and at [destroy], so the trace's
-   per-site allocation totals are exact over a fully-traced run *)
+(* Flushed at every collection start and at [destroy], so the trace's
+   per-site allocation totals are exact over a fully-traced run.
+   Returns the sorted rows: the controller aggregates the same deltas
+   the trace carries, which is what keeps its decisions replayable.
+   Emission is gated on the detailed sinks — a flight ring must not be
+   flooded with per-site rows just because the control plane keeps the
+   table alive. *)
 let flush_site_allocs t =
   match t.alloc_sites with
-  | None -> ()
+  | None -> []
   | Some tab ->
-    if Hashtbl.length tab > 0 then begin
+    if Hashtbl.length tab = 0 then []
+    else begin
       let rows =
-        Hashtbl.fold
-          (fun site (objects, words) acc -> (site, objects, words) :: acc)
-          tab []
+        List.sort compare
+          (Hashtbl.fold
+             (fun site (objects, words) acc -> (site, objects, words) :: acc)
+             tab [])
       in
-      List.iter
-        (fun (site, objects, words) ->
-          Obs.Trace.site_alloc ~site ~objects ~words)
-        (List.sort compare rows);
-      Hashtbl.reset tab
+      if Obs.Trace.detailed () then
+        List.iter
+          (fun (site, objects, words) ->
+            Obs.Trace.site_alloc ~site ~objects ~words)
+          rows;
+      Hashtbl.reset tab;
+      rows
     end
 
 (* --- heap census (census_period > 0, tracing only) --- *)
@@ -585,16 +655,85 @@ let sample_backend_stats t ~traced =
       ~largest_hole:lf.Alloc.Backend.largest_hole
   end
 
+(* --- the adaptive control plane (cfg.adaptive, docs/ADAPTIVE.md) --- *)
+
+(* One decision, one actuator.  Knob state lives in the controller; this
+   only pushes it into the machinery it steers.  The nursery limit is a
+   soft cap ([Mem.Space.set_limit]) so a shrink never invalidates words
+   already allocated; [set_pretenure] routes through the runtime's
+   override table; "compact" arms a one-shot flag [collect] consumes. *)
+let apply_decision t c (d : Control.Controller.decision) =
+  match d.Control.Controller.d_knob with
+  | "nursery_limit_w" ->
+    Mem.Space.set_limit t.nursery (Control.Controller.nursery_limit_w c)
+  | "tenure_threshold" ->
+    t.tenure_dyn <- Control.Controller.tenure_threshold c
+  | "compact" -> t.compact_pending <- true
+  | knob ->
+    (match String.index_opt knob ':' with
+     | Some i ->
+       let site =
+         int_of_string (String.sub knob (i + 1) (String.length knob - i - 1))
+       in
+       t.hooks.Hooks.set_pretenure ~site
+         ~enabled:(d.Control.Controller.d_new = 1)
+     | None -> ())
+
+(* Feed the collection that just ended to the controller and act on
+   whatever decisions close the window.  Runs strictly after [gc_end]
+   (so the [policy_update] records carry this collection's ordinal) and
+   never between [gc_begin] and [gc_end] — the control plane stays off
+   the pause's critical path and off the mutator's entirely.  Every
+   field of the observation either appears verbatim in the trace or is
+   derived from it, which is what lets [Control.Replay] re-run the fold
+   offline and demand bit-for-bit the same decisions. *)
+let control_after_collection t ~kind ~nursery_begin_w ~pause_us ~promoted_w
+    ~live_w ~survivals ~alloc_rows =
+  match t.controller with
+  | None -> ()
+  | Some c ->
+    let pret_rows =
+      match t.pret_tally with
+      | None -> []
+      | Some tab ->
+        let rows = Hashtbl.fold (fun s n acc -> (s, n) :: acc) tab [] in
+        Hashtbl.reset tab;
+        List.sort compare rows
+    in
+    let tf = Alloc.Backend.frag t.tenured_be in
+    let obs =
+      { Control.Controller.o_gc = t.collections;
+        o_kind = kind;
+        o_nursery_w = nursery_begin_w;
+        o_pause_us = pause_us;
+        o_promoted_w = promoted_w;
+        o_live_w = live_w;
+        o_survival = survivals;
+        o_alloc = alloc_rows;
+        o_pretenured = pret_rows;
+        o_tenured_live_w = Alloc.Backend.live_words t.tenured_be;
+        o_tenured_free_w = tf.Alloc.Backend.free_words;
+        o_tenured_largest_hole = tf.Alloc.Backend.largest_hole }
+    in
+    List.iter
+      (fun (d : Control.Controller.decision) ->
+        Obs.Trace.policy_update ~knob:d.Control.Controller.d_knob
+          ~old_value:d.Control.Controller.d_old
+          ~new_value:d.Control.Controller.d_new
+          ~window:d.Control.Controller.d_window
+          ~signals:d.Control.Controller.d_signals;
+        apply_decision t c d)
+      (Control.Controller.observe c obs)
+
 let minor_collection t =
   t.collections <- t.collections + 1;
   let traced = Obs.Trace.enabled () in
-  if traced then begin
-    Obs.Trace.gc_begin ~kind:"minor"
-      ~nursery_w:(Mem.Space.used_words t.nursery)
+  let nursery_begin_w = Mem.Space.used_words t.nursery in
+  if traced then
+    Obs.Trace.gc_begin ~kind:"minor" ~nursery_w:nursery_begin_w
       ~tenured_w:(Mem.Space.used_words t.tenured)
       ~los_w:(Los.live_words t.los);
-    flush_site_allocs t
-  end;
+  let alloc_rows = flush_site_allocs t in
   let t0 = now () in
   let roots = Support.Vec.create () in
   (* Skipping previously-scanned frames is sound only under immediate
@@ -603,7 +742,7 @@ let minor_collection t =
      object that this collection moves, so cached frames are replayed
      (decode reuse without the skip). *)
   let mode =
-    if t.cfg.tenure_threshold = 1 then Rstack.Scan.Minor else Rstack.Scan.Full
+    if t.tenure_dyn = 1 then Rstack.Scan.Minor else Rstack.Scan.Full
   in
   let res = t.hooks.Hooks.scan_stack mode (Support.Vec.push roots) in
   t.hooks.Hooks.visit_globals (Support.Vec.push roots);
@@ -618,10 +757,10 @@ let minor_collection t =
   (* under an aging nursery, survivors below the threshold evacuate into
      a fresh nursery semispace instead of being promoted *)
   let aging =
-    if t.cfg.tenure_threshold > 1 then
+    if t.tenure_dyn > 1 then
       Some
         { Cheney.young_to = Mem.Space.create t.mem ~words:t.nursery_words;
-          threshold = t.cfg.tenure_threshold }
+          threshold = t.tenure_dyn }
     else None
   in
   (* old-to-young edges that survive the collection (aging only) must
@@ -645,7 +784,9 @@ let minor_collection t =
         (Par_drain.create ~mem:t.mem
            ~in_from:(Mem.Space.contains t.nursery)
            ~to_space:t.tenured ~los:(Some t.los) ~trace_los:false
-           ~promoting:true ~eager:t.cfg.eager_evac ~object_hooks:t.hooks.Hooks.object_hooks
+           ~promoting:true ~eager:t.cfg.eager_evac
+           ~site_tallies:(Obs.Trace.detailed () || t.cfg.adaptive)
+           ~object_hooks:t.hooks.Hooks.object_hooks
            ?card_scan:
              (match t.barrier with
               | B_cards (cards, _) ->
@@ -661,6 +802,7 @@ let minor_collection t =
            ~in_from:(Mem.Space.contains t.nursery)
            ~to_space:t.tenured ?aging ~remember
            ~eager:t.cfg.eager_evac
+           ~site_tallies:(Obs.Trace.detailed () || t.cfg.adaptive)
            ?promote_alloc:
              (* under the mark-sweep major promotions go through the
                 placement policy so they can land in swept holes *)
@@ -709,6 +851,7 @@ let minor_collection t =
   let t2 = now () in
   t.stats.Gc_stats.copy_seconds <-
     t.stats.Gc_stats.copy_seconds +. (t2 -. t_barrier1);
+  let survivals = eng_site_survivals engine in
   if traced then begin
     Obs.Trace.phase ~name:"copy"
       ~dur_us:((t2 -. t_barrier1) *. 1e6)
@@ -718,10 +861,11 @@ let minor_collection t =
            ("scanned_w", eng_scanned engine) ]
          @ steal_counters engine);
     trace_domain_spans engine;
-    List.iter
-      (fun (site, objects, first_objects, words) ->
-        Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
-      (eng_site_survivals engine)
+    if Obs.Trace.detailed () then
+      List.iter
+        (fun (site, objects, first_objects, words) ->
+          Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
+        survivals
   end;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
@@ -738,6 +882,11 @@ let minor_collection t =
      (* the fresh semispace with the young survivors becomes the nursery *)
      Mem.Space.release t.nursery t.mem;
      t.nursery <- a.Cheney.young_to);
+  (* both swap paths restore the full physical capacity; the adaptive
+     soft limit must survive the swap *)
+  (match t.controller with
+   | None -> ()
+   | Some c -> Mem.Space.set_limit t.nursery (Control.Controller.nursery_limit_w c));
   let copied = eng_copied engine in
   t.stats.Gc_stats.words_copied <- t.stats.Gc_stats.words_copied + copied;
   t.stats.Gc_stats.words_promoted <-
@@ -748,24 +897,28 @@ let minor_collection t =
   census_after_collection t ~traced;
   sample_backend_stats t ~traced;
   t.hooks.Hooks.after_collection ~full:false;
+  let live_w = occupancy t in
+  let promoted_w = eng_promoted engine in
+  (* one reading feeds both the trace and the controller, so the value
+     the offline replay recovers from [gc_end] is the value the online
+     rules actually saw *)
+  let pause_us = (now () -. t0) *. 1e6 in
   if traced then
-    Obs.Trace.gc_end ~kind:"minor"
-      ~pause_us:((now () -. t0) *. 1e6)
-      ~copied_w:copied
-      ~promoted_w:(eng_promoted engine)
-      ~live_w:(occupancy t)
+    Obs.Trace.gc_end ~kind:"minor" ~pause_us ~copied_w:copied
+      ~promoted_w ~live_w;
+  control_after_collection t ~kind:"minor" ~nursery_begin_w ~pause_us
+    ~promoted_w ~live_w ~survivals ~alloc_rows
 
 let major_collection t =
   assert (Mem.Space.used_words t.nursery = 0);
   t.collections <- t.collections + 1;
   let traced = Obs.Trace.enabled () in
-  if traced then begin
+  if traced then
     Obs.Trace.gc_begin ~kind:"major"
       ~nursery_w:(Mem.Space.used_words t.nursery)
       ~tenured_w:(Mem.Space.used_words t.tenured)
       ~los_w:(Los.live_words t.los);
-    flush_site_allocs t
-  end;
+  let alloc_rows = flush_site_allocs t in
   let t0 = now () in
   let roots = Support.Vec.create () in
   let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
@@ -786,6 +939,7 @@ let major_collection t =
            ~in_from:(Mem.Space.contains t.tenured)
            ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
            ~eager:t.cfg.eager_evac
+           ~site_tallies:(Obs.Trace.detailed () || t.cfg.adaptive)
            ~object_hooks:t.hooks.Hooks.object_hooks
            ~parallelism:t.cfg.parallelism ~mode:t.cfg.parallelism_mode
            ?chunk_words:
@@ -797,6 +951,7 @@ let major_collection t =
            ~in_from:(Mem.Space.contains t.tenured)
            ~to_space ~los:(Some t.los) ~trace_los:true ~promoting:false
            ~eager:t.cfg.eager_evac
+           ~site_tallies:(Obs.Trace.detailed () || t.cfg.adaptive)
            ~object_hooks:t.hooks.Hooks.object_hooks ())
   in
   eng_drain engine roots;
@@ -822,12 +977,14 @@ let major_collection t =
     trace_domain_spans engine;
     Obs.Trace.phase ~name:"los_sweep"
       ~dur_us:((t2 -. t_drain) *. 1e6)
-      ~counters:[ ("live_w", Los.live_words t.los); ("freed_w", los_freed_w) ];
+      ~counters:[ ("live_w", Los.live_words t.los); ("freed_w", los_freed_w) ]
+  end;
+  let survivals = eng_site_survivals engine in
+  if traced && Obs.Trace.detailed () then
     List.iter
       (fun (site, objects, first_objects, words) ->
         Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
-      (eng_site_survivals engine)
-  end;
+      survivals;
   (match t.hooks.Hooks.object_hooks with
    | None -> ()
    | Some h ->
@@ -887,10 +1044,12 @@ let major_collection t =
   census_after_collection t ~traced;
   sample_backend_stats t ~traced;
   t.hooks.Hooks.after_collection ~full:true;
+  let pause_us = (now () -. t0) *. 1e6 in
   if traced then
-    Obs.Trace.gc_end ~kind:"major"
-      ~pause_us:((now () -. t0) *. 1e6)
-      ~copied_w:copied ~promoted_w:0 ~live_w:live_total
+    Obs.Trace.gc_end ~kind:"major" ~pause_us ~copied_w:copied ~promoted_w:0
+      ~live_w:live_total;
+  control_after_collection t ~kind:"major" ~nursery_begin_w:0 ~pause_us
+    ~promoted_w:0 ~live_w:live_total ~survivals ~alloc_rows
 
 (* The mark-sweep major: mark tenured + LOS in place, sweep dead tenured
    objects back into the backend as holes, sweep the LOS as usual.
@@ -902,13 +1061,12 @@ let major_mark_sweep t =
   assert (Mem.Space.used_words t.nursery = 0);
   t.collections <- t.collections + 1;
   let traced = Obs.Trace.enabled () in
-  if traced then begin
+  if traced then
     Obs.Trace.gc_begin ~kind:"major"
       ~nursery_w:(Mem.Space.used_words t.nursery)
       ~tenured_w:(Mem.Space.used_words t.tenured)
       ~los_w:(Los.live_words t.los);
-    flush_site_allocs t
-  end;
+  let alloc_rows = flush_site_allocs t in
   let t0 = now () in
   let roots = Support.Vec.create () in
   let res = t.hooks.Hooks.scan_stack Rstack.Scan.Full (Support.Vec.push roots) in
@@ -920,13 +1078,17 @@ let major_mark_sweep t =
     Obs.Trace.phase ~name:"roots"
       ~dur_us:((t1 -. t0) *. 1e6)
       ~counters:[ ("roots", Support.Vec.length roots) ];
-  let eng = Mark_sweep.create ~mem:t.mem ~tenured:t.tenured ~los:t.los () in
+  let eng =
+    Mark_sweep.create ~mem:t.mem ~tenured:t.tenured ~los:t.los
+      ~site_tallies:(Obs.Trace.detailed () || t.cfg.adaptive) ()
+  in
   Support.Vec.iter (Mark_sweep.visit_root eng) roots;
   Mark_sweep.drain eng;
   Gc_stats.add_scanned t.stats ~domain:0 (Mark_sweep.words_scanned eng);
   t.stats.Gc_stats.words_marked <-
     t.stats.Gc_stats.words_marked + Mark_sweep.words_marked eng;
   let t_mark = now () in
+  let survivals = Mark_sweep.site_survivals eng in
   if traced then begin
     Obs.Trace.phase ~name:"mark"
       ~dur_us:((t_mark -. t1) *. 1e6)
@@ -934,10 +1096,11 @@ let major_mark_sweep t =
         [ ("marked_w", Mark_sweep.words_marked eng);
           ("marked_objects", Mark_sweep.objects_marked eng);
           ("scanned_w", Mark_sweep.words_scanned eng) ];
-    List.iter
-      (fun (site, objects, first_objects, words) ->
-        Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
-      (Mark_sweep.site_survivals eng)
+    if Obs.Trace.detailed () then
+      List.iter
+        (fun (site, objects, first_objects, words) ->
+          Obs.Trace.site_survival ~site ~objects ~first_objects ~words)
+        survivals
   end;
   let on_die =
     match t.hooks.Hooks.object_hooks with
@@ -997,10 +1160,12 @@ let major_mark_sweep t =
   census_after_collection t ~traced;
   sample_backend_stats t ~traced;
   t.hooks.Hooks.after_collection ~full:true;
+  let pause_us = (now () -. t0) *. 1e6 in
   if traced then
-    Obs.Trace.gc_end ~kind:"major"
-      ~pause_us:((now () -. t0) *. 1e6)
-      ~copied_w:0 ~promoted_w:0 ~live_w:live_total
+    Obs.Trace.gc_end ~kind:"major" ~pause_us ~copied_w:0 ~promoted_w:0
+      ~live_w:live_total;
+  control_after_collection t ~kind:"major" ~nursery_begin_w:0 ~pause_us
+    ~promoted_w:0 ~live_w:live_total ~survivals ~alloc_rows
 
 (* Fragmentation fallback gauge: can the tenured area absorb another
    nursery's worth of promotion?  Frontier headroom always counts.
@@ -1029,8 +1194,16 @@ let collect t ~major =
   t.in_gc <- true;
   Fun.protect ~finally:(fun () -> t.in_gc <- false) (fun () ->
     minor_collection t;
-    let pressure = t.cfg.major_kind = Mark_sweep && needs_compaction t in
+    (* a "compact" decision from the control plane counts as
+       fragmentation pressure: it forces the major now and routes the
+       mark-sweep configuration through the copying compaction *)
+    let pressure =
+      t.cfg.major_kind = Mark_sweep
+      && (needs_compaction t || t.compact_pending)
+    in
     if major || occupancy t >= t.major_trigger || pressure then begin
+      let compact_req = t.compact_pending in
+      t.compact_pending <- false;
       (* under an aging nursery survivors may remain young; repeated
          minors age them out so the major sees an empty nursery (bounded
          by the maximum age) *)
@@ -1048,7 +1221,7 @@ let collect t ~major =
         (* in-place reclamation was not enough room (fragmentation, or a
            bump backend that cannot reuse): compact with the copying
            major, which rebuilds the backend over a fresh space *)
-        if needs_compaction t then major_collection t
+        if compact_req || needs_compaction t then major_collection t
     end)
 
 let minor t = collect t ~major:false
@@ -1126,7 +1299,19 @@ let alloc t hdr ~birth =
         match bump_alloc t t.nursery hdr ~birth with
         | Some base -> base
         | None ->
-          if attempts >= t.cfg.tenure_threshold then
+          if Mem.Space.limit_words t.nursery < t.nursery_words then begin
+            (* the adaptive soft limit is too tight for this object:
+               open the physical nursery rather than fail — the
+               controller's next resize decision re-imposes its limit *)
+            Mem.Space.set_limit t.nursery t.nursery_words;
+            match bump_alloc t t.nursery hdr ~birth with
+            | Some base -> base
+            | None ->
+              if attempts >= t.tenure_dyn then
+                failwith "Generational: nursery exhausted after collection"
+              else retry (attempts + 1)
+          end
+          else if attempts >= t.tenure_dyn then
             failwith "Generational: nursery exhausted after collection"
           else retry (attempts + 1)
       in
@@ -1145,13 +1330,21 @@ let alloc_pretenured t hdr ~birth =
     Mem.Header.set_survivor t.mem base;
     if t.cfg.major_kind = Mark_sweep then
       Support.Vec.push t.new_pretenured base;
+    (match t.pret_tally with
+     | None -> ()
+     | Some tab ->
+       let site = hdr.Mem.Header.site in
+       Hashtbl.replace tab site
+         (1 + Option.value ~default:0 (Hashtbl.find_opt tab site)));
     base
   | None -> failwith "Generational: tenured area exhausted (pretenuring)"
 
 let destroy t =
   (* allocations since the last collection have not been flushed yet;
-     emit them so a fully-traced run's per-site totals are exact *)
-  if Obs.Trace.enabled () then flush_site_allocs t;
+     emit them so a fully-traced run's per-site totals are exact
+     (emission is self-gated; the returned rows feed no controller —
+     there is no collection left to decide for) *)
+  ignore (flush_site_allocs t : (int * int * int) list);
   Mem.Space.release t.nursery t.mem;
   Mem.Space.release t.tenured t.mem;
   Los.destroy t.los

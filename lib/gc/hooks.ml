@@ -10,6 +10,7 @@ type t = {
   after_collection : full:bool -> unit;
   object_hooks : object_hooks option;
   site_needs_scan : int -> bool;
+  set_pretenure : site:int -> enabled:bool -> unit;
 }
 
 let nothing = {
@@ -24,4 +25,5 @@ let nothing = {
   after_collection = (fun ~full:_ -> ());
   object_hooks = None;
   site_needs_scan = (fun _ -> true);
+  set_pretenure = (fun ~site:_ ~enabled:_ -> ());
 }

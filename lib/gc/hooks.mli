@@ -33,6 +33,11 @@ type t = {
       (** Section 7.2 scan elision: [false] means objects born at this
           site can only point at pretenured/tenured data, so the
           pretenured-region scan may skip them *)
+  set_pretenure : site:int -> enabled:bool -> unit;
+      (** the adaptive controller's pretenure actuator: override the
+          static pretenure decision for [site] at the next allocation
+          (the runtime keeps the override table; collectors only call
+          this at collection boundaries) *)
 }
 
 (** Hooks that scan nothing and profile nothing (used by unit tests that

@@ -31,7 +31,12 @@ type t = {
          engines' survival tallies, gated on tracing the same way *)
 }
 
-let create ~mem ~tenured ~los () =
+let create ~mem ~tenured ~los ?site_tallies () =
+  let site_tallies =
+    match site_tallies with
+    | Some b -> b
+    | None -> Obs.Trace.detailed ()
+  in
   { mem;
     tenured;
     t_cells = Mem.Memory.cells mem (Mem.Space.base tenured);
@@ -43,7 +48,7 @@ let create ~mem ~tenured ~los () =
     marked_los = 0;
     marked_objects = 0;
     scanned = 0;
-    sites = (if Obs.Trace.detailed () then Some (Hashtbl.create 32) else None) }
+    sites = (if site_tallies then Some (Hashtbl.create 32) else None) }
 
 let note_site_mark t ~site ~first ~words =
   match t.sites with

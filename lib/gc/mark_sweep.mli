@@ -20,7 +20,9 @@ type t
 
 (** [create ~mem ~tenured ~los ()] is an engine over the given tenured
     space and large-object space with an empty mark bitmap. *)
-val create : mem:Mem.Memory.t -> tenured:Mem.Space.t -> los:Los.t -> unit -> t
+val create :
+  mem:Mem.Memory.t -> tenured:Mem.Space.t -> los:Los.t ->
+  ?site_tallies:bool -> unit -> t
 
 (** [visit_root t root] marks the root's referent (tenured or large
     object) and queues it for field scanning.  Roots are read, never

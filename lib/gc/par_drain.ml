@@ -144,7 +144,7 @@ type t = {
 }
 
 let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ?(eager = false)
-    ~object_hooks ?card_scan ~parallelism ?(mode = Virtual)
+    ?site_tallies ~object_hooks ?card_scan ~parallelism ?(mode = Virtual)
     ?(chunk_words = default_chunk_words)
     ?(batch = default_batch) ?(seed = 0x9e3779) () =
   if parallelism < 1 || parallelism > max_workers then
@@ -152,7 +152,11 @@ let create ~mem ~in_from ~to_space ~los ~trace_los ~promoting ?(eager = false)
   if chunk_words < 2 * (Mem.Header.header_words ()) then
     invalid_arg "Par_drain.create: chunk too small";
   if batch < 1 then invalid_arg "Par_drain.create: empty batch";
-  let tracing = Obs.Trace.detailed () in
+  let tracing =
+    match site_tallies with
+    | Some b -> b
+    | None -> Obs.Trace.detailed ()
+  in
   let to_base = Mem.Space.base to_space in
   { mem;
     in_from;

@@ -68,6 +68,7 @@ val create :
   trace_los:bool ->
   promoting:bool ->
   ?eager:bool ->
+  ?site_tallies:bool ->
   object_hooks:Hooks.object_hooks option ->
   ?card_scan:((Mem.Addr.t -> unit) -> int -> unit) ->
   parallelism:int ->

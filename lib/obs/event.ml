@@ -1,4 +1,4 @@
-let version = 4
+let version = 5
 
 type t =
   | Gc_begin of {
@@ -72,6 +72,13 @@ type t =
       limit_us : float;
       window_us : float;
     }
+  | Policy_update of {
+      knob : string;
+      old_value : int;
+      new_value : int;
+      window : int;
+      signals : (string * int) list;
+    }
 
 let name = function
   | Gc_begin _ -> "gc_begin"
@@ -87,6 +94,7 @@ let name = function
   | Unwind _ -> "unwind"
   | Backend_stats _ -> "backend_stats"
   | Slo_breach _ -> "slo_breach"
+  | Policy_update _ -> "policy_update"
 
 (* Serialisation is a straight-line Buffer write: emission runs inside
    GC pauses, so no intermediate [Json.t] is built. *)
@@ -191,5 +199,11 @@ let write b ~seq ~t_us ~gc ~dom e =
      field_str b "rule" rule;
      field_us b "observed_us" observed_us;
      field_us b "limit_us" limit_us;
-     field_us b "window_us" window_us);
+     field_us b "window_us" window_us
+   | Policy_update { knob; old_value; new_value; window; signals } ->
+     field_str b "knob" knob;
+     field_int b "old" old_value;
+     field_int b "new" new_value;
+     field_int b "window" window;
+     field_counters b "signals" signals);
   Buffer.add_string b "}\n"

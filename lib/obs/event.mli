@@ -19,7 +19,8 @@
     2 = adds ["v"], [site_alloc]/[site_edge]/[census] events and
     [site_survival.first_objects]; 3 = adds the ["dom"] envelope field
     (id of the domain that emitted the record); 4 = adds the
-    [slo_breach] event (the online {!Slo} monitor's verdicts). *)
+    [slo_breach] event (the online {!Slo} monitor's verdicts); 5 = adds
+    the [policy_update] event (the adaptive control plane's decisions). *)
 val version : int
 
 type t =
@@ -117,6 +118,22 @@ type t =
            [gc_end]; stamped with the breaching collection's ordinal,
            immediately after its [gc_end] record.  Uniformly,
            [observed_us > limit_us]. *)
+  | Policy_update of {
+      knob : string;      (** "nursery_limit_w" | "tenure_threshold"
+                              | "pretenure_site:<id>" | "compact" *)
+      old_value : int;
+      new_value : int;
+      window : int;       (** ordinal of the decision window that closed *)
+      signals : (string * int) list;
+        (** the integer-scaled signal values the rule fired on (pauses in
+            tenths of a microsecond, rates in permille) — enough to audit
+            the decision without replaying the whole trace *)
+    }  (** the adaptive control plane changed a knob at a collection
+           boundary; emitted right after the deciding collection's
+           [gc_end] (and any [slo_breach]) records.  Decisions are pure
+           functions of trace-derivable signals, so an offline fold of
+           the trace re-derives every [policy_update] bit-for-bit (see
+           [docs/ADAPTIVE.md]). *)
 
 (** [name e] is the record's ["ev"] discriminator. *)
 val name : t -> string

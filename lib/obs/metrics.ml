@@ -181,6 +181,9 @@ let record t e =
   | Event.Slo_breach { rule; _ } ->
     incr t "slo.breach" 1;
     incr t ("slo.breach." ^ rule) 1
+  | Event.Policy_update { knob; _ } ->
+    incr t "policy.update" 1;
+    incr t ("policy.update." ^ knob) 1
 
 (* --- snapshot --- *)
 

@@ -45,6 +45,15 @@ type backend_row = {
   b_largest_hole : int;
 }
 
+type policy_row = {
+  u_gc : int;
+  u_knob : string;
+  u_old : int;
+  u_new : int;
+  u_window : int;
+  u_signals : (string * int) list;
+}
+
 type t = {
   events : int;
   collections : int;
@@ -61,6 +70,7 @@ type t = {
   copied_w : int;
   promoted_w : int;
   slo_breaches : (string * int) list;
+  policy_updates : policy_row list;
   span_us : float;
 }
 
@@ -140,6 +150,7 @@ let of_lines lines =
   (* last snapshot per region: backend_stats records are gauges *)
   let backends : (string, backend_row) Hashtbl.t = Hashtbl.create 4 in
   let slo_breaches : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let policy_updates = ref [] in    (* newest first *)
   (* the pending collection: (gc ordinal, kind, begin timestamp) —
      collections never nest, so one slot suffices *)
   let open_gc = ref None in
@@ -227,6 +238,15 @@ let of_lines lines =
       let rule = mem_str members "rule" in
       Hashtbl.replace slo_breaches rule
         (1 + Option.value ~default:0 (Hashtbl.find_opt slo_breaches rule))
+    | "policy_update" ->
+      policy_updates :=
+        { u_gc = gc;
+          u_knob = mem_str members "knob";
+          u_old = mem_int members "old";
+          u_new = mem_int members "new";
+          u_window = mem_int members "window";
+          u_signals = mem_counters members "signals" }
+        :: !policy_updates
     | "marker_place" | "unwind" -> ()
     | _ -> ()
   in
@@ -297,6 +317,7 @@ let of_lines lines =
         slo_breaches =
           List.sort compare
             (Hashtbl.fold (fun k v rest -> (k, v) :: rest) slo_breaches []);
+        policy_updates = List.rev !policy_updates;
         span_us = !span_us }
 
 let of_file path =
@@ -308,6 +329,73 @@ let of_file path =
     | line -> read (line :: acc)
   in
   of_lines (read [])
+
+(* Cross-run union for `emit-policy --merge`: per-site counters sum, so
+   [old_fraction] of the merged profile is the allocation-weighted
+   combination of the runs (summed numerators over summed denominators).
+   Count-like whole-run stats sum too; gauges (backend snapshots) keep
+   the later run's value; pauses and decisions concatenate in argument
+   order. *)
+let merge a b =
+  let merge_assoc zero add xs ys =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) xs;
+    List.iter
+      (fun (k, v) ->
+        Hashtbl.replace tbl k
+          (add (Option.value ~default:zero (Hashtbl.find_opt tbl k)) v))
+      ys;
+    List.sort compare (Hashtbl.fold (fun k v rest -> (k, v) :: rest) tbl [])
+  in
+  let merge_sites xs ys =
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun s -> Hashtbl.replace tbl s.site s) xs;
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt tbl s.site with
+        | None -> Hashtbl.replace tbl s.site s
+        | Some p ->
+          Hashtbl.replace tbl s.site
+            { site = s.site;
+              alloc_objects = p.alloc_objects + s.alloc_objects;
+              alloc_words = p.alloc_words + s.alloc_words;
+              survived_objects = p.survived_objects + s.survived_objects;
+              first_objects = p.first_objects + s.first_objects;
+              survived_words = p.survived_words + s.survived_words;
+              pretenured_objects = p.pretenured_objects + s.pretenured_objects;
+              pretenured_words = p.pretenured_words + s.pretenured_words })
+      ys;
+    Hashtbl.fold (fun _ s rest -> s :: rest) tbl []
+    |> List.sort (fun x y -> compare x.site y.site)
+  in
+  let merge_backends xs ys =
+    let tbl = Hashtbl.create 4 in
+    List.iter (fun r -> Hashtbl.replace tbl r.b_region r) xs;
+    List.iter (fun r -> Hashtbl.replace tbl r.b_region r) ys;
+    List.sort compare (Hashtbl.fold (fun _ r rest -> r :: rest) tbl [])
+  in
+  { events = a.events + b.events;
+    collections = a.collections + b.collections;
+    gc_kinds = merge_assoc 0 ( + ) a.gc_kinds b.gc_kinds;
+    sites = merge_sites a.sites b.sites;
+    edges = List.sort_uniq compare (a.edges @ b.edges);
+    pauses = a.pauses @ b.pauses;
+    censuses = a.censuses @ b.censuses;
+    scan =
+      { scans = a.scan.scans + b.scan.scans;
+        frames_decoded = a.scan.frames_decoded + b.scan.frames_decoded;
+        frames_reused = a.scan.frames_reused + b.scan.frames_reused;
+        slots_decoded = a.scan.slots_decoded + b.scan.slots_decoded;
+        scan_roots = a.scan.scan_roots + b.scan.scan_roots };
+    phase_us = merge_assoc 0. ( +. ) a.phase_us b.phase_us;
+    region_scanned_w = a.region_scanned_w + b.region_scanned_w;
+    region_skipped_w = a.region_skipped_w + b.region_skipped_w;
+    backends = merge_backends a.backends b.backends;
+    copied_w = a.copied_w + b.copied_w;
+    promoted_w = a.promoted_w + b.promoted_w;
+    slo_breaches = merge_assoc 0 ( + ) a.slo_breaches b.slo_breaches;
+    policy_updates = a.policy_updates @ b.policy_updates;
+    span_us = Float.max a.span_us b.span_us }
 
 let site_stats t ~site = List.find_opt (fun s -> s.site = site) t.sites
 

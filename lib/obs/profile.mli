@@ -74,6 +74,18 @@ type backend_row = {
   b_largest_hole : int;
 }
 
+(** One [policy_update] record — an adaptive control-plane decision —
+    in trace order.  The decision-replay test re-derives this list by
+    folding the same trace through the offline controller. *)
+type policy_row = {
+  u_gc : int;        (** collection ordinal the decision followed *)
+  u_knob : string;
+  u_old : int;
+  u_new : int;
+  u_window : int;
+  u_signals : (string * int) list;
+}
+
 type t = {
   events : int;               (** records folded *)
   collections : int;          (** [gc_begin] records *)
@@ -92,6 +104,7 @@ type t = {
   promoted_w : int;
   slo_breaches : (string * int) list;
       (** [slo_breach] records tallied per rule, sorted *)
+  policy_updates : policy_row list;  (** in trace order *)
   span_us : float;            (** run span: the largest timestamp seen,
                                   pause ends included *)
 }
@@ -103,6 +116,14 @@ val of_lines : string list -> (t, string) result
 
 (** [of_file path] reads and folds a trace file. *)
 val of_file : string -> (t, string) result
+
+(** [merge a b] unions two profiles for cross-run policy derivation
+    (`emit-policy --merge`): per-site counters and whole-run totals sum
+    — so {!old_fraction} of the merged profile is the
+    allocation-weighted combination of the runs — while gauges (backend
+    snapshots) keep the later profile's value and pauses / censuses /
+    decisions concatenate in argument order. *)
+val merge : t -> t -> t
 
 (** [site_stats t ~site] looks up one site's totals. *)
 val site_stats : t -> site:int -> site option

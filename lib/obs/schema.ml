@@ -35,7 +35,10 @@ let tables =
        ("free_blocks", Int); ("largest_hole", Int) ]);
     ("slo_breach",
      [ ("rule", Str); ("observed_us", Us); ("limit_us", Us);
-       ("window_us", Us) ]) ]
+       ("window_us", Us) ]);
+    ("policy_update",
+     [ ("knob", Str); ("old", Int); ("new", Int); ("window", Int);
+       ("signals", Counters) ]) ]
 
 let kinds = List.map fst tables
 

@@ -92,3 +92,10 @@ val mmu : t -> window_us:float -> float
 val breaches : t -> (string * int) list
 
 val breach_total : t -> int
+
+(** [quant v] rounds [v] to the one decimal the serialiser writes
+    (["%.1f"]) — the quantisation that makes online statistics equal
+    offline ones exactly.  The adaptive control plane quantises every
+    pause through this before deciding, so decisions replay bit-for-bit
+    from the trace. *)
+val quant : float -> float

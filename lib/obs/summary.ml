@@ -401,6 +401,44 @@ let breach_line (p : Profile.t) =
             (fun (rule, n) -> Printf.sprintf "%s:%d" rule n)
             p.Profile.slo_breaches))
 
+(* the adaptive control plane's decision timeline, in trace order *)
+let policy_table ?(site_name = default_site_name) (p : Profile.t) =
+  if p.Profile.policy_updates = [] then ""
+  else begin
+    let grid =
+      Support.Textgrid.create
+        ~columns:Support.Textgrid.[ Right; Right; Left; Right; Right; Left ]
+    in
+    Support.Textgrid.add_row grid
+      [ "gc"; "window"; "knob"; "old"; "new"; "signals" ];
+    Support.Textgrid.add_rule grid;
+    let knob_label k =
+      (* pretenure knobs carry a site id; render it through site_name *)
+      match String.index_opt k ':' with
+      | Some i when String.sub k 0 i = "pretenure_site" ->
+        (match
+           int_of_string_opt (String.sub k (i + 1) (String.length k - i - 1))
+         with
+         | Some site -> "pretenure " ^ site_name site
+         | None -> k)
+      | _ -> k
+    in
+    List.iter
+      (fun (u : Profile.policy_row) ->
+        Support.Textgrid.add_row grid
+          [ string_of_int u.Profile.u_gc;
+            string_of_int u.Profile.u_window;
+            knob_label u.Profile.u_knob;
+            string_of_int u.Profile.u_old;
+            string_of_int u.Profile.u_new;
+            String.concat " "
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                 u.Profile.u_signals) ])
+      p.Profile.policy_updates;
+    Support.Textgrid.render grid
+  end
+
 let profile_report ?site_name ?top ~windows_us (p : Profile.t) =
   let sections =
     [ profile_header p;
@@ -411,6 +449,7 @@ let profile_report ?site_name ?top ~windows_us (p : Profile.t) =
       mmu_table p ~windows_us;
       census_table ?site_name ?top p;
       backend_table p;
+      policy_table ?site_name p;
       scan_table p ]
   in
   String.concat "\n" (List.filter (fun s -> s <> "") sections)
@@ -566,6 +605,22 @@ let profile_json ~windows_us (p : Profile.t) =
           Buffer.add_string b (Json.escape rule);
           Buffer.add_char b ':';
           Buffer.add_string b (string_of_int n)));
+  field "policy_updates" (fun () ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i (u : Profile.policy_row) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"gc\":%d,\"window\":%d,\"knob\":%s,\"old\":%d,\"new\":%d,\"signals\":"
+               u.Profile.u_gc u.Profile.u_window
+               (Json.escape u.Profile.u_knob) u.Profile.u_old u.Profile.u_new);
+          obj_of u.Profile.u_signals (fun (k, v) ->
+              Buffer.add_string b (Json.escape k);
+              Buffer.add_char b ':';
+              Buffer.add_string b (string_of_int v));
+          Buffer.add_char b '}')
+        p.Profile.policy_updates;
+      Buffer.add_char b ']');
   field "sites" (fun () ->
       Buffer.add_char b '[';
       List.iteri

@@ -61,6 +61,11 @@ val region_scan_line : Profile.t -> string
     count, largest hole, free share of the footprint). *)
 val backend_table : Profile.t -> string
 
+(** [policy_table ?site_name p] is the adaptive control plane's decision
+    timeline — one row per [policy_update], in trace order; "" when the
+    run made no decisions. *)
+val policy_table : ?site_name:(int -> string) -> Profile.t -> string
+
 (** [profile_report ?site_name ?top ~windows_us p] is a one-line run
     header followed by every non-empty table above. *)
 val profile_report :

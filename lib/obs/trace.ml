@@ -344,3 +344,9 @@ let slo_breach ~rule ~observed_us ~limit_us ~window_us =
   | None -> ()
   | Some st ->
     emit st (Event.Slo_breach { rule; observed_us; limit_us; window_us })
+
+let policy_update ~knob ~old_value ~new_value ~window ~signals =
+  match !state with
+  | None -> ()
+  | Some st ->
+    emit st (Event.Policy_update { knob; old_value; new_value; window; signals })

@@ -152,3 +152,10 @@ val backend_stats :
 val slo_breach :
   rule:string -> observed_us:float -> limit_us:float -> window_us:float ->
   unit
+
+(** Emitted by the adaptive control plane right after the deciding
+    collection's [gc_end]; see {!Event.t}'s [Policy_update] for the
+    replay doctrine. *)
+val policy_update :
+  knob:string -> old_value:int -> new_value:int -> window:int ->
+  signals:(string * int) list -> unit

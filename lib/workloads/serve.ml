@@ -71,10 +71,12 @@ type report = {
   checksum : int;
 }
 
-let run rt ?slo ~tenants ~sessions ~requests ~rate_rps ~seed () =
+let run rt ?slo ?(phase_shift = 0) ~tenants ~sessions ~requests ~rate_rps
+    ~seed () =
   if tenants < 1 then invalid_arg "Serve.run: tenants < 1";
   if sessions < 1 then invalid_arg "Serve.run: sessions < 1";
   if rate_rps <= 0. then invalid_arg "Serve.run: rate_rps <= 0";
+  if phase_shift < 0 then invalid_arg "Serve.run: phase_shift < 0";
   let s_sess = R.register_site rt ~name:"serve.sessions" in
   let s_arena = R.register_site rt ~name:"serve.arena.scratch" in
   let s_cache = R.register_site rt ~name:"serve.cache.entry" in
@@ -144,11 +146,23 @@ let run rt ?slo ~tenants ~sessions ~requests ~rate_rps ~seed () =
   for i = 0 to requests - 1 do
     let tenant = next () mod tenants in
     let session = next () mod sessions in
+    (* phase shift (adaptive-plane scenario): from request [phase_shift]
+       on, every tenant rotates to the next lifetime profile — arena
+       traffic becomes cache traffic and so on — so the allocation
+       behaviour the run opened with stops being the right one to tune
+       for.  [0] (the default) never shifts.  The rotation changes which
+       handler runs, not the request stream: the LCG draws stay in the
+       same order, so checksums remain comparable across collector
+       configurations at equal [phase_shift]. *)
+    let kind =
+      kind_of_tenant
+        (if phase_shift > 0 && i >= phase_shift then tenant + 1 else tenant)
+    in
     let before =
       match slo with Some s -> Obs.Slo.pause_count s | None -> 0
     in
     let t0 = Support.Units.now_ns () in
-    (match kind_of_tenant tenant with
+    (match kind with
      | Arena -> handle_arena ()
      | Cache -> handle_cache ~tenant ~session
      | Archive -> handle_archive ~tenant ~session);

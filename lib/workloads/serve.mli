@@ -45,13 +45,18 @@ type report = {
                                  across collector configurations *)
 }
 
-(** [run rt ?slo ~tenants ~sessions ~requests ~rate_rps ~seed ()] drives
-    [requests] requests at [rate_rps] across [tenants] tenants of
-    [sessions] sessions each.  Tenant [t]'s session table occupies
-    global root [t], so the runtime needs [global_slots >= tenants].
-    With [?slo] attached (via [Trace.enable ~slo]), pause-count deltas
-    attribute each collection to the tenant whose request triggered
-    it. *)
+(** [run rt ?slo ?phase_shift ~tenants ~sessions ~requests ~rate_rps
+    ~seed ()] drives [requests] requests at [rate_rps] across [tenants]
+    tenants of [sessions] sessions each.  Tenant [t]'s session table
+    occupies global root [t], so the runtime needs
+    [global_slots >= tenants].  With [?slo] attached (via
+    [Trace.enable ~slo]), pause-count deltas attribute each collection
+    to the tenant whose request triggered it.  [?phase_shift] (default
+    [0] = never) rotates every tenant to the next lifetime profile from
+    that request ordinal on — the behaviour-change scenario the adaptive
+    control plane is measured against; the stream stays a pure function
+    of [seed] and [phase_shift], so checksums compare across collector
+    configurations at equal [phase_shift]. *)
 val run :
-  Gsc.Runtime.t -> ?slo:Obs.Slo.t -> tenants:int -> sessions:int ->
-  requests:int -> rate_rps:float -> seed:int -> unit -> report
+  Gsc.Runtime.t -> ?slo:Obs.Slo.t -> ?phase_shift:int -> tenants:int ->
+  sessions:int -> requests:int -> rate_rps:float -> seed:int -> unit -> report

@@ -1,0 +1,272 @@
+(* Properties of the adaptive control plane (lib/control).
+
+   The first two pin the {!Control.Controller} invariants its interface
+   promises — knob values never leave their declared bounds, and a knob
+   changed in window [w] is untouchable (so in particular cannot reverse
+   direction) before window [w + cooldown + 1] — under adversarial
+   observation streams built from extreme archetypes (pause spikes,
+   promotion storms, sudden quiet) exactly because those are the streams
+   that tempt a naive rule engine into oscillation.
+
+   The third is the decision-replay fixed point: a real adaptive run
+   (the serve workload, phase shift included) traced to a buffer must
+   replay through {!Control.Replay} to the exact [policy_update] records
+   it emitted, across {copying, mark_sweep} x {classic, packed}. *)
+
+module C = Control.Controller
+module P = Control.Params
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- adversarial observation streams --- *)
+
+(* Archetype 0: pause storm (over any realistic target, promotion hot).
+   1: promotion storm with negligible pauses (tempts nursery growth and
+      tenure raise).
+   2: sudden quiet (everything dies young; tempts every relaxation rule).
+   3: fragmented major (tempts compaction).
+   4: noise (small mixed values). *)
+let obs_of_archetype i arch =
+  let site = 3 + (i mod 2) in
+  match arch with
+  | 0 ->
+    { C.o_gc = i; o_kind = "minor"; o_nursery_w = 4096; o_pause_us = 5000.;
+      o_promoted_w = 3500; o_live_w = 9000;
+      o_survival = [ (site, 40, 38, 400) ]; o_alloc = [ (site, 40, 400) ];
+      o_pretenured = []; o_tenured_live_w = 8000; o_tenured_free_w = 100;
+      o_tenured_largest_hole = 50 }
+  | 1 ->
+    { C.o_gc = i; o_kind = "minor"; o_nursery_w = 4096; o_pause_us = 0.4;
+      o_promoted_w = 3800; o_live_w = 9000;
+      o_survival = [ (site, 64, 60, 640) ]; o_alloc = [ (site, 64, 640) ];
+      o_pretenured = [ (site, 2) ]; o_tenured_live_w = 8000;
+      o_tenured_free_w = 0; o_tenured_largest_hole = 0 }
+  | 2 ->
+    { C.o_gc = i; o_kind = "minor"; o_nursery_w = 4096; o_pause_us = 0.2;
+      o_promoted_w = 0; o_live_w = 2000;
+      o_survival = [ (site, 64, 0, 640) ]; o_alloc = [ (site, 64, 640) ];
+      o_pretenured = []; o_tenured_live_w = 2000; o_tenured_free_w = 0;
+      o_tenured_largest_hole = 0 }
+  | 3 ->
+    { C.o_gc = i; o_kind = "major"; o_nursery_w = 0; o_pause_us = 900.;
+      o_promoted_w = 0; o_live_w = 5000; o_survival = []; o_alloc = [];
+      o_pretenured = []; o_tenured_live_w = 2000; o_tenured_free_w = 6000;
+      o_tenured_largest_hole = 80 }
+  | _ ->
+    { C.o_gc = i; o_kind = "minor"; o_nursery_w = 1024;
+      o_pause_us = float_of_int (17 * (i mod 7)) /. 10.;
+      o_promoted_w = 100 * (i mod 3); o_live_w = 3000;
+      o_survival = [ (site, 10, i mod 11, 100) ];
+      o_alloc = [ (site, 10, 100) ]; o_pretenured = [];
+      o_tenured_live_w = 3000; o_tenured_free_w = 300 * (i mod 4);
+      o_tenured_largest_hole = 128 }
+
+let stream_gen =
+  QCheck.(
+    quad (int_range 1 4) (int_range 0 3) (bool)
+      (list_of_size Gen.(int_range 10 160) (int_bound 4)))
+
+let params_of (window, cooldown, with_target, _) =
+  P.default ~window ~cooldown
+    ?target_p99_us:(if with_target then Some 100. else None)
+    ~tenure_max:4 ~can_compact:true ~nursery_w:8192 ()
+
+let fold_stream (((_, _, _, archs) as case) : int * int * bool * int list) f =
+  let p = params_of case in
+  let ctl = C.create p ~nursery_limit_w:8192 ~tenure_threshold:1 ~pretenured:[] in
+  List.iteri
+    (fun i arch -> f p ctl (C.observe ctl (obs_of_archetype i arch)))
+    archs
+
+(* knob values never leave their declared bounds *)
+let bounds_prop =
+  QCheck.Test.make ~name:"knobs never leave bounds" ~count:200 stream_gen
+    (fun case ->
+      fold_stream case (fun p ctl decisions ->
+          let nl = C.nursery_limit_w ctl in
+          let tt = C.tenure_threshold ctl in
+          if nl < p.P.nursery_min_w || nl > p.P.nursery_max_w then
+            QCheck.Test.fail_reportf "nursery limit %d outside [%d, %d]" nl
+              p.P.nursery_min_w p.P.nursery_max_w;
+          if tt < p.P.tenure_min || tt > p.P.tenure_max then
+            QCheck.Test.fail_reportf "tenure %d outside [%d, %d]" tt
+              p.P.tenure_min p.P.tenure_max;
+          List.iter
+            (fun (d : C.decision) ->
+              let ok =
+                match d.C.d_knob with
+                | "nursery_limit_w" ->
+                  d.C.d_new >= p.P.nursery_min_w
+                  && d.C.d_new <= p.P.nursery_max_w
+                  && d.C.d_new = nl
+                | "tenure_threshold" ->
+                  d.C.d_new >= p.P.tenure_min && d.C.d_new <= p.P.tenure_max
+                  && d.C.d_new = tt
+                | "compact" -> d.C.d_old = 0 && d.C.d_new = 1
+                | _ ->
+                  (d.C.d_old = 0 || d.C.d_old = 1)
+                  && (d.C.d_new = 0 || d.C.d_new = 1)
+                  && d.C.d_old <> d.C.d_new
+              in
+              if not ok then
+                QCheck.Test.fail_reportf "decision %s %d->%d out of bounds"
+                  d.C.d_knob d.C.d_old d.C.d_new;
+              List.iter
+                (fun (k, v) ->
+                  if v < 0 then
+                    QCheck.Test.fail_reportf "signal %s=%d negative" k v)
+                d.C.d_signals)
+            decisions);
+      true)
+
+(* a knob changed in window w cannot change again -- so in particular
+   cannot reverse direction -- before window w + cooldown + 1 *)
+let cooldown_prop =
+  QCheck.Test.make ~name:"no knob reverses within cooldown" ~count:200
+    stream_gen
+    (fun case ->
+      let last : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+      fold_stream case (fun p _ctl decisions ->
+          List.iter
+            (fun (d : C.decision) ->
+              let dir = compare d.C.d_new d.C.d_old in
+              (match Hashtbl.find_opt last d.C.d_knob with
+               | Some (w0, dir0) ->
+                 if d.C.d_window - w0 <= p.P.cooldown then
+                   QCheck.Test.fail_reportf
+                     "%s changed in window %d then again in %d (cooldown %d)"
+                     d.C.d_knob w0 d.C.d_window p.P.cooldown;
+                 if d.C.d_knob <> "compact" && dir = -dir0
+                    && d.C.d_window - w0 <= p.P.cooldown
+                 then
+                   QCheck.Test.fail_reportf "%s reversed inside cooldown"
+                     d.C.d_knob
+               | None -> ());
+              Hashtbl.replace last d.C.d_knob (d.C.d_window, dir))
+            decisions);
+      true)
+
+(* window arithmetic on a hostile alternation: with window 1 and
+   cooldown 2, a stream flip-flopping between a promotion storm and dead
+   quiet -- each window demanding the opposite tenure move -- must still
+   space tenure changes at least three windows apart. *)
+let adversarial_alternation () =
+  let p =
+    P.default ~window:1 ~cooldown:2 ~tenure_max:4 ~nursery_w:8192 ()
+  in
+  let ctl = C.create p ~nursery_limit_w:8192 ~tenure_threshold:1 ~pretenured:[] in
+  let changes = ref [] in
+  for i = 0 to 39 do
+    let arch = if i mod 2 = 0 then 1 else 2 in
+    List.iter
+      (fun (d : C.decision) ->
+        if d.C.d_knob = "tenure_threshold" then
+          changes := d.C.d_window :: !changes)
+      (C.observe ctl (obs_of_archetype i arch))
+  done;
+  let ws = List.rev !changes in
+  check_bool "the alternation provokes tenure changes" true
+    (List.length ws >= 2);
+  let rec gaps = function
+    | w0 :: (w1 :: _ as rest) ->
+      check_bool "gap respects cooldown" true (w1 - w0 > 2);
+      gaps rest
+    | _ -> ()
+  in
+  gaps ws
+
+(* --- the decision-replay fixed point --- *)
+
+(* Run the serve workload (phase shift included) under an adaptive
+   collector, trace to a buffer, and re-derive the policy_update stream
+   offline: Replay.verify must match every decision bit-for-bit, for
+   each major collector x header layout.  The checksum must not depend
+   on the configuration, and across the matrix at least one decision
+   must have fired (the 1 us p99 target guarantees shrink pressure). *)
+let replay_fixed_point () =
+  let configs =
+    [ (Collectors.Generational.Copying, Mem.Header.Classic);
+      (Collectors.Generational.Copying, Mem.Header.Packed);
+      (Collectors.Generational.Mark_sweep, Mem.Header.Classic);
+      (Collectors.Generational.Mark_sweep, Mem.Header.Packed) ]
+  in
+  let total = ref 0 in
+  let checksums = ref [] in
+  List.iter
+    (fun (major_kind, header_layout) ->
+      let label =
+        Printf.sprintf "%s/%s"
+          (Collectors.Generational.major_kind_name major_kind)
+          (match header_layout with
+           | Mem.Header.Classic -> "classic"
+           | Mem.Header.Packed -> "packed")
+      in
+      let cfg =
+        { (Gsc.Config.generational ~budget_bytes:(8 * 1024 * 1024)) with
+          Gsc.Config.adaptive = true;
+          nursery_bytes_max = 64 * 1024;
+          major_kind; header_layout;
+          slo = { Obs.Slo.no_target with Obs.Slo.p99_us = Some 1. } }
+      in
+      let buf = Buffer.create (1 lsl 18) in
+      let rep =
+        Obs.Trace.with_buffer buf (fun () ->
+            let rt = Gsc.Runtime.create cfg in
+            Fun.protect ~finally:(fun () -> Gsc.Runtime.destroy rt)
+            @@ fun () ->
+            Workloads.Serve.run rt ~phase_shift:600 ~tenants:3 ~sessions:16
+              ~requests:1200 ~rate_rps:4000. ~seed:7 ())
+      in
+      checksums := rep.Workloads.Serve.checksum :: !checksums;
+      let lines = String.split_on_char '\n' (Buffer.contents buf) in
+      let gcfg = Gsc.Config.generational_config cfg in
+      let params, nursery_w =
+        Collectors.Generational.adaptive_setup gcfg
+      in
+      let derived =
+        match
+          Control.Replay.of_lines params ~nursery_limit_w:nursery_w
+            ~tenure_threshold:gcfg.Collectors.Generational.tenure_threshold
+            ~pretenured:gcfg.Collectors.Generational.pretenured_init lines
+        with
+        | Ok ds -> ds
+        | Error msg -> Alcotest.failf "%s: replay failed: %s" label msg
+      in
+      let traced =
+        match Obs.Profile.of_lines lines with
+        | Ok p -> p.Obs.Profile.policy_updates
+        | Error msg -> Alcotest.failf "%s: profile fold failed: %s" label msg
+      in
+      (match Control.Replay.verify ~derived ~traced with
+       | Ok n -> total := !total + n
+       | Error msg -> Alcotest.failf "%s: %s" label msg))
+    configs;
+  check_bool "the matrix produced at least one decision" true (!total > 0);
+  match !checksums with
+  | c :: rest ->
+    List.iter (fun c' -> check_int "checksum is config-independent" c c') rest
+  | [] -> ()
+
+(* determinism of the engine itself: the same stream through two fresh
+   controllers yields identical decision lists *)
+let engine_deterministic () =
+  let p = P.default ~window:2 ~cooldown:1 ~target_p99_us:100. ~nursery_w:8192 () in
+  let run () =
+    let ctl = C.create p ~nursery_limit_w:8192 ~tenure_threshold:1 ~pretenured:[] in
+    List.concat
+      (List.init 60 (fun i -> C.observe ctl (obs_of_archetype i (i mod 5))))
+  in
+  check_bool "identical decision streams" true (run () = run ())
+
+let () =
+  Alcotest.run "control"
+    [ ("engine",
+       [ QCheck_alcotest.to_alcotest bounds_prop;
+         QCheck_alcotest.to_alcotest cooldown_prop;
+         Alcotest.test_case "adversarial alternation" `Quick
+           adversarial_alternation;
+         Alcotest.test_case "deterministic" `Quick engine_deterministic ]);
+      ("replay",
+       [ Alcotest.test_case "fixed point across configs" `Quick
+           replay_fixed_point ]) ]

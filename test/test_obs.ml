@@ -166,15 +166,15 @@ let schema_rejects () =
       ("missing envelope", "{\"ev\":\"unwind\",\"target_depth\":1}");
       ("missing version", "{\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1}");
       ("missing field",
-       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\"}");
+       "{\"v\":5,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\"}");
       ("unknown kind",
-       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"mystery\"}");
+       "{\"v\":5,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"mystery\"}");
       ("wrong type",
-       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
+       "{\"v\":5,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":\"x\"}");
       ("unknown field",
-       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
+       "{\"v\":5,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1,\"z\":2}");
       ("negative int",
-       "{\"v\":4,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
+       "{\"v\":5,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":-1}");
       ("unparsable", "{") ]
   in
   List.iter
@@ -191,7 +191,7 @@ let schema_version_gate () =
       "{\"v\":%d,\"seq\":0,\"t_us\":0.0,\"gc\":0,\"dom\":0,\"ev\":\"unwind\",\"target_depth\":1}"
       v
   in
-  (match Obs.Schema.validate_line (mk 4) with
+  (match Obs.Schema.validate_line (mk 5) with
    | Ok () -> ()
    | Error msg -> Alcotest.failf "current version rejected: %s" msg);
   List.iter
@@ -202,8 +202,8 @@ let schema_version_gate () =
         check_bool "names the foreign version" true
           (contains ~needle:(Printf.sprintf "version %d" v) msg);
         check_bool "names the supported version" true
-          (contains ~needle:"version 4" msg))
-    [ 2; 3; 5 ]
+          (contains ~needle:"version 5" msg))
+    [ 2; 3; 4; 6 ]
 
 (* --- Golden emitter output --- *)
 
@@ -218,18 +218,19 @@ let ticking_clock () =
 
 let golden =
   String.concat "\n"
-    [ {|{"v":4,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
-      {|{"v":4,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"site_alloc","site":1,"objects":10,"words":30}|};
-      {|{"v":4,"seq":2,"t_us":3.0,"gc":1,"dom":0,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
-      {|{"v":4,"seq":3,"t_us":4.0,"gc":1,"dom":0,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
-      {|{"v":4,"seq":4,"t_us":5.0,"gc":1,"dom":0,"ev":"site_survival","site":1,"objects":4,"first_objects":3,"words":12}|};
-      {|{"v":4,"seq":5,"t_us":6.0,"gc":1,"dom":0,"ev":"census","site":1,"objects":4,"words":12,"ages":{"0":1,"2-3":3}}|};
-      {|{"v":4,"seq":6,"t_us":7.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
-      {|{"v":4,"seq":7,"t_us":8.0,"gc":1,"dom":0,"ev":"pretenure","site":2,"words":8}|};
-      {|{"v":4,"seq":8,"t_us":9.0,"gc":1,"dom":0,"ev":"site_edge","from_site":2,"to_site":1}|};
-      {|{"v":4,"seq":9,"t_us":10.0,"gc":1,"dom":0,"ev":"marker_place","installed":3,"depth":9}|};
-      {|{"v":4,"seq":10,"t_us":11.0,"gc":1,"dom":0,"ev":"unwind","target_depth":4}|};
-      {|{"v":4,"seq":11,"t_us":12.0,"gc":1,"dom":0,"ev":"slo_breach","rule":"max_pause","observed_us":250.0,"limit_us":100.0,"window_us":0.0}|};
+    [ {|{"v":5,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":100,"tenured_w":200,"los_w":0}|};
+      {|{"v":5,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"site_alloc","site":1,"objects":10,"words":30}|};
+      {|{"v":5,"seq":2,"t_us":3.0,"gc":1,"dom":0,"ev":"phase","name":"roots","dur_us":12.5,"counters":{"roots":3}}|};
+      {|{"v":5,"seq":3,"t_us":4.0,"gc":1,"dom":0,"ev":"stack_scan","mode":"minor","valid_prefix":2,"depth":5,"decoded":3,"reused":2,"slots":7,"roots":4}|};
+      {|{"v":5,"seq":4,"t_us":5.0,"gc":1,"dom":0,"ev":"site_survival","site":1,"objects":4,"first_objects":3,"words":12}|};
+      {|{"v":5,"seq":5,"t_us":6.0,"gc":1,"dom":0,"ev":"census","site":1,"objects":4,"words":12,"ages":{"0":1,"2-3":3}}|};
+      {|{"v":5,"seq":6,"t_us":7.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":250.0,"copied_w":12,"promoted_w":12,"live_w":212}|};
+      {|{"v":5,"seq":7,"t_us":8.0,"gc":1,"dom":0,"ev":"pretenure","site":2,"words":8}|};
+      {|{"v":5,"seq":8,"t_us":9.0,"gc":1,"dom":0,"ev":"site_edge","from_site":2,"to_site":1}|};
+      {|{"v":5,"seq":9,"t_us":10.0,"gc":1,"dom":0,"ev":"marker_place","installed":3,"depth":9}|};
+      {|{"v":5,"seq":10,"t_us":11.0,"gc":1,"dom":0,"ev":"unwind","target_depth":4}|};
+      {|{"v":5,"seq":11,"t_us":12.0,"gc":1,"dom":0,"ev":"slo_breach","rule":"max_pause","observed_us":250.0,"limit_us":100.0,"window_us":0.0}|};
+      {|{"v":5,"seq":12,"t_us":13.0,"gc":1,"dom":0,"ev":"policy_update","knob":"nursery_limit_w","old":8192,"new":6144,"window":2,"signals":{"p99_tenths":1180,"promo_permille":133}}|};
       "" ]
 
 let golden_emitter () =
@@ -250,7 +251,10 @@ let golden_emitter () =
       Obs.Trace.marker_place ~installed:3 ~depth:9;
       Obs.Trace.unwind ~target_depth:4;
       Obs.Trace.slo_breach ~rule:"max_pause" ~observed_us:250.0
-        ~limit_us:100.0 ~window_us:0.0);
+        ~limit_us:100.0 ~window_us:0.0;
+      Obs.Trace.policy_update ~knob:"nursery_limit_w" ~old_value:8192
+        ~new_value:6144 ~window:2
+        ~signals:[ ("p99_tenths", 1180); ("promo_permille", 133) ]);
   check_str "emitted lines" golden (Buffer.contents buf);
   String.split_on_char '\n' (Buffer.contents buf)
   |> List.iter (fun line ->
@@ -280,7 +284,10 @@ let async_writer_golden () =
       Obs.Trace.marker_place ~installed:3 ~depth:9;
       Obs.Trace.unwind ~target_depth:4;
       Obs.Trace.slo_breach ~rule:"max_pause" ~observed_us:250.0
-        ~limit_us:100.0 ~window_us:0.0);
+        ~limit_us:100.0 ~window_us:0.0;
+      Obs.Trace.policy_update ~knob:"nursery_limit_w" ~old_value:8192
+        ~new_value:6144 ~window:2
+        ~signals:[ ("p99_tenths", 1180); ("promo_permille", 133) ]);
   check_str "async emitted lines" golden (Buffer.contents buf)
 
 (* Emitters hold the tracer's lock, so domains may interleave freely:
@@ -432,7 +439,7 @@ let with_file_flushes_on_raise () =
 (* --- the offline analyzer --- *)
 
 let env ~seq ~t_us ~gc rest =
-  Printf.sprintf "{\"v\":4,\"seq\":%d,\"t_us\":%.1f,\"gc\":%d,\"dom\":0,%s}"
+  Printf.sprintf "{\"v\":5,\"seq\":%d,\"t_us\":%.1f,\"gc\":%d,\"dom\":0,%s}"
     seq t_us gc rest
 
 let analyzed_exn lines =
@@ -726,13 +733,13 @@ let policy_file_rejects () =
     {|{"v":99,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
     "version 99";
   check_err "wrong kind"
-    {|{"v":4,"kind":"mystery","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
+    {|{"v":5,"kind":"mystery","cutoff":0.8,"min_objects":32,"sites":[],"no_scan":[]}|}
     "kind";
   check_err "no_scan not a subset"
-    {|{"v":4,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[1],"no_scan":[2]}|}
+    {|{"v":5,"kind":"pretenure_policy","cutoff":0.8,"min_objects":32,"sites":[1],"no_scan":[2]}|}
     "subset";
   check_err "missing field"
-    {|{"v":4,"kind":"pretenure_policy","cutoff":0.8,"sites":[],"no_scan":[]}|}
+    {|{"v":5,"kind":"pretenure_policy","cutoff":0.8,"sites":[],"no_scan":[]}|}
     "min_objects"
 
 (* --- the online SLO monitor --- *)
@@ -752,9 +759,9 @@ let slo_breach_inline () =
         ~promoted_w:0 ~live_w:0);
   let expected =
     String.concat "\n"
-      [ {|{"v":4,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":1,"tenured_w":0,"los_w":0}|};
-        {|{"v":4,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":100.0,"copied_w":0,"promoted_w":0,"live_w":0}|};
-        {|{"v":4,"seq":2,"t_us":2.0,"gc":1,"dom":0,"ev":"slo_breach","rule":"max_pause","observed_us":100.0,"limit_us":50.0,"window_us":0.0}|};
+      [ {|{"v":5,"seq":0,"t_us":1.0,"gc":1,"dom":0,"ev":"gc_begin","kind":"minor","nursery_w":1,"tenured_w":0,"los_w":0}|};
+        {|{"v":5,"seq":1,"t_us":2.0,"gc":1,"dom":0,"ev":"gc_end","kind":"minor","pause_us":100.0,"copied_w":0,"promoted_w":0,"live_w":0}|};
+        {|{"v":5,"seq":2,"t_us":2.0,"gc":1,"dom":0,"ev":"slo_breach","rule":"max_pause","observed_us":100.0,"limit_us":50.0,"window_us":0.0}|};
         "" ]
   in
   check_str "breach rides behind its gc_end" expected (Buffer.contents buf);
